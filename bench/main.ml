@@ -1,0 +1,191 @@
+(* The benchmark harness: regenerates every row of the paper's Table 1 and
+   the derived figure sweeps (F1-F4), printing measured values against the
+   instantiated bounds, then times the simulator itself with Bechamel (one
+   Test.make per table row / figure).
+
+   Usage: main.exe [--quick] [table1] [figures] [ablations] [micro]
+   With no section arguments, all four run. *)
+
+let fmt = Mac_sim.Report.fmt_float
+
+let check_cell (c : Mac_experiments.Scenario.check) =
+  let body =
+    if Float.is_finite c.bound then
+      Printf.sprintf "%s %s/%s" c.label (fmt c.measured) (fmt c.bound)
+    else c.label
+  in
+  Printf.sprintf "%s[%s]" body (if c.ok then "ok" else "FAIL")
+
+let outcome_row (o : Mac_experiments.Scenario.outcome) =
+  let s = o.summary and sp = o.spec in
+  [ sp.id;
+    string_of_int sp.n;
+    string_of_int sp.k;
+    fmt sp.rate;
+    fmt sp.burst;
+    Mac_sim.Stability.verdict_to_string o.stability.verdict;
+    string_of_int s.max_total_queue;
+    string_of_int (max s.max_delay s.max_queued_age);
+    string_of_int s.max_on;
+    String.concat " " (List.map check_cell o.checks);
+    (if o.passed then "PASS" else "FAIL") ]
+
+let print_table1 ~scale =
+  print_endline "=== Table 1: per-row empirical validation ===";
+  print_newline ();
+  let failures = ref 0 in
+  List.iter
+    (fun (exp : Mac_experiments.Table1.t) ->
+      Printf.printf "--- %s ---\n%s\n" exp.id exp.claim;
+      let outcomes = exp.run ~scale in
+      let report =
+        Mac_sim.Report.create
+          ~header:
+            [ "scenario"; "n"; "k"; "rho"; "beta"; "verdict"; "max-q";
+              "worst-delay"; "max-on"; "checks"; "status" ]
+      in
+      List.iter
+        (fun o ->
+          if not o.Mac_experiments.Scenario.passed then incr failures;
+          Mac_sim.Report.add_row report (outcome_row o))
+        outcomes;
+      Mac_sim.Report.print report;
+      print_newline ())
+    Mac_experiments.Table1.all;
+  Printf.printf "Table 1 scenarios failing their checks: %d\n\n" !failures
+
+let print_figures ~scale =
+  print_endline "=== Figures: sweep series ===";
+  print_newline ();
+  List.iter
+    (fun (fig : Mac_experiments.Figures.t) ->
+      Printf.printf "--- %s ---\n%s\n" fig.id fig.title;
+      let report, _ = fig.run ~scale in
+      Mac_sim.Report.print report;
+      print_newline ())
+    Mac_experiments.Figures.all
+
+let print_ablations ~scale =
+  print_endline "=== Ablations: the design choices, removed one at a time ===";
+  print_newline ();
+  List.iter
+    (fun (ab : Mac_experiments.Ablations.t) ->
+      Printf.printf "--- %s ---\n%s\n" ab.id ab.title;
+      let report, _ = ab.run ~scale in
+      Mac_sim.Report.print report;
+      print_newline ())
+    Mac_experiments.Ablations.all
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: wall-clock cost of simulating each
+   configuration for a fixed number of rounds. *)
+
+let sim_test ~name ~algorithm ~n ~k ~rate ~burst ~pattern ~rounds =
+  Bechamel.Test.make ~name
+    (Bechamel.Staged.stage (fun () ->
+         let adversary =
+           Mac_adversary.Adversary.create ~rate ~burst (pattern ())
+         in
+         ignore
+           (Mac_sim.Engine.run ~algorithm:(algorithm ()) ~n ~k ~adversary
+              ~rounds ())))
+
+let micro_tests () =
+  let n = 8 in
+  [ sim_test ~name:"T1.orchestra" ~algorithm:(fun () -> (module Mac_routing.Orchestra : Mac_channel.Algorithm.S))
+      ~n ~k:3 ~rate:1.0 ~burst:2.0
+      ~pattern:(fun () -> Mac_adversary.Pattern.flood ~n ~victim:2)
+      ~rounds:4_000;
+    sim_test ~name:"T1.count-hop" ~algorithm:(fun () -> (module Mac_routing.Count_hop))
+      ~n ~k:2 ~rate:0.8 ~burst:2.0
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n ~seed:1)
+      ~rounds:4_000;
+    sim_test ~name:"T1.adjust-window"
+      ~algorithm:(fun () -> (module Mac_routing.Adjust_window)) ~n:4 ~k:2
+      ~rate:0.5 ~burst:2.0
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n:4 ~seed:2)
+      ~rounds:4_000;
+    sim_test ~name:"T1.k-cycle"
+      ~algorithm:(fun () -> Mac_routing.K_cycle.algorithm ~n:12 ~k:4) ~n:12 ~k:4
+      ~rate:0.13 ~burst:2.0
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n:12 ~seed:3)
+      ~rounds:4_000;
+    sim_test ~name:"T1.k-clique"
+      ~algorithm:(fun () -> Mac_routing.K_clique.algorithm ~n:12 ~k:4) ~n:12
+      ~k:4 ~rate:0.03 ~burst:2.0
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n:12 ~seed:4)
+      ~rounds:4_000;
+    sim_test ~name:"T1.k-subsets"
+      ~algorithm:(fun () -> Mac_routing.K_subsets.algorithm ~n:8 ~k:3 ()) ~n:8
+      ~k:3 ~rate:0.1 ~burst:2.0
+      ~pattern:(fun () -> Mac_adversary.Pattern.pair_flood ~src:1 ~dst:2)
+      ~rounds:4_000;
+    sim_test ~name:"F.baseline-pair-tdma"
+      ~algorithm:(fun () -> (module Mac_routing.Pair_tdma)) ~n ~k:2 ~rate:0.03
+      ~burst:2.0
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n ~seed:5)
+      ~rounds:4_000;
+    sim_test ~name:"F.substrate-mbtf"
+      ~algorithm:(fun () -> (module Mac_broadcast.Mbtf)) ~n ~k:n ~rate:1.0
+      ~burst:2.0
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n ~seed:6)
+      ~rounds:4_000 ]
+
+let print_micro () =
+  print_endline "=== Bechamel micro-benchmarks (4000 simulated rounds each) ===";
+  print_newline ();
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None ~stabilize:true
+      ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"sim" ~fmt:"%s/%s" (micro_tests ()))
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let report =
+    Mac_sim.Report.create
+      ~header:[ "benchmark"; "time/4k rounds"; "rounds/s"; "r^2" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (t :: _) ->
+        let r2 =
+          match Analyze.OLS.r_square ols_result with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-"
+        in
+        rows :=
+          ( name,
+            [ name; Printf.sprintf "%.2f ms" (t /. 1e6);
+              Printf.sprintf "%.0f" (4_000.0 /. (t /. 1e9)); r2 ] )
+          :: !rows
+      | Some [] | None -> ())
+    results;
+  List.iter
+    (fun (_, row) -> Mac_sim.Report.add_row report row)
+    (List.sort compare !rows);
+  Mac_sim.Report.print report;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let scale = if quick then `Quick else `Full in
+  let sections = List.filter (fun a -> a <> "--quick") args in
+  let want s = sections = [] || List.mem s sections in
+  Printf.printf
+    "Energy Efficient Adversarial Routing in Shared Channels — reproduction \
+     harness (%s scale)\n\n"
+    (if quick then "quick" else "full");
+  if want "table1" then print_table1 ~scale;
+  if want "figures" then print_figures ~scale;
+  if want "ablations" then print_ablations ~scale;
+  if want "micro" then print_micro ()

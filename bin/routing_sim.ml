@@ -1,0 +1,267 @@
+(* Command-line driver for the simulator.
+
+   routing_sim run --algorithm k-cycle -n 12 -k 4 --rate 0.2 --pattern flood:5
+   routing_sim table1 [ID]       re-run Table-1 experiments
+   routing_sim figures [ID]      re-run figure sweeps
+   routing_sim list              show algorithms, patterns, experiments *)
+
+open Cmdliner
+
+let algorithms ~n ~k =
+  [ ("orchestra", (module Mac_routing.Orchestra : Mac_channel.Algorithm.S));
+    ("count-hop", (module Mac_routing.Count_hop));
+    ("adjust-window", (module Mac_routing.Adjust_window));
+    ("k-cycle", Mac_routing.K_cycle.algorithm ~n ~k);
+    ("k-clique", Mac_routing.K_clique.algorithm ~n ~k);
+    ("k-subsets", Mac_routing.K_subsets.algorithm ~n ~k ());
+    ("k-subsets-rrw", Mac_routing.K_subsets.algorithm ~discipline:`Rrw ~n ~k ());
+    ("pair-tdma", (module Mac_routing.Pair_tdma));
+    ("random-leader", Mac_routing.Random_leader.algorithm ~n ~k ());
+    ("rrw", (module Mac_broadcast.Rrw));
+    ("of-rrw", (module Mac_broadcast.Of_rrw));
+    ("mbtf", (module Mac_broadcast.Mbtf)) ]
+
+let algorithm_names = List.map fst (algorithms ~n:6 ~k:3)
+
+let resolve_algorithm name ~n ~k =
+  match List.assoc_opt name (algorithms ~n ~k) with
+  | Some a -> a
+  | None ->
+    Printf.eprintf "unknown algorithm %S; try: %s\n" name
+      (String.concat ", " algorithm_names);
+    exit 2
+
+(* Pattern syntax: uniform | flood:V | pair:S:D | round-robin | to-busiest |
+   hotspot:H:BIAS | alternating:S:D1:D2 | min-duty | min-pair | cap2. The
+   saboteurs need the algorithm's schedule, so resolution happens after the
+   algorithm is known. *)
+let resolve_pattern spec ~algorithm ~n ~k ~seed =
+  let fail msg =
+    Printf.eprintf "bad pattern %S: %s\n" spec msg;
+    exit 2
+  in
+  let parts = String.split_on_char ':' spec in
+  let saboteur make =
+    match Mac_experiments.Scenario.schedule_of algorithm ~n ~k with
+    | None -> fail "this saboteur needs an oblivious algorithm"
+    | Some schedule ->
+      let choice = make ~schedule in
+      Printf.printf "saboteur choice: %s\n" choice.Mac_adversary.Saboteur.description;
+      choice.Mac_adversary.Saboteur.pattern
+  in
+  match parts with
+  | [ "uniform" ] -> Mac_adversary.Pattern.uniform ~n ~seed
+  | [ "flood"; v ] -> Mac_adversary.Pattern.flood ~n ~victim:(int_of_string v)
+  | [ "pair"; s; d ] ->
+    Mac_adversary.Pattern.pair_flood ~src:(int_of_string s) ~dst:(int_of_string d)
+  | [ "round-robin" ] -> Mac_adversary.Pattern.round_robin ~n
+  | [ "to-busiest" ] -> Mac_adversary.Pattern.to_busiest ~n
+  | [ "hotspot"; h; b ] ->
+    Mac_adversary.Pattern.hotspot ~n ~seed ~hot:(int_of_string h)
+      ~bias:(float_of_string b)
+  | [ "alternating"; s; d1; d2 ] ->
+    Mac_adversary.Pattern.alternating ~src:(int_of_string s)
+      ~dst_odd:(int_of_string d1) ~dst_even:(int_of_string d2)
+  | [ "min-duty" ] ->
+    saboteur (fun ~schedule -> Mac_adversary.Saboteur.min_duty ~n ~horizon:50_000 ~schedule)
+  | [ "min-pair" ] ->
+    saboteur (fun ~schedule -> Mac_adversary.Saboteur.min_pair ~n ~horizon:50_000 ~schedule)
+  | [ "cap2" ] -> (Mac_adversary.Saboteur.cap2_breaker ~n).Mac_adversary.Saboteur.pattern
+  | _ -> fail "unrecognised syntax"
+
+(* ---- run command ---- *)
+
+let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
+    series trace_n csv json =
+  let algorithm = resolve_algorithm algorithm_name ~n ~k in
+  let module A = (val algorithm) in
+  let pattern = resolve_pattern pattern_spec ~algorithm ~n ~k ~seed in
+  let pacing =
+    if paced then Mac_adversary.Adversary.Paced { burst_at = None }
+    else Mac_adversary.Adversary.Greedy
+  in
+  let adversary = Mac_adversary.Adversary.create ~rate ~burst ~pacing pattern in
+  let trace =
+    if trace_n > 0 then
+      Some (Mac_channel.Trace.create ~capacity:trace_n ~enabled:true ())
+    else None
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds) with
+      drain_limit = drain; check_schedule = A.oblivious; trace }
+  in
+  let summary =
+    Mac_sim.Engine.run ~config ~algorithm ~n ~k ~adversary ~rounds ()
+  in
+  let stability = Mac_sim.Stability.classify summary.queue_series in
+  Format.printf "%a@." Mac_sim.Metrics.pp_summary summary;
+  Format.printf "stability: %a@." Mac_sim.Stability.pp_report stability;
+  Option.iter
+    (fun t ->
+      Printf.printf "--- last %d channel events ---\n" trace_n;
+      List.iter
+        (fun (round, event) -> Printf.printf "r%-8d %s\n" round event)
+        (Mac_channel.Trace.dump t))
+    trace;
+  if series then print_string (Mac_sim.Export.series_csv summary);
+  Option.iter
+    (fun path ->
+      Mac_sim.Export.write_file ~path (Mac_sim.Export.summaries_csv [ summary ]);
+      Printf.printf "wrote %s\n" path)
+    csv;
+  if json then print_endline (Mac_sim.Export.summary_json summary);
+  `Ok ()
+
+let n_arg =
+  Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Number of stations.")
+
+let k_arg =
+  Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Energy cap offered.")
+
+let run_term =
+  let algorithm =
+    Arg.(
+      value
+      & opt string "orchestra"
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:(Printf.sprintf "One of: %s." (String.concat ", " algorithm_names)))
+  in
+  let rate =
+    Arg.(value & opt float 0.5 & info [ "rate" ] ~docv:"RHO" ~doc:"Injection rate.")
+  in
+  let burst =
+    Arg.(value & opt float 2.0 & info [ "burst" ] ~docv:"BETA" ~doc:"Burstiness.")
+  in
+  let pattern =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "p"; "pattern" ] ~docv:"PATTERN"
+          ~doc:
+            "uniform | flood:V | pair:S:D | round-robin | to-busiest | \
+             hotspot:H:BIAS | alternating:S:D1:D2 | min-duty | min-pair | cap2.")
+  in
+  let rounds =
+    Arg.(value & opt int 100_000 & info [ "rounds" ] ~docv:"T" ~doc:"Injection rounds.")
+  in
+  let drain =
+    Arg.(
+      value & opt int 0
+      & info [ "drain" ] ~docv:"T" ~doc:"Extra injection-free rounds to empty queues.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let paced =
+    Arg.(value & flag & info [ "paced" ] ~doc:"Spread injections instead of greedy bursts.")
+  in
+  let series =
+    Arg.(value & flag & info [ "series" ] ~doc:"Print the queue-size series as CSV.")
+  in
+  let trace_n =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ] ~docv:"N" ~doc:"Print the last N channel events.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the summary as CSV to FILE.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the summary as JSON.")
+  in
+  Term.(
+    ret
+      (const run_cmd $ algorithm $ n_arg $ k_arg $ rate $ burst $ pattern
+       $ rounds $ drain $ seed $ paced $ series $ trace_n $ csv $ json))
+
+(* ---- table1 / figures commands ---- *)
+
+let table1_cmd id quick =
+  let scale = if quick then `Quick else `Full in
+  let experiments =
+    match id with
+    | None -> Mac_experiments.Table1.all
+    | Some id ->
+      (try [ Mac_experiments.Table1.find id ]
+       with Not_found ->
+         Printf.eprintf "unknown experiment %S\n" id;
+         exit 2)
+  in
+  List.iter
+    (fun (e : Mac_experiments.Table1.t) ->
+      Printf.printf "--- %s ---\n%s\n" e.id e.claim;
+      List.iter
+        (fun (o : Mac_experiments.Scenario.outcome) ->
+          Printf.printf "%-28s %s %s\n" o.spec.id
+            (Mac_sim.Stability.verdict_to_string o.stability.verdict)
+            (if o.passed then "PASS" else "FAIL"))
+        (e.run ~scale))
+    experiments;
+  `Ok ()
+
+let figures_cmd id quick =
+  let scale = if quick then `Quick else `Full in
+  let figures =
+    match id with
+    | None -> Mac_experiments.Figures.all
+    | Some id -> (
+      match
+        List.find_opt (fun (f : Mac_experiments.Figures.t) -> f.id = id)
+          Mac_experiments.Figures.all
+      with
+      | Some f -> [ f ]
+      | None ->
+        Printf.eprintf "unknown figure %S\n" id;
+        exit 2)
+  in
+  List.iter
+    (fun (f : Mac_experiments.Figures.t) ->
+      Printf.printf "--- %s ---\n%s\n" f.id f.title;
+      let report, _ = f.run ~scale in
+      Mac_sim.Report.print report;
+      print_newline ())
+    figures;
+  `Ok ()
+
+let list_cmd () =
+  print_endline "algorithms:";
+  List.iter
+    (fun name ->
+      let a = resolve_algorithm name ~n:8 ~k:3 in
+      Printf.printf "  %-14s %s\n" name (Mac_channel.Algorithm.describe a))
+    algorithm_names;
+  print_endline "table-1 experiments:";
+  List.iter
+    (fun (e : Mac_experiments.Table1.t) -> Printf.printf "  %-24s %s\n" e.id e.claim)
+    Mac_experiments.Table1.all;
+  print_endline "figures:";
+  List.iter
+    (fun (f : Mac_experiments.Figures.t) -> Printf.printf "  %-24s %s\n" f.id f.title)
+    Mac_experiments.Figures.all;
+  `Ok ()
+
+let id_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller, faster configurations.")
+
+let cmds =
+  [ Cmd.v (Cmd.info "run" ~doc:"Simulate one algorithm/adversary scenario") run_term;
+    Cmd.v
+      (Cmd.info "table1" ~doc:"Re-run Table-1 validation experiments")
+      Term.(ret (const table1_cmd $ id_arg $ quick_arg));
+    Cmd.v
+      (Cmd.info "figures" ~doc:"Re-run figure sweeps")
+      Term.(ret (const figures_cmd $ id_arg $ quick_arg));
+    Cmd.v
+      (Cmd.info "list" ~doc:"List algorithms and experiments")
+      Term.(ret (const list_cmd $ const ())) ]
+
+let () =
+  let info =
+    Cmd.info "routing_sim" ~version:"1.0.0"
+      ~doc:"Energy-efficient adversarial routing on multiple access channels"
+  in
+  exit (Cmd.eval (Cmd.group ~default:run_term info cmds))

@@ -1,0 +1,71 @@
+(* Office LAN: the energy-efficient-Ethernet motivation of the paper's
+   introduction.
+
+   A ten-machine office LAN is mostly idle but sees a sharp morning burst
+   (everyone syncs at 9am) and a steady trickle of background traffic. The
+   legacy deployment keeps every NIC awake (RRW broadcast, energy n per
+   round). The paper's cap-2 universal algorithms — Count-Hop and
+   Adjust-Window — deliver the same traffic with at most two interfaces
+   powered, trading latency for a 5x energy cut.
+
+     dune exec examples/office_lan.exe *)
+
+let n = 10
+
+(* Adjust-Window's first window at n = 10 alone spans ~324k rounds (its
+   latency constant is Θ(n³lg²n)); a working day is several windows. *)
+let rounds = 700_000
+
+let scenario algorithm ~k ~seed =
+  (* Daytime traffic towards the file server (station 0) in busy stretches
+     separated by idle gaps; each stretch starts with the leaky bucket's
+     accumulated burst, plus one big "9am sync" spike at the start of the
+     stretch beginning at round 31.5k. *)
+  let pattern =
+    Mac_adversary.Pattern.duty_cycle ~busy:3_000 ~idle:1_500
+      (Mac_adversary.Pattern.hotspot ~n ~seed ~hot:0 ~bias:0.3)
+  in
+  let adversary =
+    Mac_adversary.Adversary.create ~rate:0.35 ~burst:400.0
+      ~pacing:(Mac_adversary.Adversary.Paced { burst_at = Some 31_500 })
+      pattern
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds) with drain_limit = 450_000 }
+  in
+  Mac_sim.Engine.run ~config ~algorithm ~n ~k ~adversary ~rounds ()
+
+let () =
+  let runs =
+    [ ("always-on broadcast (RRW)", scenario (module Mac_broadcast.Rrw) ~k:n ~seed:7);
+      ("count-hop (cap 2)", scenario (module Mac_routing.Count_hop) ~k:2 ~seed:7);
+      ("adjust-window (cap 2, plain packets)",
+       scenario (module Mac_routing.Adjust_window) ~k:2 ~seed:7) ]
+  in
+  let report =
+    Mac_sim.Report.create
+      ~header:
+        [ "deployment"; "delivered"; "mean-delay"; "p99-delay"; "max-delay";
+          "mean NICs on"; "energy/packet"; "burst backlog" ]
+  in
+  List.iter
+    (fun (name, (s : Mac_sim.Metrics.summary)) ->
+      Mac_sim.Report.add_row report
+        [ name;
+          Printf.sprintf "%d/%d" s.delivered s.injected;
+          Printf.sprintf "%.0f" s.mean_delay;
+          string_of_int s.p99_delay;
+          string_of_int s.max_delay;
+          Printf.sprintf "%.2f" s.mean_on;
+          Printf.sprintf "%.1f" (Mac_sim.Metrics.energy_per_delivery s);
+          string_of_int s.max_total_queue ])
+    runs;
+  print_endline
+    "Office LAN, 10 machines, background traffic + one morning sync burst:";
+  Mac_sim.Report.print report;
+  print_endline
+    "\nThe cap-2 algorithms carry the same traffic at a fifth of the energy.\n\
+     Count-Hop keeps delays in the hundreds of rounds; Adjust-Window is the\n\
+     most frugal of all (its idle stages leave even the two allowed NICs\n\
+     dark) and uses plain packets only, but pays with window-sized delays —\n\
+     the latency-energy tradeoff of the paper's Section 7 in one table."

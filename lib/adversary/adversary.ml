@@ -1,0 +1,64 @@
+type pacing =
+  | Greedy
+  | Paced of { burst_at : int option }
+
+type t = {
+  name : string;
+  rate : float;
+  burst : float;
+  pacing : pacing;
+  pattern : Pattern.t;
+}
+
+let create ?name ~rate ~burst ?(pacing = Greedy) pattern =
+  let name =
+    match name with
+    | Some s -> s
+    | None -> Printf.sprintf "%s@(%.3g,%.3g)" pattern.Pattern.name rate burst
+  in
+  { name; rate; burst; pacing; pattern }
+
+type driver = {
+  spec : t;
+  bucket : Leaky_bucket.t;
+  mutable injected_total : int;
+}
+
+let start spec =
+  { spec; bucket = Leaky_bucket.create ~rate:spec.rate ~burst:spec.burst;
+    injected_total = 0 }
+
+let spec d = d.spec
+
+(* Number of packets the pacing discipline wants to inject this round,
+   before bucket capping. *)
+let desired d ~round =
+  match d.spec.pacing with
+  | Greedy -> max_int
+  | Paced { burst_at } ->
+    let r = d.spec.rate in
+    let steady =
+      int_of_float (floor (r *. float_of_int (round + 1)))
+      - int_of_float (floor (r *. float_of_int round))
+    in
+    let extra =
+      match burst_at with
+      | Some b when b = round -> int_of_float (floor d.spec.burst)
+      | _ -> 0
+    in
+    steady + extra
+
+let inject d ~view =
+  let round = view.View.round in
+  let budget = min (Leaky_bucket.grant d.bucket) (desired d ~round) in
+  let proposed =
+    if budget <= 0 then []
+    else d.spec.pattern.Pattern.generate ~round ~budget ~view
+  in
+  let injections =
+    List.filteri (fun i (src, dst) -> i < budget && src <> dst) proposed
+  in
+  Leaky_bucket.consume d.bucket (List.length injections);
+  Leaky_bucket.advance d.bucket;
+  d.injected_total <- d.injected_total + List.length injections;
+  injections

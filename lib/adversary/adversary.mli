@@ -1,0 +1,42 @@
+(** A leaky-bucket adversary: a (ρ, β) type, a pacing discipline, and an
+    injection pattern.
+
+    Pacing decides how eagerly the adversary spends its bucket:
+    - [Greedy] injects the full grant every round — an initial burst of
+      ⌊ρ + β⌋ packets, then a sustained ρ per round. This is the worst case
+      for most bounds.
+    - [Paced] injects ⌊ρ·(t+1)⌋ − ⌊ρ·t⌋ packets in round t, holding the β
+      reserve, optionally dumping ⌊β⌋ extra packets in round [burst_at]
+      (stress-testing burst absorption mid-execution).
+
+    A [driver] is the stateful per-run instance; the same adversary value can
+    drive many runs deterministically. *)
+
+type pacing =
+  | Greedy
+  | Paced of { burst_at : int option }
+
+type t = {
+  name : string;
+  rate : float;
+  burst : float;
+  pacing : pacing;
+  pattern : Pattern.t;
+}
+
+val create :
+  ?name:string -> rate:float -> burst:float -> ?pacing:pacing -> Pattern.t -> t
+(** Default pacing is [Greedy]. The default name combines the pattern name
+    and the type. *)
+
+type driver
+
+val start : t -> driver
+
+val spec : driver -> t
+
+val inject : driver -> view:View.t -> (int * int) list
+(** Injections for the round described by [view] (uses [view.round]); also
+    advances the bucket. The returned pairs always satisfy the leaky-bucket
+    constraint and [src <> dst]. Proposed pairs violating [src <> dst] are
+    dropped (and the tokens not spent). *)

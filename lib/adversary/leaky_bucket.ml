@@ -1,0 +1,22 @@
+type t = {
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+}
+
+let create ~rate ~burst =
+  if not (rate > 0.0 && rate <= 1.0) then invalid_arg "Leaky_bucket: rate must be in (0, 1]";
+  if not (burst >= 1.0) then invalid_arg "Leaky_bucket: burst must be >= 1";
+  { rate; burst; tokens = rate +. burst }
+
+let rate t = t.rate
+
+let burst t = t.burst
+
+let grant t = int_of_float (floor t.tokens)
+
+let consume t count =
+  if count < 0 || count > grant t then invalid_arg "Leaky_bucket.consume";
+  t.tokens <- t.tokens -. float_of_int count
+
+let advance t = t.tokens <- Float.min (t.rate +. t.burst) (t.tokens +. t.rate)

@@ -1,0 +1,26 @@
+(** Leaky-bucket admission control for adversarial packet injection.
+
+    An adversary of type (ρ, β) may inject at most ρ·t + β packets in every
+    contiguous interval of t rounds. The equivalent token-bucket recurrence
+    is: tokens start at ρ + β (the burstiness ⌊β + ρ⌋ bounds a single round),
+    injections consume tokens, and [advance] refills by ρ clamped at ρ + β.
+    Property tests verify the windowed constraint holds on every trace. *)
+
+type t
+
+val create : rate:float -> burst:float -> t
+(** Requires [0 < rate <= 1] and [burst >= 1] (the paper's adversary type). *)
+
+val rate : t -> float
+
+val burst : t -> float
+
+val grant : t -> int
+(** Packets that may still be injected in the current round. *)
+
+val consume : t -> int -> unit
+(** Spend tokens for actual injections. Raises [Invalid_argument] when
+    exceeding [grant]. *)
+
+val advance : t -> unit
+(** Move to the next round: refill by [rate], clamped at [rate + burst]. *)

@@ -1,0 +1,128 @@
+type t = {
+  name : string;
+  generate : round:int -> budget:int -> view:View.t -> (int * int) list;
+}
+
+let make ~name generate = { name; generate }
+
+(* Builds a list of [budget] pairs from an indexed generator. *)
+let tabulate budget f = List.init budget f
+
+let uniform ~n ~seed =
+  let rng = Mac_channel.Rng.create ~seed in
+  let gen ~round:_ ~budget ~view:_ =
+    tabulate budget (fun _ ->
+        let src = Mac_channel.Rng.int rng n in
+        let d = Mac_channel.Rng.int rng (n - 1) in
+        let dst = if d >= src then d + 1 else d in
+        (src, dst))
+  in
+  make ~name:(Printf.sprintf "uniform(seed=%d)" seed) gen
+
+let flood ~n ~victim =
+  let counter = ref 0 in
+  let gen ~round:_ ~budget ~view:_ =
+    tabulate budget (fun _ ->
+        let d = !counter mod (n - 1) in
+        incr counter;
+        let dst = if d >= victim then d + 1 else d in
+        (victim, dst))
+  in
+  make ~name:(Printf.sprintf "flood(victim=%d)" victim) gen
+
+let pair_flood ~src ~dst =
+  if src = dst then invalid_arg "Pattern.pair_flood: src = dst";
+  let gen ~round:_ ~budget ~view:_ = tabulate budget (fun _ -> (src, dst)) in
+  make ~name:(Printf.sprintf "pair-flood(%d->%d)" src dst) gen
+
+let round_robin ~n =
+  let counter = ref 0 in
+  let gen ~round:_ ~budget ~view:_ =
+    tabulate budget (fun _ ->
+        let src = !counter mod n in
+        incr counter;
+        (src, (src + 1) mod n))
+  in
+  make ~name:"round-robin" gen
+
+let hotspot ~n ~seed ~hot ~bias =
+  if not (bias >= 0.0 && bias <= 1.0) then invalid_arg "Pattern.hotspot: bias";
+  let rng = Mac_channel.Rng.create ~seed in
+  let gen ~round:_ ~budget ~view:_ =
+    tabulate budget (fun _ ->
+        let dst =
+          if Mac_channel.Rng.float rng 1.0 < bias then hot
+          else Mac_channel.Rng.int rng n
+        in
+        let s = Mac_channel.Rng.int rng (n - 1) in
+        let src = if s >= dst then s + 1 else s in
+        (src, dst))
+  in
+  make ~name:(Printf.sprintf "hotspot(hot=%d,bias=%.2f)" hot bias) gen
+
+let alternating ~src ~dst_odd ~dst_even =
+  if src = dst_odd || src = dst_even then invalid_arg "Pattern.alternating";
+  let gen ~round ~budget ~view:_ =
+    let dst = if round mod 2 = 1 then dst_odd else dst_even in
+    tabulate budget (fun _ -> (src, dst))
+  in
+  make ~name:(Printf.sprintf "alternating(%d->%d|%d)" src dst_odd dst_even) gen
+
+let mix ~seed weighted =
+  if weighted = [] then invalid_arg "Pattern.mix: empty";
+  List.iter (fun (w, _) -> if w <= 0 then invalid_arg "Pattern.mix: weight") weighted;
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  let rng = Mac_channel.Rng.create ~seed in
+  let pick () =
+    let roll = Mac_channel.Rng.int rng total in
+    let rec go acc = function
+      | [] -> assert false
+      | (w, p) :: rest -> if roll < acc + w then p else go (acc + w) rest
+    in
+    go 0 weighted
+  in
+  let gen ~round ~budget ~view =
+    List.concat_map
+      (fun _ ->
+        let p = pick () in
+        match p.generate ~round ~budget:1 ~view with
+        | pair :: _ -> [ pair ]
+        | [] -> [])
+      (List.init budget (fun i -> i))
+  in
+  make ~name:"mix" gen
+
+let duty_cycle ~busy ~idle inner =
+  if busy <= 0 || idle < 0 then invalid_arg "Pattern.duty_cycle";
+  let period = busy + idle in
+  let gen ~round ~budget ~view =
+    if round mod period < busy then inner.generate ~round ~budget ~view else []
+  in
+  make ~name:(Printf.sprintf "duty(%d/%d,%s)" busy period inner.name) gen
+
+let one_shot ~at ~src ~dst =
+  if src = dst then invalid_arg "Pattern.one_shot: src = dst";
+  let fired = ref false in
+  let gen ~round ~budget ~view:_ =
+    if round >= at && budget > 0 && not !fired then begin
+      fired := true;
+      [ (src, dst) ]
+    end
+    else []
+  in
+  make ~name:(Printf.sprintf "one-shot(%d->%d@%d)" src dst at) gen
+
+let to_busiest ~n =
+  let counter = ref 0 in
+  let gen ~round:_ ~budget ~view:(view : View.t) =
+    let busiest = ref 0 in
+    for i = 1 to n - 1 do
+      if view.queue_size i > view.queue_size !busiest then busiest := i
+    done;
+    tabulate budget (fun _ ->
+        let d = !counter mod (n - 1) in
+        incr counter;
+        let dst = if d >= !busiest then d + 1 else d in
+        (!busiest, dst))
+  in
+  make ~name:"to-busiest" gen

@@ -1,0 +1,55 @@
+(** Injection patterns: where the adversary places packets.
+
+    A pattern proposes up to [budget] injections for the round as
+    (source, destination) pairs with [src <> dst]; the leaky bucket in
+    {!Adversary} has already capped [budget]. Patterns may be stateful
+    (cycling counters, PRNGs, adaptive logic reading the view). *)
+
+type t = {
+  name : string;
+  generate : round:int -> budget:int -> view:View.t -> (int * int) list;
+}
+
+val make : name:string -> (round:int -> budget:int -> view:View.t -> (int * int) list) -> t
+
+val uniform : n:int -> seed:int -> t
+(** Source and destination uniform at random (distinct). *)
+
+val flood : n:int -> victim:int -> t
+(** Every packet is injected into [victim]; destinations cycle over the other
+    stations. The Orchestra worst case: one station receives all traffic. *)
+
+val pair_flood : src:int -> dst:int -> t
+(** Every packet goes from [src] to [dst] — the Theorem 9 shape. *)
+
+val round_robin : n:int -> t
+(** Source cycles over stations, destination is the cyclic successor. *)
+
+val hotspot : n:int -> seed:int -> hot:int -> bias:float -> t
+(** A fraction [bias] of packets is destined to station [hot]; the rest are
+    uniform. Sources uniform. *)
+
+val alternating : src:int -> dst_odd:int -> dst_even:int -> t
+(** Packets are injected into [src]; destination alternates with round parity
+    (Case I of Lemma 1). *)
+
+val to_busiest : n:int -> t
+(** Adaptive: injects into the station that currently has the longest queue
+    (ties to the lowest name), destination cycles over other stations. Feeds
+    Orchestra's big-conductor path. *)
+
+val mix : seed:int -> (int * t) list -> t
+(** [mix ~seed weighted] draws each packet's source pattern with probability
+    proportional to its weight. Weights must be positive. *)
+
+val duty_cycle : busy:int -> idle:int -> t -> t
+(** Traffic with silence gaps: the inner pattern is used during [busy]-round
+    stretches, alternating with [idle] silent rounds (the leaky bucket keeps
+    refilling, so each busy stretch starts with a burst — a realistic
+    office-LAN shape). *)
+
+val one_shot : at:int -> src:int -> dst:int -> t
+(** Injects a single packet (src, dst) at the first opportunity in round
+    [at] or later, and nothing else — for probing the fate of one packet
+    under background traffic (combine with [mix], which will offer it a
+    slot eventually). *)

@@ -1,0 +1,84 @@
+type choice = {
+  pattern : Pattern.t;
+  description : string;
+}
+
+let duty_counts ~n ~horizon ~schedule =
+  let duty = Array.make n 0 in
+  for t = 0 to horizon - 1 do
+    for i = 0 to n - 1 do
+      if schedule ~me:i ~round:t then duty.(i) <- duty.(i) + 1
+    done
+  done;
+  duty
+
+let min_duty ~n ~horizon ~schedule =
+  let duty = duty_counts ~n ~horizon ~schedule in
+  let victim = ref 0 in
+  for i = 1 to n - 1 do
+    if duty.(i) < duty.(!victim) then victim := i
+  done;
+  { pattern = Pattern.flood ~n ~victim:!victim;
+    description =
+      Printf.sprintf "min-duty victim %d (on %d/%d rounds)" !victim duty.(!victim) horizon }
+
+let min_pair ~n ~horizon ~schedule =
+  (* Count co-on rounds for unordered pairs, then flood the minimum. *)
+  let co = Array.make_matrix n n 0 in
+  let on = Array.make n false in
+  for t = 0 to horizon - 1 do
+    for i = 0 to n - 1 do
+      on.(i) <- schedule ~me:i ~round:t
+    done;
+    for i = 0 to n - 1 do
+      if on.(i) then
+        for j = i + 1 to n - 1 do
+          if on.(j) then co.(i).(j) <- co.(i).(j) + 1
+        done
+    done
+  done;
+  let best = ref (0, 1) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let bi, bj = !best in
+      if co.(i).(j) < co.(bi).(bj) then best := (i, j)
+    done
+  done;
+  let w, z = !best in
+  { pattern = Pattern.pair_flood ~src:w ~dst:z;
+    description =
+      Printf.sprintf "min-co-duty pair (%d,%d) (co-on %d/%d rounds)" w z co.(w).(z) horizon }
+
+let cap2_breaker ~n =
+  if n < 3 then invalid_arg "Saboteur.cap2_breaker: needs n >= 3";
+  (* Witness station s: currently clean (empty queue, nothing addressed to
+     it) and believed off. Helpers s1 (injection target) and s2 (packet
+     destination) are the two smallest stations different from s. *)
+  let s = ref (n - 1) in
+  let helpers exclude =
+    let rec pick acc candidate count =
+      if count = 2 then List.rev acc
+      else if candidate = exclude then pick acc (candidate + 1) count
+      else pick (candidate :: acc) (candidate + 1) (count + 1)
+    in
+    match pick [] 0 0 with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
+  let gen ~round:_ ~budget ~view:(view : View.t) =
+    (* If the witness woke up, re-choose a clean off station as witness. *)
+    if view.was_on !s then begin
+      let candidate = ref (-1) in
+      for i = n - 1 downto 0 do
+        if view.queue_size i = 0 && view.queued_to i = 0 && not (view.was_on i)
+        then candidate := i
+      done;
+      if !candidate >= 0 then s := !candidate
+      (* else: every clean station was on; keep s, the round is already
+         wasted for the algorithm. *)
+    end;
+    let s1, s2 = helpers !s in
+    List.init budget (fun _ -> (s1, s2))
+  in
+  { pattern = Pattern.make ~name:"cap2-breaker" gen;
+    description = "adaptive Lemma-1 witness strategy" }

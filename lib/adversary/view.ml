@@ -1,0 +1,15 @@
+type t = {
+  n : int;
+  round : int;
+  queue_size : int -> int;
+  queued_to : int -> int;
+  total_queued : unit -> int;
+  was_on : int -> bool;
+}
+
+let dummy ~n =
+  { n; round = 0;
+    queue_size = (fun _ -> 0);
+    queued_to = (fun _ -> 0);
+    total_queued = (fun () -> 0);
+    was_on = (fun _ -> false) }

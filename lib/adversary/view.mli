@@ -1,0 +1,19 @@
+(** The adversary's view of the system.
+
+    The adversarial model is omniscient: the adversary sees queue contents
+    and which stations were switched on. Accessors are closures supplied by
+    the engine and computed lazily, so cheap adversaries pay nothing. The
+    view describes the state at the *start* of the current round, before this
+    round's injections. *)
+
+type t = {
+  n : int;
+  round : int;
+  queue_size : int -> int;    (** current queue length of a station *)
+  queued_to : int -> int;     (** packets queued anywhere destined to a station *)
+  total_queued : unit -> int; (** packets queued in the whole system *)
+  was_on : int -> bool;       (** whether a station was switched on last round *)
+}
+
+val dummy : n:int -> t
+(** A view of an empty, all-off system (for unit-testing patterns). *)

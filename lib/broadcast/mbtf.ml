@@ -1,0 +1,40 @@
+open Mac_channel
+
+type state = {
+  me : int;
+  big_threshold : int;
+  list : Mbtf_list.t;
+}
+
+let name = "mbtf"
+let plain_packet = false
+let direct = true
+let oblivious = true
+let required_cap ~n ~k:_ = n
+let static_schedule = Some (fun ~n:_ ~k:_ ~me:_ ~round:_ -> true)
+
+let create ~n ~k:_ ~me =
+  let members = Array.init n (fun i -> i) in
+  { me; big_threshold = n; list = Mbtf_list.create ~members }
+
+let on_duty _ ~round:_ ~queue:_ = true
+
+let act s ~round:_ ~queue =
+  if Mbtf_list.holder s.list <> s.me then Action.Listen
+  else
+    match Pqueue.oldest queue with
+    | None -> Action.Listen
+    | Some p ->
+      let big = Pqueue.size queue >= s.big_threshold in
+      Action.Transmit (Message.make ~packet:p [ Message.Flag big ])
+
+let observe s ~round:_ ~queue:_ ~feedback =
+  (match feedback with
+   | Feedback.Heard m ->
+     (match m.Message.control with
+      | [ Message.Flag true ] -> Mbtf_list.note_heard_big s.list
+      | _ -> Mbtf_list.note_heard_small s.list)
+   | Feedback.Silence | Feedback.Collision -> Mbtf_list.note_silence s.list);
+  Reaction.No_reaction
+
+let offline_tick _ ~round:_ ~queue:_ = ()

@@ -1,0 +1,11 @@
+(** Move-Big-To-Front (reference [17]): stable for injection rate 1 on a
+    channel without energy cap.
+
+    A token traverses the station list. A holder with at least
+    [big_threshold] (= n) queued packets transmits with a "big" control bit,
+    moves to the front of the list and keeps the token; a holder below the
+    threshold transmits one packet (token advances), and an empty holder
+    stays silent (token advances). The subroutine of the paper's k-Subsets
+    algorithm. *)
+
+include Mac_channel.Algorithm.S

@@ -1,0 +1,4 @@
+include Ring_broadcast.Make (struct
+  let name = "of-rrw"
+  let snapshot_policy = `On_phase
+end)

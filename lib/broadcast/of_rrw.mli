@@ -1,0 +1,6 @@
+(** Old-First-Round-Robin-Withholding (reference [3]): like {!Rrw}, but the
+    holder may only transmit packets that were already queued when the
+    current phase (complete token cycle) began. The building block of the
+    paper's k-Cycle and k-Clique algorithms. *)
+
+include Mac_channel.Algorithm.S

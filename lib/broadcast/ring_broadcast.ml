@@ -1,0 +1,62 @@
+open Mac_channel
+
+module Make (P : sig
+  val name : string
+  val snapshot_policy : [ `On_token | `On_phase ]
+end) : Algorithm.S = struct
+  type state = {
+    me : int;
+    ring : Token_ring.t;
+    eligible : (int, unit) Hashtbl.t;
+    mutable need_snapshot : bool;
+  }
+
+  let name = P.name
+  let plain_packet = true
+  let direct = true
+  let oblivious = true
+  let required_cap ~n ~k:_ = n
+  let static_schedule = Some (fun ~n:_ ~k:_ ~me:_ ~round:_ -> true)
+
+  let create ~n ~k:_ ~me =
+    let members = Array.init n (fun i -> i) in
+    { me; ring = Token_ring.create ~members;
+      eligible = Hashtbl.create 64;
+      (* The initial holder snapshots at its first turn. *)
+      need_snapshot = (me = 0) }
+
+  let refill s ~queue =
+    Hashtbl.reset s.eligible;
+    Pqueue.iter queue ~f:(fun p -> Hashtbl.replace s.eligible p.Packet.id ())
+
+  let on_duty _ ~round:_ ~queue:_ = true
+
+  let act s ~round:_ ~queue =
+    if Token_ring.holder s.ring <> s.me then Action.Listen
+    else begin
+      if s.need_snapshot then begin
+        refill s ~queue;
+        s.need_snapshot <- false
+      end;
+      match Pqueue.oldest_such queue (fun p -> Hashtbl.mem s.eligible p.Packet.id) with
+      | Some p -> Action.Transmit (Message.packet_only p)
+      | None -> Action.Listen
+    end
+
+  let observe s ~round:_ ~queue ~feedback =
+    (match feedback with
+     | Feedback.Heard _ -> Token_ring.note_heard s.ring
+     | Feedback.Silence | Feedback.Collision ->
+       let phase_before = Token_ring.phase s.ring in
+       let holder_before = Token_ring.holder s.ring in
+       Token_ring.note_silence s.ring;
+       (match P.snapshot_policy with
+        | `On_phase ->
+          if Token_ring.phase s.ring <> phase_before then refill s ~queue
+        | `On_token ->
+          if Token_ring.holder s.ring = s.me && holder_before <> s.me then
+            s.need_snapshot <- true));
+    Reaction.No_reaction
+
+  let offline_tick _ ~round:_ ~queue:_ = ()
+end

@@ -1,0 +1,17 @@
+(** Shared core of the withholding ring broadcast algorithms (RRW and
+    OF-RRW, the paper's references [18] and [3]).
+
+    Both run all stations switched on permanently (they predate the energy
+    cap; as routing algorithms they are n-energy-oblivious and direct) and
+    pass a token around the ring of all stations, advancing on silence. They
+    differ only in when a station fixes the set of packets it may transmit:
+
+    - [`On_token]: packets present when the token arrives (RRW — packets
+      arriving while holding the token are withheld until the next visit);
+    - [`On_phase]: packets present when the current phase began, a phase
+      being a completed token cycle (OF-RRW — "old-first"). *)
+
+module Make (P : sig
+  val name : string
+  val snapshot_policy : [ `On_token | `On_phase ]
+end) : Mac_channel.Algorithm.S

@@ -1,0 +1,4 @@
+include Ring_broadcast.Make (struct
+  let name = "rrw"
+  let snapshot_policy = `On_token
+end)

@@ -1,0 +1,5 @@
+(** Round-Robin-Withholding (reference [18]): a token cycles through all
+    stations; the holder transmits the packets it had when the token arrived,
+    one per round; a silent round passes the token. All stations stay on. *)
+
+include Mac_channel.Algorithm.S

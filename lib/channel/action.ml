@@ -1,0 +1,7 @@
+type t =
+  | Transmit of Message.t
+  | Listen
+
+let pp ppf = function
+  | Transmit m -> Format.fprintf ppf "transmit %a" Message.pp m
+  | Listen -> Format.pp_print_string ppf "listen"

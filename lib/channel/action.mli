@@ -1,0 +1,8 @@
+(** The action a switched-on station takes in a round: transmit a message or
+    listen to the channel. Switched-off stations take no action. *)
+
+type t =
+  | Transmit of Message.t
+  | Listen
+
+val pp : Format.formatter -> t -> unit

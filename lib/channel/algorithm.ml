@@ -1,0 +1,26 @@
+module type S = sig
+  type state
+
+  val name : string
+  val plain_packet : bool
+  val direct : bool
+  val oblivious : bool
+  val required_cap : n:int -> k:int -> int
+  val static_schedule : (n:int -> k:int -> me:int -> round:int -> bool) option
+  val create : n:int -> k:int -> me:int -> state
+  val on_duty : state -> round:int -> queue:Pqueue.t -> bool
+  val act : state -> round:int -> queue:Pqueue.t -> Action.t
+
+  val observe :
+    state -> round:int -> queue:Pqueue.t -> feedback:Feedback.t -> Reaction.t
+
+  val offline_tick : state -> round:int -> queue:Pqueue.t -> unit
+end
+
+type t = (module S)
+
+let describe (module A : S) =
+  Printf.sprintf "%s [%s-%s-%s]" A.name
+    (if A.oblivious then "Obl" else "NObl")
+    (if A.plain_packet then "PP" else "Gen")
+    (if A.direct then "Dir" else "Ind")

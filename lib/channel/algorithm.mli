@@ -1,0 +1,62 @@
+(** The contract between a distributed routing algorithm and the channel.
+
+    An algorithm is executed by all stations concurrently: the engine
+    instantiates one [state] per station with [create] and drives the hooks
+    each round. Stations share no memory; all coordination flows through
+    channel feedback, exactly as in the paper's model:
+
+    - [on_duty] is the station's on/off decision for the round (the paper's
+      programmable wakeup mechanism). Switched-off stations neither transmit
+      nor hear anything.
+    - [act] is called for switched-on stations: transmit a message or listen.
+    - [observe] delivers the round's feedback to switched-on stations only;
+      the returned {!Reaction.t} may adopt a heard, undelivered packet.
+    - [offline_tick] lets switched-off stations advance local bookkeeping
+      (their clock keeps running and the adversary may have grown their
+      queue); faithful algorithms read nothing else from it.
+
+    The declared classification flags ([plain_packet], [direct], [oblivious])
+    are enforced by the engine: plain-packet algorithms may only transmit
+    bare packets, direct algorithms may never adopt, and oblivious algorithms
+    must expose their precomputed on/off schedule via [static_schedule]
+    (tests check [on_duty] agrees with it and ignores traffic). *)
+
+module type S = sig
+  type state
+
+  val name : string
+
+  val plain_packet : bool
+  (** Messages are exactly one packet, no control bits. *)
+
+  val direct : bool
+  (** Every packet makes a single hop: injection station to destination. *)
+
+  val oblivious : bool
+  (** The on/off schedule of every station is fixed before the execution. *)
+
+  val required_cap : n:int -> k:int -> int
+  (** The energy cap the algorithm actually respects for a system of [n]
+      stations when the supply caps at [k] (e.g. Orchestra answers 3;
+      k-Cycle may answer less than [k] after its internal adjustment). *)
+
+  val static_schedule : (n:int -> k:int -> me:int -> round:int -> bool) option
+  (** For oblivious algorithms, the pure schedule; [None] otherwise. *)
+
+  val create : n:int -> k:int -> me:int -> state
+
+  val on_duty : state -> round:int -> queue:Pqueue.t -> bool
+
+  val act : state -> round:int -> queue:Pqueue.t -> Action.t
+
+  val observe :
+    state -> round:int -> queue:Pqueue.t -> feedback:Feedback.t -> Reaction.t
+
+  val offline_tick : state -> round:int -> queue:Pqueue.t -> unit
+end
+
+type t = (module S)
+
+val describe : t -> string
+(** One-line classification: name plus Obl/NObl, Gen/PP, Dir/Ind flags in the
+    paper's Table-1 notation. *)

@@ -1,0 +1,27 @@
+type t = {
+  cap : int;
+  mutable rounds : int;
+  mutable max_on : int;
+  mutable total : int;
+  mutable violations : int;
+}
+
+let create ~cap = { cap; rounds = 0; max_on = 0; total = 0; violations = 0 }
+
+let cap t = t.cap
+
+let record_round t ~on_count =
+  t.rounds <- t.rounds + 1;
+  t.total <- t.total + on_count;
+  if on_count > t.max_on then t.max_on <- on_count;
+  if on_count > t.cap then t.violations <- t.violations + 1
+
+let rounds t = t.rounds
+
+let max_on t = t.max_on
+
+let total_station_rounds t = t.total
+
+let mean_on t = if t.rounds = 0 then 0.0 else float_of_int t.total /. float_of_int t.rounds
+
+let violations t = t.violations

@@ -1,0 +1,30 @@
+(** Energy accounting.
+
+    Keeping a station switched on for a round costs one energy unit; keeping
+    it off is free. The system's expenditure in a round equals the number of
+    switched-on stations, and the energy cap is an upper bound on that count.
+    The accountant records per-round expenditure and flags cap violations —
+    a correct run of a k-energy algorithm must report zero violations. *)
+
+type t
+
+val create : cap:int -> t
+
+val cap : t -> int
+
+val record_round : t -> on_count:int -> unit
+
+val rounds : t -> int
+(** Number of rounds recorded. *)
+
+val max_on : t -> int
+(** Maximum simultaneous switched-on stations seen in any round. *)
+
+val total_station_rounds : t -> int
+(** Total energy spent: sum over rounds of switched-on counts. *)
+
+val mean_on : t -> float
+(** Average energy per round. *)
+
+val violations : t -> int
+(** Number of rounds in which the cap was exceeded. *)

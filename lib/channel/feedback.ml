@@ -1,0 +1,9 @@
+type t =
+  | Silence
+  | Collision
+  | Heard of Message.t
+
+let pp ppf = function
+  | Silence -> Format.pp_print_string ppf "silence"
+  | Collision -> Format.pp_print_string ppf "collision"
+  | Heard m -> Format.fprintf ppf "heard %a" Message.pp m

@@ -1,0 +1,15 @@
+(** Channel feedback observed by a switched-on station at the end of a round.
+
+    Exactly one transmitter: everybody switched on hears the message,
+    including the transmitter. Two or more transmitters: nobody hears
+    anything ([Collision]). No transmitter: the round is silent. Switched-off
+    stations receive no feedback at all (the engine never calls their observe
+    hook). The paper's algorithms never rely on distinguishing [Silence] from
+    [Collision]; the distinction exists for diagnostics. *)
+
+type t =
+  | Silence
+  | Collision
+  | Heard of Message.t
+
+val pp : Format.formatter -> t -> unit

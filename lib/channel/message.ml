@@ -1,0 +1,43 @@
+type control =
+  | Count of int
+  | Flag of bool
+  | Schedule of int list
+
+type t = { packet : Packet.t option; control : control list }
+
+let make ?packet control = { packet; control }
+
+let packet_only p = { packet = Some p; control = [] }
+
+let light control = { packet = None; control }
+
+let is_light m = m.packet = None
+
+let is_plain m = m.control = [] && m.packet <> None
+
+let bits_of_int c =
+  let rec go acc c = if c = 0 then acc else go (acc + 1) (c lsr 1) in
+  if c <= 0 then 1 else go 0 c
+
+let control_bits m =
+  let field = function
+    | Count c -> bits_of_int c
+    | Flag _ -> 1
+    | Schedule l -> List.fold_left (fun acc r -> acc + bits_of_int r) (bits_of_int (List.length l)) l
+  in
+  List.fold_left (fun acc f -> acc + field f) 0 m.control
+
+let pp_control ppf = function
+  | Count c -> Format.fprintf ppf "cnt:%d" c
+  | Flag b -> Format.fprintf ppf "flag:%b" b
+  | Schedule l ->
+    Format.fprintf ppf "sched:[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ';') Format.pp_print_int)
+      l
+
+let pp ppf m =
+  Format.fprintf ppf "{pkt=%a; ctl=[%a]}"
+    (Format.pp_print_option Packet.pp)
+    m.packet
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp_control)
+    m.control

@@ -1,0 +1,36 @@
+(** Messages transmitted on the channel.
+
+    A message consists of at most one packet and a string of control bits.
+    Control payloads are kept structured (the simulator does not serialise
+    them) but their size in bits is accounted by [control_bits] so that the
+    paper's O(log n) control-bit budget can be audited per algorithm.
+    Plain-packet algorithms must transmit messages satisfying [is_plain]. *)
+
+type control =
+  | Count of int           (** a non-negative numeric field *)
+  | Flag of bool           (** a toggle bit *)
+  | Schedule of int list   (** a list of round numbers (Orchestra teaching) *)
+
+type t = private { packet : Packet.t option; control : control list }
+
+val make : ?packet:Packet.t -> control list -> t
+
+val packet_only : Packet.t -> t
+(** A plain-packet message: one packet, no control bits. *)
+
+val light : control list -> t
+(** A message carrying no packet, only control bits. *)
+
+val is_light : t -> bool
+(** [true] when the message carries no packet. *)
+
+val is_plain : t -> bool
+(** [true] when the message is exactly one packet with no control bits. *)
+
+val control_bits : t -> int
+(** Size of the control payload in bits: [Flag] counts 1, [Count c] counts
+    the binary length of [c] (at least 1), [Schedule l] counts the sum over
+    its entries plus a length header. The packet's destination address is not
+    control (per the paper). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+type t = { id : int; src : int; dst : int; injected_at : int }
+
+let make ~id ~src ~dst ~injected_at = { id; src; dst; injected_at }
+
+let compare a b = Int.compare a.id b.id
+
+let equal a b = a.id = b.id
+
+let pp ppf p =
+  Format.fprintf ppf "#%d(%d->%d@%d)" p.id p.src p.dst p.injected_at

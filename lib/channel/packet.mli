@@ -1,0 +1,23 @@
+(** Packets routed on the channel.
+
+    A packet [(d, c)] in the paper consists of a destination address and an
+    opaque content. For the simulator the content is replaced by a unique id
+    plus provenance metadata used only for metrics (injection round for delay
+    accounting, injection station for hop accounting); algorithms may read
+    [dst] and [id] only. *)
+
+type t = private {
+  id : int;            (** unique across a run *)
+  src : int;           (** station the adversary injected the packet into *)
+  dst : int;           (** destination station name, in [0, n-1] *)
+  injected_at : int;   (** round of injection *)
+}
+
+val make : id:int -> src:int -> dst:int -> injected_at:int -> t
+
+val compare : t -> t -> int
+(** Total order by [id]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+module Imap = Map.Make (Int)
+
+type t = {
+  n : int;
+  mutable by_arrival : Packet.t Imap.t; (* key: arrival sequence number *)
+  by_dest : Packet.t Imap.t array;      (* same keys, split by destination *)
+  seq_of_id : (int, int) Hashtbl.t;
+  dest_count : int array;
+  mutable next_seq : int;
+}
+
+let create ~n =
+  { n; by_arrival = Imap.empty;
+    by_dest = Array.make n Imap.empty;
+    seq_of_id = Hashtbl.create 64;
+    dest_count = Array.make n 0; next_seq = 0 }
+
+let add t (p : Packet.t) =
+  if Hashtbl.mem t.seq_of_id p.id then
+    invalid_arg "Pqueue.add: duplicate packet id";
+  assert (p.dst >= 0 && p.dst < t.n);
+  Hashtbl.replace t.seq_of_id p.id t.next_seq;
+  t.by_arrival <- Imap.add t.next_seq p t.by_arrival;
+  t.by_dest.(p.dst) <- Imap.add t.next_seq p t.by_dest.(p.dst);
+  t.dest_count.(p.dst) <- t.dest_count.(p.dst) + 1;
+  t.next_seq <- t.next_seq + 1
+
+let remove t (p : Packet.t) =
+  match Hashtbl.find_opt t.seq_of_id p.id with
+  | None -> false
+  | Some seq ->
+    let stored = Imap.find seq t.by_arrival in
+    Hashtbl.remove t.seq_of_id p.id;
+    t.by_arrival <- Imap.remove seq t.by_arrival;
+    t.by_dest.(stored.dst) <- Imap.remove seq t.by_dest.(stored.dst);
+    t.dest_count.(stored.dst) <- t.dest_count.(stored.dst) - 1;
+    true
+
+let mem t (p : Packet.t) = Hashtbl.mem t.seq_of_id p.id
+
+let size t = Hashtbl.length t.seq_of_id
+
+let is_empty t = size t = 0
+
+let count_to t d = t.dest_count.(d)
+
+let count_to_below t j =
+  let total = ref 0 in
+  for d = 0 to j - 1 do
+    total := !total + t.dest_count.(d)
+  done;
+  !total
+
+let oldest t =
+  match Imap.min_binding_opt t.by_arrival with
+  | None -> None
+  | Some (_, p) -> Some p
+
+let oldest_to t d =
+  match Imap.min_binding_opt t.by_dest.(d) with
+  | None -> None
+  | Some (_, p) -> Some p
+
+exception Found of Packet.t
+
+let oldest_such t pred =
+  try
+    Imap.iter (fun _ p -> if pred p then raise (Found p)) t.by_arrival;
+    None
+  with Found p -> Some p
+
+let oldest_to_such t d pred =
+  try
+    Imap.iter (fun _ p -> if pred p then raise (Found p)) t.by_dest.(d);
+    None
+  with Found p -> Some p
+
+let fold t ~init ~f = Imap.fold (fun _ p acc -> f acc p) t.by_arrival init
+
+let iter t ~f = Imap.iter (fun _ p -> f p) t.by_arrival
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc p -> p :: acc))
+
+let ids t =
+  let h = Hashtbl.create (size t) in
+  iter t ~f:(fun p -> Hashtbl.replace h p.id ());
+  h

@@ -1,0 +1,62 @@
+(** A station's private packet queue.
+
+    The paper lets a station scan its queue and access any packet in
+    negligible time, and transmit queued packets in arbitrary order; this
+    structure therefore supports removal of arbitrary packets, per-destination
+    counting (needed by Count-Hop and Adjust-Window gossip), and
+    injection-order iteration (algorithms schedule packets in the order of
+    their injection / adoption). Adopted packets count as newly arrived:
+    their position in arrival order is the adoption time, not the original
+    injection. *)
+
+type t
+
+val create : n:int -> t
+(** [create ~n] is an empty queue for a system of [n] stations (destinations
+    are in [0, n-1]). *)
+
+val add : t -> Packet.t -> unit
+(** Appends [p] in arrival order. Raises [Invalid_argument] if a packet with
+    the same id is already present. *)
+
+val remove : t -> Packet.t -> bool
+(** [remove q p] removes the packet with [p]'s id; [false] if absent. *)
+
+val mem : t -> Packet.t -> bool
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val count_to : t -> int -> int
+(** [count_to q d] is the number of queued packets with destination [d]. *)
+
+val count_to_below : t -> int -> int
+(** [count_to_below q j] is the number of queued packets with destination
+    strictly less than [j] (the third Adjust-Window gossip number). *)
+
+val oldest : t -> Packet.t option
+(** Earliest-arrived packet. *)
+
+val oldest_to : t -> int -> Packet.t option
+(** Earliest-arrived packet with the given destination. O(log size). *)
+
+val oldest_such : t -> (Packet.t -> bool) -> Packet.t option
+(** Earliest-arrived packet satisfying the predicate. *)
+
+val oldest_to_such : t -> int -> (Packet.t -> bool) -> Packet.t option
+(** Earliest-arrived packet with the given destination satisfying the
+    predicate; scans only that destination's packets. *)
+
+val fold : t -> init:'a -> f:('a -> Packet.t -> 'a) -> 'a
+(** Folds in arrival order. *)
+
+val iter : t -> f:(Packet.t -> unit) -> unit
+(** Iterates in arrival order. *)
+
+val to_list : t -> Packet.t list
+(** Queued packets in arrival order. *)
+
+val ids : t -> (int, unit) Hashtbl.t
+(** Fresh snapshot of the ids currently queued (used by algorithms to mark a
+    cohort of packets as "old" at a phase boundary). *)

@@ -1,0 +1,7 @@
+type t =
+  | No_reaction
+  | Adopt_heard_packet
+
+let pp ppf = function
+  | No_reaction -> Format.pp_print_string ppf "no-reaction"
+  | Adopt_heard_packet -> Format.pp_print_string ppf "adopt"

@@ -1,0 +1,13 @@
+(** Reaction of a switched-on station to the round's feedback.
+
+    When a message carrying a packet is heard but the packet's destination is
+    switched off, some station may adopt the packet, becoming its relay (the
+    packet then leaves the transmitter's queue and joins the adopter's). The
+    engine checks that at most one station adopts and that direct-routing
+    algorithms never adopt. *)
+
+type t =
+  | No_reaction
+  | Adopt_heard_packet
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Simulations must be reproducible bit-for-bit across runs and platforms,
+    so the library never touches [Stdlib.Random]; every source of randomness
+    is an explicit [Rng.t] seeded by the caller. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] returns an independent generator. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator from [t], advancing [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniform element of [arr]. Requires [arr] non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

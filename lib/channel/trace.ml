@@ -1,0 +1,29 @@
+type t = {
+  enabled : bool;
+  capacity : int;
+  buf : (int * string) array;
+  mutable count : int; (* total events recorded *)
+}
+
+let create ?(capacity = 4096) ~enabled () =
+  { enabled; capacity; buf = Array.make (max capacity 1) (0, ""); count = 0 }
+
+let enabled t = t.enabled
+
+let event t ~round msg =
+  if t.enabled then begin
+    t.buf.(t.count mod t.capacity) <- (round, msg);
+    t.count <- t.count + 1
+  end
+
+let eventf t ~round fmt =
+  if t.enabled then
+    Format.kasprintf (fun msg -> event t ~round msg) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let dump t =
+  let len = min t.count t.capacity in
+  let start = t.count - len in
+  List.init len (fun i -> t.buf.((start + i) mod t.capacity))
+
+let clear t = t.count <- 0

@@ -1,0 +1,40 @@
+(** The Adjust-Window algorithm (paper §4.2): plain-packet, indirect routing
+    with energy cap 2, universally stable with latency
+    (18n³lg²n + 2β)/(1−ρ) for every injection rate ρ < 1.
+
+    Execution is split into time windows of size L (initially the smallest L
+    with L ≥ 18n³·lgL, doubling whenever a window fails to deliver all its
+    old packets — those queued when the window began). Every window has
+    three stages:
+
+    - {b Gossip} (n²(2 + 3lgL) rounds): phases (i, j); j listens alone while
+      a large i (window-start queue ≥ 4n·lgL) conveys, by *coded transfer* —
+      transmitting some packet means bit 1, staying silent bit 0 — whether
+      its queue exceeds L, min(queue, L), its packet count destined j, and
+      its count destined below j. Packets heard by j that are not addressed
+      to it are adopted (j relays them). Small stations stay silent, which
+      is itself the signal.
+    - {b Main} (L − gossip − auxiliary rounds): if some station declared
+      more than L packets, the smallest such station transmits all stage
+      long towards round-robin listeners (DESIGN.md interpretation 3);
+      otherwise the gossip numbers let every station compute the same
+      global schedule — senders in name order, each sender's old packets
+      grouped by ascending destination — and exactly the scheduled sender
+      and listener are on each round.
+    - {b Auxiliary} (8n³·lgL rounds): pairs (i, j) round-robin; i sends j
+      the packets it adopted during Gossip and, if i is small, its old
+      packets for j.
+
+    All replicated decisions (stage boundaries, doubling, schedules) are
+    functions of the gossip bits every station heard, so the stations stay
+    synchronised without any control bits — messages are bare packets. *)
+
+include Mac_channel.Algorithm.S
+
+val initial_window : n:int -> int
+(** The smallest L whose Main stage fills at least half the window — the
+    paper's L ≥ 18·n³·lgL criterion with the exact stage lengths instead of
+    the large-n bound, so the invariant holds for every n ≥ 3. *)
+
+val window_layout : n:int -> l:int -> int * int * int
+(** [(gossip, main, auxiliary)] stage lengths for a window of size [l]. *)

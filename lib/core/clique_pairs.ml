@@ -1,0 +1,57 @@
+type t = {
+  n : int;
+  k : int;
+  set_size : int;
+  sets : int;
+  pairs : (int * int) array;
+  members : int array array;
+}
+
+let effective_k ~n ~k =
+  if n < 3 then invalid_arg "Clique_pairs: n must be >= 3";
+  if k < 2 || k >= n then invalid_arg "Clique_pairs: need 2 <= k < n";
+  let fits candidate =
+    candidate >= 2
+    && candidate mod 2 = 0
+    && 2 * n mod candidate = 0
+    && 3 * candidate <= 2 * n
+  in
+  let rec search candidate =
+    if fits candidate then candidate else search (candidate - 1)
+  in
+  search (min k (2 * n / 3))
+
+let make ~n ~k =
+  let k = effective_k ~n ~k in
+  let set_size = k / 2 in
+  let sets = 2 * n / k in
+  let pairs = Combi.subset_pairs ~sets in
+  let members =
+    Array.map
+      (fun (a, b) ->
+        Array.init k (fun i ->
+            if i < set_size then (a * set_size) + i
+            else (b * set_size) + i - set_size))
+      pairs
+  in
+  { n; k; set_size; sets; pairs; members }
+
+let pair_count t = Array.length t.pairs
+
+let active_pair t ~round = round mod pair_count t
+
+let set_of_station t station = station / t.set_size
+
+let member_pairs t station =
+  let my_set = set_of_station t station in
+  let result = ref [] in
+  for p = pair_count t - 1 downto 0 do
+    let a, b = t.pairs.(p) in
+    if a = my_set || b = my_set then result := p :: !result
+  done;
+  !result
+
+let in_pair t ~pair station =
+  let a, b = t.pairs.(pair) in
+  let s = set_of_station t station in
+  s = a || s = b

@@ -1,0 +1,32 @@
+(** The set-pair structure of the k-Clique algorithm (paper §6).
+
+    Stations are partitioned into 2n/k disjoint sets of k/2 consecutive
+    stations; every unordered pair of sets forms a clique of k stations.
+    Pairs are active round-robin, one round each. The paper assumes k even,
+    k | 2n and k ≤ 2n/3; [effective_k] finds the largest such k' ≤ k
+    (decreasing k only ever switches fewer stations on). *)
+
+type t = private {
+  n : int;
+  k : int;                   (** effective clique size (even, divides 2n) *)
+  set_size : int;            (** k/2 *)
+  sets : int;                (** 2n/k *)
+  pairs : (int * int) array; (** lexicographic pairs of set indices *)
+  members : int array array; (** per pair, its k stations ascending *)
+}
+
+val effective_k : n:int -> k:int -> int
+(** Requires [n >= 3] and [2 <= k < n]. Always succeeds (k' = 2 divides 2n). *)
+
+val make : n:int -> k:int -> t
+
+val pair_count : t -> int
+
+val active_pair : t -> round:int -> int
+
+val set_of_station : t -> int -> int
+
+val member_pairs : t -> int -> int list
+(** Indices of pairs containing a station (those pairing its set). *)
+
+val in_pair : t -> pair:int -> int -> bool

@@ -1,0 +1,47 @@
+let ceil_div a b =
+  assert (b > 0);
+  (a + b - 1) / b
+
+let lg x =
+  assert (x >= 0);
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 x
+(* ⌈log₂(x+1)⌉ equals the bit length of x. *)
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let num = ref 1 in
+    for i = 0 to k - 1 do
+      num := !num * (n - i) / (i + 1)
+    done;
+    !num
+  end
+
+let k_subsets ~n ~k =
+  if k < 0 || k > n then invalid_arg "Combi.k_subsets";
+  let result = ref [] in
+  let current = Array.make k 0 in
+  let rec fill pos from =
+    if pos = k then result := Array.copy current :: !result
+    else
+      for v = from to n - (k - pos) do
+        current.(pos) <- v;
+        fill (pos + 1) (v + 1)
+      done
+  in
+  if k = 0 then [| [||] |]
+  else begin
+    fill 0 0;
+    Array.of_list (List.rev !result)
+  end
+
+let subset_pairs ~sets =
+  let result = ref [] in
+  for a = 0 to sets - 1 do
+    for b = a + 1 to sets - 1 do
+      result := (a, b) :: !result
+    done
+  done;
+  Array.of_list (List.rev !result)

@@ -1,0 +1,19 @@
+(** Combinatorial helpers shared by the routing algorithms. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] = ⌈a/b⌉ for positive [b]. *)
+
+val lg : int -> int
+(** The paper's lg x = ⌈log₂(x+1)⌉, for x >= 0. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = C(n,k); 0 outside the valid range. Overflow-unchecked —
+    intended for the small n of simulations. *)
+
+val k_subsets : n:int -> k:int -> int array array
+(** All k-element subsets of [{0..n-1}] in lexicographic order, each sorted
+    ascending. The enumeration fixed by k-Subsets. *)
+
+val subset_pairs : sets:int -> (int * int) array
+(** All unordered pairs (a, b), a < b, of [{0..sets-1}] in lexicographic
+    order. The pair enumeration fixed by k-Clique. *)

@@ -1,0 +1,25 @@
+(** The Count-Hop algorithm (paper §4.1): direct routing with control bits,
+    energy cap 2, universally stable with latency at most 2(n²+β)/(1−ρ) for
+    every injection rate ρ < 1.
+
+    Station 0 is the coordinator. Execution is structured into phases; the
+    packets present when a phase starts are the phase's old packets and are
+    the only ones transmitted during it. A phase has one stage per receiving
+    station v, made of three substages:
+
+    + every station other than v and the coordinator transmits, one round
+      each, the number of its old packets destined to v (coordinator
+      listening);
+    + the coordinator tells every station, one round each, its transmission
+      offset and the stage total (the recipient listening) — the total lets
+      every station track the schedule without hearing anything else;
+    + the owners transmit their old packets for v back-to-back in offset
+      order while v listens; the coordinator's own packets for v go first
+      (the paper leaves coordinator-held packets unspecified; see DESIGN.md
+      interpretation 2).
+
+    The first phase is n silent rounds with every station off. At most two
+    stations are ever on: (transmitter, coordinator), (coordinator,
+    recipient) or (transmitter, v). *)
+
+include Mac_channel.Algorithm.S

@@ -1,0 +1,41 @@
+(** The overlapping group chain of the k-Cycle algorithm (paper §5).
+
+    Stations are covered by ℓ groups of up to k consecutive stations;
+    consecutive groups share one station (their connector), and the last
+    group closes the cycle by sharing station 0 with the first. Group i is
+    active — all its members switched on, everyone else off — for δ
+    consecutive rounds, in round-robin order of groups.
+
+    When n ≤ 2k the paper decreases k so that 2k = n + 1; [effective_k]
+    applies that adjustment. δ = ⌈4(n−1)k / (n−k)⌉. *)
+
+type t = private {
+  n : int;
+  k : int;                  (** effective group size after adjustment *)
+  groups : int array array; (** members in chain order; wraps through 0 *)
+  delta : int;              (** rounds of activity per group *)
+}
+
+val effective_k : n:int -> k:int -> int
+(** Requires [2 <= k < n] and [n >= 3]. *)
+
+val make : ?delta_scale:float -> n:int -> k:int -> unit -> t
+(** [delta_scale] multiplies the paper's activity-segment length δ (for the
+    ablation study); default 1. The scaled δ is at least 1 round. *)
+
+val group_count : t -> int
+
+val active_group : t -> round:int -> int
+
+val member_groups : t -> int -> int list
+(** Indices of the group(s) a station belongs to (one, or two if it is a
+    connector). *)
+
+val forward_connector : t -> int -> int
+(** [forward_connector t i] is the chain-last member of group [i] — the
+    station shared with group [i+1], which adopts packets leaving group [i]. *)
+
+val backward_connector : t -> int -> int
+(** The chain-first member of group [i], shared with group [i-1]. *)
+
+val in_group : t -> group:int -> int -> bool

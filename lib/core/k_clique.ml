@@ -1,0 +1,94 @@
+open Mac_channel
+open Mac_broadcast
+
+let structures : (int * int, Clique_pairs.t) Hashtbl.t = Hashtbl.create 8
+
+let structure ~n ~k =
+  match Hashtbl.find_opt structures (n, k) with
+  | Some cp -> cp
+  | None ->
+    let cp = Clique_pairs.make ~n ~k in
+    Hashtbl.replace structures (n, k) cp;
+    cp
+
+type pair_state = {
+  index : int;
+  ring : Token_ring.t;
+  old : (int, unit) Hashtbl.t;
+}
+
+type state = {
+  me : int;
+  cp : Clique_pairs.t;
+  mine : pair_state array;
+  by_index : (int, pair_state) Hashtbl.t;
+}
+
+let algorithm ~n ~k =
+  let module M = struct
+    type nonrec state = state
+
+    let cp0 = structure ~n ~k
+    let name = Printf.sprintf "k-clique(k=%d)" cp0.Clique_pairs.k
+    let plain_packet = true
+    let direct = true
+    let oblivious = true
+    let required_cap ~n ~k = (structure ~n ~k).Clique_pairs.k
+
+    let static_schedule =
+      Some
+        (fun ~n ~k ~me ~round ->
+          let cp = structure ~n ~k in
+          Clique_pairs.in_pair cp ~pair:(Clique_pairs.active_pair cp ~round) me)
+
+    let create ~n ~k ~me =
+      let cp = structure ~n ~k in
+      let mine =
+        Clique_pairs.member_pairs cp me
+        |> List.map (fun index ->
+               { index;
+                 ring = Token_ring.create ~members:cp.Clique_pairs.members.(index);
+                 old = Hashtbl.create 32 })
+        |> Array.of_list
+      in
+      let by_index = Hashtbl.create (Array.length mine) in
+      Array.iter (fun ps -> Hashtbl.replace by_index ps.index ps) mine;
+      { me; cp; mine; by_index }
+
+    let on_duty s ~round ~queue:_ =
+      Clique_pairs.in_pair s.cp ~pair:(Clique_pairs.active_pair s.cp ~round) s.me
+
+    let eligible s ~(ps : pair_state) (p : Packet.t) =
+      Hashtbl.mem ps.old p.id && Clique_pairs.in_pair s.cp ~pair:ps.index p.dst
+
+    let act s ~round ~queue =
+      let active = Clique_pairs.active_pair s.cp ~round in
+      match Hashtbl.find_opt s.by_index active with
+      | None -> Action.Listen
+      | Some ps ->
+        if Token_ring.holder ps.ring <> s.me then Action.Listen
+        else begin
+          match Pqueue.oldest_such queue (eligible s ~ps) with
+          | Some p -> Action.Transmit (Message.packet_only p)
+          | None -> Action.Listen
+        end
+
+    let observe s ~round ~queue ~feedback =
+      let active = Clique_pairs.active_pair s.cp ~round in
+      (match Hashtbl.find_opt s.by_index active with
+       | None -> ()
+       | Some ps ->
+         (match feedback with
+          | Feedback.Heard _ -> Token_ring.note_heard ps.ring
+          | Feedback.Silence | Feedback.Collision ->
+            let phase_before = Token_ring.phase ps.ring in
+            Token_ring.note_silence ps.ring;
+            if Token_ring.phase ps.ring <> phase_before then begin
+              Hashtbl.reset ps.old;
+              Pqueue.iter queue ~f:(fun p -> Hashtbl.replace ps.old p.Packet.id ())
+            end));
+      Reaction.No_reaction
+
+    let offline_tick _ ~round:_ ~queue:_ = ()
+  end in
+  (module M : Algorithm.S)

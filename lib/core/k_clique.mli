@@ -1,0 +1,9 @@
+(** The k-Clique algorithm (paper §6): plain-packet, k-energy-oblivious,
+    direct routing with latency at most 8(n²/k)(1 + β/2k) for injection
+    rates up to k²/(2n(2n−k)).
+
+    Set pairs ({!Clique_pairs}) are active round-robin for one round each;
+    the active pair runs OF-RRW restricted to old packets whose destinations
+    lie inside the pair — every delivery is therefore a single direct hop. *)
+
+val algorithm : n:int -> k:int -> Mac_channel.Algorithm.t

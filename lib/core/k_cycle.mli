@@ -1,0 +1,20 @@
+(** The k-Cycle algorithm (paper §5): plain-packet, k-energy-oblivious,
+    indirect routing with latency O((32+β)·n) for injection rates below
+    (k−1)/(n−1).
+
+    Stations form the overlapping group chain of {!Cycle_groups}. The active
+    group runs OF-RRW: a token cycles through the members; the holder
+    transmits its old packets one by one and a silent round advances the
+    token. A packet heard inside the group is delivered if its destination
+    is a member; otherwise the group's forward connector adopts it, so
+    packets hop group-to-group around the cycle until they reach their
+    destination's group. *)
+
+val algorithm : n:int -> k:int -> Mac_channel.Algorithm.t
+(** The paper's algorithm for the given system; [required_cap] reports the
+    adjusted (effective) k. *)
+
+val algorithm_scaled : delta_scale:float -> n:int -> k:int -> Mac_channel.Algorithm.t
+(** Like {!algorithm} with the activity segment δ shrunk or stretched by
+    [delta_scale] (the ablation study; 1 gives the paper's
+    δ = ⌈4(n−1)k/(n−k)⌉). *)

@@ -1,0 +1,227 @@
+open Mac_channel
+open Mac_broadcast
+
+let subsets_memo : (int * int, int array array) Hashtbl.t = Hashtbl.create 8
+
+let subsets ~n ~k =
+  match Hashtbl.find_opt subsets_memo (n, k) with
+  | Some s -> s
+  | None ->
+    let s = Combi.k_subsets ~n ~k in
+    Hashtbl.replace subsets_memo (n, k) s;
+    s
+
+let in_subset subset station = Array.exists (fun m -> m = station) subset
+
+(* Per-round membership lookup must be O(1): subset_of.(t mod γ).(station). *)
+let membership_memo : (int * int, bool array array) Hashtbl.t = Hashtbl.create 8
+
+let membership ~n ~k =
+  match Hashtbl.find_opt membership_memo (n, k) with
+  | Some m -> m
+  | None ->
+    let sets = subsets ~n ~k in
+    let m =
+      Array.map
+        (fun subset ->
+          let row = Array.make n false in
+          Array.iter (fun station -> row.(station) <- true) subset;
+          row)
+        sets
+    in
+    Hashtbl.replace membership_memo (n, k) m;
+    m
+
+let threads_for ~n ~k ~src ~dst =
+  let sets = subsets ~n ~k in
+  let result = ref [] in
+  for i = Array.length sets - 1 downto 0 do
+    if in_subset sets.(i) src && in_subset sets.(i) dst then result := i :: !result
+  done;
+  !result
+
+(* Scheduling state of one thread at one station. MBTF threads track the
+   replicated list; RRW threads track the replicated token ring plus the
+   holder's withheld batch size. *)
+type thread_sched =
+  | Mbtf_thread of Mbtf_list.t
+  | Rrw_thread of { ring : Token_ring.t; mutable batch : int }
+
+type thread_state = {
+  sched : thread_sched;
+  fifo : Packet.t Queue.t; (* my packets assigned to this thread, FIFO *)
+}
+
+type state = {
+  me : int;
+  n : int;
+  k : int;
+  gamma : int;
+  threads : (int, thread_state) Hashtbl.t; (* thread index -> state *)
+  threads_with : int array array;          (* per destination w *)
+  alloc_count : int array array;           (* x_i(w): [w].(thread) *)
+  assigned : (int, int) Hashtbl.t;         (* packet id -> thread *)
+  mutable synced_phase : int;
+  mutable last_sent : Packet.t option;     (* transmission awaiting feedback *)
+}
+
+let algorithm ?(discipline = `Mbtf) ?(allocation = `Balanced) ~n ~k () =
+  if k < 2 || k >= n then invalid_arg "K_subsets: need 2 <= k < n";
+  ignore (membership ~n ~k);
+  let module M = struct
+    type nonrec state = state
+
+    let name =
+      Printf.sprintf "k-subsets(k=%d,%s%s)" k
+        (match discipline with `Mbtf -> "mbtf" | `Rrw -> "rrw")
+        (match allocation with `Balanced -> "" | `First_fit -> ",first-fit")
+
+    let plain_packet = (discipline = `Rrw)
+    let direct = true
+    let oblivious = true
+    let required_cap ~n:_ ~k = k
+
+    let static_schedule =
+      Some
+        (fun ~n ~k ~me ~round ->
+          let m = membership ~n ~k in
+          m.(round mod Array.length m).(me))
+
+    let create ~n ~k ~me =
+      let sets = subsets ~n ~k in
+      let gamma = Array.length sets in
+      let threads = Hashtbl.create 64 in
+      Array.iteri
+        (fun i subset ->
+          if in_subset subset me then begin
+            let sched =
+              match discipline with
+              | `Mbtf -> Mbtf_thread (Mbtf_list.create ~members:subset)
+              | `Rrw -> Rrw_thread { ring = Token_ring.create ~members:subset; batch = 0 }
+            in
+            Hashtbl.replace threads i { sched; fifo = Queue.create () }
+          end)
+        sets;
+      let threads_with =
+        Array.init n (fun w ->
+            if w = me then [||]
+            else Array.of_list (threads_for ~n ~k ~src:me ~dst:w))
+      in
+      { me; n; k; gamma; threads; threads_with;
+        alloc_count = Array.make_matrix n gamma 0;
+        assigned = Hashtbl.create 256;
+        synced_phase = 0; last_sent = None }
+
+    (* Phase-boundary allocation: spread last phase's arrivals over the
+       eligible threads, balancing the per-destination counters. *)
+    let allocate s ~queue ~phase_start =
+      Pqueue.iter queue ~f:(fun p ->
+          if p.Packet.injected_at < phase_start
+             && not (Hashtbl.mem s.assigned p.Packet.id)
+          then begin
+            let w = p.Packet.dst in
+            let eligible = s.threads_with.(w) in
+            let best = ref eligible.(0) in
+            (match allocation with
+             | `First_fit -> ()
+             | `Balanced ->
+               Array.iter
+                 (fun i ->
+                   if s.alloc_count.(w).(i) < s.alloc_count.(w).(!best) then best := i)
+                 eligible);
+            s.alloc_count.(w).(!best) <- s.alloc_count.(w).(!best) + 1;
+            Hashtbl.replace s.assigned p.Packet.id !best;
+            Queue.add p (Hashtbl.find s.threads !best).fifo
+          end)
+
+    let sync s ~round ~queue =
+      let phase = round / s.gamma in
+      if phase > s.synced_phase || (round = 0 && s.synced_phase = 0) then begin
+        s.synced_phase <- phase;
+        allocate s ~queue ~phase_start:(phase * s.gamma)
+      end
+
+    let on_duty s ~round ~queue =
+      sync s ~round ~queue;
+      Hashtbl.mem s.threads (round mod s.gamma)
+
+    let front_packet (ts : thread_state) ~queue =
+      (* Drop stale heads defensively; in lawful runs the head is live. *)
+      let rec go () =
+        match Queue.peek_opt ts.fifo with
+        | None -> None
+        | Some p ->
+          if Pqueue.mem queue p then Some p
+          else begin
+            ignore (Queue.pop ts.fifo);
+            go ()
+          end
+      in
+      go ()
+
+    let act s ~round ~queue =
+      let i = round mod s.gamma in
+      s.last_sent <- None;
+      match Hashtbl.find_opt s.threads i with
+      | None -> Action.Listen
+      | Some ts ->
+        (match ts.sched with
+         | Mbtf_thread list ->
+           if Mbtf_list.holder list <> s.me then Action.Listen
+           else begin
+             match front_packet ts ~queue with
+             | None -> Action.Listen
+             | Some p ->
+               let big = Queue.length ts.fifo >= s.k in
+               s.last_sent <- Some p;
+               Action.Transmit (Message.make ~packet:p [ Message.Flag big ])
+           end
+         | Rrw_thread r ->
+           if Token_ring.holder r.ring <> s.me || r.batch <= 0 then Action.Listen
+           else begin
+             match front_packet ts ~queue with
+             | None ->
+               r.batch <- 0;
+               Action.Listen
+             | Some p ->
+               s.last_sent <- Some p;
+               Action.Transmit (Message.packet_only p)
+           end)
+
+    let observe s ~round ~queue:_ ~feedback =
+      let i = round mod s.gamma in
+      (match Hashtbl.find_opt s.threads i with
+       | None -> ()
+       | Some ts ->
+         (match feedback, s.last_sent with
+          | Feedback.Heard m, Some p ->
+            (match m.Message.packet with
+             | Some q when Packet.equal p q ->
+               (* Our transmission succeeded: retire it locally. *)
+               ignore (Queue.pop ts.fifo);
+               Hashtbl.remove s.assigned p.Packet.id
+             | Some _ | None -> ())
+          | _ -> ());
+         (match ts.sched, feedback with
+          | Mbtf_thread list, Feedback.Heard m ->
+            (match m.Message.control with
+             | [ Message.Flag true ] -> Mbtf_list.note_heard_big list
+             | _ -> Mbtf_list.note_heard_small list)
+          | Mbtf_thread list, (Feedback.Silence | Feedback.Collision) ->
+            Mbtf_list.note_silence list
+          | Rrw_thread r, Feedback.Heard _ ->
+            Token_ring.note_heard r.ring;
+            if Token_ring.holder r.ring = s.me then r.batch <- r.batch - 1
+          | Rrw_thread r, (Feedback.Silence | Feedback.Collision) ->
+            Token_ring.note_silence r.ring;
+            (* A fresh holder withholds: it may send only the packets
+               present at the moment it received the token. *)
+            if Token_ring.holder r.ring = s.me then r.batch <- Queue.length ts.fifo));
+      s.last_sent <- None;
+      Reaction.No_reaction
+
+    (* Keep phase allocation running while switched off: assignment is
+       local bookkeeping over the station's own queue, not channel use. *)
+    let offline_tick s ~round ~queue = sync s ~round ~queue
+  end in
+  (module M : Algorithm.S)

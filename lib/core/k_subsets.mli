@@ -1,0 +1,38 @@
+(** The k-Subsets algorithm (paper §6): k-energy-oblivious direct routing
+    with the optimal oblivious-direct throughput k(k−1)/(n(n−1)).
+
+    Fix the lexicographic enumeration A₀ … A_{γ−1} of all γ = C(n,k)
+    k-element subsets of the stations. Rounds of the form i + jγ make
+    thread i; the stations of Aᵢ are switched on exactly in thread i's
+    rounds and run one instance of a broadcast discipline there, with a
+    dedicated logical queue per station per thread.
+
+    At every phase boundary (each γ rounds), a station assigns the packets
+    injected during the previous phase to threads: a packet from v to w may
+    ride any of the C(n−2, k−2) threads whose subset contains both v and w,
+    and v keeps the per-destination allocation balanced (the counters
+    x₀(w) … x_{γ−1}(w) of the paper never differ by more than one across
+    eligible threads). Destinations are awake whenever their thread is
+    active, so routing is direct.
+
+    Disciplines:
+    - [`Mbtf] — the paper's choice, Move-Big-To-Front per thread (stable at
+      the optimal rate, latency may be unbounded; uses one control bit);
+    - [`Rrw] — the paper's §6 remark: replacing MBTF with
+      Round-Robin-Withholding yields bounded latency Θ(γ(n+β)) for rates
+      below the threshold, and keeps messages plain. *)
+
+val algorithm :
+  ?discipline:[ `Mbtf | `Rrw ] ->
+  ?allocation:[ `Balanced | `First_fit ] ->
+  n:int -> k:int -> unit ->
+  Mac_channel.Algorithm.t
+(** Default discipline is [`Mbtf], default allocation [`Balanced] (the
+    paper's). [`First_fit] always picks the first eligible thread — the
+    ablation showing the balanced allocation is what buys the optimal rate:
+    first-fit concentrates a (v, w) flood on one thread of capacity 1/γ.
+    Requires [2 <= k < n]; beware that state scales with C(n,k) per
+    station. *)
+
+val threads_for : n:int -> k:int -> src:int -> dst:int -> int list
+(** The threads eligible to carry a (src, dst) packet (for tests). *)

@@ -1,0 +1,163 @@
+open Mac_channel
+
+module Impl (P : sig
+  val name : string
+
+  val big_threshold : n:int -> int
+  (* old-packet count at which a conductor considers itself big *)
+end) : Mac_channel.Algorithm.S = struct
+  type state = {
+    me : int;
+    n : int;
+    baton : int array;           (* baton list, front first *)
+    mutable baton_pos : int;     (* list position of the current conductor *)
+    mutable season_start : int;
+    mutable synced_season : int;
+    mutable conductor : int;
+    mutable big_flag : bool;     (* current conductor's announcement *)
+    (* Conductor bookkeeping. *)
+    sched_cur : Packet.t option array;  (* per round offset of this season *)
+    sched_next : Packet.t option array; (* for my next conducting season *)
+    scheduled : (int, unit) Hashtbl.t;  (* ids in either schedule *)
+    (* Musician bookkeeping. *)
+    recv_cur : bool array;              (* my wake offsets this season *)
+    next_recv : int list array;         (* taught offsets, per conductor *)
+  }
+
+  let name = P.name
+  let plain_packet = false
+  let direct = true
+  let oblivious = false
+  let required_cap ~n:_ ~k:_ = 3
+  let static_schedule = None
+
+  let season_length n = n - 1
+
+  let create ~n ~k:_ ~me =
+    if n < 3 then invalid_arg "Orchestra: needs n >= 3";
+    { me; n;
+      baton = Array.init n (fun i -> i);
+      baton_pos = 0;
+      season_start = 0;
+      synced_season = -1;
+      conductor = 0;
+      big_flag = false;
+      sched_cur = Array.make (n - 1) None;
+      sched_next = Array.make (n - 1) None;
+      scheduled = Hashtbl.create 64;
+      recv_cur = Array.make (n - 1) false;
+      next_recv = Array.make n [] }
+
+  (* The learner of round offset [o] is the o-th musician by name. *)
+  let learner_at s o = if o >= s.conductor then o + 1 else o
+
+  let move_conductor_to_front s =
+    let c = s.baton.(s.baton_pos) in
+    for i = s.baton_pos downto 1 do
+      s.baton.(i) <- s.baton.(i - 1)
+    done;
+    s.baton.(0) <- c;
+    s.baton_pos <- 0
+
+  (* Season boundary, executed identically by every station: settle the baton
+     using the big announcement everyone heard, then set up the new season. *)
+  let enter_season s ~round ~queue =
+    let season = round / season_length s.n in
+    if s.synced_season >= 0 then begin
+      if s.big_flag then move_conductor_to_front s
+      else s.baton_pos <- (s.baton_pos + 1) mod s.n
+    end;
+    s.synced_season <- season;
+    s.season_start <- round;
+    s.conductor <- s.baton.(s.baton_pos);
+    s.big_flag <- false;
+    if s.me = s.conductor then begin
+      (* Old packets are exactly those injected before this round. *)
+      let old_count =
+        Pqueue.fold queue ~init:0 ~f:(fun acc p ->
+            if p.Packet.injected_at < round then acc + 1 else acc)
+      in
+      s.big_flag <- old_count >= P.big_threshold ~n:s.n;
+      (* The packets scheduled a season ago go out now; pick the next batch. *)
+      Array.blit s.sched_next 0 s.sched_cur 0 (s.n - 1);
+      Array.fill s.sched_next 0 (s.n - 1) None;
+      let slot = ref 0 in
+      Pqueue.iter queue ~f:(fun p ->
+          if !slot < s.n - 1
+             && p.Packet.injected_at < round
+             && not (Hashtbl.mem s.scheduled p.Packet.id)
+          then begin
+            s.sched_next.(!slot) <- Some p;
+            Hashtbl.replace s.scheduled p.Packet.id ();
+            incr slot
+          end)
+    end
+    else begin
+      Array.fill s.recv_cur 0 (s.n - 1) false;
+      List.iter (fun o -> s.recv_cur.(o) <- true) s.next_recv.(s.conductor);
+      s.next_recv.(s.conductor) <- []
+    end
+
+  let sync s ~round ~queue =
+    if round / season_length s.n > s.synced_season then
+      enter_season s ~round ~queue
+
+  let on_duty s ~round ~queue =
+    sync s ~round ~queue;
+    let o = round - s.season_start in
+    s.me = s.conductor || learner_at s o = s.me || s.recv_cur.(o)
+
+  let act s ~round ~queue =
+    let o = round - s.season_start in
+    if s.me <> s.conductor then Action.Listen
+    else begin
+      let learner = learner_at s o in
+      (* Teach the learner its wake offsets in my next conducting season. *)
+      let offsets = ref [] in
+      for slot = s.n - 2 downto 0 do
+        match s.sched_next.(slot) with
+        | Some p when p.Packet.dst = learner -> offsets := slot :: !offsets
+        | Some _ | None -> ()
+      done;
+      let control = [ Message.Flag s.big_flag; Message.Schedule !offsets ] in
+      match s.sched_cur.(o) with
+      | Some p when Pqueue.mem queue p ->
+        Action.Transmit (Message.make ~packet:p control)
+      | Some _ | None -> Action.Transmit (Message.light control)
+    end
+
+  let observe s ~round ~queue:_ ~feedback =
+    let o = round - s.season_start in
+    (match feedback with
+     | Feedback.Heard m ->
+       if s.me = s.conductor then begin
+         (* Scheduled packet went out; free its id. *)
+         match s.sched_cur.(o) with
+         | Some p ->
+           Hashtbl.remove s.scheduled p.Packet.id;
+           s.sched_cur.(o) <- None
+         | None -> ()
+       end
+       else if learner_at s o = s.me then
+         List.iter
+           (function
+             | Message.Flag big -> s.big_flag <- big
+             | Message.Schedule offsets -> s.next_recv.(s.conductor) <- offsets
+             | Message.Count _ -> ())
+           m.Message.control
+     | Feedback.Silence | Feedback.Collision -> ());
+    Reaction.No_reaction
+
+  let offline_tick s ~round ~queue = sync s ~round ~queue
+end
+
+include Impl (struct
+  let name = "orchestra"
+  let big_threshold ~n = (n * n) - 1
+end)
+
+let with_big_threshold ~name threshold =
+  (module Impl (struct
+    let name = name
+    let big_threshold = threshold
+  end) : Algorithm.S)

@@ -1,0 +1,32 @@
+(** The Orchestra algorithm (paper §3.1): direct routing with control bits,
+    stable for the maximum injection rate 1 under energy cap 3 (which is
+    optimal: cap 2 cannot sustain rate 1, Theorem 2). Queues stay below
+    2n³ + β (Theorem 1). Latency may be unbounded.
+
+    Time is split into seasons of n−1 rounds. A baton list (initially the
+    stations by name) designates the conductor of each season; the conductor
+    transmits every round. At a season's start the conductor schedules up to
+    n−1 of its old, not-yet-scheduled packets — in injection order — for its
+    *next* conducting season, and during the current season teaches each
+    musician (one learning round each, by name order) the rounds it must
+    wake to receive; it simultaneously sends the packets scheduled one
+    season earlier. A message therefore carries a toggle bit (the big
+    announcement), the learner's receive schedule, and at most one packet —
+    the receiving musician scheduled for the round is awake, so at most
+    three stations are ever on: conductor, learner, receiver.
+
+    A conductor with at least n²−1 old packets is big: every musician learns
+    this via the toggle bit, moves the conductor to the front of its copy of
+    the baton list, and the conductor keeps the baton while it stays big —
+    the mechanism that sustains rate 1 even when the adversary floods a
+    single station.
+
+    Requires n >= 3. *)
+
+include Mac_channel.Algorithm.S
+
+val with_big_threshold : name:string -> (n:int -> int) -> Mac_channel.Algorithm.t
+(** Orchestra with a different big-conductor threshold (the paper uses
+    n²−1), for the ablation study: a huge threshold disables the
+    move-big-to-front mechanism entirely and loses rate-1 stability; a tiny
+    one makes every conductor hog the baton. *)

@@ -1,0 +1,42 @@
+open Mac_channel
+
+type state = { me : int; n : int }
+
+let name = "pair-tdma"
+let plain_packet = true
+let direct = true
+let oblivious = true
+let required_cap ~n:_ ~k:_ = 2
+
+(* Round t serves ordered pair number t mod n(n-1), enumerated as
+   (s, d) = (idx / (n-1), skip-diagonal of idx mod (n-1)). *)
+let pair_of_round ~n ~round =
+  let idx = round mod (n * (n - 1)) in
+  let s = idx / (n - 1) in
+  let r = idx mod (n - 1) in
+  let d = if r >= s then r + 1 else r in
+  (s, d)
+
+let static_schedule =
+  Some
+    (fun ~n ~k:_ ~me ~round ->
+      let s, d = pair_of_round ~n ~round in
+      me = s || me = d)
+
+let create ~n ~k:_ ~me = { me; n }
+
+let on_duty s ~round ~queue:_ =
+  let src, dst = pair_of_round ~n:s.n ~round in
+  s.me = src || s.me = dst
+
+let act s ~round ~queue =
+  let src, dst = pair_of_round ~n:s.n ~round in
+  if s.me <> src then Action.Listen
+  else
+    match Pqueue.oldest_such queue (fun p -> p.Packet.dst = dst) with
+    | Some p -> Action.Transmit (Message.packet_only p)
+    | None -> Action.Listen
+
+let observe _ ~round:_ ~queue:_ ~feedback:_ = Reaction.No_reaction
+
+let offline_tick _ ~round:_ ~queue:_ = ()

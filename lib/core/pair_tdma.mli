@@ -1,0 +1,11 @@
+(** Pair-TDMA: the naive 2-energy-oblivious direct baseline.
+
+    Rounds cycle over all n(n-1) ordered station pairs (s, d); in the pair's
+    round, s transmits its oldest packet destined to d (if any) while d
+    listens. This is what a practitioner would write first, and it is
+    essentially the k = 2 instance of the paper's k-Subsets schedule with the
+    trivial per-pair discipline; its worst-case stable rate is
+    1/(n(n-1)) = k(k−1)/(n(n−1)) with k = 2. The paper's algorithms are
+    benchmarked against it. *)
+
+include Mac_channel.Algorithm.S

@@ -1,0 +1,76 @@
+open Mac_channel
+
+(* A seeded stateless mix (SplitMix64 finaliser) shared by all stations:
+   the round's awake subset is the k smallest stations under the keyed
+   ranking, recomputable by anyone from (seed, round). *)
+let mix ~seed ~round ~station =
+  let z = Int64.of_int (((seed * 0x3C6EF372) + (round * 0x9E3779B9)) lxor (station * 0x85EBCA6B)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.shift_right_logical (Int64.logxor z (Int64.shift_right_logical z 31)) 1)
+
+(* Rank of a station in the round's keyed order; awake iff among the k
+   smallest. Ties are broken by the station name mixed into the key. *)
+let awake ~seed ~n ~k ~round station =
+  let my_key = mix ~seed ~round ~station in
+  let smaller = ref 0 in
+  for other = 0 to n - 1 do
+    if other <> station && mix ~seed ~round ~station:other < my_key then
+      incr smaller
+  done;
+  !smaller < k
+
+(* Leadership rotates through the awake set by round parity, so every
+   station leads on 1/k of its awake rounds (a fixed choice such as "the
+   smallest awake name" would starve high names entirely: the minimum of a
+   random k-subset is never a large name). *)
+let leader ~seed ~n ~k ~round =
+  let want = round mod k in
+  let seen = ref 0 in
+  let found = ref (-1) in
+  for station = 0 to n - 1 do
+    if !found < 0 && awake ~seed ~n ~k ~round station then begin
+      if !seen = want then found := station;
+      incr seen
+    end
+  done;
+  !found
+
+type state = { me : int; n : int; k : int; seed : int }
+
+let algorithm ?(seed = 0) ~n ~k () =
+  if k < 2 || k > n then invalid_arg "Random_leader: need 2 <= k <= n";
+  let module M = struct
+    type nonrec state = state
+
+    let name = Printf.sprintf "random-leader(k=%d)" k
+    let plain_packet = true
+    let direct = true
+    let oblivious = true
+    let required_cap ~n:_ ~k:_ = k
+
+    let static_schedule =
+      Some (fun ~n:_ ~k:_ ~me ~round -> awake ~seed ~n ~k ~round me)
+
+    let create ~n:n' ~k:_ ~me =
+      assert (n' = n);
+      { me; n; k; seed }
+
+    let on_duty s ~round ~queue:_ = awake ~seed ~n:s.n ~k:s.k ~round s.me
+
+    let act s ~round ~queue =
+      if leader ~seed ~n:s.n ~k:s.k ~round <> s.me then Action.Listen
+      else begin
+        let deliverable (p : Packet.t) =
+          p.dst <> s.me && awake ~seed ~n:s.n ~k:s.k ~round p.dst
+        in
+        match Pqueue.oldest_such queue deliverable with
+        | Some p -> Action.Transmit (Message.packet_only p)
+        | None -> Action.Listen
+      end
+
+    let observe _ ~round:_ ~queue:_ ~feedback:_ = Reaction.No_reaction
+
+    let offline_tick _ ~round:_ ~queue:_ = ()
+  end in
+  (module M : Algorithm.S)

@@ -1,0 +1,19 @@
+(** Random-Leader: a randomised-schedule strawman baseline (not from the
+    paper).
+
+    Every round, a pseudo-random k-subset of stations wakes up (all stations
+    derive the same subset from a shared seeded hash of the round number, so
+    the schedule is oblivious and collision-free to coordinate); one awake
+    station — leadership rotates through the subset — transmits its oldest
+    packet destined to another awake station, everyone else listens.
+
+    This is "k-Subsets with a random enumeration and no token": a pair
+    (v, w) is co-awake with the same k(k−1)/(n(n−1)) frequency as in the
+    paper's schedule, but v can use a round only when it also holds the
+    rotating leadership — which costs a factor ≈ k of throughput and shows
+    why the exhaustive enumeration plus per-thread feedback-driven tokens
+    matter. The benchmark's baselines figure locates both frontiers by
+    bisection. *)
+
+val algorithm : ?seed:int -> n:int -> k:int -> unit -> Mac_channel.Algorithm.t
+(** Oblivious, plain-packet, direct; [required_cap] is k. Default seed 0. *)

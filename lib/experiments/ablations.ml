@@ -1,0 +1,152 @@
+open Mac_adversary
+
+type t = {
+  id : string;
+  title : string;
+  run : scale:[ `Quick | `Full ] -> Mac_sim.Report.t * Scenario.outcome list;
+}
+
+let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
+
+let fmt = Mac_sim.Report.fmt_float
+
+let point ~id ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain =
+  Scenario.run
+    (Scenario.spec ~id ~algorithm ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds
+       ~drain ())
+
+let outcome_cells (o : Scenario.outcome) =
+  let s = o.summary and st = o.stability in
+  [ Mac_sim.Stability.verdict_to_string st.Mac_sim.Stability.verdict;
+    string_of_int s.Mac_sim.Metrics.max_total_queue;
+    string_of_int (max s.Mac_sim.Metrics.max_delay s.Mac_sim.Metrics.max_queued_age);
+    fmt s.Mac_sim.Metrics.mean_delay ]
+
+(* ------------------------------------------------------------------ *)
+(* A1: the activity-segment length of k-Cycle. *)
+
+let delta_rows ~scale =
+  let n = 12 and k = 4 in
+  let rounds = scaled ~scale ~quick:60_000 ~full:150_000 in
+  let outcomes = ref [] and rows = ref [] in
+  List.iter
+    (fun (frac, label) ->
+      let rho = frac *. Bounds.k_cycle_rate ~n ~k in
+      List.iter
+        (fun delta_scale ->
+          let o =
+            point
+              ~id:(Printf.sprintf "delta/%s/x%g" label delta_scale)
+              ~algorithm:(Mac_routing.K_cycle.algorithm_scaled ~delta_scale ~n ~k)
+              ~n ~k ~rho ~beta:2.0
+              ~pattern:(Pattern.flood ~n ~victim:5)
+              ~rounds ~drain:(rounds / 2)
+          in
+          outcomes := o :: !outcomes;
+          rows :=
+            ([ Printf.sprintf "%g x delta" delta_scale; label; fmt rho ]
+             @ outcome_cells o)
+            :: !rows)
+        [ 0.125; 0.25; 1.0; 4.0 ])
+    [ (0.5, "half-rate"); (0.9, "near-threshold") ];
+  (List.rev !rows, List.rev !outcomes)
+
+let delta =
+  { id = "A1.delta";
+    title = "k-Cycle activity segment: scaling the paper's delta (flood, n=12, k=4)";
+    run =
+      (fun ~scale ->
+        let rows, outcomes = delta_rows ~scale in
+        let report =
+          Mac_sim.Report.create
+            ~header:
+              [ "delta"; "load"; "rho"; "verdict"; "max-q"; "worst-delay";
+                "mean-delay" ]
+        in
+        List.iter (Mac_sim.Report.add_row report) rows;
+        (report, outcomes)) }
+
+(* ------------------------------------------------------------------ *)
+(* A2: Orchestra's big threshold at injection rate 1. *)
+
+let big_threshold_rows ~scale =
+  let n = 8 in
+  let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
+  let outcomes = ref [] and rows = ref [] in
+  let variants =
+    [ ("eager (n)", Mac_routing.Orchestra.with_big_threshold ~name:"orchestra-eager"
+                      (fun ~n -> n));
+      ("paper (n^2-1)", (module Mac_routing.Orchestra : Mac_channel.Algorithm.S));
+      ("never big", Mac_routing.Orchestra.with_big_threshold ~name:"orchestra-neverbig"
+                      (fun ~n:_ -> max_int)) ]
+  in
+  List.iter
+    (fun (label, algorithm) ->
+      List.iter
+        (fun (pname, pattern) ->
+          let o =
+            point ~id:(Printf.sprintf "bigthr/%s/%s" label pname) ~algorithm ~n
+              ~k:3 ~rho:1.0 ~beta:4.0 ~pattern ~rounds ~drain:0
+          in
+          outcomes := o :: !outcomes;
+          rows := ([ label; pname ] @ outcome_cells o) :: !rows)
+        [ ("flood", Pattern.flood ~n ~victim:3);
+          ("uniform", Pattern.uniform ~n ~seed:71) ])
+    variants;
+  (List.rev !rows, List.rev !outcomes)
+
+let big_threshold =
+  { id = "A2.big-threshold";
+    title = "Orchestra big-conductor threshold at rate 1 (n=8)";
+    run =
+      (fun ~scale ->
+        let rows, outcomes = big_threshold_rows ~scale in
+        let report =
+          Mac_sim.Report.create
+            ~header:
+              [ "threshold"; "pattern"; "verdict"; "max-q"; "worst-delay";
+                "mean-delay" ]
+        in
+        List.iter (Mac_sim.Report.add_row report) rows;
+        (report, outcomes)) }
+
+(* ------------------------------------------------------------------ *)
+(* A3: k-Subsets thread allocation at the optimal rate. *)
+
+let allocation_rows ~scale =
+  let n = scaled ~scale ~quick:6 ~full:8 in
+  let k = 3 in
+  let rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
+  let rho = Bounds.k_subsets_rate ~n ~k in
+  let outcomes = ref [] and rows = ref [] in
+  List.iter
+    (fun (label, allocation) ->
+      let o =
+        point ~id:(Printf.sprintf "alloc/%s" label)
+          ~algorithm:(Mac_routing.K_subsets.algorithm ~allocation ~n ~k ())
+          ~n ~k ~rho ~beta:4.0
+          ~pattern:(Pattern.pair_flood ~src:1 ~dst:2)
+          ~rounds ~drain:0
+      in
+      outcomes := o :: !outcomes;
+      rows := ([ label; fmt rho ] @ outcome_cells o) :: !rows)
+    [ ("balanced (paper)", `Balanced); ("first-fit", `First_fit) ];
+  (List.rev !rows, List.rev !outcomes)
+
+let allocation =
+  { id = "A3.allocation";
+    title =
+      "k-Subsets thread allocation at the optimal rate (pair flood, k=3)";
+    run =
+      (fun ~scale ->
+        let rows, outcomes = allocation_rows ~scale in
+        let report =
+          Mac_sim.Report.create
+            ~header:
+              [ "allocation"; "rho"; "verdict"; "max-q"; "worst-delay";
+                "mean-delay" ]
+        in
+        List.iter (Mac_sim.Report.add_row report) rows;
+        (report, outcomes)) }
+
+let all = [ delta; big_threshold; allocation ]

@@ -1,0 +1,25 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Each ablation swaps one mechanism of an algorithm for a naive variant
+    and reruns the row's worst adversary, showing the mechanism is
+    load-bearing (or quantifying how much slack the paper's constant has):
+
+    - A1: k-Cycle's activity-segment length δ = ⌈4(n−1)k/(n−k)⌉, scaled
+      from 1/8× to 4×.
+    - A2: Orchestra's big-conductor threshold n²−1, against "never big"
+      (move-big-to-front disabled — Theorem 1's mechanism removed) and an
+      eager threshold of n.
+    - A3: k-Subsets' balanced thread allocation against first-fit, at the
+      optimal rate the balance is supposed to buy. *)
+
+type t = {
+  id : string;
+  title : string;
+  run : scale:[ `Quick | `Full ] -> Mac_sim.Report.t * Scenario.outcome list;
+}
+
+val delta : t
+val big_threshold : t
+val allocation : t
+
+val all : t list

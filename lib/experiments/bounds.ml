@@ -1,0 +1,57 @@
+let cube n = float_of_int (n * n * n)
+
+let orchestra_queue_bound ~n ~beta = (2.0 *. cube n) +. beta
+
+let orchestra_big_threshold ~n = (n * n) - 1
+
+let count_hop_latency ~n ~rho ~beta =
+  2.0 *. (float_of_int (n * n) +. beta) /. (1.0 -. rho)
+
+let count_hop_latency_impl ~n ~rho ~beta =
+  2.0 *. (float_of_int (n * ((2 * n) - 3)) +. beta) /. (1.0 -. rho)
+
+let adjust_window_latency ~n ~rho ~beta =
+  let lgn = float_of_int (Mac_routing.Combi.lg n) in
+  ((18.0 *. cube n *. lgn *. lgn) +. (2.0 *. beta)) /. (1.0 -. rho)
+
+let adjust_window_latency_impl ~n ~rho ~beta =
+  (* A window of size l absorbs the adversary when its Main stage covers the
+     injections: l_m >= rho * l + beta. *)
+  let rec grow l =
+    let _, l_m, _ = Mac_routing.Adjust_window.window_layout ~n ~l in
+    if float_of_int l_m >= (rho *. float_of_int l) +. beta then l
+    else grow (2 * l)
+  in
+  2.0 *. float_of_int (grow (Mac_routing.Adjust_window.initial_window ~n))
+
+let k_cycle_rate ~n ~k =
+  let k = Mac_routing.Cycle_groups.effective_k ~n ~k in
+  float_of_int (k - 1) /. float_of_int (n - 1)
+
+let k_cycle_rate_impl ~n ~k =
+  let cg = Mac_routing.Cycle_groups.make ~n ~k () in
+  1.0 /. float_of_int (Mac_routing.Cycle_groups.group_count cg)
+
+let k_cycle_latency ~n ~beta = (32.0 +. beta) *. float_of_int n
+
+let oblivious_rate_upper ~n ~k = float_of_int k /. float_of_int n
+
+let k_clique_latency_rate ~n ~k =
+  let k = Mac_routing.Clique_pairs.effective_k ~n ~k in
+  float_of_int (k * k) /. float_of_int (2 * n * ((2 * n) - k))
+
+let k_clique_stable_rate ~n ~k =
+  let k = Mac_routing.Clique_pairs.effective_k ~n ~k in
+  float_of_int (k * k) /. float_of_int (n * ((2 * n) - k))
+
+let k_clique_latency ~n ~k ~beta =
+  let k = Mac_routing.Clique_pairs.effective_k ~n ~k in
+  8.0 *. float_of_int (n * n) /. float_of_int k
+  *. (1.0 +. (beta /. float_of_int (2 * k)))
+
+let k_subsets_rate ~n ~k =
+  float_of_int (k * (k - 1)) /. float_of_int (n * (n - 1))
+
+let k_subsets_queue_bound ~n ~k ~beta =
+  2.0 *. float_of_int (Mac_routing.Combi.binomial n k)
+  *. (float_of_int (n * n) +. beta)

@@ -1,0 +1,376 @@
+open Mac_adversary
+
+type t = {
+  id : string;
+  title : string;
+  run : scale:[ `Quick | `Full ] -> Mac_sim.Report.t * Scenario.outcome list;
+}
+
+let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
+
+let fmt = Mac_sim.Report.fmt_float
+
+let run_point ~id ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain =
+  Scenario.run
+    (Scenario.spec ~id ~algorithm ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds
+       ~drain ())
+
+(* ------------------------------------------------------------------ *)
+(* F1: stability frontier. *)
+
+let frontier_rows ~scale =
+  let rounds = scaled ~scale ~quick:60_000 ~full:150_000 in
+  let aw_rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
+  let outcomes = ref [] in
+  let point ~row_algo ~algorithm ~n ~k ~threshold ~rho ~pattern ~rounds =
+    let o =
+      run_point ~id:(Printf.sprintf "frontier/%s@%.4f" row_algo rho) ~algorithm
+        ~n ~k ~rho ~beta:2.0 ~pattern ~rounds ~drain:0
+    in
+    outcomes := o :: !outcomes;
+    let s = o.Scenario.summary and st = o.Scenario.stability in
+    [ row_algo; string_of_int n; string_of_int k;
+      fmt threshold; fmt rho; fmt (rho /. threshold);
+      Mac_sim.Stability.verdict_to_string st.Mac_sim.Stability.verdict;
+      fmt st.Mac_sim.Stability.slope;
+      string_of_int s.Mac_sim.Metrics.max_total_queue ]
+  in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  (* Orchestra: stable all the way to rate 1. *)
+  let n = 8 in
+  add (point ~row_algo:"orchestra" ~algorithm:(module Mac_routing.Orchestra)
+         ~n ~k:3 ~threshold:1.0 ~rho:0.9 ~pattern:(Pattern.flood ~n ~victim:2) ~rounds);
+  add (point ~row_algo:"orchestra" ~algorithm:(module Mac_routing.Orchestra)
+         ~n ~k:3 ~threshold:1.0 ~rho:1.0 ~pattern:(Pattern.flood ~n ~victim:2) ~rounds);
+  (* Count-Hop: universal below 1, breaks at 1. *)
+  List.iter
+    (fun rho ->
+      add (point ~row_algo:"count-hop" ~algorithm:(module Mac_routing.Count_hop)
+             ~n ~k:2 ~threshold:1.0 ~rho ~pattern:(Pattern.flood ~n ~victim:2) ~rounds))
+    [ 0.8; 0.95; 1.0 ];
+  (* Adjust-Window: same frontier with plain packets. *)
+  List.iter
+    (fun rho ->
+      add (point ~row_algo:"adjust-window" ~algorithm:(module Mac_routing.Adjust_window)
+             ~n:4 ~k:2 ~threshold:1.0 ~rho ~pattern:(Pattern.flood ~n:4 ~victim:2)
+             ~rounds:aw_rounds))
+    [ 0.5; 1.0 ];
+  (* k-Cycle: guaranteed below (k-1)/(n-1); impossible above k/n; the strip
+     between the two is the open territory the paper leaves. *)
+  let n = 12 and k = 4 in
+  let algorithm = Mac_routing.K_cycle.algorithm ~n ~k in
+  let thr = Bounds.k_cycle_rate ~n ~k in
+  List.iter
+    (fun frac ->
+      add (point ~row_algo:"k-cycle" ~algorithm ~n ~k ~threshold:thr
+             ~rho:(frac *. thr) ~pattern:(Pattern.flood ~n ~victim:5) ~rounds))
+    [ 0.6; 0.95; 1.05 ];
+  let schedule = Option.get (Scenario.schedule_of algorithm ~n ~k) in
+  let duty = Saboteur.min_duty ~n ~horizon:30_000 ~schedule in
+  add (point ~row_algo:"k-cycle" ~algorithm ~n ~k ~threshold:thr
+         ~rho:(1.2 *. Bounds.oblivious_rate_upper ~n ~k)
+         ~pattern:duty.Saboteur.pattern ~rounds);
+  (* k-Clique: bounded below 1/m, drowned by a pair flood above. *)
+  let algorithm = Mac_routing.K_clique.algorithm ~n ~k in
+  let thr = Bounds.k_clique_stable_rate ~n ~k in
+  List.iter
+    (fun frac ->
+      add (point ~row_algo:"k-clique" ~algorithm ~n ~k ~threshold:thr
+             ~rho:(frac *. thr) ~pattern:(Pattern.pair_flood ~src:1 ~dst:2) ~rounds))
+    [ 0.6; 0.9; 1.25 ];
+  (* k-Subsets: the optimal oblivious-direct frontier. *)
+  let n = 8 and k = 3 in
+  let algorithm = Mac_routing.K_subsets.algorithm ~n ~k () in
+  let thr = Bounds.k_subsets_rate ~n ~k in
+  List.iter
+    (fun frac ->
+      add (point ~row_algo:"k-subsets" ~algorithm ~n ~k ~threshold:thr
+             ~rho:(frac *. thr) ~pattern:(Pattern.pair_flood ~src:1 ~dst:2) ~rounds))
+    [ 0.9; 1.0 ];
+  let schedule = Option.get (Scenario.schedule_of algorithm ~n ~k) in
+  let pair = Saboteur.min_pair ~n ~horizon:(20 * Mac_routing.Combi.binomial n k) ~schedule in
+  add (point ~row_algo:"k-subsets" ~algorithm ~n ~k ~threshold:thr
+         ~rho:(1.25 *. thr) ~pattern:pair.Saboteur.pattern ~rounds);
+  (* Pair-TDMA baseline: a one-directional flood sees only the pair's own
+     slot, 1/(n(n-1)) of rounds — half the optimal k = 2 rate that
+     k-Subsets extracts by letting both directions share threads. *)
+  let thr = 1.0 /. float_of_int (n * (n - 1)) in
+  List.iter
+    (fun frac ->
+      add (point ~row_algo:"pair-tdma" ~algorithm:(module Mac_routing.Pair_tdma)
+             ~n ~k:2 ~threshold:thr ~rho:(frac *. thr)
+             ~pattern:(Pattern.pair_flood ~src:1 ~dst:2) ~rounds))
+    [ 0.9; 1.3 ];
+  (List.rev !rows, List.rev !outcomes)
+
+let frontier =
+  { id = "F1.frontier";
+    title = "Stability frontier: verdict around each algorithm's threshold";
+    run =
+      (fun ~scale ->
+        let rows, outcomes = frontier_rows ~scale in
+        let report =
+          Mac_sim.Report.create
+            ~header:
+              [ "algorithm"; "n"; "k"; "threshold"; "rho"; "rho/thr";
+                "verdict"; "slope"; "max-queue" ]
+        in
+        List.iter (Mac_sim.Report.add_row report) rows;
+        (report, outcomes)) }
+
+(* ------------------------------------------------------------------ *)
+(* F2: latency scaling with n. *)
+
+let scaling_rows ~scale =
+  let outcomes = ref [] in
+  let rows = ref [] in
+  let point ~row_algo ~algorithm ~n ~k ~rho ~bound ~pattern ~rounds =
+    let o =
+      run_point ~id:(Printf.sprintf "scaling/%s/n=%d" row_algo n) ~algorithm ~n
+        ~k ~rho ~beta:2.0 ~pattern ~rounds ~drain:(rounds / 2)
+    in
+    outcomes := o :: !outcomes;
+    let measured = Scenario.worst_delay o.Scenario.summary in
+    rows :=
+      [ row_algo; string_of_int n; string_of_int k; fmt rho;
+        fmt measured; fmt bound; Mac_sim.Report.fmt_ratio ~measured ~bound ]
+      :: !rows
+  in
+  let ns = scaled ~scale ~quick:[ 4; 6 ] ~full:[ 4; 6; 8; 10; 12 ] in
+  List.iter
+    (fun n ->
+      point ~row_algo:"count-hop" ~algorithm:(module Mac_routing.Count_hop) ~n
+        ~k:2 ~rho:0.5 ~bound:(Bounds.count_hop_latency_impl ~n ~rho:0.5 ~beta:2.0)
+        ~pattern:(Pattern.uniform ~n ~seed:(200 + n))
+        ~rounds:(scaled ~scale ~quick:40_000 ~full:120_000))
+    ns;
+  let ns = scaled ~scale ~quick:[ 7 ] ~full:[ 7; 9; 11; 13 ] in
+  List.iter
+    (fun n ->
+      let rho = 0.5 *. Bounds.k_cycle_rate ~n ~k:4 in
+      point ~row_algo:"k-cycle" ~algorithm:(Mac_routing.K_cycle.algorithm ~n ~k:4)
+        ~n ~k:4 ~rho ~bound:(Bounds.k_cycle_latency ~n ~beta:2.0)
+        ~pattern:(Pattern.uniform ~n ~seed:(300 + n))
+        ~rounds:(scaled ~scale ~quick:40_000 ~full:120_000))
+    ns;
+  let ns = scaled ~scale ~quick:[ 6 ] ~full:[ 6; 8; 12 ] in
+  List.iter
+    (fun n ->
+      let rho = Bounds.k_clique_latency_rate ~n ~k:4 in
+      point ~row_algo:"k-clique" ~algorithm:(Mac_routing.K_clique.algorithm ~n ~k:4)
+        ~n ~k:4 ~rho ~bound:(Bounds.k_clique_latency ~n ~k:4 ~beta:2.0)
+        ~pattern:(Pattern.uniform ~n ~seed:(400 + n))
+        ~rounds:(scaled ~scale ~quick:60_000 ~full:150_000))
+    ns;
+  (match scale with
+   | `Quick -> ()
+   | `Full ->
+     List.iter
+       (fun n ->
+         point ~row_algo:"adjust-window" ~algorithm:(module Mac_routing.Adjust_window)
+           ~n ~k:2 ~rho:0.3
+           ~bound:(Bounds.adjust_window_latency_impl ~n ~rho:0.3 ~beta:2.0)
+           ~pattern:(Pattern.uniform ~n ~seed:(500 + n))
+           ~rounds:(10 * Mac_routing.Adjust_window.initial_window ~n))
+       [ 3; 4; 5 ]);
+  (List.rev !rows, List.rev !outcomes)
+
+let scaling =
+  { id = "F2.scaling";
+    title = "Latency scaling with n (measured worst delay vs instantiated bound)";
+    run =
+      (fun ~scale ->
+        let rows, outcomes = scaling_rows ~scale in
+        let report =
+          Mac_sim.Report.create
+            ~header:[ "algorithm"; "n"; "k"; "rho"; "worst-delay"; "bound"; "ratio" ]
+        in
+        List.iter (Mac_sim.Report.add_row report) rows;
+        (report, outcomes)) }
+
+(* ------------------------------------------------------------------ *)
+(* F3: the latency-energy tradeoff across caps. *)
+
+let energy_rows ~scale =
+  let n = 12 in
+  let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
+  let outcomes = ref [] in
+  let rows = ref [] in
+  let point ~row_algo ~algorithm ~k ~threshold =
+    let rho = 0.5 *. threshold in
+    let o =
+      run_point ~id:(Printf.sprintf "energy/%s/k=%d" row_algo k) ~algorithm ~n
+        ~k ~rho ~beta:2.0 ~pattern:(Pattern.uniform ~n ~seed:(600 + k)) ~rounds
+        ~drain:(rounds / 2)
+    in
+    outcomes := o :: !outcomes;
+    let s = o.Scenario.summary in
+    rows :=
+      [ row_algo; string_of_int k; fmt threshold; fmt rho;
+        fmt s.Mac_sim.Metrics.mean_on;
+        fmt (Mac_sim.Metrics.energy_per_delivery s);
+        fmt s.Mac_sim.Metrics.mean_delay;
+        string_of_int s.Mac_sim.Metrics.max_delay ]
+      :: !rows
+  in
+  (* Non-oblivious references at the same relative load: Orchestra needs
+     only cap 3 for the throughput the always-on MBTF (cap n) achieves. *)
+  point ~row_algo:"mbtf (always on)" ~algorithm:(module Mac_broadcast.Mbtf)
+    ~k:n ~threshold:1.0;
+  point ~row_algo:"orchestra" ~algorithm:(module Mac_routing.Orchestra) ~k:3
+    ~threshold:1.0;
+  point ~row_algo:"pair-tdma" ~algorithm:(module Mac_routing.Pair_tdma) ~k:2
+    ~threshold:(Bounds.k_subsets_rate ~n ~k:2);
+  let ks = scaled ~scale ~quick:[ 4 ] ~full:[ 3; 4; 6; 8 ] in
+  List.iter
+    (fun k ->
+      point ~row_algo:"k-cycle" ~algorithm:(Mac_routing.K_cycle.algorithm ~n ~k) ~k
+        ~threshold:(Bounds.k_cycle_rate ~n ~k))
+    ks;
+  let ks = scaled ~scale ~quick:[ 4 ] ~full:[ 2; 4; 6; 8 ] in
+  List.iter
+    (fun k ->
+      point ~row_algo:"k-clique" ~algorithm:(Mac_routing.K_clique.algorithm ~n ~k)
+        ~k ~threshold:(Bounds.k_clique_stable_rate ~n ~k))
+    ks;
+  (List.rev !rows, List.rev !outcomes)
+
+let energy =
+  { id = "F3.energy";
+    title = "Latency-energy tradeoff at half the threshold rate (n=12)";
+    run =
+      (fun ~scale ->
+        let rows, outcomes = energy_rows ~scale in
+        let report =
+          Mac_sim.Report.create
+            ~header:
+              [ "algorithm"; "k"; "threshold"; "rho"; "mean-on";
+                "energy/delivery"; "mean-delay"; "max-delay" ]
+        in
+        List.iter (Mac_sim.Report.add_row report) rows;
+        (report, outcomes)) }
+
+(* ------------------------------------------------------------------ *)
+(* F4: burstiness sensitivity. *)
+
+let burst_rows ~scale =
+  let outcomes = ref [] in
+  let rows = ref [] in
+  let point ~row_algo ~algorithm ~n ~k ~rho ~beta ~bound ~pattern ~rounds ~drain
+      ~metric =
+    let o =
+      run_point ~id:(Printf.sprintf "burst/%s/b=%g" row_algo beta) ~algorithm ~n
+        ~k ~rho ~beta ~pattern ~rounds ~drain
+    in
+    outcomes := o :: !outcomes;
+    let measured = metric o.Scenario.summary in
+    rows :=
+      [ row_algo; string_of_int n; fmt rho; fmt beta; fmt measured; fmt bound;
+        Mac_sim.Report.fmt_ratio ~measured ~bound ]
+      :: !rows
+  in
+  let betas = scaled ~scale ~quick:[ 1.0; 32.0 ] ~full:[ 1.0; 8.0; 32.0; 128.0 ] in
+  let n = 8 in
+  List.iter
+    (fun beta ->
+      point ~row_algo:"count-hop" ~algorithm:(module Mac_routing.Count_hop) ~n
+        ~k:2 ~rho:0.8 ~beta
+        ~bound:(Bounds.count_hop_latency_impl ~n ~rho:0.8 ~beta)
+        ~pattern:(Pattern.flood ~n ~victim:2)
+        ~rounds:(scaled ~scale ~quick:50_000 ~full:120_000)
+        ~drain:60_000 ~metric:Scenario.worst_delay)
+    betas;
+  let n = 12 and k = 4 in
+  let rho = 0.5 *. Bounds.k_cycle_rate ~n ~k in
+  List.iter
+    (fun beta ->
+      point ~row_algo:"k-cycle" ~algorithm:(Mac_routing.K_cycle.algorithm ~n ~k)
+        ~n ~k ~rho ~beta ~bound:(Bounds.k_cycle_latency ~n ~beta)
+        ~pattern:(Pattern.flood ~n ~victim:5)
+        ~rounds:(scaled ~scale ~quick:50_000 ~full:120_000)
+        ~drain:60_000 ~metric:Scenario.worst_delay)
+    betas;
+  let n = 8 in
+  List.iter
+    (fun beta ->
+      point ~row_algo:"orchestra(queues)" ~algorithm:(module Mac_routing.Orchestra)
+        ~n ~k:3 ~rho:1.0 ~beta ~bound:(Bounds.orchestra_queue_bound ~n ~beta)
+        ~pattern:(Pattern.flood ~n ~victim:2)
+        ~rounds:(scaled ~scale ~quick:50_000 ~full:120_000)
+        ~drain:0
+        ~metric:(fun s -> float_of_int s.Mac_sim.Metrics.max_total_queue))
+    betas;
+  (List.rev !rows, List.rev !outcomes)
+
+let burst =
+  { id = "F4.burst";
+    title = "Burstiness sensitivity (worst delay, or backlog for Orchestra)";
+    run =
+      (fun ~scale ->
+        let rows, outcomes = burst_rows ~scale in
+        let report =
+          Mac_sim.Report.create
+            ~header:[ "algorithm"; "n"; "rho"; "beta"; "measured"; "bound"; "ratio" ]
+        in
+        List.iter (Mac_sim.Report.add_row report) rows;
+        (report, outcomes)) }
+
+(* ------------------------------------------------------------------ *)
+(* F5: what the paper's schedules buy — empirical frontiers of every
+   oblivious discipline against the same dedicated pair flood, located by
+   bisection, next to the random-schedule strawman. *)
+
+let baselines_rows ~scale =
+  let n = 8 and k = 3 in
+  let rounds = scaled ~scale ~quick:30_000 ~full:60_000 in
+  let steps = scaled ~scale ~quick:4 ~full:7 in
+  let subjects =
+    [ ("pair-tdma", (module Mac_routing.Pair_tdma : Mac_channel.Algorithm.S),
+       1.0 /. float_of_int (n * (n - 1)), 1.0 /. float_of_int (n * (n - 1)));
+      ("random-leader", Mac_routing.Random_leader.algorithm ~n ~k (),
+       Float.nan, Bounds.k_subsets_rate ~n ~k);
+      ("k-clique", Mac_routing.K_clique.algorithm ~n ~k,
+       Bounds.k_clique_stable_rate ~n ~k, Bounds.k_subsets_rate ~n ~k);
+      ("k-subsets", Mac_routing.K_subsets.algorithm ~n ~k (),
+       Bounds.k_subsets_rate ~n ~k, Bounds.k_subsets_rate ~n ~k);
+      ("k-cycle (indirect)", Mac_routing.K_cycle.algorithm ~n ~k,
+       Bounds.k_cycle_rate ~n ~k, Bounds.oblivious_rate_upper ~n ~k) ]
+  in
+  let rows =
+    List.map
+      (fun (label, algorithm, theory_lo, theory_hi) ->
+        let probe =
+          Sweep.stability_probe ~algorithm ~n ~k
+            ~pattern:(fun () -> Pattern.pair_flood ~src:1 ~dst:2)
+            ~rounds ()
+        in
+        let hi0 =
+          if Float.is_nan theory_hi then 0.5 else Float.min 1.0 (2.0 *. theory_hi)
+        in
+        let lo, hi = Sweep.bisect ~steps ~lo:0.004 ~hi:hi0 probe in
+        [ label;
+          (if Float.is_nan theory_lo then "?" else fmt theory_lo);
+          (if Float.is_nan theory_hi then "?" else fmt theory_hi);
+          fmt lo; fmt hi ])
+      subjects
+  in
+  (rows, [])
+
+let baselines =
+  { id = "F5.baselines";
+    title =
+      "Empirical stability frontiers under a dedicated pair flood (n=8, k=3, bisection)";
+    run =
+      (fun ~scale ->
+        let rows, outcomes = baselines_rows ~scale in
+        let report =
+          Mac_sim.Report.create
+            ~header:
+              [ "discipline"; "theory stable <="; "theory unstable >";
+                "empirical stable"; "empirical unstable" ]
+        in
+        List.iter (Mac_sim.Report.add_row report) rows;
+        (report, outcomes)) }
+
+let all = [ frontier; scaling; energy; burst; baselines ]

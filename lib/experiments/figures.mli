@@ -1,0 +1,37 @@
+(** Sweep experiments ("figures" the theory implies).
+
+    The paper has no plots; these sweeps chart the claims of Table 1 the way
+    an evaluation section would: where each algorithm's stability frontier
+    falls (F1), how latency scales with n (F2), the latency–energy tradeoff
+    across caps the conclusion (§7) raises as an open question (F3), and the
+    linear burstiness sensitivity (F4).
+
+    Each figure yields a rendered table plus the raw outcomes (the test
+    suite asserts selected points). *)
+
+type t = {
+  id : string;
+  title : string;
+  run : scale:[ `Quick | `Full ] -> Mac_sim.Report.t * Scenario.outcome list;
+}
+
+val frontier : t
+(** F1: verdict and queue-growth slope around each algorithm's threshold;
+    below it adversaries are floods, above it the matching saboteur. *)
+
+val scaling : t
+(** F2: worst-case packet delay against the instantiated bound as n grows. *)
+
+val energy : t
+(** F3: delivered throughput, energy per delivery and latency as the energy
+    cap k varies (k-Cycle, k-Clique, pair-TDMA at half their threshold). *)
+
+val burst : t
+(** F4: latency (or backlog for Orchestra) as burstiness grows. *)
+
+val baselines : t
+(** F5: empirical stability frontiers (located by {!Sweep.bisect}) of all
+    oblivious disciplines — including the random-schedule strawman — under
+    the same dedicated pair flood. *)
+
+val all : t list

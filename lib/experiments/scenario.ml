@@ -1,0 +1,97 @@
+type spec = {
+  id : string;
+  algorithm : Mac_channel.Algorithm.t;
+  n : int;
+  k : int;
+  rate : float;
+  burst : float;
+  pattern : Mac_adversary.Pattern.t;
+  pacing : Mac_adversary.Adversary.pacing;
+  rounds : int;
+  drain : int;
+}
+
+let spec ~id ~algorithm ~n ~k ~rate ~burst ~pattern
+    ?(pacing = Mac_adversary.Adversary.Greedy) ~rounds ?drain () =
+  let drain = match drain with Some d -> d | None -> rounds / 2 in
+  { id; algorithm; n; k; rate; burst; pattern; pacing; rounds; drain }
+
+type check = {
+  label : string;
+  bound : float;
+  measured : float;
+  ok : bool;
+}
+
+type outcome = {
+  spec : spec;
+  summary : Mac_sim.Metrics.summary;
+  stability : Mac_sim.Stability.report;
+  checks : check list;
+  passed : bool;
+}
+
+type checker = Mac_sim.Metrics.summary -> Mac_sim.Stability.report -> check
+
+let worst_delay (s : Mac_sim.Metrics.summary) =
+  float_of_int (max s.max_delay s.max_queued_age)
+
+let latency_under bound : checker =
+ fun s _ ->
+  let measured = worst_delay s in
+  { label = "latency"; bound; measured; ok = measured <= bound }
+
+let queues_under bound : checker =
+ fun s _ ->
+  let measured = float_of_int s.max_total_queue in
+  { label = "queues"; bound; measured; ok = measured <= bound }
+
+let cap_at_most cap : checker =
+ fun s _ ->
+  { label = "energy-cap"; bound = float_of_int cap;
+    measured = float_of_int s.max_on; ok = s.max_on <= cap }
+
+let clean : checker =
+ fun s _ ->
+  let bad =
+    (if Mac_sim.Metrics.no_violations s then 0 else 1) + s.collision_rounds
+  in
+  { label = "clean"; bound = 0.0; measured = float_of_int bad; ok = bad = 0 }
+
+let stable : checker =
+ fun _ r ->
+  { label = "stable"; bound = Float.infinity; measured = r.Mac_sim.Stability.slope;
+    ok = r.Mac_sim.Stability.verdict = Mac_sim.Stability.Stable }
+
+let unstable : checker =
+ fun _ r ->
+  { label = "unstable"; bound = Float.infinity; measured = r.Mac_sim.Stability.slope;
+    ok = r.Mac_sim.Stability.verdict = Mac_sim.Stability.Unstable }
+
+let delivered_all : checker =
+ fun s _ ->
+  { label = "delivered-all"; bound = float_of_int s.injected;
+    measured = float_of_int s.delivered; ok = s.undelivered = 0 }
+
+let schedule_of (module A : Mac_channel.Algorithm.S) ~n ~k =
+  Option.map (fun f ~me ~round -> f ~n ~k ~me ~round) A.static_schedule
+
+let run ?(checks = []) spec =
+  let module A = (val spec.algorithm) in
+  let adversary =
+    Mac_adversary.Adversary.create ~rate:spec.rate ~burst:spec.burst
+      ~pacing:spec.pacing spec.pattern
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds:spec.rounds) with
+      drain_limit = spec.drain;
+      check_schedule = A.oblivious }
+  in
+  let summary =
+    Mac_sim.Engine.run ~config ~algorithm:spec.algorithm ~n:spec.n ~k:spec.k
+      ~adversary ~rounds:spec.rounds ()
+  in
+  let stability = Mac_sim.Stability.classify summary.queue_series in
+  let checks = List.map (fun c -> c summary stability) checks in
+  { spec; summary; stability; checks;
+    passed = List.for_all (fun c -> c.ok) checks }

@@ -1,0 +1,78 @@
+(** One simulated scenario: an algorithm against an adversary, with the
+    claims it is expected to witness.
+
+    A scenario bundles the run parameters with a list of checks evaluated on
+    the finished run (latency under a Table-1 bound, queue bound, energy cap,
+    stability verdict, protocol cleanliness). The benchmark harness renders
+    the outcomes as table rows; the test suite asserts [passed]. *)
+
+type spec = {
+  id : string;
+  algorithm : Mac_channel.Algorithm.t;
+  n : int;
+  k : int;
+  rate : float;
+  burst : float;
+  pattern : Mac_adversary.Pattern.t;
+  pacing : Mac_adversary.Adversary.pacing;
+  rounds : int;
+  drain : int;
+}
+
+val spec :
+  id:string ->
+  algorithm:Mac_channel.Algorithm.t ->
+  n:int -> k:int -> rate:float -> burst:float ->
+  pattern:Mac_adversary.Pattern.t ->
+  ?pacing:Mac_adversary.Adversary.pacing ->
+  rounds:int -> ?drain:int -> unit -> spec
+(** Defaults: greedy pacing, drain = rounds/2. *)
+
+type check = {
+  label : string;
+  bound : float;     (** [infinity] when the check has no numeric bound *)
+  measured : float;
+  ok : bool;
+}
+
+type outcome = {
+  spec : spec;
+  summary : Mac_sim.Metrics.summary;
+  stability : Mac_sim.Stability.report;
+  checks : check list;
+  passed : bool;
+}
+
+(** Check builders, evaluated against the run's summary and verdict. *)
+type checker = Mac_sim.Metrics.summary -> Mac_sim.Stability.report -> check
+
+val latency_under : float -> checker
+(** Worst packet delay — counting packets still queued at the end by their
+    age — is at most the bound. *)
+
+val queues_under : float -> checker
+
+val cap_at_most : int -> checker
+
+val clean : checker
+(** No protocol violations, no collisions, and nothing left undelivered
+    after the drain. *)
+
+val stable : checker
+
+val unstable : checker
+
+val delivered_all : checker
+
+val run : ?checks:checker list -> spec -> outcome
+(** Simulates the scenario (schedule cross-checking enabled for oblivious
+    algorithms) and evaluates the checks. *)
+
+val schedule_of :
+  Mac_channel.Algorithm.t -> n:int -> k:int ->
+  (me:int -> round:int -> bool) option
+(** The static schedule of an oblivious algorithm, pre-applied to (n, k) —
+    what a saboteur inspects. *)
+
+val worst_delay : Mac_sim.Metrics.summary -> float
+(** max of delivered max-delay and the age of the oldest packet left. *)

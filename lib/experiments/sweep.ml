@@ -1,0 +1,21 @@
+let stability_probe ~algorithm ~n ~k ~pattern ?(burst = 4.0) ~rounds () ~rho =
+  let adversary =
+    Mac_adversary.Adversary.create ~rate:rho ~burst (pattern ())
+  in
+  let summary =
+    Mac_sim.Engine.run ~algorithm ~n ~k ~adversary ~rounds ()
+  in
+  (Mac_sim.Stability.classify summary.queue_series).verdict
+  = Mac_sim.Stability.Stable
+
+let bisect ?(steps = 8) ~lo ~hi probe =
+  if not (probe ~rho:lo) then
+    invalid_arg "Sweep.bisect: not stable at the lower rate";
+  if probe ~rho:hi then
+    invalid_arg "Sweep.bisect: not unstable at the upper rate";
+  let lo = ref lo and hi = ref hi in
+  for _ = 1 to steps do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if probe ~rho:mid then lo := mid else hi := mid
+  done;
+  (!lo, !hi)

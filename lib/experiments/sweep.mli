@@ -1,0 +1,32 @@
+(** Empirical stability-frontier location by bisection.
+
+    Table 1 predicts a sharp rate threshold for every algorithm; [bisect]
+    pins the empirical frontier between a known-stable and a known-unstable
+    rate by repeated simulation. Used by the threshold-explorer example and
+    the frontier tests. *)
+
+val stability_probe :
+  algorithm:Mac_channel.Algorithm.t ->
+  n:int ->
+  k:int ->
+  pattern:(unit -> Mac_adversary.Pattern.t) ->
+  ?burst:float ->
+  rounds:int ->
+  unit ->
+  rho:float ->
+  bool
+(** [stability_probe ... () ~rho] simulates [rounds] injection rounds of the
+    algorithm against a fresh copy of the pattern at rate [rho] and reports
+    whether the backlog stayed bounded. Deterministic. *)
+
+val bisect :
+  ?steps:int ->
+  lo:float ->
+  hi:float ->
+  (rho:float -> bool) ->
+  float * float
+(** [bisect ~lo ~hi probe] narrows the frontier bracket: requires
+    [probe ~rho:lo = true] and [probe ~rho:hi = false] (checked — raises
+    [Invalid_argument] otherwise) and returns [(lo', hi')] with
+    [hi' - lo' = (hi - lo) / 2^steps] (default 8 steps) such that the
+    probe is stable at [lo'] and unstable at [hi']. *)

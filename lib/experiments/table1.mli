@@ -1,0 +1,19 @@
+(** The paper's Table 1, experiment by experiment.
+
+    Each entry reproduces one row (an algorithm's performance claims, or an
+    impossibility) as a set of simulated scenarios whose checks encode the
+    claim: measured latency/queues under the instantiated bound, the energy
+    cap respected exactly, stability or forced instability as stated, and a
+    protocol-clean run. [`Quick] scale is used by the test suite, [`Full] by
+    the benchmark harness. *)
+
+type t = {
+  id : string;     (** e.g. "T1.orchestra" *)
+  claim : string;  (** the paper's claim, humanly readable *)
+  run : scale:[ `Quick | `Full ] -> Scenario.outcome list;
+}
+
+val all : t list
+
+val find : string -> t
+(** Lookup by [id]; raises [Not_found]. *)

@@ -1,0 +1,248 @@
+open Mac_channel
+
+exception Protocol_violation of string
+
+type config = {
+  rounds : int;
+  drain_limit : int;
+  sample_every : int;
+  check_schedule : bool;
+  strict : bool;
+  trace : Trace.t option;
+}
+
+let default_config ~rounds =
+  { rounds; drain_limit = 0; sample_every = 0; check_schedule = false;
+    strict = true; trace = None }
+
+type tracked = {
+  packet : Packet.t;
+  mutable delivered : bool;
+  mutable hops : int;
+}
+
+let violation ~strict metrics note msg =
+  note metrics;
+  if strict then raise (Protocol_violation msg)
+
+let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () =
+  let cfg =
+    match config with Some c -> c | None -> default_config ~rounds
+  in
+  let cap = A.required_cap ~n ~k in
+  let sample_every =
+    if cfg.sample_every > 0 then cfg.sample_every
+    else max 1 ((cfg.rounds + cfg.drain_limit) / 1024)
+  in
+  let metrics =
+    Metrics.create ~algorithm:A.name ~adversary:adversary.Mac_adversary.Adversary.name
+      ~n ~k ~cap ~sample_every
+  in
+  let queues = Array.init n (fun _ -> Pqueue.create ~n) in
+  let states = Array.init n (fun me -> A.create ~n ~k ~me) in
+  let registry : (int, tracked) Hashtbl.t = Hashtbl.create 4096 in
+  let driver = Mac_adversary.Adversary.start adversary in
+  let next_id = ref 0 in
+  let prev_on = Array.make n false in
+  let on = Array.make n false in
+  let strict = cfg.strict in
+
+  let trace_event ~round fmt =
+    match cfg.trace with
+    | Some t -> Trace.eventf t ~round fmt
+    | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  in
+
+  let view round : Mac_adversary.View.t =
+    { n; round;
+      queue_size = (fun i -> Pqueue.size queues.(i));
+      queued_to =
+        (fun d ->
+          let total = ref 0 in
+          for i = 0 to n - 1 do
+            total := !total + Pqueue.count_to queues.(i) d
+          done;
+          !total);
+      total_queued = (fun () -> Metrics.total_queued metrics);
+      was_on = (fun i -> prev_on.(i)) }
+  in
+
+  let inject round =
+    let pairs = Mac_adversary.Adversary.inject driver ~view:(view round) in
+    List.iter
+      (fun (src, dst) ->
+        if src < 0 || src >= n || dst < 0 || dst >= n then
+          raise (Protocol_violation "adversary injected out-of-range station");
+        let id = !next_id in
+        incr next_id;
+        let p = Packet.make ~id ~src ~dst ~injected_at:round in
+        if src = dst then begin
+          (* Self-addressed packets need no channel use; delivered at
+             injection (see DESIGN.md interpretation 5). Patterns never
+             produce these; kept for external users of the engine. *)
+          Metrics.note_injection metrics;
+          Metrics.note_delivery metrics ~delay:0 ~hops:0
+        end
+        else begin
+          Pqueue.add queues.(src) p;
+          Hashtbl.replace registry id { packet = p; delivered = false; hops = 0 };
+          Metrics.note_injection metrics;
+          Metrics.note_station_queue metrics (Pqueue.size queues.(src));
+          trace_event ~round "inject #%d %d->%d" id src dst
+        end)
+      pairs
+  in
+
+  let step ~round ~draining =
+    if not draining then inject round;
+    (* Mode decisions. *)
+    let on_count = ref 0 in
+    for i = 0 to n - 1 do
+      on.(i) <- A.on_duty states.(i) ~round ~queue:queues.(i);
+      if on.(i) then incr on_count;
+      if cfg.check_schedule then
+        Option.iter
+          (fun schedule ->
+            if on.(i) <> schedule ~n ~k ~me:i ~round then
+              raise
+                (Protocol_violation
+                   (Printf.sprintf
+                      "station %d round %d: on_duty disagrees with static schedule"
+                      i round)))
+          A.static_schedule
+    done;
+    Metrics.note_on_count metrics !on_count;
+    (* Actions of switched-on stations. *)
+    let transmissions = ref [] in
+    for i = n - 1 downto 0 do
+      if on.(i) then
+        match A.act states.(i) ~round ~queue:queues.(i) with
+        | Action.Listen -> ()
+        | Action.Transmit m ->
+          (match m.Message.packet with
+           | Some p ->
+             if not (Pqueue.mem queues.(i) p) then
+               raise
+                 (Protocol_violation
+                    (Printf.sprintf "station %d transmitted a packet not in its queue" i))
+           | None -> ());
+          if A.plain_packet && not (Message.is_plain m) then
+            raise
+              (Protocol_violation
+                 (Printf.sprintf "plain-packet algorithm %s sent a non-plain message" A.name));
+          transmissions := (i, m) :: !transmissions
+    done;
+    (* Channel resolution. *)
+    let feedback, heard =
+      match !transmissions with
+      | [] ->
+        Metrics.note_silence metrics;
+        (Feedback.Silence, None)
+      | [ (s, m) ] -> (Feedback.Heard m, Some (s, m))
+      | _ :: _ :: _ as colliding ->
+        Metrics.note_collision metrics;
+        trace_event ~round "collision (%d transmitters)" (List.length colliding);
+        (Feedback.Collision, None)
+    in
+    (* A heard packet leaves the transmitter; it is delivered if its
+       destination is on, otherwise it awaits adoption. *)
+    let pending = ref None in
+    (match heard with
+     | None -> ()
+     | Some (s, m) ->
+       Metrics.note_control_bits metrics (Message.control_bits m);
+       (match m.Message.packet with
+        | None ->
+          Metrics.note_light metrics;
+          trace_event ~round "light message from %d" s
+        | Some p ->
+          let removed = Pqueue.remove queues.(s) p in
+          assert removed;
+          let tracked = Hashtbl.find registry p.Packet.id in
+          tracked.hops <- tracked.hops + 1;
+          if on.(p.Packet.dst) then begin
+            if tracked.delivered then
+              raise (Protocol_violation "duplicate delivery");
+            tracked.delivered <- true;
+            Hashtbl.remove registry p.Packet.id;
+            Metrics.note_delivery metrics
+              ~delay:(round - p.Packet.injected_at) ~hops:tracked.hops;
+            trace_event ~round "deliver #%d %d->%d (delay %d, hop %d)"
+              p.Packet.id s p.Packet.dst
+              (round - p.Packet.injected_at)
+              tracked.hops
+          end
+          else pending := Some (s, p)));
+    (* Feedback and reactions. *)
+    let adopters = ref [] in
+    for i = 0 to n - 1 do
+      if on.(i) then
+        match A.observe states.(i) ~round ~queue:queues.(i) ~feedback with
+        | Reaction.No_reaction -> ()
+        | Reaction.Adopt_heard_packet -> adopters := i :: !adopters
+    done;
+    let adopters = List.rev !adopters in
+    (match !pending, adopters with
+     | None, [] -> ()
+     | None, _ :: _ ->
+       violation ~strict metrics Metrics.note_spurious_adoption
+         "adoption reaction with no packet pending"
+     | Some (s, p), [] ->
+       (* Nobody took the packet: return it to the transmitter. *)
+       Pqueue.add queues.(s) p;
+       violation ~strict metrics Metrics.note_stranded
+         (Printf.sprintf "packet %d stranded at round %d" p.Packet.id round)
+     | Some (s, p), adopter :: rest ->
+       if rest <> [] then
+         violation ~strict metrics Metrics.note_adoption_conflict
+           "multiple stations adopted the same packet";
+       if adopter = s then
+         raise (Protocol_violation "transmitter adopted its own packet");
+       if A.direct then
+         raise
+           (Protocol_violation
+              (Printf.sprintf "direct algorithm %s used a relay" A.name));
+       Pqueue.add queues.(adopter) p;
+       Metrics.note_relay metrics;
+       Metrics.note_station_queue metrics (Pqueue.size queues.(adopter));
+       trace_event ~round "relay #%d %d->(%d) dst %d" p.Packet.id s adopter
+         p.Packet.dst);
+    (* Switched-off stations tick. *)
+    for i = 0 to n - 1 do
+      if not on.(i) then A.offline_tick states.(i) ~round ~queue:queues.(i)
+    done;
+    Array.blit on 0 prev_on 0 n;
+    Metrics.end_round metrics ~round ~draining
+  in
+
+  for round = 0 to cfg.rounds - 1 do
+    step ~round ~draining:false
+  done;
+  let round = ref cfg.rounds in
+  let drained = ref 0 in
+  while !drained < cfg.drain_limit && Metrics.total_queued metrics > 0 do
+    step ~round:!round ~draining:true;
+    incr round;
+    incr drained
+  done;
+  let final_round = !round in
+  (* Conservation and duplicate checks. *)
+  let queued_total = ref 0 in
+  let seen = Hashtbl.create 4096 in
+  let max_age = ref 0 in
+  Array.iter
+    (fun q ->
+      queued_total := !queued_total + Pqueue.size q;
+      Pqueue.iter q ~f:(fun p ->
+          if Hashtbl.mem seen p.Packet.id then
+            raise (Protocol_violation "packet present in two queues");
+          Hashtbl.replace seen p.Packet.id ();
+          let tracked = Hashtbl.find registry p.Packet.id in
+          if tracked.delivered then
+            raise (Protocol_violation "delivered packet still queued");
+          let age = final_round - p.Packet.injected_at in
+          if age > !max_age then max_age := age))
+    queues;
+  if !queued_total <> Metrics.total_queued metrics then
+    raise (Protocol_violation "packet conservation failed");
+  Metrics.finalize metrics ~final_round ~max_queued_age:!max_age

@@ -1,0 +1,57 @@
+(** The synchronous multiple-access-channel simulator.
+
+    Each round proceeds exactly as in the paper's model:
+
+    + the adversary injects packets into stations (on or off — injection
+      only touches a station's private queue);
+    + every station decides its mode; the switched-on count is charged
+      against the energy cap;
+    + switched-on stations transmit or listen; one transmitter means the
+      message is heard by every switched-on station (including the
+      transmitter), two or more mean a collision, none means silence;
+    + a heard packet whose destination is switched on is delivered and
+      disappears; otherwise exactly one switched-on station may adopt it and
+      become its relay; a heard packet that is neither delivered nor adopted
+      is a protocol violation ("stranded") — it is returned to the
+      transmitter and counted;
+    + switched-off stations observe nothing.
+
+    The engine verifies the algorithm's declared contract while running:
+    transmitting a packet not in one's queue, a non-plain message from a
+    plain-packet algorithm, adoption by a direct-routing algorithm, adoption
+    by the transmitter itself, and (when [check_schedule] is set) an
+    oblivious algorithm whose [on_duty] disagrees with its declared static
+    schedule all raise [Protocol_violation] when [strict] (the default).
+    Conservation — injected = delivered + queued, no duplicates — is checked
+    at the end of every run. *)
+
+exception Protocol_violation of string
+
+type config = {
+  rounds : int;          (** rounds with injection *)
+  drain_limit : int;     (** additional injection-free rounds, stopping early
+                             once all queues are empty (0 = no drain) *)
+  sample_every : int;    (** queue-size sampling period; [0] = auto *)
+  check_schedule : bool; (** cross-check [on_duty] against [static_schedule] *)
+  strict : bool;         (** raise on protocol violations instead of counting *)
+  trace : Mac_channel.Trace.t option;
+  (** when set, channel events (injections, deliveries, relays, light
+      messages, collisions) are recorded into the caller's trace *)
+}
+
+val default_config : rounds:int -> config
+(** No drain, auto sampling, no schedule check, strict, no trace. *)
+
+val run :
+  ?config:config ->
+  algorithm:Mac_channel.Algorithm.t ->
+  n:int ->
+  k:int ->
+  adversary:Mac_adversary.Adversary.t ->
+  rounds:int ->
+  unit ->
+  Metrics.summary
+(** [run ~algorithm ~n ~k ~adversary ~rounds ()] simulates [rounds] rounds
+    (or [config.rounds] if a config is given — the [rounds] argument is then
+    ignored). [k] is the offered energy cap; the energy accountant checks
+    against the algorithm's [required_cap ~n ~k]. *)

@@ -1,0 +1,106 @@
+let columns =
+  [ "algorithm"; "adversary"; "n"; "k"; "rounds"; "drain_rounds"; "injected";
+    "delivered"; "undelivered"; "max_delay"; "mean_delay"; "p99_delay";
+    "max_queued_age"; "max_total_queue"; "final_total_queue";
+    "max_station_queue"; "energy_cap"; "max_on"; "mean_on"; "station_rounds";
+    "silent_rounds"; "light_rounds"; "delivery_rounds"; "relay_rounds";
+    "collision_rounds"; "max_hops"; "control_bits_total"; "control_bits_max";
+    "cap_exceeded"; "stranded"; "adoption_conflicts"; "spurious_adoptions" ]
+
+let csv_header = String.concat "," columns
+
+(* CSV-quote a field only when necessary. *)
+let quote field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let cells (s : Metrics.summary) =
+  [ quote s.algorithm; quote s.adversary; string_of_int s.n; string_of_int s.k;
+    string_of_int s.rounds; string_of_int s.drain_rounds;
+    string_of_int s.injected; string_of_int s.delivered;
+    string_of_int s.undelivered; string_of_int s.max_delay;
+    Printf.sprintf "%.6g" s.mean_delay; string_of_int s.p99_delay;
+    string_of_int s.max_queued_age; string_of_int s.max_total_queue;
+    string_of_int s.final_total_queue; string_of_int s.max_station_queue;
+    string_of_int s.energy_cap; string_of_int s.max_on;
+    Printf.sprintf "%.6g" s.mean_on; string_of_int s.station_rounds;
+    string_of_int s.silent_rounds; string_of_int s.light_rounds;
+    string_of_int s.delivery_rounds; string_of_int s.relay_rounds;
+    string_of_int s.collision_rounds; string_of_int s.max_hops;
+    string_of_int s.control_bits_total; string_of_int s.control_bits_max;
+    string_of_int s.violations.cap_exceeded; string_of_int s.violations.stranded;
+    string_of_int s.violations.adoption_conflicts;
+    string_of_int s.violations.spurious_adoptions ]
+
+let summary_csv_row s = String.concat "," (cells s)
+
+let summaries_csv summaries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (summary_csv_row s);
+      Buffer.add_char buf '\n')
+    summaries;
+  Buffer.contents buf
+
+let series_csv (s : Metrics.summary) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "round,total_queued\n";
+  Array.iter
+    (fun (r, q) -> Buffer.add_string buf (Printf.sprintf "%d,%d\n" r q))
+    s.queue_series;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let summary_json (s : Metrics.summary) =
+  let field name value = Printf.sprintf "%S: %s" name value in
+  let str name value = field name (Printf.sprintf "\"%s\"" (json_escape value)) in
+  let int name value = field name (string_of_int value) in
+  let float name value = field name (Printf.sprintf "%.6g" value) in
+  let fields =
+    [ str "algorithm" s.algorithm; str "adversary" s.adversary; int "n" s.n;
+      int "k" s.k; int "rounds" s.rounds; int "drain_rounds" s.drain_rounds;
+      int "injected" s.injected; int "delivered" s.delivered;
+      int "undelivered" s.undelivered; int "max_delay" s.max_delay;
+      float "mean_delay" s.mean_delay; int "p99_delay" s.p99_delay;
+      int "max_queued_age" s.max_queued_age;
+      int "max_total_queue" s.max_total_queue;
+      int "final_total_queue" s.final_total_queue;
+      int "max_station_queue" s.max_station_queue;
+      int "energy_cap" s.energy_cap; int "max_on" s.max_on;
+      float "mean_on" s.mean_on; int "station_rounds" s.station_rounds;
+      int "silent_rounds" s.silent_rounds; int "light_rounds" s.light_rounds;
+      int "delivery_rounds" s.delivery_rounds; int "relay_rounds" s.relay_rounds;
+      int "collision_rounds" s.collision_rounds; int "max_hops" s.max_hops;
+      int "control_bits_total" s.control_bits_total;
+      int "control_bits_max" s.control_bits_max;
+      Printf.sprintf
+        "\"violations\": {%s, %s, %s, %s}"
+        (int "cap_exceeded" s.violations.cap_exceeded)
+        (int "stranded" s.violations.stranded)
+        (int "adoption_conflicts" s.violations.adoption_conflicts)
+        (int "spurious_adoptions" s.violations.spurious_adoptions) ]
+  in
+  "{" ^ String.concat ", " fields ^ "}"
+
+let write_file ~path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)

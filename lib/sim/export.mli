@@ -1,0 +1,22 @@
+(** Machine-readable export of run results (CSV and JSON).
+
+    The simulator is often driven from notebooks or scripts; these writers
+    serialise {!Metrics.summary} values without any external dependency.
+    [summaries_csv] emits one row per run with a fixed column set (header
+    included); [series_csv] emits the sampled queue trajectory;
+    [summary_json] a single JSON object (flat, no nesting beyond
+    violations). *)
+
+val csv_header : string
+
+val summary_csv_row : Metrics.summary -> string
+
+val summaries_csv : Metrics.summary list -> string
+(** Header plus one row per summary, newline-terminated. *)
+
+val series_csv : Metrics.summary -> string
+(** "round,total_queued" rows for the sampled series. *)
+
+val summary_json : Metrics.summary -> string
+
+val write_file : path:string -> string -> unit

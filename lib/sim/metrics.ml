@@ -1,0 +1,214 @@
+type violations = {
+  cap_exceeded : int;
+  stranded : int;
+  adoption_conflicts : int;
+  spurious_adoptions : int;
+}
+
+type summary = {
+  algorithm : string;
+  adversary : string;
+  n : int;
+  k : int;
+  rounds : int;
+  drain_rounds : int;
+  injected : int;
+  delivered : int;
+  undelivered : int;
+  max_delay : int;
+  mean_delay : float;
+  p99_delay : int;
+  max_queued_age : int;
+  max_total_queue : int;
+  final_total_queue : int;
+  max_station_queue : int;
+  queue_series : (int * int) array;
+  energy_cap : int;
+  max_on : int;
+  mean_on : float;
+  station_rounds : int;
+  silent_rounds : int;
+  light_rounds : int;
+  delivery_rounds : int;
+  relay_rounds : int;
+  collision_rounds : int;
+  max_hops : int;
+  control_bits_total : int;
+  control_bits_max : int;
+  violations : violations;
+}
+
+let energy_per_delivery s =
+  if s.delivered = 0 then Float.nan
+  else float_of_int s.station_rounds /. float_of_int s.delivered
+
+let no_violations s =
+  s.violations.cap_exceeded = 0
+  && s.violations.stranded = 0
+  && s.violations.adoption_conflicts = 0
+  && s.violations.spurious_adoptions = 0
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>%s vs %s (n=%d k=%d cap=%d)@,\
+     rounds=%d(+%d drain) injected=%d delivered=%d undelivered=%d@,\
+     delay: max=%d mean=%.1f p99=%d; oldest queued age=%d@,\
+     queues: max-total=%d final=%d max-station=%d@,\
+     energy: max-on=%d mean-on=%.2f station-rounds=%d (%.2f/delivery)@,\
+     rounds: silent=%d light=%d delivery=%d relay=%d collision=%d@,\
+     hops<=%d control-bits: total=%d max/msg=%d@,\
+     violations: cap=%d stranded=%d adopt-conflict=%d spurious-adopt=%d@]"
+    s.algorithm s.adversary s.n s.k s.energy_cap s.rounds s.drain_rounds
+    s.injected s.delivered s.undelivered s.max_delay s.mean_delay s.p99_delay
+    s.max_queued_age s.max_total_queue s.final_total_queue s.max_station_queue
+    s.max_on s.mean_on s.station_rounds (energy_per_delivery s) s.silent_rounds
+    s.light_rounds s.delivery_rounds s.relay_rounds s.collision_rounds
+    s.max_hops s.control_bits_total s.control_bits_max
+    s.violations.cap_exceeded s.violations.stranded
+    s.violations.adoption_conflicts s.violations.spurious_adoptions
+
+type t = {
+  algorithm : string;
+  adversary : string;
+  n : int;
+  k : int;
+  cap : int;
+  sample_every : int;
+  mutable injected : int;
+  mutable delivered : int;
+  mutable rounds : int;
+  mutable drain_rounds : int;
+  mutable max_delay : int;
+  mutable delay_sum : float;
+  mutable delays : int array; (* growable buffer of all delays *)
+  mutable delay_count : int;
+  mutable max_total_queue : int;
+  mutable max_station_queue : int;
+  mutable series_rev : (int * int) list;
+  mutable max_on : int;
+  mutable on_total : int;
+  mutable silent_rounds : int;
+  mutable light_rounds : int;
+  mutable delivery_rounds : int;
+  mutable relay_rounds : int;
+  mutable collision_rounds : int;
+  mutable max_hops : int;
+  mutable control_bits_total : int;
+  mutable control_bits_max : int;
+  mutable cap_exceeded : int;
+  mutable stranded : int;
+  mutable adoption_conflicts : int;
+  mutable spurious_adoptions : int;
+}
+
+let create ~algorithm ~adversary ~n ~k ~cap ~sample_every =
+  { algorithm; adversary; n; k; cap; sample_every = max 1 sample_every;
+    injected = 0; delivered = 0; rounds = 0; drain_rounds = 0;
+    max_delay = 0; delay_sum = 0.0; delays = Array.make 1024 0; delay_count = 0;
+    max_total_queue = 0; max_station_queue = 0; series_rev = [];
+    max_on = 0; on_total = 0;
+    silent_rounds = 0; light_rounds = 0; delivery_rounds = 0; relay_rounds = 0;
+    collision_rounds = 0; max_hops = 0;
+    control_bits_total = 0; control_bits_max = 0;
+    cap_exceeded = 0; stranded = 0; adoption_conflicts = 0;
+    spurious_adoptions = 0 }
+
+let total_queued t = t.injected - t.delivered
+
+let note_injection t =
+  t.injected <- t.injected + 1;
+  if total_queued t > t.max_total_queue then t.max_total_queue <- total_queued t
+
+let note_on_count t on =
+  t.on_total <- t.on_total + on;
+  if on > t.max_on then t.max_on <- on;
+  if on > t.cap then t.cap_exceeded <- t.cap_exceeded + 1
+
+let note_station_queue t size =
+  if size > t.max_station_queue then t.max_station_queue <- size
+
+let note_silence t = t.silent_rounds <- t.silent_rounds + 1
+let note_collision t = t.collision_rounds <- t.collision_rounds + 1
+let note_light t = t.light_rounds <- t.light_rounds + 1
+
+let push_delay t d =
+  if t.delay_count = Array.length t.delays then begin
+    let bigger = Array.make (2 * t.delay_count) 0 in
+    Array.blit t.delays 0 bigger 0 t.delay_count;
+    t.delays <- bigger
+  end;
+  t.delays.(t.delay_count) <- d;
+  t.delay_count <- t.delay_count + 1
+
+let note_delivery t ~delay ~hops =
+  t.delivered <- t.delivered + 1;
+  t.delivery_rounds <- t.delivery_rounds + 1;
+  t.delay_sum <- t.delay_sum +. float_of_int delay;
+  if delay > t.max_delay then t.max_delay <- delay;
+  if hops > t.max_hops then t.max_hops <- hops;
+  push_delay t delay
+
+let note_relay t = t.relay_rounds <- t.relay_rounds + 1
+
+let note_control_bits t bits =
+  t.control_bits_total <- t.control_bits_total + bits;
+  if bits > t.control_bits_max then t.control_bits_max <- bits
+
+let note_cap_exceeded t = t.cap_exceeded <- t.cap_exceeded + 1
+let note_stranded t = t.stranded <- t.stranded + 1
+let note_adoption_conflict t = t.adoption_conflicts <- t.adoption_conflicts + 1
+let note_spurious_adoption t = t.spurious_adoptions <- t.spurious_adoptions + 1
+
+let end_round t ~round ~draining =
+  if draining then t.drain_rounds <- t.drain_rounds + 1
+  else t.rounds <- t.rounds + 1;
+  if round mod t.sample_every = 0 then
+    t.series_rev <- (round, total_queued t) :: t.series_rev
+
+let percentile sorted q =
+  let len = Array.length sorted in
+  if len = 0 then 0
+  else sorted.(min (len - 1) (int_of_float (ceil (q *. float_of_int len)) - 1 |> max 0))
+
+let finalize t ~final_round ~max_queued_age =
+  let total_rounds = t.rounds + t.drain_rounds in
+  let delays = Array.sub t.delays 0 t.delay_count in
+  Array.sort Int.compare delays;
+  ignore final_round;
+  { algorithm = t.algorithm;
+    adversary = t.adversary;
+    n = t.n;
+    k = t.k;
+    rounds = t.rounds;
+    drain_rounds = t.drain_rounds;
+    injected = t.injected;
+    delivered = t.delivered;
+    undelivered = t.injected - t.delivered;
+    max_delay = t.max_delay;
+    mean_delay =
+      (if t.delivered = 0 then 0.0 else t.delay_sum /. float_of_int t.delivered);
+    p99_delay = percentile delays 0.99;
+    max_queued_age;
+    max_total_queue = t.max_total_queue;
+    final_total_queue = total_queued t;
+    max_station_queue = t.max_station_queue;
+    queue_series = Array.of_list (List.rev t.series_rev);
+    energy_cap = t.cap;
+    max_on = t.max_on;
+    mean_on =
+      (if total_rounds = 0 then 0.0
+       else float_of_int t.on_total /. float_of_int total_rounds);
+    station_rounds = t.on_total;
+    silent_rounds = t.silent_rounds;
+    light_rounds = t.light_rounds;
+    delivery_rounds = t.delivery_rounds;
+    relay_rounds = t.relay_rounds;
+    collision_rounds = t.collision_rounds;
+    max_hops = t.max_hops;
+    control_bits_total = t.control_bits_total;
+    control_bits_max = t.control_bits_max;
+    violations =
+      { cap_exceeded = t.cap_exceeded;
+        stranded = t.stranded;
+        adoption_conflicts = t.adoption_conflicts;
+        spurious_adoptions = t.spurious_adoptions } }

@@ -1,0 +1,85 @@
+(** Per-run measurements.
+
+    The engine owns a mutable collector while the simulation runs and
+    [finalize]s it into the immutable {!summary} consumed by tests, benches
+    and reports. All delays are in rounds; a packet's delay is the round it
+    was delivered minus the round it was injected. Undelivered packets
+    contribute to [undelivered] and [max_queued_age] (a lower bound on what
+    their delay would be), never to the delay statistics. *)
+
+type violations = {
+  cap_exceeded : int;      (** rounds with more switched-on stations than the cap *)
+  stranded : int;          (** heard packets nobody consumed or adopted *)
+  adoption_conflicts : int;(** two stations tried to adopt the same packet *)
+  spurious_adoptions : int;(** adoption reaction with no packet pending *)
+}
+
+type summary = {
+  algorithm : string;
+  adversary : string;
+  n : int;
+  k : int;
+  rounds : int;            (** injection rounds *)
+  drain_rounds : int;      (** extra no-injection rounds actually run *)
+  injected : int;
+  delivered : int;
+  undelivered : int;
+  max_delay : int;         (** 0 when nothing was delivered *)
+  mean_delay : float;
+  p99_delay : int;
+  max_queued_age : int;    (** age of the oldest packet still queued at the end *)
+  max_total_queue : int;
+  final_total_queue : int;
+  max_station_queue : int;
+  queue_series : (int * int) array; (** (round, total queued) samples *)
+  energy_cap : int;
+  max_on : int;
+  mean_on : float;
+  station_rounds : int;    (** total energy spent *)
+  silent_rounds : int;
+  light_rounds : int;      (** heard messages carrying no packet *)
+  delivery_rounds : int;
+  relay_rounds : int;      (** heard packets adopted by a relay *)
+  collision_rounds : int;
+  max_hops : int;          (** successful transmissions of a single packet *)
+  control_bits_total : int;
+  control_bits_max : int;  (** largest control payload in one message *)
+  violations : violations;
+}
+
+val energy_per_delivery : summary -> float
+(** Station-rounds spent per delivered packet; [nan] when nothing delivered. *)
+
+val no_violations : summary -> bool
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** The engine-facing collector. *)
+type t
+
+val create :
+  algorithm:string -> adversary:string -> n:int -> k:int -> cap:int ->
+  sample_every:int -> t
+
+val note_injection : t -> unit
+val note_on_count : t -> int -> unit
+val note_station_queue : t -> int -> unit
+(** Observed size of some station's queue (for the max). *)
+
+val note_silence : t -> unit
+val note_collision : t -> unit
+val note_light : t -> unit
+val note_delivery : t -> delay:int -> hops:int -> unit
+val note_relay : t -> unit
+val note_control_bits : t -> int -> unit
+val note_cap_exceeded : t -> unit
+val note_stranded : t -> unit
+val note_adoption_conflict : t -> unit
+val note_spurious_adoption : t -> unit
+
+val end_round : t -> round:int -> draining:bool -> unit
+(** Book-keeping at the end of each simulated round (queue sampling). *)
+
+val total_queued : t -> int
+
+val finalize : t -> final_round:int -> max_queued_age:int -> summary

@@ -1,0 +1,55 @@
+type t = {
+  header : string list;
+  width : int;
+  mutable rows_rev : string list list;
+}
+
+let create ~header =
+  { header; width = List.length header; rows_rev = [] }
+
+let add_row t row =
+  let len = List.length row in
+  if len > t.width then invalid_arg "Report.add_row: row wider than header";
+  let padded = row @ List.init (t.width - len) (fun _ -> "") in
+  t.rows_rev <- padded :: t.rows_rev
+
+let to_string t =
+  let rows = List.rev t.rows_rev in
+  let all = t.header :: rows in
+  let widths = Array.make t.width 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         if String.length cell > widths.(i) then widths.(i) <- String.length cell))
+    all;
+  let buf = Buffer.create 1024 in
+  let pad cell w =
+    Buffer.add_string buf cell;
+    Buffer.add_string buf (String.make (w - String.length cell) ' ')
+  in
+  let line row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        pad cell widths.(i))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line t.header;
+  line (List.init t.width (fun i -> String.make widths.(i) '-'));
+  List.iter line rows;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let fmt_float f =
+  if Float.is_nan f then "-"
+  else if f = 0.0 then "0"
+  else if Float.abs f >= 1e6 || Float.abs f < 1e-3 then Printf.sprintf "%.2e" f
+  else if Float.abs f >= 100.0 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.3g" f
+
+let fmt_ratio ~measured ~bound =
+  if Float.is_nan bound || Float.is_nan measured || bound <= 0.0
+     || not (Float.is_finite bound)
+  then "-"
+  else Printf.sprintf "%.1f%%" (100.0 *. measured /. bound)

@@ -1,0 +1,67 @@
+type verdict =
+  | Stable
+  | Unstable
+  | Inconclusive
+
+type report = {
+  verdict : verdict;
+  slope : float;
+  early_mean : float;
+  late_mean : float;
+}
+
+let mean_of slice =
+  if Array.length slice = 0 then 0.0
+  else
+    Array.fold_left (fun acc (_, q) -> acc +. float_of_int q) 0.0 slice
+    /. float_of_int (Array.length slice)
+
+let least_squares_slope slice =
+  let len = Array.length slice in
+  if len < 2 then 0.0
+  else begin
+    let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+    Array.iter
+      (fun (r, q) ->
+        let x = float_of_int r and y = float_of_int q in
+        sx := !sx +. x;
+        sy := !sy +. y;
+        sxx := !sxx +. (x *. x);
+        sxy := !sxy +. (x *. y))
+      slice;
+    let nf = float_of_int len in
+    let denom = (nf *. !sxx) -. (!sx *. !sx) in
+    if Float.abs denom < 1e-9 then 0.0
+    else ((nf *. !sxy) -. (!sx *. !sy)) /. denom
+  end
+
+let classify series =
+  let len = Array.length series in
+  if len < 8 then
+    { verdict = Inconclusive; slope = 0.0; early_mean = 0.0; late_mean = 0.0 }
+  else begin
+    let quarter = len / 4 in
+    let early = Array.sub series quarter quarter in
+    let late = Array.sub series (len - quarter) quarter in
+    let second_half = Array.sub series (len / 2) (len - (len / 2)) in
+    let early_mean = mean_of early in
+    let late_mean = mean_of late in
+    let slope = least_squares_slope second_half in
+    (* A genuinely unstable run keeps a positive trend *and* ends
+       substantially above its early backlog. The +8 absolute slack keeps
+       tiny stable backlogs (late 3 vs early 1) from misclassifying. *)
+    let growing =
+      slope > 1e-4 && late_mean > (1.5 *. early_mean) +. 8.0
+    in
+    let verdict = if growing then Unstable else Stable in
+    { verdict; slope; early_mean; late_mean }
+  end
+
+let verdict_to_string = function
+  | Stable -> "stable"
+  | Unstable -> "UNSTABLE"
+  | Inconclusive -> "inconclusive"
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s (slope=%.4f pkt/round, backlog %.0f -> %.0f)"
+    (verdict_to_string r.verdict) r.slope r.early_mean r.late_mean

@@ -1,0 +1,28 @@
+(** Empirical stability classification.
+
+    An execution is judged from its sampled total-queue-size series. A
+    stable algorithm's backlog plateaus (bounded queues); an unstable one
+    grows without bound — the impossibility constructions all force linear
+    growth. The classifier fits a least-squares slope over the second half
+    of the series and compares the mean backlog of the final quarter with the
+    second quarter. The two signals must agree for an [Unstable] verdict;
+    short series are [Inconclusive]. *)
+
+type verdict =
+  | Stable
+  | Unstable
+  | Inconclusive
+
+type report = {
+  verdict : verdict;
+  slope : float;        (** packets per round, least squares, second half *)
+  early_mean : float;   (** mean backlog over the second quarter *)
+  late_mean : float;    (** mean backlog over the final quarter *)
+}
+
+val classify : (int * int) array -> report
+(** Input: (round, total queued) samples in round order. *)
+
+val verdict_to_string : verdict -> string
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,34 @@
+(* Shared helpers for the per-algorithm test suites. *)
+
+let run ?(strict = true) ?(check_schedule = true) ?(drain = 0) ?pacing
+    ~algorithm ~n ~k ~rate ~burst ~pattern ~rounds () =
+  let adversary = Mac_adversary.Adversary.create ~rate ~burst ?pacing pattern in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds) with
+      strict; check_schedule; drain_limit = drain }
+  in
+  Mac_sim.Engine.run ~config ~algorithm ~n ~k ~adversary ~rounds ()
+
+let verdict (s : Mac_sim.Metrics.summary) =
+  (Mac_sim.Stability.classify s.queue_series).Mac_sim.Stability.verdict
+
+let is_stable s = verdict s = Mac_sim.Stability.Stable
+
+let is_unstable s = verdict s = Mac_sim.Stability.Unstable
+
+let assert_clean name (s : Mac_sim.Metrics.summary) =
+  Alcotest.(check bool)
+    (name ^ ": no violations")
+    true
+    (Mac_sim.Metrics.no_violations s);
+  Alcotest.(check int) (name ^ ": no collisions") 0 s.collision_rounds
+
+let assert_cap name cap (s : Mac_sim.Metrics.summary) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: max %d stations on (saw %d)" name cap s.max_on)
+    true (s.max_on <= cap)
+
+let assert_delivered_all name (s : Mac_sim.Metrics.summary) =
+  Alcotest.(check int) (name ^ ": everything delivered") 0 s.undelivered
+
+let worst_delay (s : Mac_sim.Metrics.summary) = max s.max_delay s.max_queued_age

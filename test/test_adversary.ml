@@ -1,0 +1,283 @@
+(* Tests for the adversarial-injection substrate: the leaky bucket (with the
+   windowed-constraint property the whole model rests on), injection
+   patterns, pacing disciplines and the impossibility-proof saboteurs. *)
+
+open Mac_adversary
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Leaky bucket ---- *)
+
+let test_bucket_initial_grant () =
+  let b = Leaky_bucket.create ~rate:0.5 ~burst:3.0 in
+  check_int "initial grant = floor(rate+burst)" 3 (Leaky_bucket.grant b)
+
+let test_bucket_consume_refill () =
+  let b = Leaky_bucket.create ~rate:0.5 ~burst:3.0 in
+  Leaky_bucket.consume b 3;
+  Leaky_bucket.advance b;
+  check_int "after one refill" 1 (Leaky_bucket.grant b);
+  Leaky_bucket.advance b;
+  check_int "after two refills" 1 (Leaky_bucket.grant b)
+
+let test_bucket_clamp () =
+  let b = Leaky_bucket.create ~rate:0.5 ~burst:3.0 in
+  for _ = 1 to 100 do Leaky_bucket.advance b done;
+  check_int "clamped at rate+burst" 3 (Leaky_bucket.grant b)
+
+let test_bucket_overdraw_rejected () =
+  let b = Leaky_bucket.create ~rate:0.5 ~burst:1.0 in
+  Alcotest.check_raises "overdraw" (Invalid_argument "Leaky_bucket.consume")
+    (fun () -> Leaky_bucket.consume b 10)
+
+let test_bucket_bad_args () =
+  Alcotest.check_raises "rate 0" (Invalid_argument "Leaky_bucket: rate must be in (0, 1]")
+    (fun () -> ignore (Leaky_bucket.create ~rate:0.0 ~burst:1.0));
+  Alcotest.check_raises "burst" (Invalid_argument "Leaky_bucket: burst must be >= 1")
+    (fun () -> ignore (Leaky_bucket.create ~rate:0.5 ~burst:0.5))
+
+(* The defining property: for every greedy trace and every window [s, t],
+   injections <= rate * len + burst (up to integer rounding of each grant). *)
+let bucket_window_property =
+  QCheck.Test.make ~name:"bucket_respects_every_window" ~count:100
+    QCheck.(pair (float_range 0.05 1.0) (float_range 1.0 8.0))
+    (fun (rate, burst) ->
+      let b = Leaky_bucket.create ~rate ~burst in
+      let horizon = 200 in
+      let taken = Array.make horizon 0 in
+      for t = 0 to horizon - 1 do
+        let g = Leaky_bucket.grant b in
+        (* adversarial: sometimes hold back to build credit *)
+        let use = if t mod 7 = 3 then 0 else g in
+        Leaky_bucket.consume b use;
+        taken.(t) <- use;
+        Leaky_bucket.advance b
+      done;
+      let ok = ref true in
+      for s = 0 to horizon - 1 do
+        let sum = ref 0 in
+        for t = s to horizon - 1 do
+          sum := !sum + taken.(t);
+          let len = float_of_int (t - s + 1) in
+          if float_of_int !sum > (rate *. len) +. burst +. 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+(* ---- Patterns ---- *)
+
+let dummy = View.dummy ~n:8
+
+let no_self_pairs name pattern =
+  Alcotest.test_case name `Quick (fun () ->
+      for round = 0 to 50 do
+        List.iter
+          (fun (src, dst) ->
+            check_bool "src<>dst" true (src <> dst);
+            check_bool "in range" true
+              (src >= 0 && src < 8 && dst >= 0 && dst < 8))
+          (pattern.Pattern.generate ~round ~budget:3 ~view:dummy)
+      done)
+
+let test_pattern_budget () =
+  let p = Pattern.uniform ~n:8 ~seed:1 in
+  check_int "respects budget" 5
+    (List.length (p.Pattern.generate ~round:0 ~budget:5 ~view:dummy));
+  check_int "zero budget" 0
+    (List.length (p.Pattern.generate ~round:0 ~budget:0 ~view:dummy))
+
+let test_flood_targets_victim () =
+  let p = Pattern.flood ~n:8 ~victim:3 in
+  let pairs = p.Pattern.generate ~round:0 ~budget:14 ~view:dummy in
+  List.iter (fun (src, _) -> check_int "into victim" 3 src) pairs;
+  (* destinations cycle over all other stations *)
+  let dsts = List.sort_uniq compare (List.map snd pairs) in
+  check_int "covers all other stations" 7 (List.length dsts)
+
+let test_pair_flood () =
+  let p = Pattern.pair_flood ~src:2 ~dst:5 in
+  List.iter
+    (fun pr -> Alcotest.(check (pair int int)) "fixed pair" (2, 5) pr)
+    (p.Pattern.generate ~round:9 ~budget:4 ~view:dummy);
+  Alcotest.check_raises "src=dst rejected"
+    (Invalid_argument "Pattern.pair_flood: src = dst") (fun () ->
+      ignore (Pattern.pair_flood ~src:1 ~dst:1))
+
+let test_alternating_parity () =
+  let p = Pattern.alternating ~src:0 ~dst_odd:1 ~dst_even:2 in
+  (match p.Pattern.generate ~round:3 ~budget:1 ~view:dummy with
+   | [ (0, 1) ] -> ()
+   | _ -> Alcotest.fail "odd round should target dst_odd");
+  match p.Pattern.generate ~round:4 ~budget:1 ~view:dummy with
+  | [ (0, 2) ] -> ()
+  | _ -> Alcotest.fail "even round should target dst_even"
+
+let test_mix_draws_from_both () =
+  let p =
+    Pattern.mix ~seed:5
+      [ (1, Pattern.pair_flood ~src:0 ~dst:1); (1, Pattern.pair_flood ~src:2 ~dst:3) ]
+  in
+  let seen01 = ref false and seen23 = ref false in
+  for round = 0 to 100 do
+    List.iter
+      (fun pair ->
+        if pair = (0, 1) then seen01 := true;
+        if pair = (2, 3) then seen23 := true)
+      (p.Pattern.generate ~round ~budget:2 ~view:dummy)
+  done;
+  check_bool "both sources drawn" true (!seen01 && !seen23)
+
+let test_mix_rejects_bad_weights () =
+  Alcotest.check_raises "weight" (Invalid_argument "Pattern.mix: weight")
+    (fun () ->
+      ignore (Pattern.mix ~seed:1 [ (0, Pattern.pair_flood ~src:0 ~dst:1) ]))
+
+let test_duty_cycle_gaps () =
+  let p = Pattern.duty_cycle ~busy:3 ~idle:7 (Pattern.pair_flood ~src:0 ~dst:1) in
+  for round = 0 to 40 do
+    let injections = p.Pattern.generate ~round ~budget:1 ~view:dummy in
+    if round mod 10 < 3 then
+      check_int (Printf.sprintf "busy round %d" round) 1 (List.length injections)
+    else check_int (Printf.sprintf "idle round %d" round) 0 (List.length injections)
+  done
+
+let test_one_shot_fires_once () =
+  let p = Pattern.one_shot ~at:5 ~src:1 ~dst:2 in
+  let total = ref 0 in
+  for round = 0 to 20 do
+    total := !total + List.length (p.Pattern.generate ~round ~budget:3 ~view:dummy)
+  done;
+  check_int "exactly one packet" 1 !total;
+  match p.Pattern.generate ~round:5 ~budget:3 ~view:dummy with
+  | [] -> ()
+  | _ -> Alcotest.fail "must not fire twice even when asked again"
+
+let test_to_busiest_follows_queues () =
+  let view =
+    { dummy with View.queue_size = (fun i -> if i = 4 then 10 else 0) }
+  in
+  let p = Pattern.to_busiest ~n:8 in
+  List.iter
+    (fun (src, _) -> check_int "into busiest" 4 src)
+    (p.Pattern.generate ~round:0 ~budget:3 ~view)
+
+(* ---- Adversary pacing ---- *)
+
+let count_injections driver ~rounds =
+  let total = ref 0 in
+  let per_round = Array.make rounds 0 in
+  for r = 0 to rounds - 1 do
+    let view = { dummy with View.round = r } in
+    let injected = List.length (Adversary.inject driver ~view) in
+    per_round.(r) <- injected;
+    total := !total + injected
+  done;
+  (!total, per_round)
+
+let test_greedy_sustains_rate () =
+  let adv = Adversary.create ~rate:0.5 ~burst:4.0 (Pattern.uniform ~n:8 ~seed:2) in
+  let total, per_round = count_injections (Adversary.start adv) ~rounds:1000 in
+  check_bool "close to rate*rounds+burst" true (total >= 495 && total <= 505);
+  check_int "initial burst" 4 per_round.(0)
+
+let test_paced_holds_reserve () =
+  let adv =
+    Adversary.create ~rate:0.5 ~burst:6.0
+      ~pacing:(Adversary.Paced { burst_at = Some 100 })
+      (Pattern.uniform ~n:8 ~seed:3)
+  in
+  let total, per_round = count_injections (Adversary.start adv) ~rounds:200 in
+  check_int "steady start" 0 per_round.(0);
+  check_bool "burst lands at 100" true (per_round.(100) >= 6);
+  check_bool "rate+burst total" true (total >= 100 && total <= 107)
+
+let test_injection_never_exceeds_bucket () =
+  let adv = Adversary.create ~rate:0.3 ~burst:2.0 (Pattern.flood ~n:8 ~victim:1) in
+  let total, _ = count_injections (Adversary.start adv) ~rounds:500 in
+  check_bool "<= rate*t+burst" true (float_of_int total <= (0.3 *. 500.0) +. 2.0)
+
+(* ---- Saboteurs ---- *)
+
+let test_min_duty_picks_least_on () =
+  (* schedule: station i is on iff round mod 8 < i+1 — station 0 has the
+     least duty. *)
+  let schedule ~me ~round = round mod 8 < me + 1 in
+  let choice = Saboteur.min_duty ~n:8 ~horizon:800 ~schedule in
+  let pairs = choice.Saboteur.pattern.Pattern.generate ~round:0 ~budget:3 ~view:dummy in
+  List.iter (fun (src, _) -> check_int "floods min-duty station" 0 src) pairs
+
+let test_min_pair_picks_least_coduty () =
+  (* stations 0 and 1 are never on together; all other pairs co-occur. *)
+  let schedule ~me ~round =
+    match me with
+    | 0 -> round mod 2 = 0
+    | 1 -> round mod 2 = 1
+    | _ -> true
+  in
+  let choice = Saboteur.min_pair ~n:5 ~horizon:100 ~schedule in
+  match choice.Saboteur.pattern.Pattern.generate ~round:0 ~budget:1 ~view:dummy with
+  | [ (0, 1) ] -> ()
+  | [ (w, z) ] -> Alcotest.failf "expected pair (0,1), got (%d,%d)" w z
+  | _ -> Alcotest.fail "expected one injection"
+
+let test_cap2_breaker_injects_into_helper () =
+  let choice = Saboteur.cap2_breaker ~n:5 in
+  let view = View.dummy ~n:5 in
+  (* witness starts at n-1 = 4; helpers are 0 and 1. *)
+  (match choice.Saboteur.pattern.Pattern.generate ~round:0 ~budget:1 ~view with
+   | [ (0, 1) ] -> ()
+   | _ -> Alcotest.fail "expected injection 0 -> 1");
+  Alcotest.check_raises "needs n >= 3"
+    (Invalid_argument "Saboteur.cap2_breaker: needs n >= 3") (fun () ->
+      ignore (Saboteur.cap2_breaker ~n:2))
+
+let test_cap2_breaker_moves_witness () =
+  let choice = Saboteur.cap2_breaker ~n:5 in
+  (* witness 4 wakes; station 3 is clean and off -> becomes the witness, so
+     helpers stay 0,1. Then 0 wakes too: witness must move again and the
+     helpers shift. *)
+  let view_wake4 =
+    { (View.dummy ~n:5) with View.was_on = (fun i -> i = 4) }
+  in
+  ignore (choice.Saboteur.pattern.Pattern.generate ~round:1 ~budget:1 ~view:view_wake4);
+  let view_wake3 =
+    { (View.dummy ~n:5) with View.was_on = (fun i -> i = 3) }
+  in
+  match choice.Saboteur.pattern.Pattern.generate ~round:2 ~budget:1 ~view:view_wake3 with
+  | [ (s1, s2) ] ->
+    check_bool "helpers avoid the new witness" true (s1 <> 4 && s2 <> 4 && s1 <> s2)
+  | _ -> Alcotest.fail "expected one injection"
+
+let () =
+  Alcotest.run "adversary"
+    [ ("leaky-bucket",
+       [ Alcotest.test_case "initial grant" `Quick test_bucket_initial_grant;
+         Alcotest.test_case "consume/refill" `Quick test_bucket_consume_refill;
+         Alcotest.test_case "clamp" `Quick test_bucket_clamp;
+         Alcotest.test_case "overdraw" `Quick test_bucket_overdraw_rejected;
+         Alcotest.test_case "bad args" `Quick test_bucket_bad_args;
+         QCheck_alcotest.to_alcotest bucket_window_property ]);
+      ("patterns",
+       [ no_self_pairs "uniform valid" (Pattern.uniform ~n:8 ~seed:1);
+         no_self_pairs "flood valid" (Pattern.flood ~n:8 ~victim:3);
+         no_self_pairs "round-robin valid" (Pattern.round_robin ~n:8);
+         no_self_pairs "hotspot valid" (Pattern.hotspot ~n:8 ~seed:4 ~hot:2 ~bias:0.5);
+         Alcotest.test_case "budget" `Quick test_pattern_budget;
+         Alcotest.test_case "flood victim" `Quick test_flood_targets_victim;
+         Alcotest.test_case "pair flood" `Quick test_pair_flood;
+         Alcotest.test_case "alternating" `Quick test_alternating_parity;
+         Alcotest.test_case "mix" `Quick test_mix_draws_from_both;
+         Alcotest.test_case "mix bad weights" `Quick test_mix_rejects_bad_weights;
+         Alcotest.test_case "duty cycle" `Quick test_duty_cycle_gaps;
+         Alcotest.test_case "one shot" `Quick test_one_shot_fires_once;
+         Alcotest.test_case "to-busiest" `Quick test_to_busiest_follows_queues ]);
+      ("pacing",
+       [ Alcotest.test_case "greedy" `Quick test_greedy_sustains_rate;
+         Alcotest.test_case "paced reserve" `Quick test_paced_holds_reserve;
+         Alcotest.test_case "bucket cap" `Quick test_injection_never_exceeds_bucket ]);
+      ("saboteurs",
+       [ Alcotest.test_case "min-duty" `Quick test_min_duty_picks_least_on;
+         Alcotest.test_case "min-pair" `Quick test_min_pair_picks_least_coduty;
+         Alcotest.test_case "cap2 helper" `Quick test_cap2_breaker_injects_into_helper;
+         Alcotest.test_case "cap2 witness moves" `Quick test_cap2_breaker_moves_witness ]) ]

@@ -1,0 +1,257 @@
+(* Unit and property tests for the mac_channel substrate: deterministic RNG,
+   packets, messages and control-bit accounting, packet queues, energy
+   accounting, and the trace ring buffer. *)
+
+open Mac_channel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int a 1_000_000 = Rng.int b 1_000_000 then incr same
+  done;
+  check_bool "streams differ" true (!same < 8)
+
+let test_rng_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:5 in
+  let child = Rng.split parent in
+  let vs = List.init 10 (fun _ -> Rng.int child 100) in
+  let vs' = List.init 10 (fun _ -> Rng.int parent 100) in
+  check_bool "split streams differ from parent" true (vs <> vs')
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng 1.0 in
+    check_bool "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:13 in
+  let arr = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let rng_uniformity =
+  QCheck.Test.make ~name:"rng_int_covers_all_residues" ~count:20
+    QCheck.(int_range 2 12)
+    (fun bound ->
+      let rng = Rng.create ~seed:bound in
+      let seen = Array.make bound false in
+      for _ = 1 to 200 * bound do
+        seen.(Rng.int rng bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+(* ---- Packet / Message ---- *)
+
+let packet ~id ~dst = Packet.make ~id ~src:0 ~dst ~injected_at:0
+
+let test_packet_order () =
+  let a = packet ~id:1 ~dst:2 and b = packet ~id:2 ~dst:2 in
+  check_bool "compare by id" true (Packet.compare a b < 0);
+  check_bool "equal on same id" true
+    (Packet.equal a (Packet.make ~id:1 ~src:9 ~dst:3 ~injected_at:5))
+
+let test_message_classes () =
+  let p = packet ~id:1 ~dst:2 in
+  check_bool "plain" true (Message.is_plain (Message.packet_only p));
+  check_bool "plain not light" false (Message.is_light (Message.packet_only p));
+  check_bool "light" true (Message.is_light (Message.light [ Message.Flag true ]));
+  check_bool "controlled packet not plain" false
+    (Message.is_plain (Message.make ~packet:p [ Message.Flag true ]))
+
+let test_control_bits () =
+  check_int "flag is 1 bit" 1 (Message.control_bits (Message.light [ Message.Flag true ]));
+  check_int "count 0 is 1 bit" 1 (Message.control_bits (Message.light [ Message.Count 0 ]));
+  check_int "count 5 is 3 bits" 3 (Message.control_bits (Message.light [ Message.Count 5 ]));
+  check_int "count 255 is 8 bits" 8
+    (Message.control_bits (Message.light [ Message.Count 255 ]));
+  check_int "empty schedule has a length header" 1
+    (Message.control_bits (Message.light [ Message.Schedule [] ]));
+  check_bool "schedule grows with entries" true
+    (Message.control_bits (Message.light [ Message.Schedule [ 3; 5; 9 ] ])
+     > Message.control_bits (Message.light [ Message.Schedule [ 3 ] ]))
+
+(* ---- Pqueue ---- *)
+
+let test_pqueue_fifo_order () =
+  let q = Pqueue.create ~n:4 in
+  List.iter (fun id -> Pqueue.add q (packet ~id ~dst:1)) [ 5; 3; 9 ];
+  Alcotest.(check (list int))
+    "arrival order, not id order" [ 5; 3; 9 ]
+    (List.map (fun (p : Packet.t) -> p.id) (Pqueue.to_list q))
+
+let test_pqueue_remove () =
+  let q = Pqueue.create ~n:4 in
+  let p1 = packet ~id:1 ~dst:2 and p2 = packet ~id:2 ~dst:3 in
+  Pqueue.add q p1;
+  Pqueue.add q p2;
+  check_bool "removes present" true (Pqueue.remove q p1);
+  check_bool "absent returns false" false (Pqueue.remove q p1);
+  check_int "size tracks" 1 (Pqueue.size q);
+  check_int "dest count tracks" 0 (Pqueue.count_to q 2);
+  check_int "other dest untouched" 1 (Pqueue.count_to q 3)
+
+let test_pqueue_duplicate_rejected () =
+  let q = Pqueue.create ~n:4 in
+  Pqueue.add q (packet ~id:1 ~dst:2);
+  Alcotest.check_raises "duplicate id" (Invalid_argument "Pqueue.add: duplicate packet id")
+    (fun () -> Pqueue.add q (packet ~id:1 ~dst:3))
+
+let test_pqueue_oldest_queries () =
+  let q = Pqueue.create ~n:4 in
+  List.iter (fun (id, dst) -> Pqueue.add q (packet ~id ~dst))
+    [ (1, 2); (2, 3); (3, 2); (4, 1) ];
+  let id_of = function Some (p : Packet.t) -> p.id | None -> -1 in
+  check_int "oldest" 1 (id_of (Pqueue.oldest q));
+  check_int "oldest_to 3" 2 (id_of (Pqueue.oldest_to q 3));
+  check_int "oldest_to 1" 4 (id_of (Pqueue.oldest_to q 1));
+  check_int "oldest_to empty dest" (-1) (id_of (Pqueue.oldest_to q 0));
+  check_int "oldest_such" 3
+    (id_of (Pqueue.oldest_such q (fun p -> p.id > 2 && p.dst = 2)));
+  check_int "oldest_to_such" 3
+    (id_of (Pqueue.oldest_to_such q 2 (fun p -> p.id > 1)))
+
+let test_pqueue_count_below () =
+  let q = Pqueue.create ~n:5 in
+  List.iter (fun (id, dst) -> Pqueue.add q (packet ~id ~dst))
+    [ (1, 0); (2, 2); (3, 2); (4, 4) ];
+  check_int "below 0" 0 (Pqueue.count_to_below q 0);
+  check_int "below 3" 3 (Pqueue.count_to_below q 3);
+  check_int "below 5" 4 (Pqueue.count_to_below q 5)
+
+let test_pqueue_readdition_moves_to_tail () =
+  let q = Pqueue.create ~n:4 in
+  let p1 = packet ~id:1 ~dst:2 in
+  Pqueue.add q p1;
+  Pqueue.add q (packet ~id:2 ~dst:2);
+  ignore (Pqueue.remove q p1);
+  Pqueue.add q p1;
+  Alcotest.(check (list int)) "adoption order" [ 2; 1 ]
+    (List.map (fun (p : Packet.t) -> p.id) (Pqueue.to_list q))
+
+(* Model-based property: a queue behaves like a list of (id, dst) pairs in
+   insertion order under a random sequence of adds and removes. *)
+let pqueue_model =
+  QCheck.Test.make ~name:"pqueue_matches_list_model" ~count:200
+    QCheck.(list (pair (int_range 0 50) (int_range 0 5)))
+    (fun ops ->
+      let q = Pqueue.create ~n:6 in
+      let model = ref [] in
+      let next = ref 0 in
+      List.iter
+        (fun (choice, dst) ->
+          if choice < 40 || !model = [] then begin
+            let p = Packet.make ~id:!next ~src:0 ~dst ~injected_at:0 in
+            incr next;
+            Pqueue.add q p;
+            model := !model @ [ p ]
+          end
+          else begin
+            (* remove the (choice mod length)-th model element *)
+            let idx = choice mod List.length !model in
+            let victim = List.nth !model idx in
+            ignore (Pqueue.remove q victim);
+            model := List.filter (fun p -> not (Packet.equal p victim)) !model
+          end)
+        ops;
+      let ids (l : Packet.t list) = List.map (fun (p : Packet.t) -> p.id) l in
+      ids (Pqueue.to_list q) = ids !model
+      && Pqueue.size q = List.length !model
+      && List.for_all
+           (fun d ->
+             Pqueue.count_to q d
+             = List.length (List.filter (fun (p : Packet.t) -> p.dst = d) !model))
+           [ 0; 1; 2; 3; 4; 5 ])
+
+(* ---- Energy ---- *)
+
+let test_energy_accounting () =
+  let e = Energy.create ~cap:3 in
+  List.iter (fun c -> Energy.record_round e ~on_count:c) [ 0; 3; 2; 4; 1 ];
+  check_int "rounds" 5 (Energy.rounds e);
+  check_int "max" 4 (Energy.max_on e);
+  check_int "total" 10 (Energy.total_station_rounds e);
+  check_int "violations" 1 (Energy.violations e);
+  Alcotest.(check (float 0.001)) "mean" 2.0 (Energy.mean_on e)
+
+(* ---- Trace ---- *)
+
+let test_trace_disabled_is_noop () =
+  let t = Trace.create ~enabled:false () in
+  Trace.event t ~round:1 "x";
+  Trace.eventf t ~round:2 "%d" 42;
+  Alcotest.(check (list (pair int string))) "empty" [] (Trace.dump t)
+
+let test_trace_ring () =
+  let t = Trace.create ~capacity:3 ~enabled:true () in
+  List.iter (fun i -> Trace.event t ~round:i (string_of_int i)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list (pair int string)))
+    "keeps last 3, oldest first"
+    [ (3, "3"); (4, "4"); (5, "5") ]
+    (Trace.dump t);
+  Trace.clear t;
+  Alcotest.(check (list (pair int string))) "cleared" [] (Trace.dump t)
+
+let test_trace_eventf () =
+  let t = Trace.create ~enabled:true () in
+  Trace.eventf t ~round:9 "v=%d %s" 7 "ok";
+  Alcotest.(check (list (pair int string))) "formats" [ (9, "v=7 ok") ] (Trace.dump t)
+
+(* ---- Algorithm describe ---- *)
+
+let test_describe () =
+  Alcotest.(check string) "table-1 notation" "orchestra [NObl-Gen-Dir]"
+    (Algorithm.describe (module Mac_routing.Orchestra));
+  Alcotest.(check string) "plain packet indirect" "adjust-window [NObl-PP-Ind]"
+    (Algorithm.describe (module Mac_routing.Adjust_window))
+
+let () =
+  Alcotest.run "channel"
+    [ ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+         Alcotest.test_case "bounds" `Quick test_rng_bounds;
+         Alcotest.test_case "split" `Quick test_rng_split_independent;
+         Alcotest.test_case "float range" `Quick test_rng_float_range;
+         Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+         QCheck_alcotest.to_alcotest rng_uniformity ]);
+      ("packet-message",
+       [ Alcotest.test_case "packet order" `Quick test_packet_order;
+         Alcotest.test_case "message classes" `Quick test_message_classes;
+         Alcotest.test_case "control bits" `Quick test_control_bits ]);
+      ("pqueue",
+       [ Alcotest.test_case "fifo order" `Quick test_pqueue_fifo_order;
+         Alcotest.test_case "remove" `Quick test_pqueue_remove;
+         Alcotest.test_case "duplicate rejected" `Quick test_pqueue_duplicate_rejected;
+         Alcotest.test_case "oldest queries" `Quick test_pqueue_oldest_queries;
+         Alcotest.test_case "count below" `Quick test_pqueue_count_below;
+         Alcotest.test_case "re-addition" `Quick test_pqueue_readdition_moves_to_tail;
+         QCheck_alcotest.to_alcotest pqueue_model ]);
+      ("energy", [ Alcotest.test_case "accounting" `Quick test_energy_accounting ]);
+      ("trace",
+       [ Alcotest.test_case "disabled" `Quick test_trace_disabled_is_noop;
+         Alcotest.test_case "ring" `Quick test_trace_ring;
+         Alcotest.test_case "eventf" `Quick test_trace_eventf ]);
+      ("algorithm", [ Alcotest.test_case "describe" `Quick test_describe ]) ]

@@ -1,0 +1,335 @@
+(* Engine semantics tests. A configurable toy algorithm provokes each
+   protocol violation the engine must catch (foreign packets, plain-packet
+   breaches, relaying by direct algorithms, stranded packets, adoption
+   conflicts, schedule lies, collisions), and lawful runs check conservation
+   and delivery bookkeeping. *)
+
+open Mac_channel
+
+(* The toy: all stations on every round; station 0 follows a script. *)
+type behaviour =
+  | Quiet
+  | Send_oldest          (* plain packet to whoever it is addressed *)
+  | Send_foreign         (* a packet that is not in the queue *)
+  | Send_light           (* control-only message *)
+  | Collide              (* stations 0 and 1 transmit together *)
+
+let behaviour = ref Quiet
+let adopters : int list ref = ref []   (* stations adopting heard packets *)
+let adopt_always : int list ref = ref [] (* stations adopting on any feedback *)
+let off_stations : int list ref = ref []
+let lie_about_schedule = ref false
+
+module Toy = struct
+  type state = { me : int }
+
+  let name = "toy"
+  let plain_packet = false
+  let direct = false
+  let oblivious = true
+  let required_cap ~n ~k:_ = n
+
+  let static_schedule =
+    Some (fun ~n:_ ~k:_ ~me:_ ~round:_ -> true)
+
+  let create ~n:_ ~k:_ ~me = { me }
+
+  let on_duty s ~round:_ ~queue:_ =
+    if !lie_about_schedule && s.me = 0 then false
+    else not (List.mem s.me !off_stations)
+
+  let act s ~round:_ ~queue =
+    let send_oldest () =
+      match Pqueue.oldest queue with
+      | Some p -> Action.Transmit (Message.packet_only p)
+      | None -> Action.Listen
+    in
+    match !behaviour with
+    | Quiet -> Action.Listen
+    | Send_oldest -> if s.me = 0 then send_oldest () else Action.Listen
+    | Send_foreign ->
+      if s.me = 0 then
+        Action.Transmit
+          (Message.packet_only (Packet.make ~id:999_999 ~src:0 ~dst:1 ~injected_at:0))
+      else Action.Listen
+    | Send_light ->
+      if s.me = 0 then Action.Transmit (Message.light [ Message.Flag true ])
+      else Action.Listen
+    | Collide -> if s.me <= 1 then send_oldest () else Action.Listen
+
+  let observe s ~round:_ ~queue:_ ~feedback =
+    if List.mem s.me !adopt_always then Reaction.Adopt_heard_packet
+    else begin
+      match feedback with
+      | Feedback.Heard { Message.packet = Some p; _ }
+        when List.mem s.me !adopters && p.Packet.dst <> s.me ->
+        Reaction.Adopt_heard_packet
+      | _ -> Reaction.No_reaction
+    end
+
+  let offline_tick _ ~round:_ ~queue:_ = ()
+end
+
+(* A wrapper changing the declared flags without rewriting the hooks. *)
+module Toy_flagged = struct
+  include Toy
+
+  let plain_packet = true
+  let name = "toy-plain"
+end
+
+module Toy_direct = struct
+  include Toy
+
+  let direct = true
+  let name = "toy-direct"
+end
+
+let reset () =
+  behaviour := Quiet;
+  adopters := [];
+  adopt_always := [];
+  off_stations := [];
+  lie_about_schedule := false
+
+let run ?(algorithm = (module Toy : Algorithm.S)) ?(strict = true)
+    ?(check_schedule = false) ?(rate = 0.5) ?(rounds = 100) ?(drain = 0)
+    ?pattern () =
+  let n = 4 in
+  let pattern =
+    match pattern with
+    | Some p -> p
+    | None -> Mac_adversary.Pattern.uniform ~n ~seed:1
+  in
+  let adversary = Mac_adversary.Adversary.create ~rate ~burst:2.0 pattern in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds) with
+      strict; check_schedule; drain_limit = drain; sample_every = 1 }
+  in
+  Mac_sim.Engine.run ~config ~algorithm ~n ~k:n ~adversary ~rounds ()
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let expect_violation name f =
+  reset ();
+  match f () with
+  | exception Mac_sim.Engine.Protocol_violation _ -> ()
+  | _ -> Alcotest.failf "%s: expected Protocol_violation" name
+
+(* ---- lawful runs ---- *)
+
+let test_conservation () =
+  reset ();
+  behaviour := Send_oldest;
+  let s = run ~rounds:2_000 () in
+  check_int "injected = delivered + queued" s.injected
+    (s.delivered + s.final_total_queue);
+  check_bool "clean" true (Mac_sim.Metrics.no_violations s)
+
+let test_delivery_requires_destination_on () =
+  (* station 0 transmits; all on -> deliveries happen. Then destination 1
+     off and 2 adopts -> relays, not deliveries. *)
+  reset ();
+  behaviour := Send_oldest;
+  let s =
+    run ~rounds:500 ~pattern:(Mac_adversary.Pattern.pair_flood ~src:0 ~dst:1) ()
+  in
+  check_bool "deliveries happen when dst on" true (s.delivered > 0);
+  reset ();
+  behaviour := Send_oldest;
+  off_stations := [ 1 ];
+  adopters := [ 2 ];
+  let s =
+    run ~rounds:500 ~pattern:(Mac_adversary.Pattern.pair_flood ~src:0 ~dst:1) ()
+  in
+  check_int "no deliveries with dst off" 0 s.delivered;
+  check_bool "relays recorded" true (s.relay_rounds > 0)
+
+let test_delay_measurement () =
+  reset ();
+  behaviour := Send_oldest;
+  let s =
+    run ~rounds:100 ~rate:0.1
+      ~pattern:(Mac_adversary.Pattern.pair_flood ~src:0 ~dst:1) ()
+  in
+  check_bool "delays measured" true (s.delivered > 0 && s.max_delay >= 0);
+  check_bool "mean <= max" true (s.mean_delay <= float_of_int (max 1 s.max_delay))
+
+let test_silent_and_light_rounds () =
+  reset ();
+  let s = run ~rounds:50 () in
+  check_int "all silent when quiet" 50 s.silent_rounds;
+  reset ();
+  behaviour := Send_light;
+  let s = run ~rounds:50 () in
+  check_int "light rounds counted" 50 s.light_rounds;
+  check_bool "control bits counted" true (s.control_bits_total = 50)
+
+let test_collisions_counted_and_packets_survive () =
+  reset ();
+  behaviour := Collide;
+  let s =
+    run ~rounds:200
+      ~pattern:(Mac_adversary.Pattern.round_robin ~n:4) ()
+  in
+  check_bool "collisions happened" true (s.collision_rounds > 0);
+  check_int "nothing delivered" 0 s.delivered;
+  check_int "nothing lost" s.injected s.final_total_queue
+
+let test_drain_stops_when_empty () =
+  reset ();
+  behaviour := Send_oldest;
+  let s =
+    run ~rounds:100 ~rate:0.1 ~drain:100_000
+      ~pattern:(Mac_adversary.Pattern.pair_flood ~src:0 ~dst:1) ()
+  in
+  check_int "queues empty" 0 s.final_total_queue;
+  check_bool "drain stopped early" true (s.drain_rounds < 1_000)
+
+let test_energy_accounting_in_summary () =
+  reset ();
+  off_stations := [ 2; 3 ];
+  let s = run ~rounds:100 () in
+  check_int "max on" 2 s.max_on;
+  check_int "station rounds" 200 s.station_rounds
+
+let test_queue_series_sampling () =
+  reset ();
+  let s = run ~rounds:64 () in
+  check_int "one sample per round at sample_every=1" 64
+    (Array.length s.queue_series)
+
+(* ---- violations ---- *)
+
+let test_foreign_packet_rejected () =
+  expect_violation "foreign" (fun () ->
+      behaviour := Send_foreign;
+      run ())
+
+let test_plain_packet_breach () =
+  expect_violation "plain breach" (fun () ->
+      behaviour := Send_light;
+      run ~algorithm:(module Toy_flagged) ())
+
+let test_direct_algorithm_cannot_relay () =
+  expect_violation "direct relay" (fun () ->
+      behaviour := Send_oldest;
+      off_stations := [ 1 ];
+      adopters := [ 2 ];
+      ignore
+        (run ~algorithm:(module Toy_direct)
+           ~pattern:(Mac_adversary.Pattern.pair_flood ~src:0 ~dst:1) ()))
+
+let test_stranded_packet_strict () =
+  expect_violation "stranded" (fun () ->
+      behaviour := Send_oldest;
+      off_stations := [ 1 ];
+      ignore (run ~pattern:(Mac_adversary.Pattern.pair_flood ~src:0 ~dst:1) ()))
+
+let test_stranded_packet_tolerant () =
+  reset ();
+  behaviour := Send_oldest;
+  off_stations := [ 1 ];
+  let s =
+    run ~strict:false ~rounds:50
+      ~pattern:(Mac_adversary.Pattern.pair_flood ~src:0 ~dst:1) ()
+  in
+  check_bool "stranded counted" true (s.violations.stranded > 0);
+  check_int "packets returned to sender" s.injected s.final_total_queue
+
+let test_adoption_conflict () =
+  reset ();
+  behaviour := Send_oldest;
+  off_stations := [ 1 ];
+  adopters := [ 2; 3 ];
+  let s =
+    run ~strict:false ~rounds:50
+      ~pattern:(Mac_adversary.Pattern.pair_flood ~src:0 ~dst:1) ()
+  in
+  check_bool "conflicts counted" true (s.violations.adoption_conflicts > 0);
+  check_int "packet kept exactly once" s.injected (s.delivered + s.final_total_queue)
+
+let test_spurious_adoption () =
+  reset ();
+  adopt_always := [ 2 ];
+  let s = run ~strict:false ~rounds:20 () in
+  check_bool "spurious counted" true (s.violations.spurious_adoptions > 0)
+
+let test_transmitter_cannot_adopt () =
+  expect_violation "self adopt" (fun () ->
+      behaviour := Send_oldest;
+      off_stations := [ 1 ];
+      adopters := [ 0 ];
+      ignore (run ~pattern:(Mac_adversary.Pattern.pair_flood ~src:0 ~dst:1) ()))
+
+let test_schedule_cross_check () =
+  expect_violation "schedule lie" (fun () ->
+      lie_about_schedule := true;
+      run ~check_schedule:true ())
+
+let test_schedule_cross_check_passes_honest () =
+  reset ();
+  let s = run ~check_schedule:true ~rounds:50 () in
+  check_bool "honest schedule fine" true (Mac_sim.Metrics.no_violations s)
+
+(* ---- determinism ---- *)
+
+(* The whole simulator must be a pure function of its configuration: two
+   runs of any algorithm under any seeded adversary produce identical
+   summaries, field for field. *)
+let determinism_property =
+  let algorithms =
+    [| ("orchestra", (module Mac_routing.Orchestra : Algorithm.S), 3);
+       ("count-hop", (module Mac_routing.Count_hop), 2);
+       ("k-cycle", Mac_routing.K_cycle.algorithm ~n:8 ~k:3, 3);
+       ("k-subsets", Mac_routing.K_subsets.algorithm ~n:8 ~k:3 (), 3);
+       ("mbtf", (module Mac_broadcast.Mbtf), 8) |]
+  in
+  QCheck.Test.make ~name:"engine_is_deterministic" ~count:20
+    QCheck.(triple (int_range 0 4) (int_range 1 99) small_nat)
+    (fun (pick, rate_pct, seed) ->
+      let _, algorithm, k = algorithms.(pick) in
+      let once () =
+        let adversary =
+          Mac_adversary.Adversary.create
+            ~rate:(float_of_int rate_pct /. 100.0)
+            ~burst:3.0
+            (Mac_adversary.Pattern.uniform ~n:8 ~seed)
+        in
+        Mac_sim.Engine.run ~algorithm ~n:8 ~k ~adversary ~rounds:3_000 ()
+      in
+      let a = once () and b = once () in
+      a.injected = b.injected && a.delivered = b.delivered
+      && a.max_delay = b.max_delay
+      && a.mean_delay = b.mean_delay
+      && a.max_total_queue = b.max_total_queue
+      && a.station_rounds = b.station_rounds
+      && a.queue_series = b.queue_series)
+
+let () =
+  Alcotest.run "engine"
+    [ ("lawful",
+       [ Alcotest.test_case "conservation" `Quick test_conservation;
+         Alcotest.test_case "delivery needs dst on" `Quick
+           test_delivery_requires_destination_on;
+         Alcotest.test_case "delay measurement" `Quick test_delay_measurement;
+         Alcotest.test_case "silent/light rounds" `Quick test_silent_and_light_rounds;
+         Alcotest.test_case "collisions" `Quick
+           test_collisions_counted_and_packets_survive;
+         Alcotest.test_case "drain" `Quick test_drain_stops_when_empty;
+         Alcotest.test_case "energy summary" `Quick test_energy_accounting_in_summary;
+         Alcotest.test_case "series sampling" `Quick test_queue_series_sampling ]);
+      ("violations",
+       [ Alcotest.test_case "foreign packet" `Quick test_foreign_packet_rejected;
+         Alcotest.test_case "plain breach" `Quick test_plain_packet_breach;
+         Alcotest.test_case "direct relay" `Quick test_direct_algorithm_cannot_relay;
+         Alcotest.test_case "stranded strict" `Quick test_stranded_packet_strict;
+         Alcotest.test_case "stranded tolerant" `Quick test_stranded_packet_tolerant;
+         Alcotest.test_case "adoption conflict" `Quick test_adoption_conflict;
+         Alcotest.test_case "spurious adoption" `Quick test_spurious_adoption;
+         Alcotest.test_case "self adoption" `Quick test_transmitter_cannot_adopt;
+         Alcotest.test_case "schedule lie" `Quick test_schedule_cross_check;
+         Alcotest.test_case "schedule honest" `Quick
+           test_schedule_cross_check_passes_honest ]);
+      ("determinism", [ QCheck_alcotest.to_alcotest determinism_property ]) ]

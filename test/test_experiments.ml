@@ -1,0 +1,145 @@
+(* Tests for the experiments layer: the Table-1 bound formulas, the scenario
+   runner and its checkers, and quick-scale executions of the catalog. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+open Mac_experiments
+
+(* ---- Bounds formulas ---- *)
+
+let test_orchestra_bound () =
+  check_float "2n^3+b" 2004.0 (Bounds.orchestra_queue_bound ~n:10 ~beta:4.0);
+  check_int "big threshold" 99 (Bounds.orchestra_big_threshold ~n:10)
+
+let test_count_hop_bounds () =
+  check_float "paper" 2040.0 (Bounds.count_hop_latency ~n:10 ~rho:0.9 ~beta:2.0);
+  check_float "impl" 3440.0 (Bounds.count_hop_latency_impl ~n:10 ~rho:0.9 ~beta:2.0)
+
+let test_k_cycle_rate () =
+  check_float "(k-1)/(n-1)" (3.0 /. 11.0) (Bounds.k_cycle_rate ~n:12 ~k:4);
+  (* the n <= 2k adjustment feeds through *)
+  check_float "adjusted" (3.0 /. 6.0) (Bounds.k_cycle_rate ~n:7 ~k:6);
+  check_float "latency" 408.0 (Bounds.k_cycle_latency ~n:12 ~beta:2.0)
+
+let test_k_cycle_impl_rate () =
+  (* one group in ceil(n/(k-1)) owns a flood's rounds *)
+  check_float "n=12 k=4" 0.25 (Bounds.k_cycle_rate_impl ~n:12 ~k:4);
+  check_float "n=8 k=3" 0.25 (Bounds.k_cycle_rate_impl ~n:8 ~k:3);
+  check_float "n=13 k=4 (5 groups)" 0.2 (Bounds.k_cycle_rate_impl ~n:13 ~k:4);
+  check_bool "strictly below the paper's threshold" true
+    (Bounds.k_cycle_rate_impl ~n:12 ~k:4 < Bounds.k_cycle_rate ~n:12 ~k:4);
+  check_bool "still below Theorem 6's k/n" true
+    (Bounds.k_cycle_rate_impl ~n:12 ~k:4 < Bounds.oblivious_rate_upper ~n:12 ~k:4)
+
+let test_oblivious_upper () =
+  check_float "k/n" (1.0 /. 3.0) (Bounds.oblivious_rate_upper ~n:12 ~k:4)
+
+let test_k_clique_bounds () =
+  check_float "latency rate" (16.0 /. 480.0) (Bounds.k_clique_latency_rate ~n:12 ~k:4);
+  check_float "stable rate" (16.0 /. 240.0) (Bounds.k_clique_stable_rate ~n:12 ~k:4);
+  check_float "latency" 360.0 (Bounds.k_clique_latency ~n:12 ~k:4 ~beta:2.0)
+
+let test_k_subsets_bounds () =
+  check_float "rate" (6.0 /. 30.0) (Bounds.k_subsets_rate ~n:6 ~k:3);
+  check_float "queues" (2.0 *. 20.0 *. 40.0)
+    (Bounds.k_subsets_queue_bound ~n:6 ~k:3 ~beta:4.0)
+
+let test_adjust_window_impl_bound_grows_with_rho () =
+  let b1 = Bounds.adjust_window_latency_impl ~n:4 ~rho:0.3 ~beta:2.0 in
+  let b2 = Bounds.adjust_window_latency_impl ~n:4 ~rho:0.9 ~beta:2.0 in
+  check_bool "monotone in rho" true (b2 >= b1);
+  check_bool "at least two initial windows" true
+    (b1 >= 2.0 *. float_of_int (Mac_routing.Adjust_window.initial_window ~n:4))
+
+(* ---- Scenario runner ---- *)
+
+let simple_spec ?(rate = 0.1) () =
+  Scenario.spec ~id:"test" ~algorithm:(module Mac_routing.Pair_tdma) ~n:4 ~k:2
+    ~rate ~burst:2.0 ~pattern:(Mac_adversary.Pattern.round_robin ~n:4)
+    ~rounds:20_000 ()
+
+let test_scenario_checks_pass () =
+  let o =
+    Scenario.run
+      ~checks:
+        [ Scenario.cap_at_most 2; Scenario.clean; Scenario.stable;
+          Scenario.delivered_all; Scenario.latency_under 1.0e9 ]
+      (simple_spec ())
+  in
+  check_bool "passed" true o.passed;
+  check_int "all five checks ran" 5 (List.length o.checks)
+
+let test_scenario_check_failure_detected () =
+  let o = Scenario.run ~checks:[ Scenario.latency_under 1.0 ] (simple_spec ()) in
+  check_bool "failed" false o.passed
+
+let test_scenario_unstable_check () =
+  (* pair-tdma drowns under a dedicated pair flood above its threshold *)
+  let spec =
+    Scenario.spec ~id:"drown" ~algorithm:(module Mac_routing.Pair_tdma) ~n:4
+      ~k:2 ~rate:0.3 ~burst:2.0
+      ~pattern:(Mac_adversary.Pattern.pair_flood ~src:1 ~dst:2)
+      ~rounds:30_000 ~drain:0 ()
+  in
+  let o = Scenario.run ~checks:[ Scenario.unstable ] spec in
+  check_bool "unstable detected" true o.passed
+
+let test_schedule_of () =
+  check_bool "oblivious exposes schedule" true
+    (Scenario.schedule_of (module Mac_routing.Pair_tdma) ~n:4 ~k:2 <> None);
+  check_bool "adaptive has none" true
+    (Scenario.schedule_of (module Mac_routing.Orchestra) ~n:4 ~k:3 = None)
+
+(* ---- catalog ---- *)
+
+let test_table1_catalog_complete () =
+  check_int "nine rows" 9 (List.length Table1.all);
+  List.iter
+    (fun (t : Table1.t) ->
+      check_bool "id prefixed" true (String.length t.id > 3 && String.sub t.id 0 3 = "T1."))
+    Table1.all;
+  check_bool "find works" true (Table1.find "T1.orchestra" == List.hd Table1.all)
+
+let test_table1_quick_rows_pass () =
+  (* the full sweep is the bench's job; spot-check two structurally
+     different rows at quick scale *)
+  List.iter
+    (fun id ->
+      let t = Table1.find id in
+      List.iter
+        (fun (o : Scenario.outcome) ->
+          check_bool (Printf.sprintf "%s/%s passes" id o.spec.id) true o.passed)
+        (t.run ~scale:`Quick))
+    [ "T1.k-clique"; "T1.obl-impossible" ]
+
+let test_figures_quick_produce_rows () =
+  List.iter
+    (fun (f : Figures.t) ->
+      let report, outcomes = f.run ~scale:`Quick in
+      check_bool (f.id ^ " yields rows") true (String.length (Mac_sim.Report.to_string report) > 0);
+      check_bool (f.id ^ " yields outcomes") true (outcomes <> []))
+    [ Figures.energy ]
+
+let () =
+  Alcotest.run "experiments"
+    [ ("bounds",
+       [ Alcotest.test_case "orchestra" `Quick test_orchestra_bound;
+         Alcotest.test_case "count-hop" `Quick test_count_hop_bounds;
+         Alcotest.test_case "k-cycle" `Quick test_k_cycle_rate;
+         Alcotest.test_case "k-cycle impl frontier" `Quick test_k_cycle_impl_rate;
+         Alcotest.test_case "oblivious upper" `Quick test_oblivious_upper;
+         Alcotest.test_case "k-clique" `Quick test_k_clique_bounds;
+         Alcotest.test_case "k-subsets" `Quick test_k_subsets_bounds;
+         Alcotest.test_case "adjust-window impl" `Quick
+           test_adjust_window_impl_bound_grows_with_rho ]);
+      ("scenario",
+       [ Alcotest.test_case "checks pass" `Quick test_scenario_checks_pass;
+         Alcotest.test_case "failure detected" `Quick test_scenario_check_failure_detected;
+         Alcotest.test_case "unstable check" `Slow test_scenario_unstable_check;
+         Alcotest.test_case "schedule_of" `Quick test_schedule_of ]);
+      ("catalog",
+       [ Alcotest.test_case "table1 complete" `Quick test_table1_catalog_complete;
+         Alcotest.test_case "table1 quick rows" `Slow test_table1_quick_rows_pass;
+         Alcotest.test_case "figures quick" `Slow test_figures_quick_produce_rows ]) ]

@@ -1,0 +1,143 @@
+(* Tests for machine-readable export (CSV/JSON), the engine's event trace,
+   and the bisection sweep. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sample_summary () =
+  (* comma-free adversary name so the naive column count below is valid *)
+  let adversary =
+    Mac_adversary.Adversary.create ~name:"uniform-test" ~rate:0.5 ~burst:2.0
+      (Mac_adversary.Pattern.uniform ~n:4 ~seed:3)
+  in
+  Mac_sim.Engine.run ~algorithm:(module Mac_broadcast.Rrw) ~n:4 ~k:4 ~adversary
+    ~rounds:2_000 ()
+
+(* ---- CSV ---- *)
+
+let test_csv_shape () =
+  let s = sample_summary () in
+  let csv = Mac_sim.Export.summaries_csv [ s; s ] in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "header + 2 rows" 3 (List.length lines);
+  let width line = List.length (String.split_on_char ',' line) in
+  List.iter
+    (fun line -> check_int "same column count" (width (List.hd lines)) (width line))
+    lines
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_csv_quoting () =
+  let s = sample_summary () in
+  let crafted = { s with Mac_sim.Metrics.adversary = "a,\"b\"" } in
+  check_bool "quotes commas and doubles quotes" true
+    (contains ~needle:"\"a,\"\"b\"\"\"" (Mac_sim.Export.summary_csv_row crafted))
+
+let test_series_csv () =
+  let s = sample_summary () in
+  let rows = String.split_on_char '\n' (String.trim (Mac_sim.Export.series_csv s)) in
+  check_int "header + samples"
+    (Array.length s.queue_series + 1)
+    (List.length rows);
+  Alcotest.(check string) "header" "round,total_queued" (List.hd rows)
+
+let test_json_parses_shape () =
+  let s = sample_summary () in
+  let json = Mac_sim.Export.summary_json s in
+  check_bool "object" true
+    (String.length json > 2 && json.[0] = '{' && json.[String.length json - 1] = '}');
+  check_bool "has algorithm" true (contains ~needle:"\"algorithm\": \"rrw\"" json);
+  check_bool "has violations object" true
+    (contains ~needle:"\"violations\": {" json)
+
+let test_write_file () =
+  let path = Filename.temp_file "eear" ".csv" in
+  Mac_sim.Export.write_file ~path "hello\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" "hello" line
+
+(* ---- engine trace ---- *)
+
+let test_engine_trace_records_events () =
+  let trace = Mac_channel.Trace.create ~capacity:100 ~enabled:true () in
+  let adversary =
+    Mac_adversary.Adversary.create ~rate:0.5 ~burst:2.0
+      (Mac_adversary.Pattern.uniform ~n:4 ~seed:5)
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds:50) with trace = Some trace }
+  in
+  let s =
+    Mac_sim.Engine.run ~config ~algorithm:(module Mac_broadcast.Rrw) ~n:4 ~k:4
+      ~adversary ~rounds:50 ()
+  in
+  let events = Mac_channel.Trace.dump trace in
+  check_bool "events recorded" true (events <> []);
+  let count prefix =
+    List.length
+      (List.filter
+         (fun (_, e) -> String.length e >= String.length prefix
+                        && String.sub e 0 (String.length prefix) = prefix)
+         events)
+  in
+  check_bool "inject events" true (count "inject" > 0);
+  check_bool "deliver events consistent" true (count "deliver" <= s.delivered)
+
+let test_engine_no_trace_by_default () =
+  (* merely documents that the default config carries no trace *)
+  let cfg = Mac_sim.Engine.default_config ~rounds:10 in
+  check_bool "no trace" true (cfg.trace = None)
+
+(* ---- sweep ---- *)
+
+let test_bisect_narrows () =
+  (* synthetic probe: stable below 0.37 *)
+  let probe ~rho = rho < 0.37 in
+  let lo, hi = Mac_experiments.Sweep.bisect ~steps:10 ~lo:0.0 ~hi:1.0 probe in
+  check_bool "brackets the frontier" true (lo < 0.37 && 0.37 <= hi);
+  check_bool "tight" true (hi -. lo <= 1.0 /. 1024.0 +. 1e-9)
+
+let test_bisect_validates_endpoints () =
+  Alcotest.check_raises "lo must be stable"
+    (Invalid_argument "Sweep.bisect: not stable at the lower rate") (fun () ->
+      ignore (Mac_experiments.Sweep.bisect ~lo:0.5 ~hi:1.0 (fun ~rho -> rho > 0.7)));
+  Alcotest.check_raises "hi must be unstable"
+    (Invalid_argument "Sweep.bisect: not unstable at the upper rate") (fun () ->
+      ignore (Mac_experiments.Sweep.bisect ~lo:0.1 ~hi:0.2 (fun ~rho:_ -> true)))
+
+let test_probe_on_pair_tdma () =
+  (* pair-tdma's frontier for a (1,2) flood is 1/(n(n-1)) = 1/12 at n=4 *)
+  let probe =
+    Mac_experiments.Sweep.stability_probe
+      ~algorithm:(module Mac_routing.Pair_tdma) ~n:4 ~k:2
+      ~pattern:(fun () -> Mac_adversary.Pattern.pair_flood ~src:1 ~dst:2)
+      ~rounds:40_000 ()
+  in
+  let lo, hi = Mac_experiments.Sweep.bisect ~steps:5 ~lo:0.02 ~hi:0.3 probe in
+  let frontier = 1.0 /. 12.0 in
+  check_bool
+    (Printf.sprintf "frontier %.4f in [%.4f, %.4f]" frontier lo hi)
+    true
+    (lo <= frontier +. 0.02 && hi >= frontier -. 0.02)
+
+let () =
+  Alcotest.run "export"
+    [ ("csv",
+       [ Alcotest.test_case "shape" `Quick test_csv_shape;
+         Alcotest.test_case "quoting" `Quick test_csv_quoting;
+         Alcotest.test_case "series" `Quick test_series_csv;
+         Alcotest.test_case "write file" `Quick test_write_file ]);
+      ("json", [ Alcotest.test_case "shape" `Quick test_json_parses_shape ]);
+      ("trace",
+       [ Alcotest.test_case "records events" `Quick test_engine_trace_records_events;
+         Alcotest.test_case "off by default" `Quick test_engine_no_trace_by_default ]);
+      ("sweep",
+       [ Alcotest.test_case "bisect narrows" `Quick test_bisect_narrows;
+         Alcotest.test_case "validates endpoints" `Quick test_bisect_validates_endpoints;
+         Alcotest.test_case "pair-tdma frontier" `Slow test_probe_on_pair_tdma ]) ]

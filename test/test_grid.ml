@@ -1,0 +1,72 @@
+(* The compatibility grid: every algorithm against every injection pattern
+   at half its own worst-case stable rate must deliver everything, respect
+   its cap, and run protocol-clean. This is the broad integration sweep that
+   catches cross-cutting regressions a focused suite misses. *)
+
+open Helpers
+
+type subject = {
+  sname : string;
+  algorithm : Mac_channel.Algorithm.t;
+  n : int;
+  k : int;
+  rate : float;      (* half the worst-case stable rate *)
+  rounds : int;
+  drain : int;
+}
+
+let subjects =
+  [ { sname = "orchestra"; algorithm = (module Mac_routing.Orchestra);
+      n = 8; k = 3; rate = 0.45; rounds = 20_000; drain = 30_000 };
+    { sname = "count-hop"; algorithm = (module Mac_routing.Count_hop);
+      n = 8; k = 2; rate = 0.45; rounds = 20_000; drain = 20_000 };
+    { sname = "adjust-window"; algorithm = (module Mac_routing.Adjust_window);
+      n = 4; k = 2; rate = 0.3; rounds = 50_000; drain = 70_000 };
+    { sname = "k-cycle";
+      algorithm = Mac_routing.K_cycle.algorithm ~n:8 ~k:3;
+      n = 8; k = 3; rate = 0.5 *. (2.0 /. 7.0); rounds = 30_000; drain = 30_000 };
+    { sname = "k-clique";
+      algorithm = Mac_routing.K_clique.algorithm ~n:8 ~k:4;
+      n = 8; k = 4;
+      rate = 0.5 *. (16.0 /. (8.0 *. 12.0)); rounds = 30_000; drain = 30_000 };
+    { sname = "k-subsets";
+      algorithm = Mac_routing.K_subsets.algorithm ~n:6 ~k:3 ();
+      n = 6; k = 3; rate = 0.1; rounds = 30_000; drain = 30_000 };
+    { sname = "k-subsets-rrw";
+      algorithm = Mac_routing.K_subsets.algorithm ~discipline:`Rrw ~n:6 ~k:3 ();
+      n = 6; k = 3; rate = 0.1; rounds = 30_000; drain = 30_000 };
+    { sname = "pair-tdma"; algorithm = (module Mac_routing.Pair_tdma);
+      n = 6; k = 2; rate = 0.015; rounds = 40_000; drain = 30_000 };
+    { sname = "rrw-broadcast"; algorithm = (module Mac_broadcast.Rrw);
+      n = 6; k = 6; rate = 0.45; rounds = 20_000; drain = 10_000 };
+    { sname = "mbtf-broadcast"; algorithm = (module Mac_broadcast.Mbtf);
+      n = 6; k = 6; rate = 0.45; rounds = 20_000; drain = 10_000 } ]
+
+let patterns ~n =
+  [ ("uniform", Mac_adversary.Pattern.uniform ~n ~seed:97);
+    ("flood", Mac_adversary.Pattern.flood ~n ~victim:(n - 1));
+    ("pair", Mac_adversary.Pattern.pair_flood ~src:1 ~dst:2);
+    ("round-robin", Mac_adversary.Pattern.round_robin ~n);
+    ("hotspot", Mac_adversary.Pattern.hotspot ~n ~seed:98 ~hot:0 ~bias:0.6) ]
+
+let grid_case subject (pname, pattern) =
+  let name = Printf.sprintf "%s x %s" subject.sname pname in
+  Alcotest.test_case name `Slow (fun () ->
+      let module A = (val subject.algorithm) in
+      let s =
+        run ~algorithm:subject.algorithm ~check_schedule:A.oblivious
+          ~n:subject.n ~k:subject.k ~rate:subject.rate ~burst:2.0 ~pattern
+          ~rounds:subject.rounds ~drain:subject.drain ()
+      in
+      assert_clean name s;
+      assert_cap name (A.required_cap ~n:subject.n ~k:subject.k) s;
+      assert_delivered_all name s)
+
+let () =
+  let suites =
+    List.map
+      (fun subject ->
+        (subject.sname, List.map (grid_case subject) (patterns ~n:subject.n)))
+      subjects
+  in
+  Alcotest.run "grid" suites

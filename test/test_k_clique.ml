@@ -1,0 +1,97 @@
+(* k-Clique (§6): direct oblivious routing over set pairs — latency bound,
+   same-set traffic, the k adjustment, and instability above 1/m. *)
+
+open Helpers
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let algo ~n ~k = Mac_routing.K_clique.algorithm ~n ~k
+
+let run_kq ?(n = 12) ?(k = 4) ?(rate = 0.03) ?(burst = 2.0) ?(rounds = 60_000)
+    ?(drain = 30_000) pattern =
+  run ~algorithm:(algo ~n ~k) ~n ~k ~rate ~burst ~pattern ~rounds ~drain ()
+
+let test_flags () =
+  let module A = (val algo ~n:12 ~k:4) in
+  check_bool "plain" true A.plain_packet;
+  check_bool "oblivious" true A.oblivious;
+  check_bool "direct" true A.direct;
+  check_int "cap" 4 (A.required_cap ~n:12 ~k:4)
+
+let test_direct_single_hop () =
+  let s = run_kq (Mac_adversary.Pattern.uniform ~n:12 ~seed:1) in
+  check_int "one hop" 1 s.max_hops;
+  check_int "no relays" 0 s.relay_rounds;
+  assert_delivered_all "uniform" s
+
+let test_latency_bound () =
+  let n = 12 and k = 4 and burst = 2.0 in
+  let rate = Mac_experiments.Bounds.k_clique_latency_rate ~n ~k in
+  let bound = Mac_experiments.Bounds.k_clique_latency ~n ~k ~beta:burst in
+  List.iter
+    (fun (name, pattern) ->
+      let s = run_kq ~rate ~burst pattern in
+      check_bool
+        (Printf.sprintf "%s: delay %d <= %.0f" name (worst_delay s) bound)
+        true
+        (float_of_int (worst_delay s) <= bound);
+      assert_delivered_all name s)
+    [ ("uniform", Mac_adversary.Pattern.uniform ~n ~seed:2);
+      ("pair", Mac_adversary.Pattern.pair_flood ~src:1 ~dst:2) ]
+
+let test_same_set_traffic () =
+  (* stations 0 and 1 are in the same set (n=12, k=4, sets of 2): packets
+     0 -> 1 can ride any pair containing set 0 *)
+  let s = run_kq (Mac_adversary.Pattern.pair_flood ~src:0 ~dst:1) in
+  assert_delivered_all "same set" s;
+  assert_clean "same set" s
+
+let test_cross_set_traffic () =
+  let s = run_kq (Mac_adversary.Pattern.pair_flood ~src:0 ~dst:11) in
+  assert_delivered_all "cross set" s
+
+let test_k_adjusted_to_divide_2n () =
+  (* n=9: k=4 does not divide 18, falls to 2 *)
+  let s = run_kq ~n:9 ~k:4 ~rate:0.01 (Mac_adversary.Pattern.uniform ~n:9 ~seed:3) in
+  check_bool "cap fell to 2" true (s.max_on <= 2);
+  assert_delivered_all "adjusted" s
+
+let test_stable_below_one_over_m () =
+  let n = 12 and k = 4 in
+  let rate = 0.9 *. Mac_experiments.Bounds.k_clique_stable_rate ~n ~k in
+  let s =
+    run_kq ~rate ~rounds:100_000 ~drain:60_000
+      (Mac_adversary.Pattern.pair_flood ~src:1 ~dst:2)
+  in
+  check_bool "stable at 0.9/m" true (is_stable s);
+  assert_delivered_all "0.9/m" s
+
+let test_unstable_above_one_over_m () =
+  let n = 12 and k = 4 in
+  let rate = 1.25 *. Mac_experiments.Bounds.k_clique_stable_rate ~n ~k in
+  let s =
+    run_kq ~rate ~rounds:100_000 ~drain:0
+      (Mac_adversary.Pattern.pair_flood ~src:1 ~dst:2)
+  in
+  check_bool "pair flood above 1/m wins" true (is_unstable s)
+
+let test_energy_profile () =
+  let s = run_kq (Mac_adversary.Pattern.uniform ~n:12 ~seed:4) in
+  check_int "k on per round" 4 s.max_on;
+  Alcotest.(check (float 0.1)) "always exactly one pair" 4.0 s.mean_on
+
+let () =
+  Alcotest.run "k-clique"
+    [ ("classification",
+       [ Alcotest.test_case "flags" `Quick test_flags;
+         Alcotest.test_case "energy profile" `Quick test_energy_profile ]);
+      ("routing",
+       [ Alcotest.test_case "single hop" `Quick test_direct_single_hop;
+         Alcotest.test_case "same set" `Quick test_same_set_traffic;
+         Alcotest.test_case "cross set" `Quick test_cross_set_traffic;
+         Alcotest.test_case "k adjustment" `Quick test_k_adjusted_to_divide_2n ]);
+      ("bounds",
+       [ Alcotest.test_case "latency" `Slow test_latency_bound;
+         Alcotest.test_case "stable below 1/m" `Slow test_stable_below_one_over_m;
+         Alcotest.test_case "unstable above 1/m" `Slow test_unstable_above_one_over_m ]) ]

@@ -1,0 +1,141 @@
+(* Orchestra (§3.1): stability at the maximum injection rate 1 under energy
+   cap 3, the Theorem-1 queue bound, the big-conductor mechanism, and
+   delivery correctness. *)
+
+open Helpers
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let orchestra = (module Mac_routing.Orchestra : Mac_channel.Algorithm.S)
+
+let run_orchestra ?(n = 8) ?(rate = 1.0) ?(burst = 4.0) ?(rounds = 40_000)
+    ?(drain = 0) pattern =
+  run ~algorithm:orchestra ~check_schedule:false ~n ~k:3 ~rate ~burst ~pattern
+    ~rounds ~drain ()
+
+let queue_bound ~n ~burst = (2 * n * n * n) + int_of_float burst
+
+let test_stable_at_rate_one_flood () =
+  let n = 8 in
+  let s = run_orchestra (Mac_adversary.Pattern.flood ~n ~victim:3) in
+  assert_clean "flood" s;
+  assert_cap "flood" 3 s;
+  check_bool "stable" true (is_stable s);
+  check_bool "queue bound" true (s.max_total_queue <= queue_bound ~n ~burst:4.0)
+
+let test_stable_at_rate_one_uniform () =
+  let n = 8 in
+  let s = run_orchestra (Mac_adversary.Pattern.uniform ~n ~seed:42) in
+  assert_clean "uniform" s;
+  assert_cap "uniform" 3 s;
+  check_bool "queue bound" true (s.max_total_queue <= queue_bound ~n ~burst:4.0)
+
+let test_stable_under_adaptive_adversary () =
+  let n = 8 in
+  let s = run_orchestra (Mac_adversary.Pattern.to_busiest ~n) in
+  assert_clean "to-busiest" s;
+  check_bool "queue bound" true (s.max_total_queue <= queue_bound ~n ~burst:4.0)
+
+let test_small_system () =
+  let n = 3 in
+  let s = run_orchestra ~n (Mac_adversary.Pattern.flood ~n ~victim:1) in
+  assert_clean "n=3" s;
+  assert_cap "n=3" 3 s;
+  check_bool "stable" true (is_stable s)
+
+let test_rejects_tiny_n () =
+  Alcotest.check_raises "n >= 3" (Invalid_argument "Orchestra: needs n >= 3")
+    (fun () ->
+      ignore (Mac_routing.Orchestra.create ~n:2 ~k:3 ~me:0))
+
+let test_delivers_everything_at_low_rate () =
+  let n = 8 in
+  let s =
+    run_orchestra ~rate:0.4 ~rounds:20_000 ~drain:20_000
+      (Mac_adversary.Pattern.uniform ~n ~seed:7)
+  in
+  assert_delivered_all "low rate" s;
+  assert_clean "low rate" s
+
+let test_direct_routing () =
+  let n = 8 in
+  let s = run_orchestra ~rounds:20_000 (Mac_adversary.Pattern.uniform ~n ~seed:9) in
+  check_int "single hop" 1 s.max_hops;
+  check_int "no relays" 0 s.relay_rounds
+
+let test_flood_keeps_big_conductor_dense () =
+  (* Once the flooded station is big it conducts forever and wastes no
+     rounds: light rounds must stop growing after the warm-up. In a run
+     twice as long, light rounds stay (nearly) the same. *)
+  let n = 8 in
+  let short = run_orchestra ~rounds:30_000 (Mac_adversary.Pattern.flood ~n ~victim:3) in
+  let long = run_orchestra ~rounds:60_000 (Mac_adversary.Pattern.flood ~n ~victim:3) in
+  check_bool "light rounds saturate" true
+    (long.light_rounds - short.light_rounds < short.light_rounds / 2 + 50)
+
+let test_energy_cost_is_three_per_round_max () =
+  let n = 8 in
+  let s = run_orchestra ~rounds:20_000 (Mac_adversary.Pattern.uniform ~n ~seed:11) in
+  check_bool "cap 3 reached but never exceeded" true (s.max_on <= 3);
+  (* conductor always on; at least one other station on in teaching rounds *)
+  check_bool "mean-on between 2 and 3" true (s.mean_on >= 1.9 && s.mean_on <= 3.0)
+
+let test_queue_bound_with_large_burst () =
+  let n = 6 in
+  let s =
+    run_orchestra ~n ~burst:100.0 ~rounds:30_000
+      (Mac_adversary.Pattern.flood ~n ~victim:2)
+  in
+  assert_clean "burst" s;
+  check_bool "queue bound with beta" true
+    (s.max_total_queue <= queue_bound ~n ~burst:100.0)
+
+let test_no_silent_rounds_in_steady_state () =
+  (* A conductor transmits every round of its season: the only message-free
+     rounds would be a protocol bug. *)
+  let n = 6 in
+  let s = run_orchestra ~n ~rounds:10_000 (Mac_adversary.Pattern.uniform ~n ~seed:3) in
+  check_int "no silent rounds" 0 s.silent_rounds
+
+let test_starvation_latency_unbounded () =
+  (* Table 1 lists Orchestra's latency as infinite: a big conductor keeps
+     the baton indefinitely, so one early packet at a musician can starve
+     forever. Flood station 0 at (almost) full rate and probe with a single
+     packet injected into station 5 — after 60k rounds it is still queued. *)
+  let n = 8 in
+  let pattern =
+    Mac_adversary.Pattern.mix ~seed:9
+      [ (1000, Mac_adversary.Pattern.flood ~n ~victim:0);
+        (1, Mac_adversary.Pattern.one_shot ~at:500 ~src:5 ~dst:6) ]
+  in
+  let s = run_orchestra ~rounds:60_000 pattern in
+  assert_clean "starvation" s;
+  check_bool "big conductor holds the channel" true (is_stable s);
+  check_bool "the probe packet is still waiting" true (s.undelivered >= 1);
+  check_bool "and it is ancient" true (s.max_queued_age > 50_000)
+
+let test_control_bits_accounted () =
+  let n = 8 in
+  let s = run_orchestra ~rounds:10_000 (Mac_adversary.Pattern.uniform ~n ~seed:5) in
+  check_bool "teaching costs control bits" true (s.control_bits_total > 0)
+
+let () =
+  Alcotest.run "orchestra"
+    [ ("throughput",
+       [ Alcotest.test_case "rate 1 flood" `Slow test_stable_at_rate_one_flood;
+         Alcotest.test_case "rate 1 uniform" `Slow test_stable_at_rate_one_uniform;
+         Alcotest.test_case "adaptive adversary" `Slow test_stable_under_adaptive_adversary;
+         Alcotest.test_case "n=3" `Quick test_small_system;
+         Alcotest.test_case "big conductor saturates" `Slow
+           test_flood_keeps_big_conductor_dense;
+         Alcotest.test_case "burst absorbed" `Slow test_queue_bound_with_large_burst;
+         Alcotest.test_case "latency unbounded (starvation)" `Slow
+           test_starvation_latency_unbounded ]);
+      ("correctness",
+       [ Alcotest.test_case "rejects n<3" `Quick test_rejects_tiny_n;
+         Alcotest.test_case "delivers all" `Quick test_delivers_everything_at_low_rate;
+         Alcotest.test_case "direct" `Quick test_direct_routing;
+         Alcotest.test_case "energy profile" `Quick test_energy_cost_is_three_per_round_max;
+         Alcotest.test_case "never silent" `Quick test_no_silent_rounds_in_steady_state;
+         Alcotest.test_case "control bits" `Quick test_control_bits_accounted ]) ]

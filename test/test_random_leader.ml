@@ -1,0 +1,100 @@
+(* Random-Leader (the randomised-schedule strawman baseline): schedule
+   consistency, fairness of the rotating leadership, and the factor-k
+   throughput loss against k-Subsets. *)
+
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let algo ?seed ~n ~k () = Mac_routing.Random_leader.algorithm ?seed ~n ~k ()
+
+let schedule ~n ~k =
+  Option.get (Mac_experiments.Scenario.schedule_of (algo ~n ~k ()) ~n ~k)
+
+let test_exactly_k_awake () =
+  let n = 9 and k = 4 in
+  let schedule = schedule ~n ~k in
+  for round = 0 to 200 do
+    let awake = ref 0 in
+    for me = 0 to n - 1 do
+      if schedule ~me ~round then incr awake
+    done;
+    check_int (Printf.sprintf "round %d" round) k !awake
+  done
+
+let test_schedule_roughly_fair () =
+  let n = 8 and k = 3 in
+  let schedule = schedule ~n ~k in
+  let horizon = 20_000 in
+  let duty = Array.make n 0 in
+  for round = 0 to horizon - 1 do
+    for me = 0 to n - 1 do
+      if schedule ~me ~round then duty.(me) <- duty.(me) + 1
+    done
+  done;
+  let expected = horizon * k / n in
+  Array.iteri
+    (fun i d ->
+      check_bool
+        (Printf.sprintf "station %d duty %d ~ %d" i d expected)
+        true
+        (abs (d - expected) < expected / 4))
+    duty
+
+let test_seeds_give_different_schedules () =
+  let n = 8 and k = 3 in
+  let s0 = schedule ~n ~k in
+  let s1 =
+    Option.get
+      (Mac_experiments.Scenario.schedule_of (algo ~seed:1 ~n ~k ()) ~n ~k)
+  in
+  let differs = ref false in
+  for round = 0 to 100 do
+    for me = 0 to n - 1 do
+      if s0 ~me ~round <> s1 ~me ~round then differs := true
+    done
+  done;
+  check_bool "seed changes the schedule" true !differs
+
+let test_routes_at_low_rate () =
+  let n = 8 and k = 3 in
+  let s =
+    run ~algorithm:(algo ~n ~k ()) ~n ~k ~rate:0.01 ~burst:2.0
+      ~pattern:(Mac_adversary.Pattern.uniform ~n ~seed:3)
+      ~rounds:60_000 ~drain:60_000 ()
+  in
+  assert_clean "low rate" s;
+  assert_cap "cap k" k s;
+  assert_delivered_all "low rate" s;
+  check_int "direct" 1 s.max_hops
+
+let test_loses_factor_k_to_k_subsets () =
+  (* at 60% of k-Subsets' threshold the optimal schedule is stable and the
+     random one drowns *)
+  let n = 8 and k = 3 in
+  let rate = 0.6 *. Mac_experiments.Bounds.k_subsets_rate ~n ~k in
+  let pattern () = Mac_adversary.Pattern.pair_flood ~src:1 ~dst:2 in
+  let run_algo algorithm =
+    run ~algorithm ~n ~k ~rate ~burst:4.0 ~pattern:(pattern ())
+      ~rounds:80_000 ~drain:0 ()
+  in
+  check_bool "k-subsets stable" true
+    (is_stable (run_algo (Mac_routing.K_subsets.algorithm ~n ~k ())));
+  check_bool "random-leader unstable" true (is_unstable (run_algo (algo ~n ~k ())))
+
+let test_invalid_k () =
+  Alcotest.check_raises "k too small"
+    (Invalid_argument "Random_leader: need 2 <= k <= n") (fun () ->
+      ignore (algo ~n:5 ~k:1 ()))
+
+let () =
+  Alcotest.run "random-leader"
+    [ ("schedule",
+       [ Alcotest.test_case "exactly k awake" `Quick test_exactly_k_awake;
+         Alcotest.test_case "fair duty" `Quick test_schedule_roughly_fair;
+         Alcotest.test_case "seed sensitivity" `Quick test_seeds_give_different_schedules;
+         Alcotest.test_case "invalid k" `Quick test_invalid_k ]);
+      ("routing",
+       [ Alcotest.test_case "routes at low rate" `Slow test_routes_at_low_rate;
+         Alcotest.test_case "factor-k loss" `Slow test_loses_factor_k_to_k_subsets ]) ]

@@ -1,0 +1,111 @@
+(* Generic properties of the oblivious algorithms' static schedules, checked
+   over random system sizes: the per-round energy never exceeds the declared
+   cap, the schedule is periodic with its structural period, and no station
+   is starved of duty. These are the promises the engine's per-run schedule
+   cross-check relies on. *)
+
+let sample_horizon = 2_000
+
+type subject = {
+  sname : string;
+  build : n:int -> k:int -> Mac_channel.Algorithm.t;
+  min_n : int;
+  period : n:int -> k:int -> int option; (* structural period if known *)
+}
+
+let subjects =
+  [ { sname = "pair-tdma";
+      build = (fun ~n:_ ~k:_ -> (module Mac_routing.Pair_tdma));
+      min_n = 3;
+      period = (fun ~n ~k:_ -> Some (n * (n - 1))) };
+    { sname = "k-cycle";
+      build = (fun ~n ~k -> Mac_routing.K_cycle.algorithm ~n ~k);
+      min_n = 4;
+      period =
+        (fun ~n ~k ->
+          let cg = Mac_routing.Cycle_groups.make ~n ~k () in
+          Some (Mac_routing.Cycle_groups.group_count cg * cg.Mac_routing.Cycle_groups.delta)) };
+    { sname = "k-clique";
+      build = (fun ~n ~k -> Mac_routing.K_clique.algorithm ~n ~k);
+      min_n = 4;
+      period =
+        (fun ~n ~k ->
+          Some (Mac_routing.Clique_pairs.pair_count (Mac_routing.Clique_pairs.make ~n ~k))) };
+    { sname = "k-subsets";
+      build = (fun ~n ~k -> Mac_routing.K_subsets.algorithm ~n ~k ());
+      min_n = 4;
+      period = (fun ~n ~k -> Some (Mac_routing.Combi.binomial n k)) };
+    { sname = "random-leader";
+      build = (fun ~n ~k -> Mac_routing.Random_leader.algorithm ~n ~k ());
+      min_n = 3;
+      period = (fun ~n:_ ~k:_ -> None) } ]
+
+let schedule_and_cap subject ~n ~k =
+  let algorithm = subject.build ~n ~k in
+  let module A = (val algorithm) in
+  let schedule = Option.get A.static_schedule in
+  ((fun ~me ~round -> schedule ~n ~k ~me ~round), A.required_cap ~n ~k)
+
+let arb_size min_n =
+  QCheck.(pair (int_range min_n 10) (int_range 2 9))
+  |> QCheck.map ~rev:(fun (n, k) -> (n, k)) (fun (n, k) ->
+         (n, max 2 (min (n - 1) k)))
+
+let cap_property subject =
+  QCheck.Test.make
+    ~name:(subject.sname ^ "_schedule_respects_cap")
+    ~count:25 (arb_size subject.min_n)
+    (fun (n, k) ->
+      let schedule, cap = schedule_and_cap subject ~n ~k in
+      let ok = ref true in
+      for round = 0 to sample_horizon - 1 do
+        let on = ref 0 in
+        for me = 0 to n - 1 do
+          if schedule ~me ~round then incr on
+        done;
+        if !on > cap then ok := false
+      done;
+      !ok)
+
+let period_property subject =
+  QCheck.Test.make
+    ~name:(subject.sname ^ "_schedule_is_periodic")
+    ~count:15 (arb_size subject.min_n)
+    (fun (n, k) ->
+      match subject.period ~n ~k with
+      | None -> true
+      | Some period ->
+        let schedule, _ = schedule_and_cap subject ~n ~k in
+        let ok = ref true in
+        for round = 0 to min period 4_000 - 1 do
+          for me = 0 to n - 1 do
+            if schedule ~me ~round <> schedule ~me ~round:(round + period) then
+              ok := false
+          done
+        done;
+        !ok)
+
+let no_starvation_property subject =
+  QCheck.Test.make
+    ~name:(subject.sname ^ "_every_station_gets_duty")
+    ~count:15 (arb_size subject.min_n)
+    (fun (n, k) ->
+      let schedule, _ = schedule_and_cap subject ~n ~k in
+      let duty = Array.make n 0 in
+      for round = 0 to sample_horizon - 1 do
+        for me = 0 to n - 1 do
+          if schedule ~me ~round then duty.(me) <- duty.(me) + 1
+        done
+      done;
+      Array.for_all (fun d -> d > 0) duty)
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "schedules"
+    (List.map
+       (fun subject ->
+         (subject.sname,
+          [ to_alcotest (cap_property subject);
+            to_alcotest (period_property subject);
+            to_alcotest (no_starvation_property subject) ]))
+       subjects)

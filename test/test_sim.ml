@@ -1,0 +1,168 @@
+(* Tests for the analysis layer: the stability classifier, the metrics
+   collector arithmetic, and the report renderer. *)
+
+open Mac_sim.Stability
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let series f n = Array.init n (fun i -> (i * 100, f i))
+
+let verdict s = (Mac_sim.Stability.classify s).verdict
+
+(* ---- Stability ---- *)
+
+let test_flat_series_is_stable () =
+  Alcotest.(check bool) "flat" true (verdict (series (fun _ -> 40) 64) = Stable)
+
+let test_linear_growth_is_unstable () =
+  check_bool "linear" true (verdict (series (fun i -> 5 * i) 64) = Unstable)
+
+let test_noisy_plateau_is_stable () =
+  let s = series (fun i -> 50 + (13 * i mod 17)) 64 in
+  check_bool "noisy plateau" true (verdict s = Stable)
+
+let test_small_absolute_growth_is_stable () =
+  (* backlog 1 -> 3: real systems jitter; the +8 slack must absorb it *)
+  let s = series (fun i -> if i < 32 then 1 else 3) 64 in
+  check_bool "tiny growth tolerated" true (verdict s = Stable)
+
+let test_decay_is_stable () =
+  let s = series (fun i -> max 0 (500 - (10 * i))) 64 in
+  check_bool "draining" true (verdict s = Stable)
+
+let test_short_series_inconclusive () =
+  check_bool "short" true (verdict (series (fun i -> i) 4) = Inconclusive)
+
+let test_slope_estimate () =
+  let r = Mac_sim.Stability.classify (series (fun i -> 5 * i) 64) in
+  (* 5 packets per sample, 100 rounds per sample -> 0.05/round *)
+  Alcotest.(check (float 0.005)) "slope per round" 0.05 r.slope
+
+let test_step_up_then_flat () =
+  (* A one-off burst absorbed into a higher plateau is stable. *)
+  let s = series (fun i -> if i < 8 then 10 else 200) 64 in
+  check_bool "new plateau stable" true (verdict s = Stable)
+
+(* ---- Metrics ---- *)
+
+let collector () =
+  Mac_sim.Metrics.create ~algorithm:"a" ~adversary:"b" ~n:4 ~k:2 ~cap:2
+    ~sample_every:1
+
+let test_metrics_delay_stats () =
+  let m = collector () in
+  List.iter (fun _ -> Mac_sim.Metrics.note_injection m) [ (); (); () ];
+  Mac_sim.Metrics.note_delivery m ~delay:10 ~hops:1;
+  Mac_sim.Metrics.note_delivery m ~delay:30 ~hops:2;
+  Mac_sim.Metrics.end_round m ~round:0 ~draining:false;
+  let s = Mac_sim.Metrics.finalize m ~final_round:1 ~max_queued_age:7 in
+  check_int "max delay" 30 s.max_delay;
+  Alcotest.(check (float 0.01)) "mean" 20.0 s.mean_delay;
+  check_int "p99" 30 s.p99_delay;
+  check_int "max hops" 2 s.max_hops;
+  check_int "undelivered" 1 s.undelivered;
+  check_int "queued age" 7 s.max_queued_age
+
+let test_metrics_queue_tracking () =
+  let m = collector () in
+  for _ = 1 to 5 do Mac_sim.Metrics.note_injection m done;
+  check_int "total queued" 5 (Mac_sim.Metrics.total_queued m);
+  Mac_sim.Metrics.note_delivery m ~delay:1 ~hops:1;
+  check_int "after delivery" 4 (Mac_sim.Metrics.total_queued m);
+  let s = Mac_sim.Metrics.finalize m ~final_round:0 ~max_queued_age:0 in
+  check_int "max total" 5 s.max_total_queue;
+  check_int "final" 4 s.final_total_queue
+
+let test_metrics_energy_and_violations () =
+  let m = collector () in
+  Mac_sim.Metrics.note_on_count m 3; (* over the cap of 2 *)
+  Mac_sim.Metrics.note_on_count m 1;
+  Mac_sim.Metrics.end_round m ~round:0 ~draining:false;
+  Mac_sim.Metrics.end_round m ~round:1 ~draining:false;
+  let s = Mac_sim.Metrics.finalize m ~final_round:2 ~max_queued_age:0 in
+  check_int "cap exceeded" 1 s.violations.cap_exceeded;
+  check_int "max on" 3 s.max_on;
+  check_int "station rounds" 4 s.station_rounds;
+  check_bool "violations flagged" false (Mac_sim.Metrics.no_violations s)
+
+let test_metrics_energy_per_delivery () =
+  let m = collector () in
+  Mac_sim.Metrics.note_on_count m 2;
+  Mac_sim.Metrics.note_injection m;
+  Mac_sim.Metrics.note_delivery m ~delay:0 ~hops:1;
+  Mac_sim.Metrics.end_round m ~round:0 ~draining:false;
+  let s = Mac_sim.Metrics.finalize m ~final_round:1 ~max_queued_age:0 in
+  Alcotest.(check (float 0.001)) "2 station-rounds per delivery" 2.0
+    (Mac_sim.Metrics.energy_per_delivery s);
+  let empty =
+    Mac_sim.Metrics.finalize (collector ()) ~final_round:0 ~max_queued_age:0
+  in
+  check_bool "nan when nothing delivered" true
+    (Float.is_nan (Mac_sim.Metrics.energy_per_delivery empty))
+
+let test_metrics_drain_rounds_split () =
+  let m = collector () in
+  Mac_sim.Metrics.end_round m ~round:0 ~draining:false;
+  Mac_sim.Metrics.end_round m ~round:1 ~draining:true;
+  Mac_sim.Metrics.end_round m ~round:2 ~draining:true;
+  let s = Mac_sim.Metrics.finalize m ~final_round:3 ~max_queued_age:0 in
+  check_int "rounds" 1 s.rounds;
+  check_int "drain" 2 s.drain_rounds
+
+(* ---- Report ---- *)
+
+let test_report_render () =
+  let r = Mac_sim.Report.create ~header:[ "name"; "value" ] in
+  Mac_sim.Report.add_row r [ "alpha"; "1" ];
+  Mac_sim.Report.add_row r [ "b" ];
+  let text = Mac_sim.Report.to_string r in
+  let lines = String.split_on_char '\n' text in
+  check_int "header + rule + 2 rows + trailing" 5 (List.length lines);
+  check_bool "pads short rows" true
+    (List.for_all
+       (fun l -> l = "" || String.length l = String.length (List.hd lines))
+       lines)
+
+let test_report_too_wide_rejected () =
+  let r = Mac_sim.Report.create ~header:[ "one" ] in
+  Alcotest.check_raises "too wide"
+    (Invalid_argument "Report.add_row: row wider than header") (fun () ->
+      Mac_sim.Report.add_row r [ "a"; "b" ])
+
+let test_fmt_float () =
+  Alcotest.(check string) "nan" "-" (Mac_sim.Report.fmt_float Float.nan);
+  Alcotest.(check string) "zero" "0" (Mac_sim.Report.fmt_float 0.0);
+  Alcotest.(check string) "small" "12.3" (Mac_sim.Report.fmt_float 12.3);
+  Alcotest.(check string) "large" "12345" (Mac_sim.Report.fmt_float 12345.0);
+  check_bool "huge uses scientific" true
+    (String.contains (Mac_sim.Report.fmt_float 4.2e9) 'e')
+
+let test_fmt_ratio () =
+  Alcotest.(check string) "percentage" "50.0%"
+    (Mac_sim.Report.fmt_ratio ~measured:10.0 ~bound:20.0);
+  Alcotest.(check string) "no bound" "-"
+    (Mac_sim.Report.fmt_ratio ~measured:10.0 ~bound:Float.infinity)
+
+let () =
+  Alcotest.run "sim"
+    [ ("stability",
+       [ Alcotest.test_case "flat stable" `Quick test_flat_series_is_stable;
+         Alcotest.test_case "linear unstable" `Quick test_linear_growth_is_unstable;
+         Alcotest.test_case "noisy plateau" `Quick test_noisy_plateau_is_stable;
+         Alcotest.test_case "tiny growth" `Quick test_small_absolute_growth_is_stable;
+         Alcotest.test_case "decay stable" `Quick test_decay_is_stable;
+         Alcotest.test_case "short inconclusive" `Quick test_short_series_inconclusive;
+         Alcotest.test_case "slope estimate" `Quick test_slope_estimate;
+         Alcotest.test_case "step then flat" `Quick test_step_up_then_flat ]);
+      ("metrics",
+       [ Alcotest.test_case "delay stats" `Quick test_metrics_delay_stats;
+         Alcotest.test_case "queue tracking" `Quick test_metrics_queue_tracking;
+         Alcotest.test_case "energy/violations" `Quick test_metrics_energy_and_violations;
+         Alcotest.test_case "energy per delivery" `Quick test_metrics_energy_per_delivery;
+         Alcotest.test_case "drain split" `Quick test_metrics_drain_rounds_split ]);
+      ("report",
+       [ Alcotest.test_case "render" `Quick test_report_render;
+         Alcotest.test_case "too wide" `Quick test_report_too_wide_rejected;
+         Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+         Alcotest.test_case "fmt_ratio" `Quick test_fmt_ratio ]) ]
