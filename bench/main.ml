@@ -30,14 +30,43 @@ let outcome_row (o : Mac_experiments.Scenario.outcome) =
     String.concat " " (List.map check_cell o.checks);
     (if o.passed then "PASS" else "FAIL") ]
 
+(* Machine-readable dump of the Table-1 validation next to the printed
+   tables: one JSON object per scenario with its checks and full summary. *)
+let check_json (c : Mac_experiments.Scenario.check) =
+  Printf.sprintf
+    "{\"label\": \"%s\", \"bound\": %s, \"measured\": %s, \"ok\": %b}"
+    (Mac_sim.Export.json_escape c.label)
+    (if Float.is_finite c.bound then Printf.sprintf "%.6g" c.bound else "null")
+    (if Float.is_finite c.measured then Printf.sprintf "%.6g" c.measured
+     else "null")
+    c.ok
+
+let outcome_json ~experiment (o : Mac_experiments.Scenario.outcome) =
+  Printf.sprintf
+    "{\"experiment\": \"%s\", \"scenario\": \"%s\", \"verdict\": \"%s\", \
+     \"passed\": %b, \"checks\": [%s], \"summary\": %s}"
+    (Mac_sim.Export.json_escape experiment)
+    (Mac_sim.Export.json_escape o.spec.id)
+    (Mac_sim.Stability.verdict_to_string o.stability.verdict)
+    o.passed
+    (String.concat ", " (List.map check_json o.checks))
+    (Mac_sim.Export.summary_json o.summary)
+
+let write_table1_json rows =
+  let path = "BENCH_table1.json" in
+  let body = "[\n" ^ String.concat ",\n" rows ^ "\n]\n" in
+  Mac_sim.Export.write_file ~path body;
+  Printf.printf "wrote %s (%d scenarios)\n\n" path (List.length rows)
+
 let print_table1 ~scale =
   print_endline "=== Table 1: per-row empirical validation ===";
   print_newline ();
   let failures = ref 0 in
+  let json_rows = ref [] in
   List.iter
     (fun (exp : Mac_experiments.Table1.t) ->
       Printf.printf "--- %s ---\n%s\n" exp.id exp.claim;
-      let outcomes = exp.run ~scale in
+      let outcomes = exp.run ~scale () in
       let report =
         Mac_sim.Report.create
           ~header:
@@ -47,12 +76,14 @@ let print_table1 ~scale =
       List.iter
         (fun o ->
           if not o.Mac_experiments.Scenario.passed then incr failures;
+          json_rows := outcome_json ~experiment:exp.id o :: !json_rows;
           Mac_sim.Report.add_row report (outcome_row o))
         outcomes;
       Mac_sim.Report.print report;
       print_newline ())
     Mac_experiments.Table1.all;
-  Printf.printf "Table 1 scenarios failing their checks: %d\n\n" !failures
+  Printf.printf "Table 1 scenarios failing their checks: %d\n" !failures;
+  write_table1_json (List.rev !json_rows)
 
 let print_figures ~scale =
   print_endline "=== Figures: sweep series ===";
@@ -60,7 +91,7 @@ let print_figures ~scale =
   List.iter
     (fun (fig : Mac_experiments.Figures.t) ->
       Printf.printf "--- %s ---\n%s\n" fig.id fig.title;
-      let report, _ = fig.run ~scale in
+      let report, _ = fig.run ~scale () in
       Mac_sim.Report.print report;
       print_newline ())
     Mac_experiments.Figures.all

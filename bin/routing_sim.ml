@@ -3,6 +3,7 @@
    routing_sim run --algorithm k-cycle -n 12 -k 4 --rate 0.2 --pattern flood:5
    routing_sim table1 [ID]       re-run Table-1 experiments
    routing_sim figures [ID]      re-run figure sweeps
+   routing_sim inspect           render a station-by-round ASCII timeline
    routing_sim list              show algorithms, patterns, experiments *)
 
 open Cmdliner
@@ -71,8 +72,16 @@ let resolve_pattern spec ~algorithm ~n ~k ~seed =
 
 (* ---- run command ---- *)
 
+(* [Sink.jsonl_file] opens eagerly; turn an unwritable path into a CLI
+   error instead of an uncaught exception. *)
+let jsonl_sink path =
+  try Mac_sim.Sink.jsonl_file path
+  with Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
 let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
-    series trace_n csv json =
+    series trace_n events stations csv json =
   let algorithm = resolve_algorithm algorithm_name ~n ~k in
   let module A = (val algorithm) in
   let pattern = resolve_pattern pattern_spec ~algorithm ~n ~k ~seed in
@@ -86,12 +95,27 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
       Some (Mac_channel.Trace.create ~capacity:trace_n ~enabled:true ())
     else None
   in
+  let ledger = if stations then Some (Mac_sim.Ledger.create ~n) else None in
+  let sinks =
+    (match events with
+     | Some path -> [ jsonl_sink path ]
+     | None -> [])
+    @ (match ledger with Some l -> [ Mac_sim.Ledger.sink l ] | None -> [])
+  in
+  let sink =
+    match sinks with
+    | [] -> None
+    | [ s ] -> Some s
+    | ss -> Some (Mac_sim.Sink.tee ss)
+  in
   let config =
     { (Mac_sim.Engine.default_config ~rounds) with
-      drain_limit = drain; check_schedule = A.oblivious; trace }
+      drain_limit = drain; check_schedule = A.oblivious; trace; sink }
   in
   let summary =
-    Mac_sim.Engine.run ~config ~algorithm ~n ~k ~adversary ~rounds ()
+    Fun.protect
+      ~finally:(fun () -> Option.iter Mac_sim.Sink.close sink)
+      (fun () -> Mac_sim.Engine.run ~config ~algorithm ~n ~k ~adversary ~rounds ())
   in
   let stability = Mac_sim.Stability.classify summary.queue_series in
   Format.printf "%a@." Mac_sim.Metrics.pp_summary summary;
@@ -103,6 +127,12 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
         (fun (round, event) -> Printf.printf "r%-8d %s\n" round event)
         (Mac_channel.Trace.dump t))
     trace;
+  Option.iter
+    (fun l ->
+      print_endline "--- per-station ledger ---";
+      Mac_sim.Report.print (Mac_sim.Ledger.report l))
+    ledger;
+  Option.iter (fun path -> Printf.printf "wrote %s\n" path) events;
   if series then print_string (Mac_sim.Export.series_csv summary);
   Option.iter
     (fun path ->
@@ -170,15 +200,87 @@ let run_term =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Print the summary as JSON.")
   in
+  let events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"Record the full typed event stream as JSON lines to FILE.")
+  in
+  let stations =
+    Arg.(
+      value & flag
+      & info [ "stations" ]
+          ~doc:"Print the per-station ledger (on-rounds, traffic, queue peaks).")
+  in
   Term.(
     ret
       (const run_cmd $ algorithm $ n_arg $ k_arg $ rate $ burst $ pattern
-       $ rounds $ drain $ seed $ paced $ series $ trace_n $ csv $ json))
+       $ rounds $ drain $ seed $ paced $ series $ trace_n $ events $ stations
+       $ csv $ json))
 
 (* ---- table1 / figures commands ---- *)
 
-let table1_cmd id quick =
+(* Scenario ids contain '/'; flatten them for per-scenario file names. *)
+let sanitize_id id =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    id
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then begin
+    Printf.eprintf "%s exists and is not a directory\n" dir;
+    exit 2
+  end
+
+(* Per-scenario observer for experiment drivers: an optional JSONL file
+   per scenario under [events_dir], and an optional notable-event ring
+   whose tail is printed when the scenario finishes. *)
+let scenario_observer ~trace_n ~events_dir :
+    Mac_experiments.Scenario.observer option =
+  if trace_n <= 0 && events_dir = None then None
+  else begin
+    Option.iter ensure_dir events_dir;
+    Some
+      (fun ~id ->
+        let sinks =
+          match events_dir with
+          | None -> []
+          | Some dir ->
+            let path = Filename.concat dir (sanitize_id id ^ ".jsonl") in
+            [ jsonl_sink path ]
+        in
+        let sinks =
+          if trace_n <= 0 then sinks
+          else begin
+            let t =
+              Mac_channel.Trace.create ~capacity:trace_n ~enabled:true ()
+            in
+            let ring = Mac_sim.Sink.ring t in
+            Mac_sim.Sink.make
+              ~close:(fun () ->
+                Printf.printf "  last notable events of %s:\n" id;
+                List.iter
+                  (fun (round, event) ->
+                    Printf.printf "    r%-8d %s\n" round event)
+                  (Mac_channel.Trace.dump t))
+              ring.Mac_sim.Sink.emit
+            :: sinks
+          end
+        in
+        match sinks with
+        | [] -> None
+        | [ s ] -> Some s
+        | ss -> Some (Mac_sim.Sink.tee ss))
+  end
+
+let table1_cmd id quick trace_n events_dir =
   let scale = if quick then `Quick else `Full in
+  let observe = scenario_observer ~trace_n ~events_dir in
   let experiments =
     match id with
     | None -> Mac_experiments.Table1.all
@@ -196,12 +298,14 @@ let table1_cmd id quick =
           Printf.printf "%-28s %s %s\n" o.spec.id
             (Mac_sim.Stability.verdict_to_string o.stability.verdict)
             (if o.passed then "PASS" else "FAIL"))
-        (e.run ~scale))
+        (e.run ?observe ~scale ()))
     experiments;
+  Option.iter (fun dir -> Printf.printf "event streams under %s/\n" dir) events_dir;
   `Ok ()
 
-let figures_cmd id quick =
+let figures_cmd id quick trace_n events_dir =
   let scale = if quick then `Quick else `Full in
+  let observe = scenario_observer ~trace_n ~events_dir in
   let figures =
     match id with
     | None -> Mac_experiments.Figures.all
@@ -218,10 +322,95 @@ let figures_cmd id quick =
   List.iter
     (fun (f : Mac_experiments.Figures.t) ->
       Printf.printf "--- %s ---\n%s\n" f.id f.title;
-      let report, _ = f.run ~scale in
+      let report, _ = f.run ?observe ~scale () in
       Mac_sim.Report.print report;
       print_newline ())
     figures;
+  Option.iter (fun dir -> Printf.printf "event streams under %s/\n" dir) events_dir;
+  `Ok ()
+
+(* ---- inspect command ---- *)
+
+let event_stations (ev : Mac_channel.Event.t) =
+  match ev with
+  | Injected { src; dst; _ } -> [ src; dst ]
+  | Switched_on { station } | Switched_off { station } -> [ station ]
+  | Transmit { station; _ } | Heard { station; _ } | Stranded { station; _ } ->
+    [ station ]
+  | Collision { stations }
+  | Adoption_conflict { stations }
+  | Spurious_adoption { stations } ->
+    stations
+  | Delivered { from_; dst; _ } -> [ from_; dst ]
+  | Relayed { from_; relay; dst; _ } -> [ from_; relay; dst ]
+  | Silence | Cap_exceeded _ | Round_end _ -> []
+
+let read_events path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let events = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           if String.trim line <> "" then
+             match Mac_channel.Event.of_json_line line with
+             | Ok entry -> events := entry :: !events
+             | Error msg ->
+               Printf.eprintf "%s:%d: %s\n" path !lineno msg;
+               exit 2
+         done
+       with End_of_file -> ());
+      List.rev !events)
+
+let inspect_cmd file algorithm_name n k rate burst pattern_spec rounds seed last
+    width =
+  (match file with
+   | Some path ->
+     let events = read_events path in
+     if events = [] then begin
+       Printf.eprintf "%s: no events\n" path;
+       exit 2
+     end;
+     let n =
+       1
+       + List.fold_left
+           (fun acc (_, ev) -> List.fold_left max acc (event_stations ev))
+           0 events
+     in
+     let tl = Mac_sim.Timeline.create ~rounds:last ~n () in
+     List.iter (fun (round, ev) -> Mac_sim.Timeline.feed tl ~round ev) events;
+     print_string (Mac_sim.Timeline.render ~width tl)
+   | None ->
+     let algorithm = resolve_algorithm algorithm_name ~n ~k in
+     let module A = (val algorithm) in
+     let pattern = resolve_pattern pattern_spec ~algorithm ~n ~k ~seed in
+     let adversary =
+       Mac_adversary.Adversary.create ~rate ~burst
+         ~pacing:Mac_adversary.Adversary.Greedy pattern
+     in
+     let tl = Mac_sim.Timeline.create ~rounds:(max last rounds) ~n () in
+     let config =
+       { (Mac_sim.Engine.default_config ~rounds) with
+         check_schedule = A.oblivious;
+         sink = Some (Mac_sim.Timeline.sink tl) }
+     in
+     let summary =
+       Mac_sim.Engine.run ~config ~algorithm ~n ~k ~adversary ~rounds ()
+     in
+     print_string (Mac_sim.Timeline.render ~width tl);
+     Printf.printf
+       "\n%s vs %s: %d injected, %d delivered, %d collision rounds in %d rounds\n"
+       summary.algorithm summary.adversary summary.injected summary.delivered
+       summary.collision_rounds summary.rounds);
   `Ok ()
 
 let list_cmd () =
@@ -247,14 +436,80 @@ let id_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Smaller, faster configurations.")
 
+let exp_trace_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace" ] ~docv:"N"
+        ~doc:"Print the last N notable channel events of every scenario.")
+
+let exp_events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"DIR"
+        ~doc:"Record each scenario's event stream as DIR/<scenario>.jsonl.")
+
+let inspect_term =
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Render a recorded JSON-lines event stream (as written by run \
+             --events) instead of simulating.")
+  in
+  let algorithm =
+    Arg.(
+      value
+      & opt string "orchestra"
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:(Printf.sprintf "One of: %s." (String.concat ", " algorithm_names)))
+  in
+  let rate =
+    Arg.(value & opt float 0.5 & info [ "rate" ] ~docv:"RHO" ~doc:"Injection rate.")
+  in
+  let burst =
+    Arg.(value & opt float 2.0 & info [ "burst" ] ~docv:"BETA" ~doc:"Burstiness.")
+  in
+  let pattern =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "p"; "pattern" ] ~docv:"PATTERN"
+          ~doc:"Same syntax as the run command.")
+  in
+  let rounds =
+    Arg.(value & opt int 120 & info [ "rounds" ] ~docv:"T" ~doc:"Rounds to simulate.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let last =
+    Arg.(
+      value & opt int 512
+      & info [ "last" ] ~docv:"N" ~doc:"Keep only the last N rounds.")
+  in
+  let width =
+    Arg.(
+      value & opt int 72
+      & info [ "width" ] ~docv:"COLS" ~doc:"Round-columns per block.")
+  in
+  Term.(
+    ret
+      (const inspect_cmd $ file $ algorithm $ n_arg $ k_arg $ rate $ burst
+       $ pattern $ rounds $ seed $ last $ width))
+
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Simulate one algorithm/adversary scenario") run_term;
     Cmd.v
       (Cmd.info "table1" ~doc:"Re-run Table-1 validation experiments")
-      Term.(ret (const table1_cmd $ id_arg $ quick_arg));
+      Term.(ret (const table1_cmd $ id_arg $ quick_arg $ exp_trace_arg $ exp_events_arg));
     Cmd.v
       (Cmd.info "figures" ~doc:"Re-run figure sweeps")
-      Term.(ret (const figures_cmd $ id_arg $ quick_arg));
+      Term.(ret (const figures_cmd $ id_arg $ quick_arg $ exp_trace_arg $ exp_events_arg));
+    Cmd.v
+      (Cmd.info "inspect"
+         ~doc:"ASCII station-by-round timeline of a run or a recorded event stream")
+      inspect_term;
     Cmd.v
       (Cmd.info "list" ~doc:"List algorithms and experiments")
       Term.(ret (const list_cmd $ const ())) ]

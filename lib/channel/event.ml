@@ -1,0 +1,327 @@
+type t =
+  | Injected of { id : int; src : int; dst : int }
+  | Switched_on of { station : int }
+  | Switched_off of { station : int }
+  | Transmit of { station : int; light : bool }
+  | Silence
+  | Collision of { stations : int list }
+  | Heard of { station : int; bits : int; light : bool }
+  | Delivered of { id : int; from_ : int; dst : int; delay : int; hops : int }
+  | Relayed of { id : int; from_ : int; relay : int; dst : int }
+  | Stranded of { id : int; station : int }
+  | Cap_exceeded of { on_count : int; cap : int }
+  | Adoption_conflict of { stations : int list }
+  | Spurious_adoption of { stations : int list }
+  | Round_end of { on_count : int; draining : bool }
+
+let notable = function
+  | Injected _ | Collision _ | Delivered _ | Relayed _ | Stranded _
+  | Cap_exceeded _ | Adoption_conflict _ | Spurious_adoption _ ->
+    true
+  | Heard { light; _ } -> light
+  | Switched_on _ | Switched_off _ | Transmit _ | Silence | Round_end _ ->
+    false
+
+let stations_string stations =
+  String.concat "," (List.map string_of_int stations)
+
+let to_string = function
+  | Injected { id; src; dst } -> Printf.sprintf "inject #%d %d->%d" id src dst
+  | Switched_on { station } -> Printf.sprintf "on %d" station
+  | Switched_off { station } -> Printf.sprintf "off %d" station
+  | Transmit { station; light } ->
+    Printf.sprintf "transmit %d%s" station (if light then " (light)" else "")
+  | Silence -> "silence"
+  | Collision { stations } ->
+    Printf.sprintf "collision (%d transmitters)" (List.length stations)
+  | Heard { station; bits; light } ->
+    if light then Printf.sprintf "light message from %d" station
+    else Printf.sprintf "heard from %d (%d control bits)" station bits
+  | Delivered { id; from_; dst; delay; hops } ->
+    Printf.sprintf "deliver #%d %d->%d (delay %d, hop %d)" id from_ dst delay
+      hops
+  | Relayed { id; from_; relay; dst } ->
+    Printf.sprintf "relay #%d %d->(%d) dst %d" id from_ relay dst
+  | Stranded { id; station } -> Printf.sprintf "stranded #%d at %d" id station
+  | Cap_exceeded { on_count; cap } ->
+    Printf.sprintf "cap exceeded (%d on, cap %d)" on_count cap
+  | Adoption_conflict { stations } ->
+    Printf.sprintf "adoption conflict (%s)" (stations_string stations)
+  | Spurious_adoption { stations } ->
+    Printf.sprintf "spurious adoption (%s)" (stations_string stations)
+  | Round_end { on_count; draining } ->
+    Printf.sprintf "round end (%d on%s)" on_count
+      (if draining then ", draining" else "")
+
+(* ---- JSON encoding ---- *)
+
+let add_field buf name value =
+  Buffer.add_string buf ",\"";
+  Buffer.add_string buf name;
+  Buffer.add_string buf "\":";
+  Buffer.add_string buf value
+
+let int_field buf name v = add_field buf name (string_of_int v)
+let bool_field buf name v = add_field buf name (if v then "true" else "false")
+
+let ints_field buf name vs =
+  add_field buf name ("[" ^ stations_string vs ^ "]")
+
+let to_json ~round ev =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf "{\"round\":";
+  Buffer.add_string buf (string_of_int round);
+  let typ name = add_field buf "type" ("\"" ^ name ^ "\"") in
+  (match ev with
+   | Injected { id; src; dst } ->
+     typ "injected";
+     int_field buf "id" id;
+     int_field buf "src" src;
+     int_field buf "dst" dst
+   | Switched_on { station } ->
+     typ "switched_on";
+     int_field buf "station" station
+   | Switched_off { station } ->
+     typ "switched_off";
+     int_field buf "station" station
+   | Transmit { station; light } ->
+     typ "transmit";
+     int_field buf "station" station;
+     bool_field buf "light" light
+   | Silence -> typ "silence"
+   | Collision { stations } ->
+     typ "collision";
+     ints_field buf "stations" stations
+   | Heard { station; bits; light } ->
+     typ "heard";
+     int_field buf "station" station;
+     int_field buf "bits" bits;
+     bool_field buf "light" light
+   | Delivered { id; from_; dst; delay; hops } ->
+     typ "delivered";
+     int_field buf "id" id;
+     int_field buf "from" from_;
+     int_field buf "dst" dst;
+     int_field buf "delay" delay;
+     int_field buf "hops" hops
+   | Relayed { id; from_; relay; dst } ->
+     typ "relayed";
+     int_field buf "id" id;
+     int_field buf "from" from_;
+     int_field buf "relay" relay;
+     int_field buf "dst" dst
+   | Stranded { id; station } ->
+     typ "stranded";
+     int_field buf "id" id;
+     int_field buf "station" station
+   | Cap_exceeded { on_count; cap } ->
+     typ "cap_exceeded";
+     int_field buf "on" on_count;
+     int_field buf "cap" cap
+   | Adoption_conflict { stations } ->
+     typ "adoption_conflict";
+     ints_field buf "stations" stations
+   | Spurious_adoption { stations } ->
+     typ "spurious_adoption";
+     ints_field buf "stations" stations
+   | Round_end { on_count; draining } ->
+     typ "round_end";
+     int_field buf "on" on_count;
+     bool_field buf "draining" draining);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ---- JSON decoding ----
+
+   A tiny recursive-descent parser for the flat objects emitted above:
+   string keys mapping to ints, booleans, strings, or arrays of ints. No
+   dependency on a JSON library; rejects anything deeper than we write. *)
+
+type jv = Jint of int | Jbool of bool | Jstr of string | Jints of int list
+
+exception Bad of string
+
+let parse_object line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some line.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> raise (Bad (Printf.sprintf "expected %C at offset %d" c !pos))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then raise (Bad "unterminated string");
+      match line.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= len then raise (Bad "dangling escape");
+        (match line.[!pos] with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 'u' ->
+           if !pos + 4 >= len then raise (Bad "short \\u escape");
+           let code = int_of_string ("0x" ^ String.sub line (!pos + 1) 4) in
+           pos := !pos + 4;
+           if code < 0x80 then Buffer.add_char buf (Char.chr code)
+           else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+         | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    while
+      !pos < len && match line.[!pos] with '0' .. '9' -> true | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then raise (Bad "expected integer");
+    int_of_string (String.sub line start (!pos - start))
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' ->
+      if !pos + 4 <= len && String.sub line !pos 4 = "true" then begin
+        pos := !pos + 4;
+        Jbool true
+      end
+      else raise (Bad "bad literal")
+    | Some 'f' ->
+      if !pos + 5 <= len && String.sub line !pos 5 = "false" then begin
+        pos := !pos + 5;
+        Jbool false
+      end
+      else raise (Bad "bad literal")
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Jints []
+      end
+      else begin
+        let items = ref [ parse_int () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          incr pos;
+          items := parse_int () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        Jints (List.rev !items)
+      end
+    | Some ('-' | '0' .. '9') -> Jint (parse_int ())
+    | _ -> raise (Bad (Printf.sprintf "unexpected input at offset %d" !pos))
+  in
+  expect '{';
+  skip_ws ();
+  let fields = ref [] in
+  if peek () = Some '}' then incr pos
+  else begin
+    let rec members () =
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      let v = parse_value () in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        incr pos;
+        members ()
+      | _ -> expect '}'
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> len then raise (Bad "trailing garbage after object");
+  List.rev !fields
+
+let of_json_line line =
+  try
+    let fields = parse_object line in
+    let get name =
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise (Bad ("missing field " ^ name))
+    in
+    let int name =
+      match get name with Jint v -> v | _ -> raise (Bad (name ^ ": not an int"))
+    in
+    let bool name =
+      match get name with
+      | Jbool v -> v
+      | _ -> raise (Bad (name ^ ": not a bool"))
+    in
+    let ints name =
+      match get name with
+      | Jints v -> v
+      | _ -> raise (Bad (name ^ ": not an int array"))
+    in
+    let str name =
+      match get name with
+      | Jstr v -> v
+      | _ -> raise (Bad (name ^ ": not a string"))
+    in
+    let round = int "round" in
+    let ev =
+      match str "type" with
+      | "injected" ->
+        Injected { id = int "id"; src = int "src"; dst = int "dst" }
+      | "switched_on" -> Switched_on { station = int "station" }
+      | "switched_off" -> Switched_off { station = int "station" }
+      | "transmit" ->
+        Transmit { station = int "station"; light = bool "light" }
+      | "silence" -> Silence
+      | "collision" -> Collision { stations = ints "stations" }
+      | "heard" ->
+        Heard { station = int "station"; bits = int "bits"; light = bool "light" }
+      | "delivered" ->
+        Delivered
+          { id = int "id"; from_ = int "from"; dst = int "dst";
+            delay = int "delay"; hops = int "hops" }
+      | "relayed" ->
+        Relayed
+          { id = int "id"; from_ = int "from"; relay = int "relay";
+            dst = int "dst" }
+      | "stranded" -> Stranded { id = int "id"; station = int "station" }
+      | "cap_exceeded" -> Cap_exceeded { on_count = int "on"; cap = int "cap" }
+      | "adoption_conflict" -> Adoption_conflict { stations = ints "stations" }
+      | "spurious_adoption" -> Spurious_adoption { stations = ints "stations" }
+      | "round_end" ->
+        Round_end { on_count = int "on"; draining = bool "draining" }
+      | other -> raise (Bad ("unknown event type " ^ other))
+    in
+    Ok (round, ev)
+  with
+  | Bad msg -> Error msg
+  | Failure msg -> Error msg

@@ -1,0 +1,60 @@
+(** Typed channel events.
+
+    One value per observable step of the simulated round: injections,
+    mode switches, transmissions, channel resolution (silence, collision,
+    a heard message), packet fate (delivery, relay adoption, stranding),
+    energy-cap violations and the end-of-round marker. The engine emits
+    them in order within a round, so a recorded stream is a complete
+    journal: per-station queue sizes, on-sets and every counter in
+    [Metrics.summary] can be reconstructed from it (see [Mac_sim.Sink]).
+
+    Stations are identified by index; [round] is carried alongside the
+    event by the emitting sink, not inside the variant. *)
+
+type t =
+  | Injected of { id : int; src : int; dst : int }
+      (** The adversary injected packet [id] at [src] for [dst]. When
+          [src = dst] the packet is delivered instantly and never queued
+          (a [Delivered] with [hops = 0] follows). *)
+  | Switched_on of { station : int }
+      (** Mode edge: the station was off last round and is on now. *)
+  | Switched_off of { station : int }
+  | Transmit of { station : int; light : bool }
+      (** The station transmitted; [light] means the message carried no
+          packet. Emitted for every transmitter, colliding or not. *)
+  | Silence
+  | Collision of { stations : int list }  (** Two or more transmitters. *)
+  | Heard of { station : int; bits : int; light : bool }
+      (** Exactly one transmitter: everybody on hears [station]'s message
+          carrying [bits] control bits. *)
+  | Delivered of { id : int; from_ : int; dst : int; delay : int; hops : int }
+      (** The heard packet reached its switched-on destination. [from_]
+          is the transmitter (source or relay); [hops = 0] only for
+          self-addressed packets delivered at injection. *)
+  | Relayed of { id : int; from_ : int; relay : int; dst : int }
+      (** The heard packet was adopted by [relay]. *)
+  | Stranded of { id : int; station : int }
+      (** Nobody consumed the heard packet; returned to the transmitter. *)
+  | Cap_exceeded of { on_count : int; cap : int }
+  | Adoption_conflict of { stations : int list }
+  | Spurious_adoption of { stations : int list }
+  | Round_end of { on_count : int; draining : bool }
+      (** Always the last event of a round; [on_count] stations were on. *)
+
+val notable : t -> bool
+(** The historically traced subset: injections, collisions, light
+    messages, deliveries, relays, and protocol violations. [Transmit],
+    [Silence], [Heard] of a packet, mode edges and [Round_end] are not
+    notable — they exist for replay and timelines, not for eyeballing. *)
+
+val to_string : t -> string
+(** Compact human-readable form ("inject #3 0->2", "deliver #3 1->2
+    (delay 4, hop 2)", ...) — the format the [Trace] ring buffer shows. *)
+
+val to_json : round:int -> t -> string
+(** One-line JSON object, e.g.
+    [{"round":7,"type":"injected","id":3,"src":0,"dst":2}]. *)
+
+val of_json_line : string -> (int * t, string) result
+(** Parse a line produced by {!to_json} back into [(round, event)];
+    [Error msg] on malformed input. The parser accepts any field order. *)

@@ -16,10 +16,17 @@ let event t ~round msg =
     t.count <- t.count + 1
   end
 
+(* A sink formatter that discards everything: the disabled path must not
+   touch shared mutable state (Format.str_formatter is global). ikfprintf
+   never writes to it, but handing out the global formatter at all invites
+   misuse; a dedicated null formatter has no such hazard. *)
+let null_formatter =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
 let eventf t ~round fmt =
   if t.enabled then
     Format.kasprintf (fun msg -> event t ~round msg) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  else Format.ikfprintf (fun _ -> ()) null_formatter fmt
 
 let dump t =
   let len = min t.count t.capacity in

@@ -3,28 +3,32 @@ open Mac_adversary
 type t = {
   id : string;
   title : string;
-  run : scale:[ `Quick | `Full ] -> Mac_sim.Report.t * Scenario.outcome list;
+  run :
+    ?observe:Scenario.observer ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    Mac_sim.Report.t * Scenario.outcome list;
 }
 
 let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
 
 let fmt = Mac_sim.Report.fmt_float
 
-let run_point ~id ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain =
-  Scenario.run
+let run_point ~observe ~id ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain =
+  Scenario.run ?observe
     (Scenario.spec ~id ~algorithm ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds
        ~drain ())
 
 (* ------------------------------------------------------------------ *)
 (* F1: stability frontier. *)
 
-let frontier_rows ~scale =
+let frontier_rows ?observe ~scale () =
   let rounds = scaled ~scale ~quick:60_000 ~full:150_000 in
   let aw_rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
   let outcomes = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~threshold ~rho ~pattern ~rounds =
     let o =
-      run_point ~id:(Printf.sprintf "frontier/%s@%.4f" row_algo rho) ~algorithm
+      run_point ~observe ~id:(Printf.sprintf "frontier/%s@%.4f" row_algo rho) ~algorithm
         ~n ~k ~rho ~beta:2.0 ~pattern ~rounds ~drain:0
     in
     outcomes := o :: !outcomes;
@@ -108,8 +112,8 @@ let frontier =
   { id = "F1.frontier";
     title = "Stability frontier: verdict around each algorithm's threshold";
     run =
-      (fun ~scale ->
-        let rows, outcomes = frontier_rows ~scale in
+      (fun ?observe ~scale () ->
+        let rows, outcomes = frontier_rows ?observe ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:
@@ -122,12 +126,12 @@ let frontier =
 (* ------------------------------------------------------------------ *)
 (* F2: latency scaling with n. *)
 
-let scaling_rows ~scale =
+let scaling_rows ?observe ~scale () =
   let outcomes = ref [] in
   let rows = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~rho ~bound ~pattern ~rounds =
     let o =
-      run_point ~id:(Printf.sprintf "scaling/%s/n=%d" row_algo n) ~algorithm ~n
+      run_point ~observe ~id:(Printf.sprintf "scaling/%s/n=%d" row_algo n) ~algorithm ~n
         ~k ~rho ~beta:2.0 ~pattern ~rounds ~drain:(rounds / 2)
     in
     outcomes := o :: !outcomes;
@@ -180,8 +184,8 @@ let scaling =
   { id = "F2.scaling";
     title = "Latency scaling with n (measured worst delay vs instantiated bound)";
     run =
-      (fun ~scale ->
-        let rows, outcomes = scaling_rows ~scale in
+      (fun ?observe ~scale () ->
+        let rows, outcomes = scaling_rows ?observe ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:[ "algorithm"; "n"; "k"; "rho"; "worst-delay"; "bound"; "ratio" ]
@@ -192,7 +196,7 @@ let scaling =
 (* ------------------------------------------------------------------ *)
 (* F3: the latency-energy tradeoff across caps. *)
 
-let energy_rows ~scale =
+let energy_rows ?observe ~scale () =
   let n = 12 in
   let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
   let outcomes = ref [] in
@@ -200,7 +204,7 @@ let energy_rows ~scale =
   let point ~row_algo ~algorithm ~k ~threshold =
     let rho = 0.5 *. threshold in
     let o =
-      run_point ~id:(Printf.sprintf "energy/%s/k=%d" row_algo k) ~algorithm ~n
+      run_point ~observe ~id:(Printf.sprintf "energy/%s/k=%d" row_algo k) ~algorithm ~n
         ~k ~rho ~beta:2.0 ~pattern:(Pattern.uniform ~n ~seed:(600 + k)) ~rounds
         ~drain:(rounds / 2)
     in
@@ -240,8 +244,8 @@ let energy =
   { id = "F3.energy";
     title = "Latency-energy tradeoff at half the threshold rate (n=12)";
     run =
-      (fun ~scale ->
-        let rows, outcomes = energy_rows ~scale in
+      (fun ?observe ~scale () ->
+        let rows, outcomes = energy_rows ?observe ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:
@@ -254,13 +258,13 @@ let energy =
 (* ------------------------------------------------------------------ *)
 (* F4: burstiness sensitivity. *)
 
-let burst_rows ~scale =
+let burst_rows ?observe ~scale () =
   let outcomes = ref [] in
   let rows = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~rho ~beta ~bound ~pattern ~rounds ~drain
       ~metric =
     let o =
-      run_point ~id:(Printf.sprintf "burst/%s/b=%g" row_algo beta) ~algorithm ~n
+      run_point ~observe ~id:(Printf.sprintf "burst/%s/b=%g" row_algo beta) ~algorithm ~n
         ~k ~rho ~beta ~pattern ~rounds ~drain
     in
     outcomes := o :: !outcomes;
@@ -307,8 +311,8 @@ let burst =
   { id = "F4.burst";
     title = "Burstiness sensitivity (worst delay, or backlog for Orchestra)";
     run =
-      (fun ~scale ->
-        let rows, outcomes = burst_rows ~scale in
+      (fun ?observe ~scale () ->
+        let rows, outcomes = burst_rows ?observe ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:[ "algorithm"; "n"; "rho"; "beta"; "measured"; "bound"; "ratio" ]
@@ -321,7 +325,10 @@ let burst =
    oblivious discipline against the same dedicated pair flood, located by
    bisection, next to the random-schedule strawman. *)
 
-let baselines_rows ~scale =
+let baselines_rows ?observe ~scale () =
+  (* Bisection probes run thousands of throwaway points; observing them
+     would swamp any sink, so F5 deliberately ignores the observer. *)
+  ignore (observe : Scenario.observer option);
   let n = 8 and k = 3 in
   let rounds = scaled ~scale ~quick:30_000 ~full:60_000 in
   let steps = scaled ~scale ~quick:4 ~full:7 in
@@ -362,8 +369,8 @@ let baselines =
     title =
       "Empirical stability frontiers under a dedicated pair flood (n=8, k=3, bisection)";
     run =
-      (fun ~scale ->
-        let rows, outcomes = baselines_rows ~scale in
+      (fun ?observe ~scale () ->
+        let rows, outcomes = baselines_rows ?observe ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:

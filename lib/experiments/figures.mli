@@ -12,7 +12,13 @@
 type t = {
   id : string;
   title : string;
-  run : scale:[ `Quick | `Full ] -> Mac_sim.Report.t * Scenario.outcome list;
+  run :
+    ?observe:Scenario.observer ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    Mac_sim.Report.t * Scenario.outcome list;
+  (** [observe] is forwarded to each plotted point's {!Scenario.run}, keyed
+      by scenario id. F5 ignores it (bisection probes are throwaway runs). *)
 }
 
 val frontier : t

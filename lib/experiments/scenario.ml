@@ -76,20 +76,29 @@ let delivered_all : checker =
 let schedule_of (module A : Mac_channel.Algorithm.S) ~n ~k =
   Option.map (fun f ~me ~round -> f ~n ~k ~me ~round) A.static_schedule
 
-let run ?(checks = []) spec =
+type observer = id:string -> Mac_sim.Sink.t option
+
+let run ?(checks = []) ?observe spec =
   let module A = (val spec.algorithm) in
   let adversary =
     Mac_adversary.Adversary.create ~rate:spec.rate ~burst:spec.burst
       ~pacing:spec.pacing spec.pattern
   in
+  let sink =
+    match observe with None -> None | Some f -> f ~id:spec.id
+  in
   let config =
     { (Mac_sim.Engine.default_config ~rounds:spec.rounds) with
       drain_limit = spec.drain;
-      check_schedule = A.oblivious }
+      check_schedule = A.oblivious;
+      sink }
   in
   let summary =
-    Mac_sim.Engine.run ~config ~algorithm:spec.algorithm ~n:spec.n ~k:spec.k
-      ~adversary ~rounds:spec.rounds ()
+    Fun.protect
+      ~finally:(fun () -> Option.iter Mac_sim.Sink.close sink)
+      (fun () ->
+        Mac_sim.Engine.run ~config ~algorithm:spec.algorithm ~n:spec.n
+          ~k:spec.k ~adversary ~rounds:spec.rounds ())
   in
   let stability = Mac_sim.Stability.classify summary.queue_series in
   let checks = List.map (fun c -> c summary stability) checks in

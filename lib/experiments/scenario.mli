@@ -64,9 +64,15 @@ val unstable : checker
 
 val delivered_all : checker
 
-val run : ?checks:checker list -> spec -> outcome
+type observer = id:string -> Mac_sim.Sink.t option
+(** Experiment drivers call the observer once per scenario with the
+    scenario's id; returning a sink attaches it to that run's event stream.
+    The sink is closed when the run finishes, even on an exception. *)
+
+val run : ?checks:checker list -> ?observe:observer -> spec -> outcome
 (** Simulates the scenario (schedule cross-checking enabled for oblivious
-    algorithms) and evaluates the checks. *)
+    algorithms) and evaluates the checks. [observe] may attach an event
+    sink to the run; see {!observer}. *)
 
 val schedule_of :
   Mac_channel.Algorithm.t -> n:int -> k:int ->

@@ -3,7 +3,11 @@ open Mac_adversary
 type t = {
   id : string;
   claim : string;
-  run : scale:[ `Quick | `Full ] -> Scenario.outcome list;
+  run :
+    ?observe:Scenario.observer ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    Scenario.outcome list;
 }
 
 let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
@@ -19,7 +23,7 @@ let required_schedule algorithm ~n ~k =
 (* Row 1: Orchestra — stable at rate 1 with energy cap 3, queues
    bounded by 2n^3 + beta. *)
 
-let orchestra ~scale =
+let orchestra ?observe ~scale () =
   let n = scaled ~scale ~quick:6 ~full:10 in
   let rounds = scaled ~scale ~quick:60_000 ~full:300_000 in
   let beta = 20.0 in
@@ -30,7 +34,7 @@ let orchestra ~scale =
       Scenario.clean ]
   in
   let scenario id pattern =
-    Scenario.run ~checks
+    Scenario.run ~checks ?observe
       (Scenario.spec ~id ~algorithm:(module Mac_routing.Orchestra) ~n ~k:3
          ~rate:1.0 ~burst:beta ~pattern ~rounds ~drain:0 ())
   in
@@ -45,12 +49,12 @@ let orchestra ~scale =
    Both cap-2 algorithms grow without bound at rate 1, under the
    adaptive Lemma-1 strategy and under a plain flood. *)
 
-let cap2_impossible ~scale =
+let cap2_impossible ?observe ~scale () =
   let n = scaled ~scale ~quick:6 ~full:10 in
   let rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
   let checks = [ Scenario.cap_at_most 2; Scenario.unstable; Scenario.clean ] in
   let scenario id algorithm pattern burst =
-    Scenario.run ~checks
+    Scenario.run ~checks ?observe
       (Scenario.spec ~id ~algorithm ~n ~k:2 ~rate:1.0 ~burst ~pattern ~rounds
          ~drain:0 ())
   in
@@ -66,7 +70,7 @@ let cap2_impossible ~scale =
    2(n^2+beta)/(1-rho) (paper constant; the implementable constant is
    2(n(2n-3)+beta)/(1-rho), see DESIGN.md). *)
 
-let count_hop ~scale =
+let count_hop ?observe ~scale () =
   let rounds = scaled ~scale ~quick:60_000 ~full:250_000 in
   let scenario ~n ~rho ~beta id pattern =
     let checks =
@@ -76,7 +80,7 @@ let count_hop ~scale =
         Scenario.delivered_all;
         Scenario.clean ]
     in
-    Scenario.run ~checks
+    Scenario.run ~checks ?observe
       (Scenario.spec ~id ~algorithm:(module Mac_routing.Count_hop) ~n ~k:2
          ~rate:rho ~burst:beta ~pattern ~rounds ())
   in
@@ -92,7 +96,7 @@ let count_hop ~scale =
    latency (18n^3 lg^2 n + 2beta)/(1-rho) asymptotically; executable
    bound: twice the first window size absorbing the adversary. *)
 
-let adjust_window ~scale =
+let adjust_window ?observe ~scale () =
   let scenario ~n ~rho ~beta ~rounds id pattern =
     let checks =
       [ Scenario.latency_under (Bounds.adjust_window_latency_impl ~n ~rho ~beta);
@@ -101,7 +105,7 @@ let adjust_window ~scale =
         Scenario.delivered_all;
         Scenario.clean ]
     in
-    Scenario.run ~checks
+    Scenario.run ~checks ?observe
       (Scenario.spec ~id ~algorithm:(module Mac_routing.Adjust_window) ~n ~k:2
          ~rate:rho ~burst:beta ~pattern ~rounds
          ~drain:(Bounds.adjust_window_latency_impl ~n ~rho ~beta |> int_of_float) ())
@@ -121,7 +125,7 @@ let adjust_window ~scale =
 (* ------------------------------------------------------------------ *)
 (* Row 5: k-Cycle — latency (32+beta)n below rate (k-1)/(n-1), cap k. *)
 
-let k_cycle ~scale =
+let k_cycle ?observe ~scale () =
   let n = 12 in
   let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
   let scenario ~k ~frac ~beta id pattern =
@@ -136,7 +140,7 @@ let k_cycle ~scale =
           Scenario.delivered_all;
           Scenario.clean ]
     in
-    Scenario.run ~checks
+    Scenario.run ~checks ?observe
       (Scenario.spec ~id ~algorithm:(Mac_routing.K_cycle.algorithm ~n ~k) ~n ~k
          ~rate:rho ~burst:beta ~pattern ~rounds ())
   in
@@ -149,7 +153,7 @@ let k_cycle ~scale =
 (* Row 6: Theorem 6 — no k-energy-oblivious algorithm is stable above
    k/n: the min-duty station cannot keep up. *)
 
-let oblivious_impossible ~scale =
+let oblivious_impossible ?observe ~scale () =
   let n = 12 in
   let rounds = scaled ~scale ~quick:80_000 ~full:200_000 in
   let horizon = scaled ~scale ~quick:30_000 ~full:60_000 in
@@ -157,7 +161,7 @@ let oblivious_impossible ~scale =
   let scenario id algorithm ~k ~rho =
     let schedule = required_schedule algorithm ~n ~k in
     let choice = Saboteur.min_duty ~n ~horizon ~schedule in
-    Scenario.run ~checks
+    Scenario.run ~checks ?observe
       (Scenario.spec ~id ~algorithm ~n ~k ~rate:rho ~burst:2.0
          ~pattern:choice.Saboteur.pattern ~rounds ~drain:0 ())
   in
@@ -169,7 +173,7 @@ let oblivious_impossible ~scale =
 (* Row 7: k-Clique — direct, latency 8(n^2/k)(1+beta/2k) up to rate
    k^2/(2n(2n-k)). *)
 
-let k_clique ~scale =
+let k_clique ?observe ~scale () =
   let n = 12 in
   let rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
   let scenario ~k ~beta id pattern =
@@ -181,7 +185,7 @@ let k_clique ~scale =
         Scenario.delivered_all;
         Scenario.clean ]
     in
-    Scenario.run ~checks
+    Scenario.run ~checks ?observe
       (Scenario.spec ~id ~algorithm:(Mac_routing.K_clique.algorithm ~n ~k) ~n ~k
          ~rate:rho ~burst:beta ~pattern ~rounds ())
   in
@@ -193,7 +197,7 @@ let k_clique ~scale =
 (* Row 8: k-Subsets — stable at exactly k(k-1)/(n(n-1)) with queues
    under 2 C(n,k)(n^2+beta). *)
 
-let k_subsets ~scale =
+let k_subsets ?observe ~scale () =
   let n = scaled ~scale ~quick:6 ~full:8 in
   let k = 3 in
   let rounds = scaled ~scale ~quick:80_000 ~full:300_000 in
@@ -205,7 +209,7 @@ let k_subsets ~scale =
         Scenario.stable;
         Scenario.clean ]
     in
-    Scenario.run ~checks
+    Scenario.run ~checks ?observe
       (Scenario.spec ~id
          ~algorithm:(Mac_routing.K_subsets.algorithm ~discipline ~n ~k ())
          ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds ~drain:0 ())
@@ -219,7 +223,7 @@ let k_subsets ~scale =
 (* Row 9: Theorem 9 — no oblivious direct algorithm is stable above
    k(k-1)/(n(n-1)): the least co-scheduled pair drowns. *)
 
-let oblivious_direct_impossible ~scale =
+let oblivious_direct_impossible ?observe ~scale () =
   let n = scaled ~scale ~quick:6 ~full:8 in
   let k = 3 in
   let rounds = scaled ~scale ~quick:100_000 ~full:300_000 in
@@ -228,7 +232,7 @@ let oblivious_direct_impossible ~scale =
   let scenario id algorithm ~rho ~horizon =
     let schedule = required_schedule algorithm ~n ~k in
     let choice = Saboteur.min_pair ~n ~horizon ~schedule in
-    Scenario.run ~checks
+    Scenario.run ~checks ?observe
       (Scenario.spec ~id ~algorithm ~n ~k ~rate:rho ~burst:4.0
          ~pattern:choice.Saboteur.pattern ~rounds ~drain:0 ())
   in

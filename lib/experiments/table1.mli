@@ -10,7 +10,13 @@
 type t = {
   id : string;     (** e.g. "T1.orchestra" *)
   claim : string;  (** the paper's claim, humanly readable *)
-  run : scale:[ `Quick | `Full ] -> Scenario.outcome list;
+  run :
+    ?observe:Scenario.observer ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    Scenario.outcome list;
+  (** [observe] is forwarded to every {!Scenario.run} of the row, keyed by
+      scenario id — attach tracing or event recording per scenario. *)
 }
 
 val all : t list

@@ -9,11 +9,12 @@ type config = {
   check_schedule : bool;
   strict : bool;
   trace : Trace.t option;
+  sink : Sink.t option;
 }
 
 let default_config ~rounds =
   { rounds; drain_limit = 0; sample_every = 0; check_schedule = false;
-    strict = true; trace = None }
+    strict = true; trace = None; sink = None }
 
 type tracked = {
   packet : Packet.t;
@@ -47,10 +48,20 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
   let on = Array.make n false in
   let strict = cfg.strict in
 
-  let trace_event ~round fmt =
-    match cfg.trace with
-    | Some t -> Trace.eventf t ~round fmt
-    | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  (* Event emission. Every observable step of the round loop produces a
+     typed Event.t, fanned out to the configured sinks (the legacy trace
+     ring rides along as one of them). With no sink installed, the whole
+     apparatus is a single [observing] branch per event — no allocation,
+     no formatting — so un-observed runs keep their Table-1 numbers. *)
+  let sinks =
+    (match cfg.trace with Some t -> [ Sink.ring t ] | None -> [])
+    @ (match cfg.sink with Some s -> [ s ] | None -> [])
+  in
+  let observing = sinks <> [] in
+  let emit =
+    match sinks with
+    | [ s ] -> s.Sink.emit
+    | _ -> fun ~round ev -> List.iter (fun (s : Sink.t) -> s.emit ~round ev) sinks
   in
 
   let view round : Mac_adversary.View.t =
@@ -81,14 +92,19 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
              injection (see DESIGN.md interpretation 5). Patterns never
              produce these; kept for external users of the engine. *)
           Metrics.note_injection metrics;
-          Metrics.note_delivery metrics ~delay:0 ~hops:0
+          Metrics.note_delivery metrics ~delay:0 ~hops:0;
+          if observing then begin
+            emit ~round (Event.Injected { id; src; dst });
+            emit ~round
+              (Event.Delivered { id; from_ = src; dst; delay = 0; hops = 0 })
+          end
         end
         else begin
           Pqueue.add queues.(src) p;
           Hashtbl.replace registry id { packet = p; delivered = false; hops = 0 };
           Metrics.note_injection metrics;
           Metrics.note_station_queue metrics (Pqueue.size queues.(src));
-          trace_event ~round "inject #%d %d->%d" id src dst
+          if observing then emit ~round (Event.Injected { id; src; dst })
         end)
       pairs
   in
@@ -100,6 +116,10 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
     for i = 0 to n - 1 do
       on.(i) <- A.on_duty states.(i) ~round ~queue:queues.(i);
       if on.(i) then incr on_count;
+      if observing && on.(i) <> prev_on.(i) then
+        emit ~round
+          (if on.(i) then Event.Switched_on { station = i }
+           else Event.Switched_off { station = i });
       if cfg.check_schedule then
         Option.iter
           (fun schedule ->
@@ -112,6 +132,8 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
           A.static_schedule
     done;
     Metrics.note_on_count metrics !on_count;
+    if observing && !on_count > cap then
+      emit ~round (Event.Cap_exceeded { on_count = !on_count; cap });
     (* Actions of switched-on stations. *)
     let transmissions = ref [] in
     for i = n - 1 downto 0 do
@@ -132,16 +154,24 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
                  (Printf.sprintf "plain-packet algorithm %s sent a non-plain message" A.name));
           transmissions := (i, m) :: !transmissions
     done;
+    if observing then
+      List.iter
+        (fun (i, m) ->
+          emit ~round
+            (Event.Transmit { station = i; light = m.Message.packet = None }))
+        !transmissions;
     (* Channel resolution. *)
     let feedback, heard =
       match !transmissions with
       | [] ->
         Metrics.note_silence metrics;
+        if observing then emit ~round Event.Silence;
         (Feedback.Silence, None)
       | [ (s, m) ] -> (Feedback.Heard m, Some (s, m))
       | _ :: _ :: _ as colliding ->
         Metrics.note_collision metrics;
-        trace_event ~round "collision (%d transmitters)" (List.length colliding);
+        if observing then
+          emit ~round (Event.Collision { stations = List.map fst colliding });
         (Feedback.Collision, None)
     in
     (* A heard packet leaves the transmitter; it is delivered if its
@@ -150,11 +180,13 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
     (match heard with
      | None -> ()
      | Some (s, m) ->
-       Metrics.note_control_bits metrics (Message.control_bits m);
+       let bits = Message.control_bits m in
+       Metrics.note_control_bits metrics bits;
+       if observing then
+         emit ~round
+           (Event.Heard { station = s; bits; light = m.Message.packet = None });
        (match m.Message.packet with
-        | None ->
-          Metrics.note_light metrics;
-          trace_event ~round "light message from %d" s
+        | None -> Metrics.note_light metrics
         | Some p ->
           let removed = Pqueue.remove queues.(s) p in
           assert removed;
@@ -167,10 +199,12 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
             Hashtbl.remove registry p.Packet.id;
             Metrics.note_delivery metrics
               ~delay:(round - p.Packet.injected_at) ~hops:tracked.hops;
-            trace_event ~round "deliver #%d %d->%d (delay %d, hop %d)"
-              p.Packet.id s p.Packet.dst
-              (round - p.Packet.injected_at)
-              tracked.hops
+            if observing then
+              emit ~round
+                (Event.Delivered
+                   { id = p.Packet.id; from_ = s; dst = p.Packet.dst;
+                     delay = round - p.Packet.injected_at;
+                     hops = tracked.hops })
           end
           else pending := Some (s, p)));
     (* Feedback and reactions. *)
@@ -185,17 +219,24 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
     (match !pending, adopters with
      | None, [] -> ()
      | None, _ :: _ ->
+       if observing then
+         emit ~round (Event.Spurious_adoption { stations = adopters });
        violation ~strict metrics Metrics.note_spurious_adoption
          "adoption reaction with no packet pending"
      | Some (s, p), [] ->
        (* Nobody took the packet: return it to the transmitter. *)
        Pqueue.add queues.(s) p;
+       if observing then
+         emit ~round (Event.Stranded { id = p.Packet.id; station = s });
        violation ~strict metrics Metrics.note_stranded
          (Printf.sprintf "packet %d stranded at round %d" p.Packet.id round)
      | Some (s, p), adopter :: rest ->
-       if rest <> [] then
+       if rest <> [] then begin
+         if observing then
+           emit ~round (Event.Adoption_conflict { stations = adopters });
          violation ~strict metrics Metrics.note_adoption_conflict
-           "multiple stations adopted the same packet";
+           "multiple stations adopted the same packet"
+       end;
        if adopter = s then
          raise (Protocol_violation "transmitter adopted its own packet");
        if A.direct then
@@ -205,14 +246,19 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
        Pqueue.add queues.(adopter) p;
        Metrics.note_relay metrics;
        Metrics.note_station_queue metrics (Pqueue.size queues.(adopter));
-       trace_event ~round "relay #%d %d->(%d) dst %d" p.Packet.id s adopter
-         p.Packet.dst);
+       if observing then
+         emit ~round
+           (Event.Relayed
+              { id = p.Packet.id; from_ = s; relay = adopter;
+                dst = p.Packet.dst }));
     (* Switched-off stations tick. *)
     for i = 0 to n - 1 do
       if not on.(i) then A.offline_tick states.(i) ~round ~queue:queues.(i)
     done;
     Array.blit on 0 prev_on 0 n;
-    Metrics.end_round metrics ~round ~draining
+    Metrics.end_round metrics ~round ~draining;
+    if observing then
+      emit ~round (Event.Round_end { on_count = !on_count; draining })
   in
 
   for round = 0 to cfg.rounds - 1 do

@@ -35,12 +35,16 @@ type config = {
   check_schedule : bool; (** cross-check [on_duty] against [static_schedule] *)
   strict : bool;         (** raise on protocol violations instead of counting *)
   trace : Mac_channel.Trace.t option;
-  (** when set, channel events (injections, deliveries, relays, light
-      messages, collisions) are recorded into the caller's trace *)
+  (** when set, notable channel events (injections, deliveries, relays,
+      light messages, collisions) are recorded into the caller's trace *)
+  sink : Sink.t option;
+  (** when set, receives the full typed event stream of the run — every
+      mode edge, transmission, channel outcome and round boundary. Combine
+      sinks with {!Sink.tee}; the sink is {b not} closed by the engine. *)
 }
 
 val default_config : rounds:int -> config
-(** No drain, auto sampling, no schedule check, strict, no trace. *)
+(** No drain, auto sampling, no schedule check, strict, no trace, no sink. *)
 
 val run :
   ?config:config ->

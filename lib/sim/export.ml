@@ -90,6 +90,14 @@ let summary_json (s : Metrics.summary) =
       int "collision_rounds" s.collision_rounds; int "max_hops" s.max_hops;
       int "control_bits_total" s.control_bits_total;
       int "control_bits_max" s.control_bits_max;
+      field "delay_histogram"
+        ("["
+        ^ String.concat ", "
+            (Array.to_list
+               (Array.map
+                  (fun (lo, hi, count) -> Printf.sprintf "[%d, %d, %d]" lo hi count)
+                  s.delay_histogram))
+        ^ "]");
       Printf.sprintf
         "\"violations\": {%s, %s, %s, %s}"
         (int "cap_exceeded" s.violations.cap_exceeded)

@@ -18,5 +18,11 @@ val series_csv : Metrics.summary -> string
 (** "round,total_queued" rows for the sampled series. *)
 
 val summary_json : Metrics.summary -> string
+(** One JSON object on one line; the [delay_histogram] field is an array of
+    [[lo, hi, count]] bucket triples (see {!Histogram.buckets}). *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside JSON double quotes: quote,
+    backslash, newlines and all other control characters below 0x20. *)
 
 val write_file : path:string -> string -> unit

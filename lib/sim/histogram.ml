@@ -1,0 +1,67 @@
+let sub_bits = 4
+let sub = 1 lsl sub_bits (* 16 sub-buckets per octave *)
+
+(* Largest possible index: msb <= 62 on 63-bit ints gives
+   (62 - 4) * 16 + 31 = 959. *)
+let max_buckets = 960
+
+type t = {
+  counts : int array;
+  mutable total : int;
+}
+
+let create () = { counts = Array.make max_buckets 0; total = 0 }
+
+let msb v =
+  let r = ref 0 and x = ref v in
+  while !x > 1 do
+    incr r;
+    x := !x lsr 1
+  done;
+  !r
+
+let bucket_of v =
+  let v = max 0 v in
+  if v < sub then v
+  else
+    let m = msb v in
+    let shift = m - sub_bits in
+    ((m - sub_bits) * sub) + (v lsr shift)
+
+let bounds_of idx =
+  if idx < sub then (idx, idx)
+  else begin
+    let o = (idx / sub) - 1 in
+    let top = idx - (o * sub) in
+    (top lsl o, ((top + 1) lsl o) - 1)
+  end
+
+let record t v =
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let percentile t q =
+  if t.total = 0 then 0
+  else begin
+    let rank =
+      max 1 (min t.total (int_of_float (ceil (q *. float_of_int t.total))))
+    in
+    let seen = ref 0 and idx = ref 0 in
+    while !seen < rank && !idx < max_buckets do
+      seen := !seen + t.counts.(!idx);
+      incr idx
+    done;
+    snd (bounds_of (!idx - 1))
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for idx = max_buckets - 1 downto 0 do
+    if t.counts.(idx) > 0 then begin
+      let lo, hi = bounds_of idx in
+      acc := (lo, hi, t.counts.(idx)) :: !acc
+    end
+  done;
+  !acc

@@ -1,0 +1,31 @@
+(** Log-bucketed histogram of non-negative integers (delays in rounds).
+
+    Values below 16 get exact width-1 buckets; above that, each octave
+    [2^m, 2^(m+1)) splits into 16 sub-buckets, so any recorded value is
+    within one bucket — at most ~6% relative error — of its true rank
+    statistic. This replaces retaining every delay: memory is a fixed
+    ~1000-slot array no matter how many values are recorded. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Negative values are clamped to 0. *)
+
+val count : t -> int
+(** Total values recorded. *)
+
+val percentile : t -> float -> int
+(** [percentile t q] for [q] in (0, 1]: the upper bound of the bucket
+    containing the value of rank [ceil (q * count)] — an upper estimate
+    within one bucket of the exact order statistic. 0 when empty. *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending. *)
+
+val bucket_of : int -> int
+(** The bucket index a value falls into (exposed for tests). *)
+
+val bounds_of : int -> int * int
+(** Inclusive [(lo, hi)] value range of a bucket index. *)

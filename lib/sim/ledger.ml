@@ -1,0 +1,80 @@
+open Mac_channel
+
+type station = {
+  mutable on_rounds : int;
+  mutable transmits : int;
+  mutable collisions : int;
+  mutable injected : int;
+  mutable received : int;
+  mutable relayed_in : int;
+  mutable queue : int;
+  mutable queue_peak : int;
+}
+
+type t = {
+  stations : station array;
+  on : bool array;
+}
+
+let create ~n =
+  { stations =
+      Array.init n (fun _ ->
+          { on_rounds = 0; transmits = 0; collisions = 0; injected = 0;
+            received = 0; relayed_in = 0; queue = 0; queue_peak = 0 });
+    on = Array.make n false }
+
+let n t = Array.length t.stations
+
+let station t i = t.stations.(i)
+
+let enqueue s =
+  s.queue <- s.queue + 1;
+  if s.queue > s.queue_peak then s.queue_peak <- s.queue
+
+let observe t (ev : Event.t) =
+  match ev with
+  | Injected { src; dst; _ } ->
+    t.stations.(src).injected <- t.stations.(src).injected + 1;
+    if src <> dst then enqueue t.stations.(src)
+  | Switched_on { station } -> t.on.(station) <- true
+  | Switched_off { station } -> t.on.(station) <- false
+  | Transmit { station; _ } ->
+    t.stations.(station).transmits <- t.stations.(station).transmits + 1
+  | Collision { stations } ->
+    List.iter
+      (fun i -> t.stations.(i).collisions <- t.stations.(i).collisions + 1)
+      stations
+  | Delivered { from_; dst; hops; _ } ->
+    t.stations.(dst).received <- t.stations.(dst).received + 1;
+    if hops > 0 then t.stations.(from_).queue <- t.stations.(from_).queue - 1
+  | Relayed { from_; relay; _ } ->
+    t.stations.(from_).queue <- t.stations.(from_).queue - 1;
+    t.stations.(relay).relayed_in <- t.stations.(relay).relayed_in + 1;
+    enqueue t.stations.(relay)
+  | Round_end _ ->
+    Array.iteri
+      (fun i on -> if on then t.stations.(i).on_rounds <- t.stations.(i).on_rounds + 1)
+      t.on
+  | Silence | Heard _ | Stranded _ | Cap_exceeded _ | Adoption_conflict _
+  | Spurious_adoption _ ->
+    ()
+
+let sink t = Sink.make (fun ~round:_ ev -> observe t ev)
+
+let report t =
+  let r =
+    Report.create
+      ~header:
+        [ "station"; "on-rounds"; "transmits"; "collisions"; "injected";
+          "received"; "relayed-in"; "queue-peak"; "queue-final" ]
+  in
+  Array.iteri
+    (fun i s ->
+      Report.add_row r
+        [ string_of_int i; string_of_int s.on_rounds;
+          string_of_int s.transmits; string_of_int s.collisions;
+          string_of_int s.injected; string_of_int s.received;
+          string_of_int s.relayed_in; string_of_int s.queue_peak;
+          string_of_int s.queue ])
+    t.stations;
+  r

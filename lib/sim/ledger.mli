@@ -1,0 +1,33 @@
+(** Per-station ledgers rebuilt from the event stream.
+
+    The paper's Table-1 claims are statements about individual stations —
+    who pays energy, whose queue grows — but [Metrics.summary] only keeps
+    channel-wide aggregates. A ledger is a sink that books every event to
+    the stations involved: on-rounds (energy actually spent), transmission
+    and collision counts, traffic in and out, and the queue high-water
+    mark, with queue sizes reconstructed from packet movements exactly as
+    in [Metrics.observe]. *)
+
+type station = {
+  mutable on_rounds : int;     (** rounds switched on — this station's energy *)
+  mutable transmits : int;
+  mutable collisions : int;    (** transmissions lost to a collision *)
+  mutable injected : int;      (** packets the adversary injected here *)
+  mutable received : int;      (** packets delivered to this station *)
+  mutable relayed_in : int;    (** packets adopted as a relay *)
+  mutable queue : int;         (** reconstructed current queue size *)
+  mutable queue_peak : int;
+}
+
+type t
+
+val create : n:int -> t
+
+val sink : t -> Sink.t
+
+val n : t -> int
+
+val station : t -> int -> station
+
+val report : t -> Report.t
+(** One row per station, ready to print. *)

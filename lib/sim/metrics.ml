@@ -18,6 +18,7 @@ type summary = {
   max_delay : int;
   mean_delay : float;
   p99_delay : int;
+  delay_histogram : (int * int * int) array;
   max_queued_age : int;
   max_total_queue : int;
   final_total_queue : int;
@@ -80,8 +81,7 @@ type t = {
   mutable drain_rounds : int;
   mutable max_delay : int;
   mutable delay_sum : float;
-  mutable delays : int array; (* growable buffer of all delays *)
-  mutable delay_count : int;
+  delay_hist : Histogram.t;
   mutable max_total_queue : int;
   mutable max_station_queue : int;
   mutable series_rev : (int * int) list;
@@ -99,19 +99,20 @@ type t = {
   mutable stranded : int;
   mutable adoption_conflicts : int;
   mutable spurious_adoptions : int;
+  qsizes : int array; (* queue sizes reconstructed when replaying events *)
 }
 
 let create ~algorithm ~adversary ~n ~k ~cap ~sample_every =
   { algorithm; adversary; n; k; cap; sample_every = max 1 sample_every;
     injected = 0; delivered = 0; rounds = 0; drain_rounds = 0;
-    max_delay = 0; delay_sum = 0.0; delays = Array.make 1024 0; delay_count = 0;
+    max_delay = 0; delay_sum = 0.0; delay_hist = Histogram.create ();
     max_total_queue = 0; max_station_queue = 0; series_rev = [];
     max_on = 0; on_total = 0;
     silent_rounds = 0; light_rounds = 0; delivery_rounds = 0; relay_rounds = 0;
     collision_rounds = 0; max_hops = 0;
     control_bits_total = 0; control_bits_max = 0;
     cap_exceeded = 0; stranded = 0; adoption_conflicts = 0;
-    spurious_adoptions = 0 }
+    spurious_adoptions = 0; qsizes = Array.make (max n 1) 0 }
 
 let total_queued t = t.injected - t.delivered
 
@@ -131,22 +132,13 @@ let note_silence t = t.silent_rounds <- t.silent_rounds + 1
 let note_collision t = t.collision_rounds <- t.collision_rounds + 1
 let note_light t = t.light_rounds <- t.light_rounds + 1
 
-let push_delay t d =
-  if t.delay_count = Array.length t.delays then begin
-    let bigger = Array.make (2 * t.delay_count) 0 in
-    Array.blit t.delays 0 bigger 0 t.delay_count;
-    t.delays <- bigger
-  end;
-  t.delays.(t.delay_count) <- d;
-  t.delay_count <- t.delay_count + 1
-
 let note_delivery t ~delay ~hops =
   t.delivered <- t.delivered + 1;
   t.delivery_rounds <- t.delivery_rounds + 1;
   t.delay_sum <- t.delay_sum +. float_of_int delay;
   if delay > t.max_delay then t.max_delay <- delay;
   if hops > t.max_hops then t.max_hops <- hops;
-  push_delay t delay
+  Histogram.record t.delay_hist delay
 
 let note_relay t = t.relay_rounds <- t.relay_rounds + 1
 
@@ -165,15 +157,48 @@ let end_round t ~round ~draining =
   if round mod t.sample_every = 0 then
     t.series_rev <- (round, total_queued t) :: t.series_rev
 
-let percentile sorted q =
-  let len = Array.length sorted in
-  if len = 0 then 0
-  else sorted.(min (len - 1) (int_of_float (ceil (q *. float_of_int len)) - 1 |> max 0))
+(* Replaying a recorded event stream drives the same collector the engine
+   drives directly. Queue sizes are reconstructed from the packet-movement
+   events: a packet enters its source's queue on injection, leaves the
+   transmitter's on delivery or relay, and enters the relay's on adoption
+   (a stranded packet returns whence it came — no net change). *)
+let observe t ~round (ev : Mac_channel.Event.t) =
+  match ev with
+  | Injected { src; dst; _ } ->
+    note_injection t;
+    if src <> dst then begin
+      t.qsizes.(src) <- t.qsizes.(src) + 1;
+      note_station_queue t t.qsizes.(src)
+    end
+  | Delivered { from_; delay; hops; _ } ->
+    if hops > 0 then t.qsizes.(from_) <- t.qsizes.(from_) - 1;
+    note_delivery t ~delay ~hops
+  | Relayed { from_; relay; _ } ->
+    t.qsizes.(from_) <- t.qsizes.(from_) - 1;
+    t.qsizes.(relay) <- t.qsizes.(relay) + 1;
+    note_relay t;
+    note_station_queue t t.qsizes.(relay)
+  | Silence -> note_silence t
+  | Collision _ -> note_collision t
+  | Heard { bits; light; _ } ->
+    note_control_bits t bits;
+    if light then note_light t
+  | Stranded _ -> note_stranded t
+  | Cap_exceeded _ -> note_cap_exceeded t
+  | Adoption_conflict _ -> note_adoption_conflict t
+  | Spurious_adoption _ -> note_spurious_adoption t
+  | Round_end { on_count; draining } ->
+    (* note_on_count minus the cap check: cap violations replay through
+       the explicit Cap_exceeded events. *)
+    t.on_total <- t.on_total + on_count;
+    if on_count > t.max_on then t.max_on <- on_count;
+    end_round t ~round ~draining
+  | Switched_on _ | Switched_off _ | Transmit _ -> ()
+
+let sink t = Sink.make (fun ~round ev -> observe t ~round ev)
 
 let finalize t ~final_round ~max_queued_age =
   let total_rounds = t.rounds + t.drain_rounds in
-  let delays = Array.sub t.delays 0 t.delay_count in
-  Array.sort Int.compare delays;
   ignore final_round;
   { algorithm = t.algorithm;
     adversary = t.adversary;
@@ -187,7 +212,8 @@ let finalize t ~final_round ~max_queued_age =
     max_delay = t.max_delay;
     mean_delay =
       (if t.delivered = 0 then 0.0 else t.delay_sum /. float_of_int t.delivered);
-    p99_delay = percentile delays 0.99;
+    p99_delay = min (Histogram.percentile t.delay_hist 0.99) t.max_delay;
+    delay_histogram = Array.of_list (Histogram.buckets t.delay_hist);
     max_queued_age;
     max_total_queue = t.max_total_queue;
     final_total_queue = total_queued t;

@@ -26,7 +26,13 @@ type summary = {
   undelivered : int;
   max_delay : int;         (** 0 when nothing was delivered *)
   mean_delay : float;
-  p99_delay : int;
+  p99_delay : int;         (** from the log-bucketed histogram: an upper
+                               estimate within one bucket (~6%) of the
+                               exact order statistic, clamped to
+                               [max_delay] *)
+  delay_histogram : (int * int * int) array;
+  (** non-empty delay buckets as [(lo, hi, count)], ascending — the full
+      delay distribution at fixed memory (see {!Histogram}) *)
   max_queued_age : int;    (** age of the oldest packet still queued at the end *)
   max_total_queue : int;
   final_total_queue : int;
@@ -79,6 +85,15 @@ val note_spurious_adoption : t -> unit
 
 val end_round : t -> round:int -> draining:bool -> unit
 (** Book-keeping at the end of each simulated round (queue sampling). *)
+
+val observe : t -> round:int -> Mac_channel.Event.t -> unit
+(** Drive the collector from a typed event instead of a [note_*] call.
+    Replaying a recorded run's complete event stream through [observe]
+    (then [finalize]) reconstructs the same summary the engine produced
+    live — queue sizes are rebuilt from the packet-movement events. *)
+
+val sink : t -> Sink.t
+(** The collector as an event sink: [observe] wrapped for [tee]-ing. *)
 
 val total_queued : t -> int
 

@@ -1,0 +1,84 @@
+open Mac_channel
+
+type t = {
+  emit : round:int -> Event.t -> unit;
+  close : unit -> unit;
+}
+
+let make ?(close = fun () -> ()) emit = { emit; close }
+
+let null = make (fun ~round:_ _ -> ())
+
+let close t = t.close ()
+
+let ring ?(all = false) trace =
+  make (fun ~round ev ->
+      if all || Event.notable ev then
+        Trace.event trace ~round (Event.to_string ev))
+
+let jsonl oc =
+  make
+    ~close:(fun () -> flush oc)
+    (fun ~round ev ->
+      output_string oc (Event.to_json ~round ev);
+      output_char oc '\n')
+
+let jsonl_file path =
+  let oc = open_out path in
+  make
+    ~close:(fun () -> close_out oc)
+    (fun ~round ev ->
+      output_string oc (Event.to_json ~round ev);
+      output_char oc '\n')
+
+let tee sinks =
+  make
+    ~close:(fun () -> List.iter close sinks)
+    (fun ~round ev -> List.iter (fun s -> s.emit ~round ev) sinks)
+
+let sample ~every inner =
+  if every <= 1 then inner
+  else
+    make ~close:inner.close (fun ~round ev ->
+        if round mod every = 0 then inner.emit ~round ev)
+
+type counts = {
+  injected : int;
+  delivered : int;
+  relays : int;
+  collisions : int;
+  silences : int;
+  lights : int;
+  strandeds : int;
+  station_rounds : int;
+  rounds : int;
+  drain_rounds : int;
+}
+
+let counting () =
+  let injected = ref 0 and delivered = ref 0 and relays = ref 0 in
+  let collisions = ref 0 and silences = ref 0 and lights = ref 0 in
+  let strandeds = ref 0 and station_rounds = ref 0 in
+  let rounds = ref 0 and drain_rounds = ref 0 in
+  let emit ~round:_ (ev : Event.t) =
+    match ev with
+    | Injected _ -> incr injected
+    | Delivered _ -> incr delivered
+    | Relayed _ -> incr relays
+    | Collision _ -> incr collisions
+    | Silence -> incr silences
+    | Heard { light = true; _ } -> incr lights
+    | Stranded _ -> incr strandeds
+    | Round_end { on_count; draining } ->
+      station_rounds := !station_rounds + on_count;
+      if draining then incr drain_rounds else incr rounds
+    | Heard _ | Switched_on _ | Switched_off _ | Transmit _ | Cap_exceeded _
+    | Adoption_conflict _ | Spurious_adoption _ ->
+      ()
+  in
+  ( make emit,
+    fun () ->
+      { injected = !injected; delivered = !delivered; relays = !relays;
+        collisions = !collisions; silences = !silences; lights = !lights;
+        strandeds = !strandeds; station_rounds = !station_rounds;
+        rounds = !rounds; drain_rounds = !drain_rounds } )

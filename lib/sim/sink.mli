@@ -1,0 +1,62 @@
+(** Pluggable consumers for the engine's typed event stream.
+
+    A sink is a pair of closures: [emit] receives every
+    {!Mac_channel.Event.t} the engine produces (in round order, with the
+    round number alongside), and [close] flushes or finalises whatever
+    the sink owns. The engine never closes sinks — whoever created one
+    does, normally after [Engine.run] returns.
+
+    Disabled observation costs the engine a single branch per event;
+    sinks only pay when installed. *)
+
+type t = {
+  emit : round:int -> Mac_channel.Event.t -> unit;
+  close : unit -> unit;
+}
+
+val make : ?close:(unit -> unit) -> (round:int -> Mac_channel.Event.t -> unit) -> t
+(** Wrap an emit function; [close] defaults to a no-op. *)
+
+val null : t
+(** Swallows everything. *)
+
+val close : t -> unit
+
+val ring : ?all:bool -> Mac_channel.Trace.t -> t
+(** Record events into the bounded in-memory {!Mac_channel.Trace} ring,
+    formatted with [Event.to_string]. By default only
+    {!Mac_channel.Event.notable} events are kept — the historical trace
+    behaviour; [~all:true] records every event. *)
+
+val jsonl : out_channel -> t
+(** Stream one JSON object per line to the channel. [close] flushes but
+    does not close the channel (the caller owns it). *)
+
+val jsonl_file : string -> t
+(** [jsonl] over a fresh file at [path]; [close] closes the file. *)
+
+val tee : t list -> t
+(** Fan every event out to each sink in order; [close] closes them all. *)
+
+val sample : every:int -> t -> t
+(** Forward only events of rounds divisible by [every] (so complete
+    rounds are kept or dropped together). [every <= 1] forwards all. *)
+
+(** The replay aggregate: what a counting pass over a recorded stream
+    can reconstruct without any engine state. *)
+type counts = {
+  injected : int;
+  delivered : int;
+  relays : int;
+  collisions : int;
+  silences : int;
+  lights : int;
+  strandeds : int;
+  station_rounds : int;  (** sum of switched-on stations over all rounds *)
+  rounds : int;          (** injection rounds seen *)
+  drain_rounds : int;
+}
+
+val counting : unit -> t * (unit -> counts)
+(** A counting aggregator and its read-out. Feeding it the JSONL replay
+    of a run reproduces the engine's [Metrics.summary] counts exactly. *)

@@ -1,0 +1,101 @@
+open Mac_channel
+
+type t = {
+  n : int;
+  capacity : int;
+  rows : Bytes.t array;        (* ring of finished per-round rows *)
+  row_round : int array;       (* round number of each slot; -1 = empty *)
+  mutable count : int;         (* finished rows ever flushed *)
+  on : bool array;             (* current on-set, tracked from mode edges *)
+  mutable cur_round : int;     (* round being assembled; -1 before any *)
+  mutable cur : Bytes.t;
+}
+
+let legend = ". off   o listening   T transmit   X collision   D delivery   R relay"
+
+let create ?(rounds = 512) ~n () =
+  let capacity = max rounds 1 in
+  { n; capacity;
+    rows = Array.init capacity (fun _ -> Bytes.make (max n 1) ' ');
+    row_round = Array.make capacity (-1);
+    count = 0;
+    on = Array.make (max n 1) false;
+    cur_round = -1;
+    cur = Bytes.make (max n 1) '.' }
+
+let flush t =
+  if t.cur_round >= 0 then begin
+    let slot = t.count mod t.capacity in
+    Bytes.blit t.cur 0 t.rows.(slot) 0 t.n;
+    t.row_round.(slot) <- t.cur_round;
+    t.count <- t.count + 1
+  end
+
+let start_row t round =
+  flush t;
+  t.cur_round <- round;
+  for i = 0 to t.n - 1 do
+    Bytes.set t.cur i (if t.on.(i) then 'o' else '.')
+  done
+
+let feed t ~round (ev : Event.t) =
+  if round <> t.cur_round then start_row t round;
+  let set i c = if i >= 0 && i < t.n then Bytes.set t.cur i c in
+  match ev with
+  | Switched_on { station } ->
+    if station >= 0 && station < t.n then t.on.(station) <- true;
+    set station 'o'
+  | Switched_off { station } ->
+    if station >= 0 && station < t.n then t.on.(station) <- false;
+    set station '.'
+  | Transmit { station; _ } -> set station 'T'
+  | Collision { stations } -> List.iter (fun i -> set i 'X') stations
+  | Delivered { dst; hops; _ } -> if hops > 0 then set dst 'D'
+  | Relayed { relay; _ } -> set relay 'R'
+  | Injected _ | Silence | Heard _ | Stranded _ | Cap_exceeded _
+  | Adoption_conflict _ | Spurious_adoption _ | Round_end _ ->
+    ()
+
+let sink t = Sink.make (fun ~round ev -> feed t ~round ev)
+
+(* Finished rows oldest-first, plus the row under assembly. *)
+let snapshot t =
+  let finished = min t.count t.capacity in
+  let start = t.count - finished in
+  let stored =
+    List.init finished (fun i ->
+        let slot = (start + i) mod t.capacity in
+        (t.row_round.(slot), Bytes.to_string t.rows.(slot)))
+  in
+  if t.cur_round >= 0 then stored @ [ (t.cur_round, Bytes.to_string t.cur) ]
+  else stored
+
+let render ?(width = 72) t =
+  let rows = snapshot t in
+  (* The pending row duplicates the last ring slot if it was already
+     flushed by a later round; snapshot never double-books because flush
+     happens before cur_round advances, so rows are strictly increasing. *)
+  match rows with
+  | [] -> ""
+  | _ ->
+    let width = max width 1 in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf legend;
+    Buffer.add_char buf '\n';
+    let rec chunks = function
+      | [] -> ()
+      | rows ->
+        let block = List.filteri (fun i _ -> i < width) rows in
+        let rest = List.filteri (fun i _ -> i >= width) rows in
+        let first = fst (List.hd block) in
+        let last = fst (List.nth block (List.length block - 1)) in
+        Buffer.add_string buf (Printf.sprintf "\nrounds %d..%d\n" first last);
+        for i = 0 to t.n - 1 do
+          Buffer.add_string buf (Printf.sprintf "  s%-3d |" i);
+          List.iter (fun (_, row) -> Buffer.add_char buf row.[i]) block;
+          Buffer.add_string buf "|\n"
+        done;
+        chunks rest
+    in
+    chunks rows;
+    Buffer.contents buf

@@ -1,0 +1,29 @@
+(** ASCII station×round timeline built from the event stream.
+
+    One column per round, one row per station:
+
+    {v
+    .  switched off          o  on, listening
+    T  transmitted           X  transmitted into a collision
+    D  received a delivery   R  adopted the packet as a relay
+    v}
+
+    A bounded window keeps the last [rounds] rounds; feed it live as an
+    engine sink or from a recorded JSONL file (see [Event.of_json_line]).
+    Rounds missing from a sampled stream simply leave gaps. *)
+
+type t
+
+val create : ?rounds:int -> n:int -> unit -> t
+(** Window of the last [rounds] rounds (default 512). *)
+
+val sink : t -> Sink.t
+
+val feed : t -> round:int -> Mac_channel.Event.t -> unit
+
+val render : ?width:int -> t -> string
+(** The timeline as text, chunked into blocks of [width] round-columns
+    (default 72), newest rounds last, with a legend on top. Empty string
+    when nothing was recorded. *)
+
+val legend : string

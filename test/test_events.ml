@@ -1,0 +1,375 @@
+(* Tests for the typed event stream: JSON round-trips, sink combinators,
+   the replay guarantee (a recorded run re-aggregated offline reproduces
+   the live metrics), per-station ledgers, the delay histogram, and the
+   timeline renderer. *)
+
+open Mac_channel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Event JSON round-trip ---- *)
+
+let all_variants : Event.t list =
+  [ Injected { id = 3; src = 0; dst = 2 };
+    Switched_on { station = 5 };
+    Switched_off { station = 0 };
+    Transmit { station = 1; light = false };
+    Transmit { station = 2; light = true };
+    Silence;
+    Collision { stations = [ 0; 3; 7 ] };
+    Heard { station = 4; bits = 12; light = true };
+    Heard { station = 4; bits = 0; light = false };
+    Delivered { id = 9; from_ = 1; dst = 6; delay = 481; hops = 2 };
+    Delivered { id = 0; from_ = 0; dst = 0; delay = 0; hops = 0 };
+    Relayed { id = 7; from_ = 2; relay = 3; dst = 5 };
+    Stranded { id = 11; station = 2 };
+    Cap_exceeded { on_count = 5; cap = 3 };
+    Adoption_conflict { stations = [ 1; 2 ] };
+    Spurious_adoption { stations = [ 4 ] };
+    Round_end { on_count = 2; draining = false };
+    Round_end { on_count = 0; draining = true } ]
+
+let test_json_roundtrip () =
+  List.iteri
+    (fun i ev ->
+      let round = 17 * (i + 1) in
+      let line = Event.to_json ~round ev in
+      match Event.of_json_line line with
+      | Ok (round', ev') ->
+        check_int (Printf.sprintf "round of %s" line) round round';
+        check_bool (Printf.sprintf "event of %s" line) true (ev = ev')
+      | Error msg -> Alcotest.failf "%s: %s" line msg)
+    all_variants
+
+let test_json_rejects_malformed () =
+  let bad =
+    [ "";
+      "not json";
+      "{\"round\":1}";
+      "{\"type\":\"silence\"}";
+      "{\"round\":1,\"type\":\"no-such-type\"}";
+      "{\"round\":1,\"type\":\"injected\",\"id\":1,\"src\":0}";
+      "{\"round\":1,\"type\":\"silence\"} trailing";
+      "{\"round\":\"one\",\"type\":\"silence\"}" ]
+  in
+  List.iter
+    (fun line ->
+      match Event.of_json_line line with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" line
+      | Error _ -> ())
+    bad
+
+(* ---- sink combinators ---- *)
+
+let test_tee_and_close () =
+  let seen_a = ref 0 and seen_b = ref 0 in
+  let closed = ref [] in
+  let sink name seen =
+    Mac_sim.Sink.make
+      ~close:(fun () -> closed := name :: !closed)
+      (fun ~round:_ _ -> incr seen)
+  in
+  let t = Mac_sim.Sink.tee [ sink "a" seen_a; sink "b" seen_b ] in
+  t.emit ~round:0 Event.Silence;
+  t.emit ~round:1 (Event.Switched_on { station = 0 });
+  Mac_sim.Sink.close t;
+  check_int "a saw both" 2 !seen_a;
+  check_int "b saw both" 2 !seen_b;
+  Alcotest.(check (list string)) "both closed, in order" [ "b"; "a" ] !closed
+
+let test_sample_by_round () =
+  let rounds = ref [] in
+  let inner = Mac_sim.Sink.make (fun ~round _ -> rounds := round :: !rounds) in
+  let s = Mac_sim.Sink.sample ~every:3 inner in
+  for r = 0 to 9 do
+    s.emit ~round:r Event.Silence;
+    s.emit ~round:r (Event.Round_end { on_count = 0; draining = false })
+  done;
+  Alcotest.(check (list int))
+    "whole rounds kept or dropped" [ 0; 0; 3; 3; 6; 6; 9; 9 ]
+    (List.rev !rounds)
+
+(* ---- replay: recorded JSONL -> counting sink = live metrics ---- *)
+
+let record_run ~algorithm ~n ~k ~rate ~seed ~rounds ~drain =
+  let path = Filename.temp_file "eear_replay" ".jsonl" in
+  let sink = Mac_sim.Sink.jsonl_file path in
+  let adversary =
+    Mac_adversary.Adversary.create ~rate ~burst:2.0
+      (Mac_adversary.Pattern.uniform ~n ~seed)
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds) with
+      drain_limit = drain; sink = Some sink }
+  in
+  let summary =
+    Fun.protect
+      ~finally:(fun () -> Mac_sim.Sink.close sink)
+      (fun () ->
+        Mac_sim.Engine.run ~config ~algorithm ~n ~k ~adversary ~rounds ())
+  in
+  let events = ref [] in
+  let ic = open_in path in
+  (try
+     while true do
+       match Event.of_json_line (input_line ic) with
+       | Ok entry -> events := entry :: !events
+       | Error msg -> Alcotest.failf "bad line in recording: %s" msg
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  (summary, List.rev !events)
+
+let test_counting_replay_matches_summary () =
+  let summary, events =
+    record_run ~algorithm:(module Mac_routing.Count_hop) ~n:6 ~k:2 ~rate:0.7
+      ~seed:23 ~rounds:2_000 ~drain:1_000
+  in
+  let sink, read = Mac_sim.Sink.counting () in
+  List.iter (fun (round, ev) -> sink.Mac_sim.Sink.emit ~round ev) events;
+  let c = read () in
+  check_int "injected" summary.injected c.injected;
+  check_int "delivered" summary.delivered c.delivered;
+  check_int "collisions" summary.collision_rounds c.collisions;
+  check_int "relays" summary.relay_rounds c.relays;
+  check_int "silences" summary.silent_rounds c.silences;
+  check_int "lights" summary.light_rounds c.lights;
+  check_int "station_rounds" summary.station_rounds c.station_rounds;
+  check_int "rounds" summary.rounds c.rounds;
+  check_int "drain_rounds" summary.drain_rounds c.drain_rounds;
+  check_bool "the run moved packets" true (c.delivered > 0)
+
+let test_metrics_replay_reconstructs_summary () =
+  let rounds = 2_000 and drain = 1_000 in
+  let summary, events =
+    record_run ~algorithm:(module Mac_routing.Orchestra) ~n:6 ~k:3 ~rate:0.9
+      ~seed:31 ~rounds ~drain
+  in
+  let replay =
+    Mac_sim.Metrics.create ~algorithm:summary.algorithm
+      ~adversary:summary.adversary ~n:summary.n ~k:summary.k
+      ~cap:summary.energy_cap
+      ~sample_every:(max 1 ((rounds + drain) / 1024))
+  in
+  List.iter (fun (round, ev) -> Mac_sim.Metrics.observe replay ~round ev) events;
+  let rebuilt =
+    Mac_sim.Metrics.finalize replay
+      ~final_round:(summary.rounds + summary.drain_rounds)
+      ~max_queued_age:summary.max_queued_age
+  in
+  check_bool "whole summary reconstructed" true (rebuilt = summary)
+
+(* ---- per-station ledgers ---- *)
+
+let test_ledger_invariants () =
+  let n = 6 in
+  let ledger = Mac_sim.Ledger.create ~n in
+  let adversary =
+    Mac_adversary.Adversary.create ~rate:0.8 ~burst:2.0
+      (Mac_adversary.Pattern.uniform ~n ~seed:47)
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds:2_000) with
+      drain_limit = 1_000; sink = Some (Mac_sim.Ledger.sink ledger) }
+  in
+  let s =
+    Mac_sim.Engine.run ~config ~algorithm:(module Mac_routing.Count_hop) ~n
+      ~k:2 ~adversary ~rounds:2_000 ()
+  in
+  let sum f =
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc + f (Mac_sim.Ledger.station ledger i)
+    done;
+    !acc
+  in
+  check_int "ledger size" n (Mac_sim.Ledger.n ledger);
+  check_int "on-rounds sum to station-rounds" s.station_rounds
+    (sum (fun st -> st.Mac_sim.Ledger.on_rounds));
+  check_int "injections booked per station" s.injected
+    (sum (fun st -> st.Mac_sim.Ledger.injected));
+  check_int "receipts sum to deliveries" s.delivered
+    (sum (fun st -> st.Mac_sim.Ledger.received));
+  check_int "adoptions sum to relay rounds" s.relay_rounds
+    (sum (fun st -> st.Mac_sim.Ledger.relayed_in));
+  check_int "reconstructed final backlog" s.final_total_queue
+    (sum (fun st -> st.Mac_sim.Ledger.queue));
+  for i = 0 to n - 1 do
+    let st = Mac_sim.Ledger.station ledger i in
+    check_bool "queue peak within global max" true
+      (st.Mac_sim.Ledger.queue_peak <= s.max_station_queue);
+    check_bool "collisions within transmits" true
+      (st.Mac_sim.Ledger.collisions <= st.Mac_sim.Ledger.transmits)
+  done;
+  let report = Mac_sim.Ledger.report ledger in
+  let rendered = Mac_sim.Report.to_string report in
+  check_bool "report has a row per station" true
+    (List.length (String.split_on_char '\n' (String.trim rendered)) >= n + 2)
+
+(* ---- delay histogram ---- *)
+
+let test_histogram_exact_below_16 () =
+  let h = Mac_sim.Histogram.create () in
+  List.iter (Mac_sim.Histogram.record h) [ 0; 1; 1; 5; 15 ];
+  Alcotest.(check (list (pair (pair int int) int)))
+    "width-1 buckets"
+    [ ((0, 0), 1); ((1, 1), 2); ((5, 5), 1); ((15, 15), 1) ]
+    (List.map (fun (lo, hi, c) -> ((lo, hi), c)) (Mac_sim.Histogram.buckets h))
+
+let test_histogram_bounds_cover () =
+  for v = 0 to 100_000 do
+    let idx = Mac_sim.Histogram.bucket_of v in
+    let lo, hi = Mac_sim.Histogram.bounds_of idx in
+    if not (lo <= v && v <= hi) then
+      Alcotest.failf "value %d outside bucket %d = [%d,%d]" v idx lo hi
+  done
+
+let test_histogram_percentile_known () =
+  let h = Mac_sim.Histogram.create () in
+  for v = 1 to 100 do
+    Mac_sim.Histogram.record h v
+  done;
+  (* values 1..100: the rank-99 value is 99; buckets near 99 are ~6% wide *)
+  let p99 = Mac_sim.Histogram.percentile h 0.99 in
+  let lo, hi = Mac_sim.Histogram.bounds_of (Mac_sim.Histogram.bucket_of 99) in
+  check_bool
+    (Printf.sprintf "p99=%d within bucket [%d,%d]" p99 lo hi)
+    true
+    (lo <= p99 && p99 <= hi);
+  let p50 = Mac_sim.Histogram.percentile h 0.5 in
+  let lo50, hi50 = Mac_sim.Histogram.bounds_of (Mac_sim.Histogram.bucket_of 50) in
+  check_bool "p50 within its bucket" true (lo50 <= p50 && p50 <= hi50)
+
+(* The acceptance bound: the summary's histogram p99 is within one bucket
+   of the exact order statistic, measured on a real run by collecting the
+   exact delays through a custom sink. *)
+let test_p99_within_one_bucket_of_exact () =
+  let delays = ref [] in
+  let collector =
+    Mac_sim.Sink.make (fun ~round:_ (ev : Event.t) ->
+        match ev with
+        | Delivered { delay; _ } -> delays := delay :: !delays
+        | _ -> ())
+  in
+  let adversary =
+    Mac_adversary.Adversary.create ~rate:0.9 ~burst:2.0
+      (Mac_adversary.Pattern.uniform ~n:6 ~seed:59)
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds:20_000) with
+      drain_limit = 10_000; sink = Some collector }
+  in
+  let s =
+    Mac_sim.Engine.run ~config ~algorithm:(module Mac_routing.Count_hop) ~n:6
+      ~k:2 ~adversary ~rounds:20_000 ()
+  in
+  let sorted = List.sort compare !delays |> Array.of_list in
+  let count = Array.length sorted in
+  check_int "collector saw every delivery" s.delivered count;
+  let rank = max 1 (min count (int_of_float (ceil (0.99 *. float_of_int count)))) in
+  let exact = sorted.(rank - 1) in
+  let b_exact = Mac_sim.Histogram.bucket_of exact in
+  let b_reported = Mac_sim.Histogram.bucket_of s.p99_delay in
+  check_bool
+    (Printf.sprintf "p99 %d within one bucket of exact %d" s.p99_delay exact)
+    true
+    (abs (b_reported - b_exact) <= 1)
+
+(* ---- observed runs do not disturb the simulation ---- *)
+
+let test_observation_is_transparent () =
+  let run sink =
+    let adversary =
+      Mac_adversary.Adversary.create ~rate:0.7 ~burst:2.0
+        (Mac_adversary.Pattern.uniform ~n:6 ~seed:71)
+    in
+    let config =
+      { (Mac_sim.Engine.default_config ~rounds:1_500) with
+        drain_limit = 500; sink }
+    in
+    Mac_sim.Engine.run ~config ~algorithm:(module Mac_routing.Count_hop) ~n:6
+      ~k:2 ~adversary ~rounds:1_500 ()
+  in
+  let bare = run None in
+  let observed = run (Some Mac_sim.Sink.null) in
+  check_bool "identical summaries" true (bare = observed)
+
+(* ---- timeline ---- *)
+
+let test_timeline_render () =
+  let n = 5 in
+  let tl = Mac_sim.Timeline.create ~rounds:64 ~n () in
+  let adversary =
+    Mac_adversary.Adversary.create ~rate:0.8 ~burst:2.0
+      (Mac_adversary.Pattern.flood ~n ~victim:2)
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds:40) with
+      sink = Some (Mac_sim.Timeline.sink tl) }
+  in
+  ignore
+    (Mac_sim.Engine.run ~config ~algorithm:(module Mac_routing.Orchestra) ~n
+       ~k:3 ~adversary ~rounds:40 ());
+  let out = Mac_sim.Timeline.render ~width:40 tl in
+  let lines = String.split_on_char '\n' out in
+  check_bool "legend first" true
+    (match lines with l :: _ -> l = Mac_sim.Timeline.legend | [] -> false);
+  check_bool "has a block header" true
+    (List.exists
+       (fun l -> String.length l >= 6 && String.sub l 0 6 = "rounds")
+       lines);
+  List.iteri
+    (fun i marker ->
+      check_bool
+        (Printf.sprintf "row for station %d" i)
+        true
+        (List.exists
+           (fun l ->
+             String.length l > String.length marker
+             && String.sub (String.trim l) 0 (String.length marker) = marker)
+           lines))
+    (List.init n (fun i -> Printf.sprintf "s%d" i));
+  check_bool "orchestra transmits appear" true (String.contains out 'T')
+
+let test_timeline_window_keeps_tail () =
+  let tl = Mac_sim.Timeline.create ~rounds:4 ~n:2 () in
+  for r = 0 to 9 do
+    Mac_sim.Timeline.feed tl ~round:r (Event.Transmit { station = 0; light = false });
+    Mac_sim.Timeline.feed tl ~round:r (Event.Round_end { on_count = 1; draining = false })
+  done;
+  (* rounds 0..8 got flushed into a 4-slot ring (keeping 5..8); round 9 is
+     the row still under assembly, so the window shown is 5..9 *)
+  let out = Mac_sim.Timeline.render tl in
+  check_bool "oldest rounds evicted, tail kept" true
+    (List.exists (fun l -> l = "rounds 5..9")
+       (String.split_on_char '\n' out))
+
+let () =
+  Alcotest.run "events"
+    [ ("json",
+       [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+         Alcotest.test_case "rejects malformed" `Quick test_json_rejects_malformed ]);
+      ("sinks",
+       [ Alcotest.test_case "tee and close" `Quick test_tee_and_close;
+         Alcotest.test_case "sample by round" `Quick test_sample_by_round ]);
+      ("replay",
+       [ Alcotest.test_case "counting sink matches summary" `Quick
+           test_counting_replay_matches_summary;
+         Alcotest.test_case "metrics replay reconstructs summary" `Quick
+           test_metrics_replay_reconstructs_summary;
+         Alcotest.test_case "observation transparent" `Quick
+           test_observation_is_transparent ]);
+      ("ledger", [ Alcotest.test_case "invariants" `Quick test_ledger_invariants ]);
+      ("histogram",
+       [ Alcotest.test_case "exact below 16" `Quick test_histogram_exact_below_16;
+         Alcotest.test_case "bounds cover" `Quick test_histogram_bounds_cover;
+         Alcotest.test_case "percentiles in bucket" `Quick
+           test_histogram_percentile_known;
+         Alcotest.test_case "p99 within one bucket" `Quick
+           test_p99_within_one_bucket_of_exact ]);
+      ("timeline",
+       [ Alcotest.test_case "render" `Quick test_timeline_render;
+         Alcotest.test_case "window keeps tail" `Quick
+           test_timeline_window_keeps_tail ]) ]

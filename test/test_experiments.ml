@@ -111,13 +111,13 @@ let test_table1_quick_rows_pass () =
       List.iter
         (fun (o : Scenario.outcome) ->
           check_bool (Printf.sprintf "%s/%s passes" id o.spec.id) true o.passed)
-        (t.run ~scale:`Quick))
+        (t.run ~scale:`Quick ()))
     [ "T1.k-clique"; "T1.obl-impossible" ]
 
 let test_figures_quick_produce_rows () =
   List.iter
     (fun (f : Figures.t) ->
-      let report, outcomes = f.run ~scale:`Quick in
+      let report, outcomes = f.run ~scale:`Quick () in
       check_bool (f.id ^ " yields rows") true (String.length (Mac_sim.Report.to_string report) > 0);
       check_bool (f.id ^ " yields outcomes") true (outcomes <> []))
     [ Figures.energy ]

@@ -53,6 +53,65 @@ let test_json_parses_shape () =
   check_bool "has violations object" true
     (contains ~needle:"\"violations\": {" json)
 
+let test_json_escaping () =
+  let s = sample_summary () in
+  let crafted =
+    { s with
+      Mac_sim.Metrics.algorithm = "al\"go\\rhythm";
+      adversary = "line1\nline2\ttab\x01ctl" }
+  in
+  let json = Mac_sim.Export.summary_json crafted in
+  check_bool "one line" true (not (String.contains json '\n'));
+  check_bool "no raw control chars" true
+    (String.for_all (fun c -> Char.code c >= 0x20) json);
+  check_bool "quote escaped" true (contains ~needle:{|al\"go\\rhythm|} json);
+  check_bool "newline escaped" true (contains ~needle:{|line1\nline2|} json);
+  check_bool "control char escaped" true (contains ~needle:{|\u0001ctl|} json);
+  Alcotest.(check string) "json_escape itself" {|a\"b\\c\nd\u0000|}
+    (Mac_sim.Export.json_escape "a\"b\\c\nd\x00")
+
+let test_json_histogram_field () =
+  let s = sample_summary () in
+  let json = Mac_sim.Export.summary_json s in
+  check_bool "has delay_histogram" true
+    (contains ~needle:"\"delay_histogram\": [" json);
+  (* bucket counts in the export sum to the deliveries *)
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 s.delay_histogram in
+  check_int "histogram covers every delivery" s.delivered total
+
+let test_jsonl_lines_valid () =
+  let path = Filename.temp_file "eear_events" ".jsonl" in
+  let sink = Mac_sim.Sink.jsonl_file path in
+  let adversary =
+    Mac_adversary.Adversary.create ~rate:0.6 ~burst:2.0
+      (Mac_adversary.Pattern.uniform ~n:4 ~seed:9)
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds:200) with sink = Some sink }
+  in
+  ignore
+    (Mac_sim.Engine.run ~config ~algorithm:(module Mac_broadcast.Rrw) ~n:4 ~k:4
+       ~adversary ~rounds:200 ());
+  Mac_sim.Sink.close sink;
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       check_bool "object per line" true
+         (String.length line > 2
+          && line.[0] = '{'
+          && line.[String.length line - 1] = '}');
+       match Mac_channel.Event.of_json_line line with
+       | Ok _ -> ()
+       | Error msg -> Alcotest.failf "line %d unparseable: %s" !lines msg
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  check_bool "stream non-empty" true (!lines > 200)
+
 let test_write_file () =
   let path = Filename.temp_file "eear" ".csv" in
   Mac_sim.Export.write_file ~path "hello\n";
@@ -133,7 +192,11 @@ let () =
          Alcotest.test_case "quoting" `Quick test_csv_quoting;
          Alcotest.test_case "series" `Quick test_series_csv;
          Alcotest.test_case "write file" `Quick test_write_file ]);
-      ("json", [ Alcotest.test_case "shape" `Quick test_json_parses_shape ]);
+      ("json",
+       [ Alcotest.test_case "shape" `Quick test_json_parses_shape;
+         Alcotest.test_case "escaping" `Quick test_json_escaping;
+         Alcotest.test_case "histogram field" `Quick test_json_histogram_field;
+         Alcotest.test_case "jsonl lines valid" `Quick test_jsonl_lines_valid ]);
       ("trace",
        [ Alcotest.test_case "records events" `Quick test_engine_trace_records_events;
          Alcotest.test_case "off by default" `Quick test_engine_no_trace_by_default ]);
