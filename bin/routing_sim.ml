@@ -3,6 +3,7 @@
    routing_sim run --algorithm k-cycle -n 12 -k 4 --rate 0.2 --pattern flood:5
    routing_sim table1 [ID]       re-run Table-1 experiments
    routing_sim figures [ID]      re-run figure sweeps
+   routing_sim resilience [ALGO] fault-injection suite, or one faulted run
    routing_sim inspect           render a station-by-round ASCII timeline
    routing_sim list              show algorithms, patterns, experiments *)
 
@@ -329,6 +330,88 @@ let figures_cmd id quick trace_n events_dir =
   Option.iter (fun dir -> Printf.printf "event streams under %s/\n" dir) events_dir;
   `Ok ()
 
+(* ---- resilience command ---- *)
+
+let load_fault_plan path =
+  match Mac_faults.Fault_plan.of_file path with
+  | Ok plan -> plan
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+let resilience_cmd algo n k rate burst pattern_spec rounds drain seed quick
+    trace_n events_dir fault_plan fault_seed crash_rate jam_rate noise_rate
+    restart_after crash_drop events json =
+  match algo with
+  | None ->
+    (* Suite mode: sweep every subject algorithm across the fault plans. *)
+    let scale = if quick then `Quick else `Full in
+    let observe = scenario_observer ~trace_n ~events_dir in
+    let report, _ = Mac_experiments.Resilience.suite ?observe ~scale () in
+    Mac_sim.Report.print report;
+    Option.iter
+      (fun dir -> Printf.printf "event streams under %s/\n" dir)
+      events_dir;
+    `Ok ()
+  | Some algorithm_name ->
+    (* Single-run mode: one algorithm under one fault plan. *)
+    let algorithm = resolve_algorithm algorithm_name ~n ~k in
+    let module A = (val algorithm) in
+    let plan =
+      match fault_plan with
+      | Some path -> load_fault_plan path
+      | None -> (
+        try
+          Mac_faults.Fault_plan.random ~seed:fault_seed ~n ~rounds ~crash_rate
+            ~jam_rate ~noise_rate ~restart_after
+            ~queue:
+              (if crash_drop then Mac_faults.Fault_plan.Drop
+               else Mac_faults.Fault_plan.Retain)
+            ()
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2)
+    in
+    if Mac_faults.Fault_plan.max_station plan >= n then begin
+      Printf.eprintf "fault plan %s names station %d, but n = %d\n"
+        (Mac_faults.Fault_plan.name plan)
+        (Mac_faults.Fault_plan.max_station plan)
+        n;
+      exit 2
+    end;
+    let pattern = resolve_pattern pattern_spec ~algorithm ~n ~k ~seed in
+    let adversary =
+      Mac_adversary.Adversary.create ~rate ~burst
+        ~pacing:Mac_adversary.Adversary.Greedy pattern
+    in
+    let sink = Option.map jsonl_sink events in
+    let empty = Mac_faults.Fault_plan.is_empty plan in
+    let config =
+      { (Mac_sim.Engine.default_config ~rounds) with
+        drain_limit = drain;
+        check_schedule = A.oblivious;
+        strict = empty;
+        sink;
+        faults = (if empty then None else Some plan) }
+    in
+    let summary =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Mac_sim.Sink.close sink)
+        (fun () ->
+          Mac_sim.Engine.run ~config ~algorithm ~n ~k ~adversary ~rounds ())
+    in
+    if json then print_endline (Mac_sim.Export.summary_json summary)
+    else begin
+      Printf.printf "fault plan: %s (%d actions)\n"
+        (Mac_faults.Fault_plan.name plan)
+        (Mac_faults.Fault_plan.size plan);
+      let stability = Mac_sim.Stability.classify summary.queue_series in
+      Format.printf "%a@." Mac_sim.Metrics.pp_summary summary;
+      Format.printf "stability: %a@." Mac_sim.Stability.pp_report stability;
+      Option.iter (fun path -> Printf.printf "wrote %s\n" path) events
+    end;
+    `Ok ()
+
 (* ---- inspect command ---- *)
 
 let event_stations (ev : Mac_channel.Event.t) =
@@ -343,7 +426,8 @@ let event_stations (ev : Mac_channel.Event.t) =
     stations
   | Delivered { from_; dst; _ } -> [ from_; dst ]
   | Relayed { from_; relay; dst; _ } -> [ from_; relay; dst ]
-  | Silence | Cap_exceeded _ | Round_end _ -> []
+  | Station_crashed { station; _ } | Station_restarted { station } -> [ station ]
+  | Silence | Cap_exceeded _ | Round_end _ | Round_jammed _ -> []
 
 let read_events path =
   let ic =
@@ -449,6 +533,112 @@ let exp_events_arg =
     & info [ "events" ] ~docv:"DIR"
         ~doc:"Record each scenario's event stream as DIR/<scenario>.jsonl.")
 
+let resilience_term =
+  let algo =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ALGO"
+          ~doc:
+            "Run a single algorithm under one fault plan instead of the full \
+             suite.")
+  in
+  let rate =
+    Arg.(value & opt float 0.5 & info [ "rate" ] ~docv:"RHO" ~doc:"Injection rate.")
+  in
+  let burst =
+    Arg.(value & opt float 2.0 & info [ "burst" ] ~docv:"BETA" ~doc:"Burstiness.")
+  in
+  let pattern =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "p"; "pattern" ] ~docv:"PATTERN"
+          ~doc:"Same syntax as the run command.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 20_000
+      & info [ "rounds" ] ~docv:"T" ~doc:"Injection rounds (single-run mode).")
+  in
+  let drain =
+    Arg.(
+      value & opt int 0
+      & info [ "drain" ] ~docv:"T" ~doc:"Extra injection-free rounds to empty queues.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Adversary PRNG seed.") in
+  let events_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events-dir" ] ~docv:"DIR"
+          ~doc:"Suite mode: record each cell's event stream as DIR/<cell>.jsonl.")
+  in
+  let fault_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"FILE"
+          ~doc:
+            "Scripted fault plan: one directive per line (crash R S [keep|drop], \
+             restart R S, jam R[..R], noise R[..R]); '#' comments.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 7
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the generated random fault plan (ignored with --fault-plan).")
+  in
+  let crash_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash-rate" ] ~docv:"PHI"
+          ~doc:"Per-round probability that some alive station crashes.")
+  in
+  let jam_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "jam-rate" ] ~docv:"PHI"
+          ~doc:"Per-round probability of a jammed round.")
+  in
+  let noise_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "noise-rate" ] ~docv:"PHI"
+          ~doc:"Per-round probability of a spurious-noise round.")
+  in
+  let restart_after =
+    Arg.(
+      value & opt int 0
+      & info [ "restart-after" ] ~docv:"D"
+          ~doc:"Restart crashed stations D rounds later (0 = crash-stop).")
+  in
+  let crash_drop =
+    Arg.(
+      value & flag
+      & info [ "crash-drop" ]
+          ~doc:"Crashed stations lose their queue (default: retain it).")
+  in
+  let events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"Single-run mode: record the event stream as JSON lines to FILE.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Single-run mode: print only the JSON summary (for goldens).")
+  in
+  Term.(
+    ret
+      (const resilience_cmd $ algo $ n_arg $ k_arg $ rate $ burst $ pattern
+       $ rounds $ drain $ seed $ quick_arg $ exp_trace_arg $ events_dir
+       $ fault_plan $ fault_seed $ crash_rate $ jam_rate $ noise_rate
+       $ restart_after $ crash_drop $ events $ json))
+
 let inspect_term =
   let file =
     Arg.(
@@ -506,6 +696,12 @@ let cmds =
     Cmd.v
       (Cmd.info "figures" ~doc:"Re-run figure sweeps")
       Term.(ret (const figures_cmd $ id_arg $ quick_arg $ exp_trace_arg $ exp_events_arg));
+    Cmd.v
+      (Cmd.info "resilience"
+         ~doc:
+           "Fault-injection runs: the per-algorithm degradation suite, or one \
+            algorithm under a crash/jam fault plan")
+      resilience_term;
     Cmd.v
       (Cmd.info "inspect"
          ~doc:"ASCII station-by-round timeline of a run or a recorded event stream")

@@ -13,10 +13,14 @@ type t =
   | Adoption_conflict of { stations : int list }
   | Spurious_adoption of { stations : int list }
   | Round_end of { on_count : int; draining : bool }
+  | Station_crashed of { station : int; lost : int }
+  | Station_restarted of { station : int }
+  | Round_jammed of { transmitters : int; noise : bool }
 
 let notable = function
   | Injected _ | Collision _ | Delivered _ | Relayed _ | Stranded _
-  | Cap_exceeded _ | Adoption_conflict _ | Spurious_adoption _ ->
+  | Cap_exceeded _ | Adoption_conflict _ | Spurious_adoption _
+  | Station_crashed _ | Station_restarted _ | Round_jammed _ ->
     true
   | Heard { light; _ } -> light
   | Switched_on _ | Switched_off _ | Transmit _ | Silence | Round_end _ ->
@@ -52,6 +56,13 @@ let to_string = function
   | Round_end { on_count; draining } ->
     Printf.sprintf "round end (%d on%s)" on_count
       (if draining then ", draining" else "")
+  | Station_crashed { station; lost } ->
+    Printf.sprintf "crash %d (%d packets lost)" station lost
+  | Station_restarted { station } -> Printf.sprintf "restart %d" station
+  | Round_jammed { transmitters; noise } ->
+    Printf.sprintf "%s (%d transmitters)"
+      (if noise then "noise" else "jammed")
+      transmitters
 
 (* ---- JSON encoding ---- *)
 
@@ -127,7 +138,18 @@ let to_json ~round ev =
    | Round_end { on_count; draining } ->
      typ "round_end";
      int_field buf "on" on_count;
-     bool_field buf "draining" draining);
+     bool_field buf "draining" draining
+   | Station_crashed { station; lost } ->
+     typ "station_crashed";
+     int_field buf "station" station;
+     int_field buf "lost" lost
+   | Station_restarted { station } ->
+     typ "station_restarted";
+     int_field buf "station" station
+   | Round_jammed { transmitters; noise } ->
+     typ "round_jammed";
+     int_field buf "transmitters" transmitters;
+     bool_field buf "noise" noise);
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -319,6 +341,11 @@ let of_json_line line =
       | "spurious_adoption" -> Spurious_adoption { stations = ints "stations" }
       | "round_end" ->
         Round_end { on_count = int "on"; draining = bool "draining" }
+      | "station_crashed" ->
+        Station_crashed { station = int "station"; lost = int "lost" }
+      | "station_restarted" -> Station_restarted { station = int "station" }
+      | "round_jammed" ->
+        Round_jammed { transmitters = int "transmitters"; noise = bool "noise" }
       | other -> raise (Bad ("unknown event type " ^ other))
     in
     Ok (round, ev)

@@ -40,10 +40,24 @@ type t =
   | Spurious_adoption of { stations : int list }
   | Round_end of { on_count : int; draining : bool }
       (** Always the last event of a round; [on_count] stations were on. *)
+  | Station_crashed of { station : int; lost : int }
+      (** Fault injection: the station crashed at the top of the round
+          (before mode decisions); [lost] packets were dropped from its
+          queue ([0] when the queue is retained). *)
+  | Station_restarted of { station : int }
+      (** Fault injection: a crashed station rebooted with fresh
+          algorithm state and takes part from this round on. *)
+  | Round_jammed of { transmitters : int; noise : bool }
+      (** Fault injection: channel resolution was forced to a collision.
+          [noise] marks spurious noise (fires even with zero
+          transmitters); a jam only disturbs rounds with at least one
+          transmitter. Always immediately precedes the [Collision] it
+          forces, except for a [>= 2]-transmitter round, where it merely
+          annotates the natural collision. *)
 
 val notable : t -> bool
 (** The historically traced subset: injections, collisions, light
-    messages, deliveries, relays, and protocol violations. [Transmit],
+    messages, deliveries, relays, faults, and protocol violations. [Transmit],
     [Silence], [Heard] of a packet, mode edges and [Round_end] are not
     notable — they exist for replay and timelines, not for eyeballing. *)
 

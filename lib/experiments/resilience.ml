@@ -1,0 +1,130 @@
+open Mac_adversary
+module Fault_plan = Mac_faults.Fault_plan
+
+let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
+
+(* One algorithm under test: its Table-1 operating point, kept safely
+   inside the stability region so degradation measured under faults is
+   attributable to the faults, not to the adversary. *)
+type subject = {
+  label : string;
+  algorithm : Mac_channel.Algorithm.t;
+  n : int;
+  k : int;
+  rate : float;
+  burst : float;
+  pattern : Pattern.t;
+}
+
+let subjects ~scale =
+  let n = scaled ~scale ~quick:6 ~full:10 in
+  let nc = 12 in
+  [ { label = "orchestra";
+      algorithm = (module Mac_routing.Orchestra);
+      n; k = 3; rate = 0.9; burst = 8.0;
+      pattern = Pattern.uniform ~n ~seed:301 };
+    { label = "count-hop";
+      algorithm = (module Mac_routing.Count_hop);
+      n; k = 2; rate = 0.6; burst = 2.0;
+      pattern = Pattern.uniform ~n ~seed:302 };
+    { label = "k-cycle";
+      algorithm = Mac_routing.K_cycle.algorithm ~n:nc ~k:4;
+      n = nc; k = 4; rate = 0.5 *. Bounds.k_cycle_rate ~n:nc ~k:4; burst = 2.0;
+      pattern = Pattern.uniform ~n:nc ~seed:303 };
+    { label = "k-clique";
+      algorithm = Mac_routing.K_clique.algorithm ~n:nc ~k:4;
+      n = nc; k = 4; rate = Bounds.k_clique_latency_rate ~n:nc ~k:4; burst = 2.0;
+      pattern = Pattern.uniform ~n:nc ~seed:304 } ]
+
+(* The fault plans swept per subject: a fault-free baseline, crash-restart
+   at two rates phi, crash-with-drop, a scripted crash-stop, a scripted
+   jam window, and random jamming. Plans depend on (n, rounds), so they
+   are built per subject. *)
+let plans ~scale ~n ~rounds =
+  let restart_after = max 50 (rounds / 100) in
+  let phi_lo, phi_hi =
+    scaled ~scale ~quick:(2e-4, 1e-3) ~full:(1e-4, 5e-4)
+  in
+  let jam_len = max 10 (rounds / 50) in
+  let q = rounds / 4 in
+  [ ("none", Fault_plan.empty);
+    ( "crash-lo",
+      Fault_plan.random ~seed:401 ~n ~rounds ~crash_rate:phi_lo ~restart_after
+        () );
+    ( "crash-hi",
+      Fault_plan.random ~seed:402 ~n ~rounds ~crash_rate:phi_hi ~restart_after
+        () );
+    ( "crash-drop",
+      Fault_plan.random ~seed:403 ~n ~rounds ~crash_rate:phi_lo ~restart_after
+        ~queue:Fault_plan.Drop () );
+    ( "crash-stop",
+      Fault_plan.scripted ~name:"crash-stop"
+        [ (q, Fault_plan.Crash { station = 1; queue = Fault_plan.Retain }) ] );
+    ( "jam-window",
+      Fault_plan.scripted ~name:"jam-window"
+        (List.init jam_len (fun i -> (q + i, Fault_plan.Jam))) );
+    ( "jam-random",
+      Fault_plan.random ~seed:404 ~n ~rounds ~jam_rate:0.01 () ) ]
+
+let run_cell ?observe ~rounds subject (plan_label, plan) =
+  let id = Printf.sprintf "resilience/%s/%s" subject.label plan_label in
+  let faults = if Fault_plan.is_empty plan then None else Some plan in
+  Scenario.run ?observe
+    (Scenario.spec ~id ~algorithm:subject.algorithm ~n:subject.n ~k:subject.k
+       ~rate:subject.rate ~burst:subject.burst ~pattern:subject.pattern
+       ~rounds ?faults ())
+
+let header =
+  [ "algorithm"; "plan"; "injected"; "delivered"; "del%"; "lost"; "crashes";
+    "restarts"; "jammed"; "peak-q"; "growth"; "recovery"; "max-delay" ]
+
+let row (outcome : Scenario.outcome) =
+  let s = outcome.summary in
+  let f = s.faults in
+  let id = outcome.spec.id in
+  let plan_label =
+    match String.rindex_opt id '/' with
+    | Some i -> String.sub id (i + 1) (String.length id - i - 1)
+    | None -> id
+  in
+  let algo =
+    match String.index_opt id '/' with
+    | Some i ->
+      let rest = String.sub id (i + 1) (String.length id - i - 1) in
+      (match String.index_opt rest '/' with
+       | Some j -> String.sub rest 0 j
+       | None -> rest)
+    | None -> id
+  in
+  let del_pct =
+    if s.injected = 0 then "-"
+    else
+      Printf.sprintf "%.1f"
+        (100.0 *. float_of_int s.delivered /. float_of_int s.injected)
+  in
+  let recovery =
+    if f.last_fault_round < 0 then "-"
+    else if f.recovery_rounds < 0 then "never"
+    else string_of_int f.recovery_rounds
+  in
+  [ algo; plan_label; string_of_int s.injected; string_of_int s.delivered;
+    del_pct; string_of_int f.lost_to_crash; string_of_int f.crashes;
+    string_of_int f.restarts; string_of_int f.jammed_rounds;
+    string_of_int f.post_fault_peak_queue;
+    string_of_int (f.post_fault_peak_queue - f.pre_fault_queue);
+    recovery;
+    string_of_int (int_of_float (Scenario.worst_delay s)) ]
+
+let suite ?observe ~scale () =
+  let rounds = scaled ~scale ~quick:15_000 ~full:80_000 in
+  let outcomes =
+    List.concat_map
+      (fun subject ->
+        List.map
+          (run_cell ?observe ~rounds subject)
+          (plans ~scale ~n:subject.n ~rounds))
+      (subjects ~scale)
+  in
+  let report = Mac_sim.Report.create ~header in
+  List.iter (fun o -> Mac_sim.Report.add_row report (row o)) outcomes;
+  (report, outcomes)

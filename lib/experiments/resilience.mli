@@ -1,0 +1,24 @@
+(** The resilience suite: Table-1 algorithms outside the clean model.
+
+    The paper's model has no station failures and no channel noise; this
+    suite measures, empirically, what each algorithm does when that
+    assumption breaks. Every subject runs at an operating point safely
+    inside its proven stability region, then the same run is repeated
+    under a sweep of deterministic fault plans — seeded random
+    crash-restart at two rates, crash-with-queue-drop, a scripted
+    crash-stop, a scripted jam window, and random jamming — and the
+    degradation columns of {!Mac_sim.Metrics.summary} (packets lost,
+    post-fault queue growth, recovery time after the last fault) land in
+    one report row per (algorithm, plan) cell.
+
+    No outcome carries pass/fail checks: the suite reports degradation,
+    it does not assert bounds the paper never claimed. *)
+
+val suite :
+  ?observe:Scenario.observer ->
+  scale:[ `Quick | `Full ] ->
+  unit ->
+  Mac_sim.Report.t * Scenario.outcome list
+(** Run the full sweep (4 algorithms x 7 plans). Outcome ids are
+    ["resilience/<algorithm>/<plan>"]; the observer, if given, is called
+    once per cell with that id. *)

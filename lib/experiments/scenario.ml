@@ -9,12 +9,13 @@ type spec = {
   pacing : Mac_adversary.Adversary.pacing;
   rounds : int;
   drain : int;
+  faults : Mac_faults.Fault_plan.t option;
 }
 
 let spec ~id ~algorithm ~n ~k ~rate ~burst ~pattern
-    ?(pacing = Mac_adversary.Adversary.Greedy) ~rounds ?drain () =
+    ?(pacing = Mac_adversary.Adversary.Greedy) ~rounds ?drain ?faults () =
   let drain = match drain with Some d -> d | None -> rounds / 2 in
-  { id; algorithm; n; k; rate; burst; pattern; pacing; rounds; drain }
+  { id; algorithm; n; k; rate; burst; pattern; pacing; rounds; drain; faults }
 
 type check = {
   label : string;
@@ -87,11 +88,21 @@ let run ?(checks = []) ?observe spec =
   let sink =
     match observe with None -> None | Some f -> f ~id:spec.id
   in
+  let faulted =
+    match spec.faults with
+    | Some p -> not (Mac_faults.Fault_plan.is_empty p)
+    | None -> false
+  in
   let config =
     { (Mac_sim.Engine.default_config ~rounds:spec.rounds) with
       drain_limit = spec.drain;
       check_schedule = A.oblivious;
-      sink }
+      (* Faults break protocol assumptions by design (a packet heard
+         while its consumers are crashed strands); count violations
+         instead of raising. *)
+      strict = not faulted;
+      sink;
+      faults = spec.faults }
   in
   let summary =
     Fun.protect

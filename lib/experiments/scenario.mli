@@ -17,6 +17,7 @@ type spec = {
   pacing : Mac_adversary.Adversary.pacing;
   rounds : int;
   drain : int;
+  faults : Mac_faults.Fault_plan.t option;
 }
 
 val spec :
@@ -25,8 +26,11 @@ val spec :
   n:int -> k:int -> rate:float -> burst:float ->
   pattern:Mac_adversary.Pattern.t ->
   ?pacing:Mac_adversary.Adversary.pacing ->
-  rounds:int -> ?drain:int -> unit -> spec
-(** Defaults: greedy pacing, drain = rounds/2. *)
+  rounds:int -> ?drain:int ->
+  ?faults:Mac_faults.Fault_plan.t -> unit -> spec
+(** Defaults: greedy pacing, drain = rounds/2, no faults. A non-empty
+    fault plan turns off strict mode for the run (stranding is expected
+    when consumers crash) — violations are counted, not raised. *)
 
 type check = {
   label : string;

@@ -1,0 +1,216 @@
+type queue_policy = Retain | Drop
+
+type action =
+  | Crash of { station : int; queue : queue_policy }
+  | Restart of { station : int }
+  | Jam
+  | Noise
+
+type t = {
+  name : string;
+  by_round : (int, action list) Hashtbl.t;
+      (* round -> actions in application order *)
+  size : int;
+  max_station : int;
+}
+
+let empty =
+  { name = "none"; by_round = Hashtbl.create 1; size = 0; max_station = -1 }
+
+let is_empty t = t.size = 0
+let name t = t.name
+let size t = t.size
+let max_station t = t.max_station
+
+let actions t ~round =
+  match Hashtbl.find_opt t.by_round round with Some l -> l | None -> []
+
+let station_of = function
+  | Crash { station; _ } | Restart { station } -> station
+  | Jam | Noise -> -1
+
+let build ~name entries =
+  let by_round = Hashtbl.create 64 in
+  let max_station = ref (-1) in
+  List.iter
+    (fun (round, action) ->
+      if round < 0 then invalid_arg "Fault_plan: negative round";
+      let s = station_of action in
+      if s > !max_station then max_station := s;
+      let prev =
+        match Hashtbl.find_opt by_round round with Some l -> l | None -> []
+      in
+      (* keep application order; lists are short *)
+      Hashtbl.replace by_round round (prev @ [ action ]))
+    entries;
+  { name; by_round; size = List.length entries; max_station = !max_station }
+
+let scripted ~name entries =
+  List.iter
+    (fun (_, action) ->
+      match action with
+      | Crash { station; _ } | Restart { station } ->
+          if station < 0 then invalid_arg "Fault_plan: negative station"
+      | Jam | Noise -> ())
+    entries;
+  build ~name entries
+
+let random ~seed ~n ~rounds ?(crash_rate = 0.) ?(jam_rate = 0.)
+    ?(noise_rate = 0.) ?(restart_after = 0) ?(queue = Retain) () =
+  let check_rate what r =
+    if r < 0. || r > 1. then
+      invalid_arg (Printf.sprintf "Fault_plan.random: %s outside [0, 1]" what)
+  in
+  check_rate "crash_rate" crash_rate;
+  check_rate "jam_rate" jam_rate;
+  check_rate "noise_rate" noise_rate;
+  if n <= 0 then invalid_arg "Fault_plan.random: n must be positive";
+  if rounds < 0 then invalid_arg "Fault_plan.random: negative rounds";
+  if restart_after < 0 then invalid_arg "Fault_plan.random: negative restart_after";
+  let rng = Mac_channel.Rng.create ~seed in
+  let alive = Array.make n true in
+  let restarts = Hashtbl.create 16 in
+  (* restart round -> stations *)
+  let entries = ref [] in
+  let push round action = entries := (round, action) :: !entries in
+  for round = 0 to rounds - 1 do
+    (match Hashtbl.find_opt restarts round with
+    | Some stations ->
+        List.iter
+          (fun s ->
+            alive.(s) <- true;
+            push round (Restart { station = s }))
+          (List.rev stations)
+    | None -> ());
+    if crash_rate > 0. && Mac_channel.Rng.float rng 1.0 < crash_rate then begin
+      let candidates = ref [] in
+      for i = n - 1 downto 0 do
+        if alive.(i) then candidates := i :: !candidates
+      done;
+      match !candidates with
+      | [] -> ()
+      | cs ->
+          let victim = List.nth cs (Mac_channel.Rng.int rng (List.length cs)) in
+          alive.(victim) <- false;
+          push round (Crash { station = victim; queue });
+          if restart_after > 0 then begin
+            let back = round + restart_after in
+            if back < rounds then
+              let prev =
+                match Hashtbl.find_opt restarts back with
+                | Some l -> l
+                | None -> []
+              in
+              Hashtbl.replace restarts back (victim :: prev)
+          end
+    end;
+    if jam_rate > 0. && Mac_channel.Rng.float rng 1.0 < jam_rate then
+      push round Jam;
+    if noise_rate > 0. && Mac_channel.Rng.float rng 1.0 < noise_rate then
+      push round Noise
+  done;
+  let name =
+    Printf.sprintf "random(seed=%d,crash=%g,jam=%g,noise=%g,restart=%d)" seed
+      crash_rate jam_rate noise_rate restart_after
+  in
+  build ~name (List.rev !entries)
+
+(* --- plan-file parser ------------------------------------------------- *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+  |> List.filter (fun s -> s <> "")
+
+let parse_int ~ln what s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 -> Ok v
+  | Some _ -> Error (Printf.sprintf "line %d: negative %s %S" ln what s)
+  | None -> Error (Printf.sprintf "line %d: expected %s, got %S" ln what s)
+
+let parse_range ~ln s =
+  (* ROUND or ROUND..ROUND *)
+  match
+    let rec find i =
+      if i + 1 >= String.length s then None
+      else if s.[i] = '.' && s.[i + 1] = '.' then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> (
+      match parse_int ~ln "round" s with Ok r -> Ok (r, r) | Error e -> Error e)
+  | Some dot -> (
+      let lo = String.sub s 0 dot in
+      let hi = String.sub s (dot + 2) (String.length s - dot - 2) in
+      match (parse_int ~ln "round" lo, parse_int ~ln "round" hi) with
+      | Ok a, Ok b ->
+          if b < a then
+            Error (Printf.sprintf "line %d: empty range %S" ln s)
+          else Ok (a, b)
+      | Error e, _ | _, Error e -> Error e)
+
+let of_string ?(name = "script") text =
+  let exception Bad of string in
+  try
+    let entries = ref [] in
+    let push round action = entries := (round, action) :: !entries in
+    List.iteri
+      (fun idx raw ->
+        let ln = idx + 1 in
+        let line = String.trim (strip_comment raw) in
+        if line <> "" then
+          let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+          let int what s =
+            match parse_int ~ln what s with
+            | Ok v -> v
+            | Error e -> raise (Bad e)
+          in
+          match tokens line with
+          | [ "crash"; r; s ] ->
+              push (int "round" r)
+                (Crash { station = int "station" s; queue = Retain })
+          | [ "crash"; r; s; policy ] ->
+              let queue =
+                match policy with
+                | "keep" -> Retain
+                | "drop" -> Drop
+                | other ->
+                    fail "line %d: expected keep or drop, got %S" ln other
+              in
+              push (int "round" r) (Crash { station = int "station" s; queue })
+          | [ "restart"; r; s ] ->
+              push (int "round" r) (Restart { station = int "station" s })
+          | [ "jam"; range ] | [ "noise"; range ] as directive -> (
+              let action =
+                match directive with [ "jam"; _ ] -> Jam | _ -> Noise
+              in
+              match parse_range ~ln range with
+              | Error e -> raise (Bad e)
+              | Ok (lo, hi) ->
+                  for r = lo to hi do
+                    push r action
+                  done)
+          | verb :: _ ->
+              fail "line %d: unknown or malformed directive %S" ln verb
+          | [] -> ())
+      (String.split_on_char '\n' text);
+    Ok (build ~name (List.rev !entries))
+  with Bad msg -> Error msg
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> (
+      match of_string ~name:(Filename.basename path) text with
+      | Ok plan -> Ok plan
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg

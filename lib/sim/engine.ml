@@ -10,11 +10,12 @@ type config = {
   strict : bool;
   trace : Trace.t option;
   sink : Sink.t option;
+  faults : Mac_faults.Fault_plan.t option;
 }
 
 let default_config ~rounds =
   { rounds; drain_limit = 0; sample_every = 0; check_schedule = false;
-    strict = true; trace = None; sink = None }
+    strict = true; trace = None; sink = None; faults = None }
 
 type tracked = {
   packet : Packet.t;
@@ -48,6 +49,20 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
   let on = Array.make n false in
   let strict = cfg.strict in
 
+  (* Fault injection. An absent or empty plan keeps every code path below
+     identical to the fault-free engine: [crashed] stays all-false, the
+     jam flags stay unset, and [apply_faults] is never called — so a run
+     with [faults = None] is bit-identical (metrics and event stream) to
+     one predating the fault layer. *)
+  let plan =
+    match cfg.faults with
+    | Some p when not (Mac_faults.Fault_plan.is_empty p) -> Some p
+    | _ -> None
+  in
+  let crashed = Array.make n false in
+  let jam_now = ref false in
+  let noise_now = ref false in
+
   (* Event emission. Every observable step of the round loop produces a
      typed Event.t, fanned out to the configured sinks (the legacy trace
      ring rides along as one of them). With no sink installed, the whole
@@ -62,6 +77,59 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
     match sinks with
     | [ s ] -> s.Sink.emit
     | _ -> fun ~round ev -> List.iter (fun (s : Sink.t) -> s.emit ~round ev) sinks
+  in
+
+  (* Applied at the top of the round, after injection and before mode
+     decisions: a crash this round already silences the station's mode
+     decision; a restart rejoins from this round's decision on. Jam and
+     noise only raise flags here — they act at channel resolution. *)
+  let apply_faults round =
+    match plan with
+    | None -> ()
+    | Some p ->
+      jam_now := false;
+      noise_now := false;
+      List.iter
+        (fun (a : Mac_faults.Fault_plan.action) ->
+          match a with
+          | Crash { station = i; queue = policy } ->
+            if i < 0 || i >= n then
+              raise
+                (Protocol_violation
+                   (Printf.sprintf "fault plan crashes station %d (n = %d)" i n));
+            if not crashed.(i) then begin
+              crashed.(i) <- true;
+              let lost =
+                match policy with
+                | Mac_faults.Fault_plan.Retain -> 0
+                | Mac_faults.Fault_plan.Drop ->
+                  let doomed = Pqueue.to_list queues.(i) in
+                  List.iter
+                    (fun p ->
+                      ignore (Pqueue.remove queues.(i) p);
+                      Hashtbl.remove registry p.Packet.id)
+                    doomed;
+                  List.length doomed
+              in
+              Metrics.note_crash metrics ~round ~lost;
+              if observing then
+                emit ~round (Event.Station_crashed { station = i; lost })
+            end
+          | Restart { station = i } ->
+            if i < 0 || i >= n then
+              raise
+                (Protocol_violation
+                   (Printf.sprintf "fault plan restarts station %d (n = %d)" i n));
+            if crashed.(i) then begin
+              crashed.(i) <- false;
+              states.(i) <- A.create ~n ~k ~me:i;
+              Metrics.note_restart metrics ~round;
+              if observing then
+                emit ~round (Event.Station_restarted { station = i })
+            end
+          | Jam -> jam_now := true
+          | Noise -> noise_now := true)
+        (Mac_faults.Fault_plan.actions p ~round)
   in
 
   let view round : Mac_adversary.View.t =
@@ -111,16 +179,20 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
 
   let step ~round ~draining =
     if not draining then inject round;
-    (* Mode decisions. *)
+    apply_faults round;
+    (* Mode decisions. Crashed stations are inert: forced off, their
+       on_duty never called (state frozen for a later restart), and the
+       static-schedule check waived — the schedule says on, the fault
+       says otherwise. *)
     let on_count = ref 0 in
     for i = 0 to n - 1 do
-      on.(i) <- A.on_duty states.(i) ~round ~queue:queues.(i);
+      on.(i) <- (not crashed.(i)) && A.on_duty states.(i) ~round ~queue:queues.(i);
       if on.(i) then incr on_count;
       if observing && on.(i) <> prev_on.(i) then
         emit ~round
           (if on.(i) then Event.Switched_on { station = i }
            else Event.Switched_off { station = i });
-      if cfg.check_schedule then
+      if cfg.check_schedule && not crashed.(i) then
         Option.iter
           (fun schedule ->
             if on.(i) <> schedule ~n ~k ~me:i ~round then
@@ -160,15 +232,46 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
           emit ~round
             (Event.Transmit { station = i; light = m.Message.packet = None }))
         !transmissions;
-    (* Channel resolution. *)
+    (* Channel resolution. A jam forces any round with at least one
+       transmitter to read as a collision; noise forces a collision even
+       on an empty channel. The Round_jammed event (and its metrics note)
+       lands immediately before the Collision it forces, so replaying a
+       recorded stream books both at the same point the live run did. *)
+    let jammed = !jam_now || !noise_now in
     let feedback, heard =
       match !transmissions with
       | [] ->
-        Metrics.note_silence metrics;
-        if observing then emit ~round Event.Silence;
-        (Feedback.Silence, None)
+        if !noise_now then begin
+          Metrics.note_jammed metrics ~round ~noise:true;
+          Metrics.note_collision metrics;
+          if observing then begin
+            emit ~round (Event.Round_jammed { transmitters = 0; noise = true });
+            emit ~round (Event.Collision { stations = [] })
+          end;
+          (Feedback.Collision, None)
+        end
+        else begin
+          Metrics.note_silence metrics;
+          if observing then emit ~round Event.Silence;
+          (Feedback.Silence, None)
+        end
+      | [ (s, _) ] when jammed ->
+        Metrics.note_jammed metrics ~round ~noise:!noise_now;
+        Metrics.note_collision metrics;
+        if observing then begin
+          emit ~round (Event.Round_jammed { transmitters = 1; noise = !noise_now });
+          emit ~round (Event.Collision { stations = [ s ] })
+        end;
+        (Feedback.Collision, None)
       | [ (s, m) ] -> (Feedback.Heard m, Some (s, m))
       | _ :: _ :: _ as colliding ->
+        if jammed then begin
+          Metrics.note_jammed metrics ~round ~noise:!noise_now;
+          if observing then
+            emit ~round
+              (Event.Round_jammed
+                 { transmitters = List.length colliding; noise = !noise_now })
+        end;
         Metrics.note_collision metrics;
         if observing then
           emit ~round (Event.Collision { stations = List.map fst colliding });
@@ -251,9 +354,10 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
            (Event.Relayed
               { id = p.Packet.id; from_ = s; relay = adopter;
                 dst = p.Packet.dst }));
-    (* Switched-off stations tick. *)
+    (* Switched-off stations tick; crashed stations are frozen, not off. *)
     for i = 0 to n - 1 do
-      if not on.(i) then A.offline_tick states.(i) ~round ~queue:queues.(i)
+      if (not on.(i)) && not crashed.(i) then
+        A.offline_tick states.(i) ~round ~queue:queues.(i)
     done;
     Array.blit on 0 prev_on 0 n;
     Metrics.end_round metrics ~round ~draining;
@@ -272,7 +376,10 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
     incr drained
   done;
   let final_round = !round in
-  (* Conservation and duplicate checks. *)
+  (* Conservation and duplicate checks. Every injected packet is
+     classified: delivered, still queued, or lost-to-crash — lost packets
+     left both the queues and [Metrics.total_queued], so the equality
+     below holds for faulted runs too. *)
   let queued_total = ref 0 in
   let seen = Hashtbl.create 4096 in
   let max_age = ref 0 in

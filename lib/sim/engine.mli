@@ -22,8 +22,18 @@
     by the transmitter itself, and (when [check_schedule] is set) an
     oblivious algorithm whose [on_duty] disagrees with its declared static
     schedule all raise [Protocol_violation] when [strict] (the default).
-    Conservation — injected = delivered + queued, no duplicates — is checked
-    at the end of every run. *)
+    Conservation — injected = delivered + queued + lost-to-crash, no
+    duplicates — is checked at the end of every run.
+
+    {b Faults.} When [config.faults] carries a non-empty
+    {!Mac_faults.Fault_plan}, its actions are applied at the top of each
+    round, between injection and the mode decisions: a crashed station is
+    forced off with its algorithm state frozen (queue retained or dropped
+    per the plan; dropped packets are classified lost-to-crash), a
+    restarted station rejoins with fresh algorithm state, and jam/noise
+    actions force that round's channel resolution to a collision. With an
+    absent or empty plan every path is untouched — output is bit-identical
+    to the fault-free engine. *)
 
 exception Protocol_violation of string
 
@@ -41,10 +51,17 @@ type config = {
   (** when set, receives the full typed event stream of the run — every
       mode edge, transmission, channel outcome and round boundary. Combine
       sinks with {!Sink.tee}; the sink is {b not} closed by the engine. *)
+  faults : Mac_faults.Fault_plan.t option;
+  (** when set (and non-empty), fault actions are injected into the round
+      loop — see the module docs. A plan naming a station [>= n] raises
+      [Protocol_violation]. Crash-heavy plans usually want
+      [strict = false]: a packet heard while its only consumers are
+      crashed strands, which strict mode treats as a protocol bug. *)
 }
 
 val default_config : rounds:int -> config
-(** No drain, auto sampling, no schedule check, strict, no trace, no sink. *)
+(** No drain, auto sampling, no schedule check, strict, no trace, no sink,
+    no faults. *)
 
 val run :
   ?config:config ->

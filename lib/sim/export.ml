@@ -5,7 +5,10 @@ let columns =
     "max_station_queue"; "energy_cap"; "max_on"; "mean_on"; "station_rounds";
     "silent_rounds"; "light_rounds"; "delivery_rounds"; "relay_rounds";
     "collision_rounds"; "max_hops"; "control_bits_total"; "control_bits_max";
-    "cap_exceeded"; "stranded"; "adoption_conflicts"; "spurious_adoptions" ]
+    "cap_exceeded"; "stranded"; "adoption_conflicts"; "spurious_adoptions";
+    "crashes"; "restarts"; "jammed_rounds"; "noise_rounds"; "lost_to_crash";
+    "last_fault_round"; "pre_fault_queue"; "post_fault_peak_queue";
+    "recovery_rounds" ]
 
 let csv_header = String.concat "," columns
 
@@ -31,7 +34,14 @@ let cells (s : Metrics.summary) =
     string_of_int s.control_bits_total; string_of_int s.control_bits_max;
     string_of_int s.violations.cap_exceeded; string_of_int s.violations.stranded;
     string_of_int s.violations.adoption_conflicts;
-    string_of_int s.violations.spurious_adoptions ]
+    string_of_int s.violations.spurious_adoptions;
+    string_of_int s.faults.crashes; string_of_int s.faults.restarts;
+    string_of_int s.faults.jammed_rounds; string_of_int s.faults.noise_rounds;
+    string_of_int s.faults.lost_to_crash;
+    string_of_int s.faults.last_fault_round;
+    string_of_int s.faults.pre_fault_queue;
+    string_of_int s.faults.post_fault_peak_queue;
+    string_of_int s.faults.recovery_rounds ]
 
 let summary_csv_row s = String.concat "," (cells s)
 
@@ -103,7 +113,18 @@ let summary_json (s : Metrics.summary) =
         (int "cap_exceeded" s.violations.cap_exceeded)
         (int "stranded" s.violations.stranded)
         (int "adoption_conflicts" s.violations.adoption_conflicts)
-        (int "spurious_adoptions" s.violations.spurious_adoptions) ]
+        (int "spurious_adoptions" s.violations.spurious_adoptions);
+      Printf.sprintf
+        "\"faults\": {%s, %s, %s, %s, %s, %s, %s, %s, %s}"
+        (int "crashes" s.faults.crashes)
+        (int "restarts" s.faults.restarts)
+        (int "jammed_rounds" s.faults.jammed_rounds)
+        (int "noise_rounds" s.faults.noise_rounds)
+        (int "lost_to_crash" s.faults.lost_to_crash)
+        (int "last_fault_round" s.faults.last_fault_round)
+        (int "pre_fault_queue" s.faults.pre_fault_queue)
+        (int "post_fault_peak_queue" s.faults.post_fault_peak_queue)
+        (int "recovery_rounds" s.faults.recovery_rounds) ]
   in
   "{" ^ String.concat ", " fields ^ "}"
 

@@ -4,8 +4,8 @@
     serialise {!Metrics.summary} values without any external dependency.
     [summaries_csv] emits one row per run with a fixed column set (header
     included); [series_csv] emits the sampled queue trajectory;
-    [summary_json] a single JSON object (flat, no nesting beyond
-    violations). *)
+    [summary_json] a single JSON object (flat, no nesting beyond the
+    [violations] and [faults] sub-objects). *)
 
 val csv_header : string
 

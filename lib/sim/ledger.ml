@@ -9,6 +9,8 @@ type station = {
   mutable relayed_in : int;
   mutable queue : int;
   mutable queue_peak : int;
+  mutable crashes : int;
+  mutable lost : int;
 }
 
 type t = {
@@ -20,7 +22,8 @@ let create ~n =
   { stations =
       Array.init n (fun _ ->
           { on_rounds = 0; transmits = 0; collisions = 0; injected = 0;
-            received = 0; relayed_in = 0; queue = 0; queue_peak = 0 });
+            received = 0; relayed_in = 0; queue = 0; queue_peak = 0;
+            crashes = 0; lost = 0 });
     on = Array.make n false }
 
 let n t = Array.length t.stations
@@ -55,8 +58,13 @@ let observe t (ev : Event.t) =
     Array.iteri
       (fun i on -> if on then t.stations.(i).on_rounds <- t.stations.(i).on_rounds + 1)
       t.on
+  | Station_crashed { station; lost } ->
+    let s = t.stations.(station) in
+    s.crashes <- s.crashes + 1;
+    s.lost <- s.lost + lost;
+    s.queue <- s.queue - lost
   | Silence | Heard _ | Stranded _ | Cap_exceeded _ | Adoption_conflict _
-  | Spurious_adoption _ ->
+  | Spurious_adoption _ | Station_restarted _ | Round_jammed _ ->
     ()
 
 let sink t = Sink.make (fun ~round:_ ev -> observe t ev)
@@ -66,7 +74,8 @@ let report t =
     Report.create
       ~header:
         [ "station"; "on-rounds"; "transmits"; "collisions"; "injected";
-          "received"; "relayed-in"; "queue-peak"; "queue-final" ]
+          "received"; "relayed-in"; "queue-peak"; "queue-final"; "crashes";
+          "lost" ]
   in
   Array.iteri
     (fun i s ->
@@ -75,6 +84,7 @@ let report t =
           string_of_int s.transmits; string_of_int s.collisions;
           string_of_int s.injected; string_of_int s.received;
           string_of_int s.relayed_in; string_of_int s.queue_peak;
-          string_of_int s.queue ])
+          string_of_int s.queue; string_of_int s.crashes;
+          string_of_int s.lost ])
     t.stations;
   r

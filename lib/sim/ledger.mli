@@ -17,6 +17,8 @@ type station = {
   mutable relayed_in : int;    (** packets adopted as a relay *)
   mutable queue : int;         (** reconstructed current queue size *)
   mutable queue_peak : int;
+  mutable crashes : int;       (** crash faults injected at this station *)
+  mutable lost : int;          (** packets lost when its queue was dropped *)
 }
 
 type t

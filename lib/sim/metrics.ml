@@ -5,6 +5,18 @@ type violations = {
   spurious_adoptions : int;
 }
 
+type fault_stats = {
+  crashes : int;
+  restarts : int;
+  jammed_rounds : int;
+  noise_rounds : int;
+  lost_to_crash : int;
+  last_fault_round : int;
+  pre_fault_queue : int;
+  post_fault_peak_queue : int;
+  recovery_rounds : int;
+}
+
 type summary = {
   algorithm : string;
   adversary : string;
@@ -37,6 +49,7 @@ type summary = {
   control_bits_total : int;
   control_bits_max : int;
   violations : violations;
+  faults : fault_stats;
 }
 
 let energy_per_delivery s =
@@ -49,6 +62,8 @@ let no_violations s =
   && s.violations.adoption_conflicts = 0
   && s.violations.spurious_adoptions = 0
 
+let no_faults s = s.faults.last_fault_round < 0
+
 let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>%s vs %s (n=%d k=%d cap=%d)@,\
@@ -58,7 +73,7 @@ let pp_summary ppf s =
      energy: max-on=%d mean-on=%.2f station-rounds=%d (%.2f/delivery)@,\
      rounds: silent=%d light=%d delivery=%d relay=%d collision=%d@,\
      hops<=%d control-bits: total=%d max/msg=%d@,\
-     violations: cap=%d stranded=%d adopt-conflict=%d spurious-adopt=%d@]"
+     violations: cap=%d stranded=%d adopt-conflict=%d spurious-adopt=%d"
     s.algorithm s.adversary s.n s.k s.energy_cap s.rounds s.drain_rounds
     s.injected s.delivered s.undelivered s.max_delay s.mean_delay s.p99_delay
     s.max_queued_age s.max_total_queue s.final_total_queue s.max_station_queue
@@ -66,7 +81,18 @@ let pp_summary ppf s =
     s.light_rounds s.delivery_rounds s.relay_rounds s.collision_rounds
     s.max_hops s.control_bits_total s.control_bits_max
     s.violations.cap_exceeded s.violations.stranded
-    s.violations.adoption_conflicts s.violations.spurious_adoptions
+    s.violations.adoption_conflicts s.violations.spurious_adoptions;
+  if not (no_faults s) then begin
+    let f = s.faults in
+    Format.fprintf ppf
+      "@,faults: crashes=%d restarts=%d jammed=%d (noise %d) lost=%d \
+       last@@%d queue %d->%d recovery=%s"
+      f.crashes f.restarts f.jammed_rounds f.noise_rounds f.lost_to_crash
+      f.last_fault_round f.pre_fault_queue f.post_fault_peak_queue
+      (if f.recovery_rounds < 0 then "never"
+       else string_of_int f.recovery_rounds)
+  end;
+  Format.fprintf ppf "@]"
 
 type t = {
   algorithm : string;
@@ -99,6 +125,17 @@ type t = {
   mutable stranded : int;
   mutable adoption_conflicts : int;
   mutable spurious_adoptions : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable jammed_rounds : int;
+  mutable noise_rounds : int;
+  mutable lost : int;
+  mutable first_fault_round : int;
+  mutable last_fault_round : int;
+  mutable pre_fault_queue : int;
+  mutable post_fault_peak : int;
+  mutable last_exceed : int;
+      (* last round end with backlog above the pre-fault baseline *)
   qsizes : int array; (* queue sizes reconstructed when replaying events *)
 }
 
@@ -112,9 +149,13 @@ let create ~algorithm ~adversary ~n ~k ~cap ~sample_every =
     collision_rounds = 0; max_hops = 0;
     control_bits_total = 0; control_bits_max = 0;
     cap_exceeded = 0; stranded = 0; adoption_conflicts = 0;
-    spurious_adoptions = 0; qsizes = Array.make (max n 1) 0 }
+    spurious_adoptions = 0;
+    crashes = 0; restarts = 0; jammed_rounds = 0; noise_rounds = 0;
+    lost = 0; first_fault_round = -1; last_fault_round = -1;
+    pre_fault_queue = 0; post_fault_peak = 0; last_exceed = -1;
+    qsizes = Array.make (max n 1) 0 }
 
-let total_queued t = t.injected - t.delivered
+let total_queued t = t.injected - t.delivered - t.lost
 
 let note_injection t =
   t.injected <- t.injected + 1;
@@ -151,9 +192,42 @@ let note_stranded t = t.stranded <- t.stranded + 1
 let note_adoption_conflict t = t.adoption_conflicts <- t.adoption_conflicts + 1
 let note_spurious_adoption t = t.spurious_adoptions <- t.spurious_adoptions + 1
 
+(* Recovery is measured against the backlog just before the *first*
+   fault: the run has recovered once the backlog is back at (or below)
+   that baseline for good — a dip that is later exceeded again does not
+   count, and a run ending above the baseline never recovered. *)
+let note_fault t ~round =
+  if t.first_fault_round < 0 then begin
+    t.first_fault_round <- round;
+    t.pre_fault_queue <- total_queued t;
+    t.post_fault_peak <- t.pre_fault_queue
+  end;
+  t.last_fault_round <- round;
+  let q = total_queued t in
+  if q > t.post_fault_peak then t.post_fault_peak <- q
+
+let note_crash t ~round ~lost =
+  note_fault t ~round;
+  t.crashes <- t.crashes + 1;
+  t.lost <- t.lost + lost
+
+let note_restart t ~round =
+  note_fault t ~round;
+  t.restarts <- t.restarts + 1
+
+let note_jammed t ~round ~noise =
+  note_fault t ~round;
+  t.jammed_rounds <- t.jammed_rounds + 1;
+  if noise then t.noise_rounds <- t.noise_rounds + 1
+
 let end_round t ~round ~draining =
   if draining then t.drain_rounds <- t.drain_rounds + 1
   else t.rounds <- t.rounds + 1;
+  if t.first_fault_round >= 0 then begin
+    let q = total_queued t in
+    if q > t.post_fault_peak then t.post_fault_peak <- q;
+    if q > t.pre_fault_queue then t.last_exceed <- round
+  end;
   if round mod t.sample_every = 0 then
     t.series_rev <- (round, total_queued t) :: t.series_rev
 
@@ -193,6 +267,11 @@ let observe t ~round (ev : Mac_channel.Event.t) =
     t.on_total <- t.on_total + on_count;
     if on_count > t.max_on then t.max_on <- on_count;
     end_round t ~round ~draining
+  | Station_crashed { station; lost } ->
+    t.qsizes.(station) <- t.qsizes.(station) - lost;
+    note_crash t ~round ~lost
+  | Station_restarted _ -> note_restart t ~round
+  | Round_jammed { noise; _ } -> note_jammed t ~round ~noise
   | Switched_on _ | Switched_off _ | Transmit _ -> ()
 
 let sink t = Sink.make (fun ~round ev -> observe t ~round ev)
@@ -237,4 +316,22 @@ let finalize t ~final_round ~max_queued_age =
       { cap_exceeded = t.cap_exceeded;
         stranded = t.stranded;
         adoption_conflicts = t.adoption_conflicts;
-        spurious_adoptions = t.spurious_adoptions } }
+        spurious_adoptions = t.spurious_adoptions };
+    faults =
+      { crashes = t.crashes;
+        restarts = t.restarts;
+        jammed_rounds = t.jammed_rounds;
+        noise_rounds = t.noise_rounds;
+        lost_to_crash = t.lost;
+        last_fault_round = t.last_fault_round;
+        pre_fault_queue = (if t.first_fault_round < 0 then 0 else t.pre_fault_queue);
+        post_fault_peak_queue = t.post_fault_peak;
+        recovery_rounds =
+          (if t.last_fault_round >= 0 && total_queued t <= t.pre_fault_queue
+           then
+             let back =
+               if t.last_exceed >= t.last_fault_round then t.last_exceed + 1
+               else t.last_fault_round
+             in
+             back - t.last_fault_round
+           else -1) } }

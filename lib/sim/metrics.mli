@@ -14,6 +14,26 @@ type violations = {
   spurious_adoptions : int;(** adoption reaction with no packet pending *)
 }
 
+(** Degradation bookkeeping for fault-injected runs (all zero / sentinel
+    [-1] when the fault plan was empty). Conservation becomes
+    [injected = delivered + final_total_queue + lost_to_crash]. *)
+type fault_stats = {
+  crashes : int;
+  restarts : int;
+  jammed_rounds : int;     (** rounds whose resolution a jam or noise forced *)
+  noise_rounds : int;      (** the subset of [jammed_rounds] forced by noise *)
+  lost_to_crash : int;     (** packets dropped by crash-with-drop faults *)
+  last_fault_round : int;  (** [-1] when no fault fired *)
+  pre_fault_queue : int;   (** backlog just before the first fault *)
+  post_fault_peak_queue : int;
+      (** largest backlog observed at or after the first fault *)
+  recovery_rounds : int;
+      (** rounds from the last fault until the backlog returned to the
+          pre-fault level for good (it never exceeded [pre_fault_queue]
+          at a later round end); [-1] = the run ended with the backlog
+          still above the pre-fault level, or no faults *)
+}
+
 type summary = {
   algorithm : string;
   adversary : string;
@@ -23,7 +43,8 @@ type summary = {
   drain_rounds : int;      (** extra no-injection rounds actually run *)
   injected : int;
   delivered : int;
-  undelivered : int;
+  undelivered : int;       (** [injected - delivered]: still queued plus
+                               lost-to-crash *)
   max_delay : int;         (** 0 when nothing was delivered *)
   mean_delay : float;
   p99_delay : int;         (** from the log-bucketed histogram: an upper
@@ -51,6 +72,7 @@ type summary = {
   control_bits_total : int;
   control_bits_max : int;  (** largest control payload in one message *)
   violations : violations;
+  faults : fault_stats;
 }
 
 val energy_per_delivery : summary -> float
@@ -58,7 +80,13 @@ val energy_per_delivery : summary -> float
 
 val no_violations : summary -> bool
 
+val no_faults : summary -> bool
+(** [true] iff no fault ever fired (empty plan, or nothing scheduled
+    within the rounds actually run). *)
+
 val pp_summary : Format.formatter -> summary -> unit
+(** Appends a [faults:] line only when faults fired, so fault-free output
+    is byte-identical to the pre-fault-layer format. *)
 
 (** The engine-facing collector. *)
 type t
@@ -83,8 +111,20 @@ val note_stranded : t -> unit
 val note_adoption_conflict : t -> unit
 val note_spurious_adoption : t -> unit
 
+val note_crash : t -> round:int -> lost:int -> unit
+(** A station crashed, dropping [lost] packets from its queue (0 when
+    the queue is retained). Lost packets leave [total_queued]. *)
+
+val note_restart : t -> round:int -> unit
+val note_jammed : t -> round:int -> noise:bool -> unit
+(** A jam/noise fault forced this round's resolution. Called at
+    channel-resolution time, alongside the corresponding [note_collision]
+    — the same position the [Round_jammed] event occupies in a recorded
+    stream, so replay stays exact. *)
+
 val end_round : t -> round:int -> draining:bool -> unit
-(** Book-keeping at the end of each simulated round (queue sampling). *)
+(** Book-keeping at the end of each simulated round (queue sampling,
+    fault-recovery tracking). *)
 
 val observe : t -> round:int -> Mac_channel.Event.t -> unit
 (** Drive the collector from a typed event instead of a [note_*] call.
@@ -96,5 +136,7 @@ val sink : t -> Sink.t
 (** The collector as an event sink: [observe] wrapped for [tee]-ing. *)
 
 val total_queued : t -> int
+(** [injected - delivered - lost_to_crash]: packets still sitting in some
+    queue. *)
 
 val finalize : t -> final_round:int -> max_queued_age:int -> summary

@@ -55,6 +55,10 @@ type counts = {
   station_rounds : int;  (** sum of switched-on stations over all rounds *)
   rounds : int;          (** injection rounds seen *)
   drain_rounds : int;
+  crashes : int;
+  restarts : int;
+  jammed : int;          (** rounds a jam/noise fault forced *)
+  lost : int;            (** packets lost to crash-with-drop faults *)
 }
 
 val counting : unit -> t * (unit -> counts)

@@ -11,7 +11,9 @@ type t = {
   mutable cur : Bytes.t;
 }
 
-let legend = ". off   o listening   T transmit   X collision   D delivery   R relay"
+let legend =
+  ". off   o listening   T transmit   X collision   D delivery   R relay   \
+   # crash   r restart"
 
 let create ?(rounds = 512) ~n () =
   let capacity = max rounds 1 in
@@ -47,13 +49,19 @@ let feed t ~round (ev : Event.t) =
     set station 'o'
   | Switched_off { station } ->
     if station >= 0 && station < t.n then t.on.(station) <- false;
-    set station '.'
+    (* keep a crash mark visible through the forced-off edge that follows *)
+    if not (station >= 0 && station < t.n && Bytes.get t.cur station = '#')
+    then set station '.'
   | Transmit { station; _ } -> set station 'T'
   | Collision { stations } -> List.iter (fun i -> set i 'X') stations
   | Delivered { dst; hops; _ } -> if hops > 0 then set dst 'D'
   | Relayed { relay; _ } -> set relay 'R'
+  | Station_crashed { station; _ } ->
+    if station >= 0 && station < t.n then t.on.(station) <- false;
+    set station '#'
+  | Station_restarted { station } -> set station 'r'
   | Injected _ | Silence | Heard _ | Stranded _ | Cap_exceeded _
-  | Adoption_conflict _ | Spurious_adoption _ | Round_end _ ->
+  | Adoption_conflict _ | Spurious_adoption _ | Round_end _ | Round_jammed _ ->
     ()
 
 let sink t = Sink.make (fun ~round ev -> feed t ~round ev)

@@ -232,6 +232,18 @@ let test_cap2_breaker_injects_into_helper () =
     (Invalid_argument "Saboteur.cap2_breaker: needs n >= 3") (fun () ->
       ignore (Saboteur.cap2_breaker ~n:2))
 
+let test_cap2_breaker_minimum_n () =
+  (* n = 3 is the smallest population with a witness plus two helpers:
+     witness 2, helpers 0 and 1. *)
+  let choice = Saboteur.cap2_breaker ~n:3 in
+  let view = View.dummy ~n:3 in
+  (match choice.Saboteur.pattern.Pattern.generate ~round:0 ~budget:1 ~view with
+   | [ (0, 1) ] -> ()
+   | _ -> Alcotest.fail "expected injection 0 -> 1 at n = 3");
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Saboteur.cap2_breaker: needs n >= 3") (fun () ->
+      ignore (Saboteur.cap2_breaker ~n:0))
+
 let test_cap2_breaker_moves_witness () =
   let choice = Saboteur.cap2_breaker ~n:5 in
   (* witness 4 wakes; station 3 is clean and off -> becomes the witness, so
@@ -280,4 +292,5 @@ let () =
        [ Alcotest.test_case "min-duty" `Quick test_min_duty_picks_least_on;
          Alcotest.test_case "min-pair" `Quick test_min_pair_picks_least_coduty;
          Alcotest.test_case "cap2 helper" `Quick test_cap2_breaker_injects_into_helper;
+         Alcotest.test_case "cap2 minimum n" `Quick test_cap2_breaker_minimum_n;
          Alcotest.test_case "cap2 witness moves" `Quick test_cap2_breaker_moves_witness ]) ]

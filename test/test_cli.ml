@@ -1,0 +1,99 @@
+(* CLI-level tests: fault-plan loading failures must exit 2 with a
+   one-line message, and the resilience smoke run must match the
+   checked-in golden summary (the same file CI diffs against). *)
+
+let exe = Filename.concat Filename.parent_dir_name "bin/routing_sim.exe"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run the executable, capturing stdout/stderr; returns (code, out, err). *)
+let run_cli args =
+  let out = Filename.temp_file "eear_cli" ".out" in
+  let err = Filename.temp_file "eear_cli" ".err" in
+  let cmd = Filename.quote_command exe ~stdout:out ~stderr:err args in
+  let code = Sys.command cmd in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout, stderr)
+
+let smoke_args =
+  [ "resilience"; "count-hop"; "-n"; "6"; "-k"; "2"; "--rate"; "0.6";
+    "--rounds"; "3000"; "--drain"; "500"; "--seed"; "42"; "--fault-seed"; "7";
+    "--crash-rate"; "0.002"; "--jam-rate"; "0.001"; "--restart-after"; "150";
+    "--json" ]
+
+let one_line s =
+  let t = String.trim s in
+  String.length t > 0 && not (String.contains t '\n')
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_missing_plan_file_exits_2 () =
+  let code, _, err =
+    run_cli
+      [ "resilience"; "count-hop"; "-n"; "6"; "-k"; "2"; "--rounds"; "10";
+        "--fault-plan"; "/nonexistent/eear-plan" ]
+  in
+  Alcotest.(check int) "exit code" 2 code;
+  Alcotest.(check bool) (Printf.sprintf "one-line stderr (got %S)" err) true
+    (one_line err)
+
+let test_malformed_plan_file_exits_2 () =
+  let plan = Filename.temp_file "eear_plan" ".txt" in
+  let oc = open_out plan in
+  output_string oc "crash ten 1\n";
+  close_out oc;
+  let code, _, err =
+    Fun.protect
+      ~finally:(fun () -> Sys.remove plan)
+      (fun () ->
+        run_cli
+          [ "resilience"; "count-hop"; "-n"; "6"; "-k"; "2"; "--rounds"; "10";
+            "--fault-plan"; plan ])
+  in
+  Alcotest.(check int) "exit code" 2 code;
+  Alcotest.(check bool) (Printf.sprintf "one-line stderr (got %S)" err) true
+    (one_line err);
+  Alcotest.(check bool) "names the offending line" true (contains err "line 1")
+
+let test_plan_station_out_of_range_exits_2 () =
+  let plan = Filename.temp_file "eear_plan" ".txt" in
+  let oc = open_out plan in
+  output_string oc "crash 5 9\n";
+  close_out oc;
+  let code, _, err =
+    Fun.protect
+      ~finally:(fun () -> Sys.remove plan)
+      (fun () ->
+        run_cli
+          [ "resilience"; "count-hop"; "-n"; "6"; "-k"; "2"; "--rounds"; "10";
+            "--fault-plan"; plan ])
+  in
+  Alcotest.(check int) "exit code" 2 code;
+  Alcotest.(check bool) (Printf.sprintf "one-line stderr (got %S)" err) true
+    (one_line err)
+
+let test_smoke_matches_golden () =
+  let code, out, err = run_cli smoke_args in
+  Alcotest.(check int) (Printf.sprintf "exit code (stderr %S)" err) 0 code;
+  let golden = String.trim (read_file "golden/resilience_smoke.json") in
+  Alcotest.(check string) "summary JSON matches golden" golden (String.trim out)
+
+let () =
+  Alcotest.run "cli"
+    [ ("fault-plan errors",
+       [ Alcotest.test_case "missing file" `Quick test_missing_plan_file_exits_2;
+         Alcotest.test_case "malformed file" `Quick
+           test_malformed_plan_file_exits_2;
+         Alcotest.test_case "station out of range" `Quick
+           test_plan_station_out_of_range_exits_2 ]);
+      ("golden",
+       [ Alcotest.test_case "resilience smoke" `Quick test_smoke_matches_golden ]) ]

@@ -28,7 +28,14 @@ let all_variants : Event.t list =
     Adoption_conflict { stations = [ 1; 2 ] };
     Spurious_adoption { stations = [ 4 ] };
     Round_end { on_count = 2; draining = false };
-    Round_end { on_count = 0; draining = true } ]
+    Round_end { on_count = 0; draining = true };
+    Collision { stations = [] };
+    Station_crashed { station = 3; lost = 0 };
+    Station_crashed { station = 0; lost = 17 };
+    Station_restarted { station = 3 };
+    Round_jammed { transmitters = 0; noise = true };
+    Round_jammed { transmitters = 1; noise = false };
+    Round_jammed { transmitters = 4; noise = false } ]
 
 let test_json_roundtrip () =
   List.iteri
