@@ -3,8 +3,11 @@
    instantiated bounds, then times the simulator itself with Bechamel (one
    Test.make per table row / figure).
 
-   Usage: main.exe [--quick] [table1] [figures] [ablations] [micro]
-   With no section arguments, all four run. *)
+   Usage: main.exe [--quick] [--jobs N] [table1] [figures] [ablations]
+          [micro] [speed]
+   With no section arguments, every section runs. [--jobs N] (default: the
+   machine's recommended domain count) fans the experiment suites out over
+   a worker pool; results are bit-identical to a sequential run. *)
 
 let fmt = Mac_sim.Report.fmt_float
 
@@ -30,35 +33,13 @@ let outcome_row (o : Mac_experiments.Scenario.outcome) =
     String.concat " " (List.map check_cell o.checks);
     (if o.passed then "PASS" else "FAIL") ]
 
-(* Machine-readable dump of the Table-1 validation next to the printed
-   tables: one JSON object per scenario with its checks and full summary. *)
-let check_json (c : Mac_experiments.Scenario.check) =
-  Printf.sprintf
-    "{\"label\": \"%s\", \"bound\": %s, \"measured\": %s, \"ok\": %b}"
-    (Mac_sim.Export.json_escape c.label)
-    (if Float.is_finite c.bound then Printf.sprintf "%.6g" c.bound else "null")
-    (if Float.is_finite c.measured then Printf.sprintf "%.6g" c.measured
-     else "null")
-    c.ok
-
-let outcome_json ~experiment (o : Mac_experiments.Scenario.outcome) =
-  Printf.sprintf
-    "{\"experiment\": \"%s\", \"scenario\": \"%s\", \"verdict\": \"%s\", \
-     \"passed\": %b, \"checks\": [%s], \"summary\": %s}"
-    (Mac_sim.Export.json_escape experiment)
-    (Mac_sim.Export.json_escape o.spec.id)
-    (Mac_sim.Stability.verdict_to_string o.stability.verdict)
-    o.passed
-    (String.concat ", " (List.map check_json o.checks))
-    (Mac_sim.Export.summary_json o.summary)
-
 let write_table1_json rows =
   let path = "BENCH_table1.json" in
   let body = "[\n" ^ String.concat ",\n" rows ^ "\n]\n" in
   Mac_sim.Export.write_file ~path body;
   Printf.printf "wrote %s (%d scenarios)\n\n" path (List.length rows)
 
-let print_table1 ~scale =
+let print_table1 ~scale ~jobs =
   print_endline "=== Table 1: per-row empirical validation ===";
   print_newline ();
   let failures = ref 0 in
@@ -66,7 +47,7 @@ let print_table1 ~scale =
   List.iter
     (fun (exp : Mac_experiments.Table1.t) ->
       Printf.printf "--- %s ---\n%s\n" exp.id exp.claim;
-      let outcomes = exp.run ~scale () in
+      let outcomes = exp.run ~jobs ~scale () in
       let report =
         Mac_sim.Report.create
           ~header:
@@ -76,7 +57,9 @@ let print_table1 ~scale =
       List.iter
         (fun o ->
           if not o.Mac_experiments.Scenario.passed then incr failures;
-          json_rows := outcome_json ~experiment:exp.id o :: !json_rows;
+          json_rows :=
+            Mac_experiments.Scenario.outcome_json ~experiment:exp.id o
+            :: !json_rows;
           Mac_sim.Report.add_row report (outcome_row o))
         outcomes;
       Mac_sim.Report.print report;
@@ -85,24 +68,24 @@ let print_table1 ~scale =
   Printf.printf "Table 1 scenarios failing their checks: %d\n" !failures;
   write_table1_json (List.rev !json_rows)
 
-let print_figures ~scale =
+let print_figures ~scale ~jobs =
   print_endline "=== Figures: sweep series ===";
   print_newline ();
   List.iter
     (fun (fig : Mac_experiments.Figures.t) ->
       Printf.printf "--- %s ---\n%s\n" fig.id fig.title;
-      let report, _ = fig.run ~scale () in
+      let report, _ = fig.run ~jobs ~scale () in
       Mac_sim.Report.print report;
       print_newline ())
     Mac_experiments.Figures.all
 
-let print_ablations ~scale =
+let print_ablations ~scale ~jobs =
   print_endline "=== Ablations: the design choices, removed one at a time ===";
   print_newline ();
   List.iter
     (fun (ab : Mac_experiments.Ablations.t) ->
       Printf.printf "--- %s ---\n%s\n" ab.id ab.title;
-      let report, _ = ab.run ~scale in
+      let report, _ = ab.run ~jobs ~scale () in
       Mac_sim.Report.print report;
       print_newline ())
     Mac_experiments.Ablations.all
@@ -111,56 +94,66 @@ let print_ablations ~scale =
 (* Bechamel micro-benchmarks: wall-clock cost of simulating each
    configuration for a fixed number of rounds. *)
 
-let sim_test ~name ~algorithm ~n ~k ~rate ~burst ~pattern ~rounds =
-  Bechamel.Test.make ~name
-    (Bechamel.Staged.stage (fun () ->
-         let adversary =
-           Mac_adversary.Adversary.create ~rate ~burst (pattern ())
-         in
-         ignore
-           (Mac_sim.Engine.run ~algorithm:(algorithm ()) ~n ~k ~adversary
-              ~rounds ())))
+type sim_config = {
+  name : string;
+  algorithm : unit -> Mac_channel.Algorithm.t;
+  n : int;
+  k : int;
+  rate : float;
+  burst : float;
+  pattern : unit -> Mac_adversary.Pattern.t;
+}
 
-let micro_tests () =
+let run_config c ~rounds =
+  let adversary =
+    Mac_adversary.Adversary.create ~rate:c.rate ~burst:c.burst (c.pattern ())
+  in
+  ignore
+    (Mac_sim.Engine.run ~algorithm:(c.algorithm ()) ~n:c.n ~k:c.k ~adversary
+       ~rounds ())
+
+let sim_config ~name ~algorithm ~n ~k ~rate ~burst ~pattern =
+  { name; algorithm; n; k; rate; burst; pattern }
+
+let sim_configs =
   let n = 8 in
-  [ sim_test ~name:"T1.orchestra" ~algorithm:(fun () -> (module Mac_routing.Orchestra : Mac_channel.Algorithm.S))
+  [ sim_config ~name:"T1.orchestra" ~algorithm:(fun () -> (module Mac_routing.Orchestra : Mac_channel.Algorithm.S))
       ~n ~k:3 ~rate:1.0 ~burst:2.0
-      ~pattern:(fun () -> Mac_adversary.Pattern.flood ~n ~victim:2)
-      ~rounds:4_000;
-    sim_test ~name:"T1.count-hop" ~algorithm:(fun () -> (module Mac_routing.Count_hop))
+      ~pattern:(fun () -> Mac_adversary.Pattern.flood ~n ~victim:2);
+    sim_config ~name:"T1.count-hop" ~algorithm:(fun () -> (module Mac_routing.Count_hop))
       ~n ~k:2 ~rate:0.8 ~burst:2.0
-      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n ~seed:1)
-      ~rounds:4_000;
-    sim_test ~name:"T1.adjust-window"
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n ~seed:1);
+    sim_config ~name:"T1.adjust-window"
       ~algorithm:(fun () -> (module Mac_routing.Adjust_window)) ~n:4 ~k:2
       ~rate:0.5 ~burst:2.0
-      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n:4 ~seed:2)
-      ~rounds:4_000;
-    sim_test ~name:"T1.k-cycle"
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n:4 ~seed:2);
+    sim_config ~name:"T1.k-cycle"
       ~algorithm:(fun () -> Mac_routing.K_cycle.algorithm ~n:12 ~k:4) ~n:12 ~k:4
       ~rate:0.13 ~burst:2.0
-      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n:12 ~seed:3)
-      ~rounds:4_000;
-    sim_test ~name:"T1.k-clique"
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n:12 ~seed:3);
+    sim_config ~name:"T1.k-clique"
       ~algorithm:(fun () -> Mac_routing.K_clique.algorithm ~n:12 ~k:4) ~n:12
       ~k:4 ~rate:0.03 ~burst:2.0
-      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n:12 ~seed:4)
-      ~rounds:4_000;
-    sim_test ~name:"T1.k-subsets"
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n:12 ~seed:4);
+    sim_config ~name:"T1.k-subsets"
       ~algorithm:(fun () -> Mac_routing.K_subsets.algorithm ~n:8 ~k:3 ()) ~n:8
       ~k:3 ~rate:0.1 ~burst:2.0
-      ~pattern:(fun () -> Mac_adversary.Pattern.pair_flood ~src:1 ~dst:2)
-      ~rounds:4_000;
-    sim_test ~name:"F.baseline-pair-tdma"
+      ~pattern:(fun () -> Mac_adversary.Pattern.pair_flood ~src:1 ~dst:2);
+    sim_config ~name:"F.baseline-pair-tdma"
       ~algorithm:(fun () -> (module Mac_routing.Pair_tdma)) ~n ~k:2 ~rate:0.03
       ~burst:2.0
-      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n ~seed:5)
-      ~rounds:4_000;
-    sim_test ~name:"F.substrate-mbtf"
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n ~seed:5);
+    sim_config ~name:"F.substrate-mbtf"
       ~algorithm:(fun () -> (module Mac_broadcast.Mbtf)) ~n ~k:n ~rate:1.0
       ~burst:2.0
-      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n ~seed:6)
-      ~rounds:4_000 ]
+      ~pattern:(fun () -> Mac_adversary.Pattern.uniform ~n ~seed:6) ]
+
+let micro_tests () =
+  List.map
+    (fun c ->
+      Bechamel.Test.make ~name:c.name
+        (Bechamel.Staged.stage (fun () -> run_config c ~rounds:4_000)))
+    sim_configs
 
 let print_micro () =
   print_endline "=== Bechamel micro-benchmarks (4000 simulated rounds each) ===";
@@ -206,17 +199,114 @@ let print_micro () =
   Mac_sim.Report.print report;
   print_newline ()
 
+
+(* ------------------------------------------------------------------ *)
+(* Perf-regression section: wall-clock and allocation rate of the raw
+   round loop per algorithm, plus the sequential-vs-parallel wall clock
+   of a whole Table-1 regeneration. Written to BENCH_perf.json so CI can
+   archive the numbers run over run. *)
+
+type loop_sample = {
+  sname : string;
+  srounds : int;
+  seconds : float;
+  minor_words_per_round : float;
+}
+
+let time_config c ~rounds =
+  (* Warm-up pass so the first measured run pays no one-time costs. *)
+  run_config c ~rounds:(min rounds 1_000);
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  run_config c ~rounds;
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  { sname = c.name;
+    srounds = rounds;
+    seconds = t1 -. t0;
+    minor_words_per_round = (w1 -. w0) /. float_of_int rounds }
+
+let time_table1 ~scale ~jobs =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (exp : Mac_experiments.Table1.t) -> ignore (exp.run ~jobs ~scale ()))
+    Mac_experiments.Table1.all;
+  Unix.gettimeofday () -. t0
+
+let loop_sample_json s =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"rounds\": %d, \"seconds\": %.6f, \
+     \"rounds_per_sec\": %.0f, \"minor_words_per_round\": %.1f}"
+    (Mac_sim.Export.json_escape s.sname)
+    s.srounds s.seconds
+    (float_of_int s.srounds /. s.seconds)
+    s.minor_words_per_round
+
+let print_speed ~scale ~jobs =
+  Printf.printf "=== Speed: round-loop and pool throughput (jobs=%d) ===\n\n"
+    jobs;
+  let rounds = match scale with `Quick -> 50_000 | `Full -> 400_000 in
+  let samples = List.map (time_config ~rounds) sim_configs in
+  let report =
+    Mac_sim.Report.create
+      ~header:[ "algorithm"; "rounds"; "seconds"; "rounds/s"; "minor w/round" ]
+  in
+  List.iter
+    (fun s ->
+      Mac_sim.Report.add_row report
+        [ s.sname; string_of_int s.srounds; Printf.sprintf "%.3f" s.seconds;
+          Printf.sprintf "%.0f" (float_of_int s.srounds /. s.seconds);
+          Printf.sprintf "%.1f" s.minor_words_per_round ])
+    samples;
+  Mac_sim.Report.print report;
+  print_newline ();
+  let sequential = time_table1 ~scale ~jobs:1 in
+  let parallel = time_table1 ~scale ~jobs in
+  let speedup = sequential /. parallel in
+  Printf.printf
+    "Table 1 wall clock: sequential %.2fs, parallel (jobs=%d) %.2fs, speedup \
+     %.2fx\n"
+    sequential jobs parallel speedup;
+  let body =
+    Printf.sprintf
+      "{\n  \"scale\": \"%s\",\n  \"jobs\": %d,\n  \"round_loop\": [\n    \
+       %s\n  ],\n  \"table1\": {\"jobs\": %d, \"sequential_seconds\": %.3f, \
+       \"parallel_seconds\": %.3f, \"speedup\": %.3f}\n}\n"
+      (match scale with `Quick -> "quick" | `Full -> "full")
+      jobs
+      (String.concat ",\n    " (List.map loop_sample_json samples))
+      jobs sequential parallel speedup
+  in
+  let path = "BENCH_perf.json" in
+  Mac_sim.Export.write_file ~path body;
+  Printf.printf "wrote %s\n\n" path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let scale = if quick then `Quick else `Full in
-  let sections = List.filter (fun a -> a <> "--quick") args in
+  let jobs = ref (Mac_sim.Pool.default_jobs ()) in
+  let rec strip = function
+    | [] -> []
+    | "--quick" :: rest -> strip rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some j when j >= 1 -> jobs := j
+       | _ -> failwith "bench: --jobs expects a positive integer");
+      strip rest
+    | "--jobs" :: [] -> failwith "bench: --jobs expects a positive integer"
+    | a :: rest -> a :: strip rest
+  in
+  let sections = strip args in
+  let jobs = !jobs in
   let want s = sections = [] || List.mem s sections in
   Printf.printf
     "Energy Efficient Adversarial Routing in Shared Channels — reproduction \
-     harness (%s scale)\n\n"
-    (if quick then "quick" else "full");
-  if want "table1" then print_table1 ~scale;
-  if want "figures" then print_figures ~scale;
-  if want "ablations" then print_ablations ~scale;
-  if want "micro" then print_micro ()
+     harness (%s scale, jobs=%d)\n\n"
+    (if quick then "quick" else "full")
+    jobs;
+  if want "table1" then print_table1 ~scale ~jobs;
+  if want "figures" then print_figures ~scale ~jobs;
+  if want "ablations" then print_ablations ~scale ~jobs;
+  if want "micro" then print_micro ();
+  if want "speed" then print_speed ~scale ~jobs

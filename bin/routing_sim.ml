@@ -279,8 +279,16 @@ let scenario_observer ~trace_n ~events_dir :
         | ss -> Some (Mac_sim.Sink.tee ss))
   end
 
-let table1_cmd id quick trace_n events_dir =
+let check_jobs jobs =
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end;
+  jobs
+
+let table1_cmd id quick jobs trace_n events_dir json =
   let scale = if quick then `Quick else `Full in
+  let jobs = check_jobs jobs in
   let observe = scenario_observer ~trace_n ~events_dir in
   let experiments =
     match id with
@@ -291,21 +299,33 @@ let table1_cmd id quick trace_n events_dir =
          Printf.eprintf "unknown experiment %S\n" id;
          exit 2)
   in
+  let json_rows = ref [] in
   List.iter
     (fun (e : Mac_experiments.Table1.t) ->
       Printf.printf "--- %s ---\n%s\n" e.id e.claim;
       List.iter
         (fun (o : Mac_experiments.Scenario.outcome) ->
+          if json <> None then
+            json_rows :=
+              Mac_experiments.Scenario.outcome_json ~experiment:e.id o
+              :: !json_rows;
           Printf.printf "%-28s %s %s\n" o.spec.id
             (Mac_sim.Stability.verdict_to_string o.stability.verdict)
             (if o.passed then "PASS" else "FAIL"))
-        (e.run ?observe ~scale ()))
+        (e.run ?observe ~jobs ~scale ()))
     experiments;
+  Option.iter
+    (fun path ->
+      let body = "[\n" ^ String.concat ",\n" (List.rev !json_rows) ^ "\n]\n" in
+      Mac_sim.Export.write_file ~path body;
+      Printf.printf "wrote %s\n" path)
+    json;
   Option.iter (fun dir -> Printf.printf "event streams under %s/\n" dir) events_dir;
   `Ok ()
 
-let figures_cmd id quick trace_n events_dir =
+let figures_cmd id quick jobs trace_n events_dir =
   let scale = if quick then `Quick else `Full in
+  let jobs = check_jobs jobs in
   let observe = scenario_observer ~trace_n ~events_dir in
   let figures =
     match id with
@@ -323,7 +343,7 @@ let figures_cmd id quick trace_n events_dir =
   List.iter
     (fun (f : Mac_experiments.Figures.t) ->
       Printf.printf "--- %s ---\n%s\n" f.id f.title;
-      let report, _ = f.run ?observe ~scale () in
+      let report, _ = f.run ?observe ~jobs ~scale () in
       Mac_sim.Report.print report;
       print_newline ())
     figures;
@@ -340,14 +360,17 @@ let load_fault_plan path =
     exit 2
 
 let resilience_cmd algo n k rate burst pattern_spec rounds drain seed quick
-    trace_n events_dir fault_plan fault_seed crash_rate jam_rate noise_rate
-    restart_after crash_drop events json =
+    jobs trace_n events_dir fault_plan fault_seed crash_rate jam_rate
+    noise_rate restart_after crash_drop events json =
   match algo with
   | None ->
     (* Suite mode: sweep every subject algorithm across the fault plans. *)
     let scale = if quick then `Quick else `Full in
+    let jobs = check_jobs jobs in
     let observe = scenario_observer ~trace_n ~events_dir in
-    let report, _ = Mac_experiments.Resilience.suite ?observe ~scale () in
+    let report, _ =
+      Mac_experiments.Resilience.suite ?observe ~jobs ~scale ()
+    in
     Mac_sim.Report.print report;
     Option.iter
       (fun dir -> Printf.printf "event streams under %s/\n" dir)
@@ -520,6 +543,15 @@ let id_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Smaller, faster configurations.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Mac_sim.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the scenario pool (default: the machine's \
+           recommended domain count). Results are bit-identical for every N.")
+
 let exp_trace_arg =
   Arg.(
     value & opt int 0
@@ -532,6 +564,15 @@ let exp_events_arg =
     & opt (some string) None
     & info [ "events" ] ~docv:"DIR"
         ~doc:"Record each scenario's event stream as DIR/<scenario>.jsonl.")
+
+let table1_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write every scenario's checks and summary as a JSON array to FILE \
+           (the BENCH_table1.json format).")
 
 let resilience_term =
   let algo =
@@ -635,9 +676,9 @@ let resilience_term =
   Term.(
     ret
       (const resilience_cmd $ algo $ n_arg $ k_arg $ rate $ burst $ pattern
-       $ rounds $ drain $ seed $ quick_arg $ exp_trace_arg $ events_dir
-       $ fault_plan $ fault_seed $ crash_rate $ jam_rate $ noise_rate
-       $ restart_after $ crash_drop $ events $ json))
+       $ rounds $ drain $ seed $ quick_arg $ jobs_arg $ exp_trace_arg
+       $ events_dir $ fault_plan $ fault_seed $ crash_rate $ jam_rate
+       $ noise_rate $ restart_after $ crash_drop $ events $ json))
 
 let inspect_term =
   let file =
@@ -692,10 +733,16 @@ let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Simulate one algorithm/adversary scenario") run_term;
     Cmd.v
       (Cmd.info "table1" ~doc:"Re-run Table-1 validation experiments")
-      Term.(ret (const table1_cmd $ id_arg $ quick_arg $ exp_trace_arg $ exp_events_arg));
+      Term.(
+        ret
+          (const table1_cmd $ id_arg $ quick_arg $ jobs_arg $ exp_trace_arg
+           $ exp_events_arg $ table1_json_arg));
     Cmd.v
       (Cmd.info "figures" ~doc:"Re-run figure sweeps")
-      Term.(ret (const figures_cmd $ id_arg $ quick_arg $ exp_trace_arg $ exp_events_arg));
+      Term.(
+        ret
+          (const figures_cmd $ id_arg $ quick_arg $ jobs_arg $ exp_trace_arg
+           $ exp_events_arg));
     Cmd.v
       (Cmd.info "resilience"
          ~doc:

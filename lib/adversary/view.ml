@@ -1,6 +1,6 @@
 type t = {
   n : int;
-  round : int;
+  mutable round : int;
   queue_size : int -> int;
   queued_to : int -> int;
   total_queued : unit -> int;

@@ -8,7 +8,10 @@
 
 type t = {
   n : int;
-  round : int;
+  mutable round : int;
+      (** the current round. Mutable so the engine can allocate one view for
+          the whole run and advance it in place each round; patterns must
+          read it afresh on every [generate] call, never retain it. *)
   queue_size : int -> int;    (** current queue length of a station *)
   queued_to : int -> int;     (** packets queued anywhere destined to a station *)
   total_queued : unit -> int; (** packets queued in the whole system *)

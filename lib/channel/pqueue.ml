@@ -81,6 +81,14 @@ let iter t ~f = Imap.iter (fun _ p -> f p) t.by_arrival
 
 let to_list t = List.rev (fold t ~init:[] ~f:(fun acc p -> p :: acc))
 
+let drain t =
+  let packets = to_list t in
+  t.by_arrival <- Imap.empty;
+  Array.fill t.by_dest 0 t.n Imap.empty;
+  Hashtbl.reset t.seq_of_id;
+  Array.fill t.dest_count 0 t.n 0;
+  packets
+
 let ids t =
   let h = Hashtbl.create (size t) in
   iter t ~f:(fun p -> Hashtbl.replace h p.id ());

@@ -57,6 +57,13 @@ val iter : t -> f:(Packet.t -> unit) -> unit
 val to_list : t -> Packet.t list
 (** Queued packets in arrival order. *)
 
+val drain : t -> Packet.t list
+(** [drain q] empties the queue in one pass and returns the packets in
+    arrival order: equivalent to [to_list q] followed by [remove]-ing each
+    returned packet, without the per-packet map surgery. Arrival sequence
+    numbers are not reset, so packets added later still sort after any
+    previously drained ones. *)
+
 val ids : t -> (int, unit) Hashtbl.t
 (** Fresh snapshot of the ids currently queued (used by algorithms to mark a
     cohort of packets as "old" at a phase boundary). *)

@@ -3,7 +3,11 @@ open Mac_adversary
 type t = {
   id : string;
   title : string;
-  run : scale:[ `Quick | `Full ] -> Mac_sim.Report.t * Scenario.outcome list;
+  run :
+    ?jobs:int ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    Mac_sim.Report.t * Scenario.outcome list;
 }
 
 let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
@@ -25,38 +29,44 @@ let outcome_cells (o : Scenario.outcome) =
 (* ------------------------------------------------------------------ *)
 (* A1: the activity-segment length of k-Cycle. *)
 
-let delta_rows ~scale =
+let delta_rows ?jobs ~scale () =
   let n = 12 and k = 4 in
   let rounds = scaled ~scale ~quick:60_000 ~full:150_000 in
-  let outcomes = ref [] and rows = ref [] in
-  List.iter
-    (fun (frac, label) ->
-      let rho = frac *. Bounds.k_cycle_rate ~n ~k in
-      List.iter
-        (fun delta_scale ->
-          let o =
-            point
-              ~id:(Printf.sprintf "delta/%s/x%g" label delta_scale)
-              ~algorithm:(Mac_routing.K_cycle.algorithm_scaled ~delta_scale ~n ~k)
-              ~n ~k ~rho ~beta:2.0
-              ~pattern:(Pattern.flood ~n ~victim:5)
-              ~rounds ~drain:(rounds / 2)
-          in
-          outcomes := o :: !outcomes;
-          rows :=
-            ([ Printf.sprintf "%g x delta" delta_scale; label; fmt rho ]
-             @ outcome_cells o)
-            :: !rows)
-        [ 0.125; 0.25; 1.0; 4.0 ])
-    [ (0.5, "half-rate"); (0.9, "near-threshold") ];
-  (List.rev !rows, List.rev !outcomes)
+  let cells =
+    List.concat_map
+      (fun (frac, label) ->
+        let rho = frac *. Bounds.k_cycle_rate ~n ~k in
+        List.map (fun delta_scale -> (frac, label, rho, delta_scale))
+          [ 0.125; 0.25; 1.0; 4.0 ])
+      [ (0.5, "half-rate"); (0.9, "near-threshold") ]
+  in
+  let outcomes =
+    Scenario.run_batch ?jobs
+      (List.map
+         (fun (_, label, rho, delta_scale) () ->
+           point
+             ~id:(Printf.sprintf "delta/%s/x%g" label delta_scale)
+             ~algorithm:(Mac_routing.K_cycle.algorithm_scaled ~delta_scale ~n ~k)
+             ~n ~k ~rho ~beta:2.0
+             ~pattern:(Pattern.flood ~n ~victim:5)
+             ~rounds ~drain:(rounds / 2))
+         cells)
+  in
+  let rows =
+    List.map2
+      (fun (_, label, rho, delta_scale) o ->
+        [ Printf.sprintf "%g x delta" delta_scale; label; fmt rho ]
+        @ outcome_cells o)
+      cells outcomes
+  in
+  (rows, outcomes)
 
 let delta =
   { id = "A1.delta";
     title = "k-Cycle activity segment: scaling the paper's delta (flood, n=12, k=4)";
     run =
-      (fun ~scale ->
-        let rows, outcomes = delta_rows ~scale in
+      (fun ?jobs ~scale () ->
+        let rows, outcomes = delta_rows ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:
@@ -69,10 +79,9 @@ let delta =
 (* ------------------------------------------------------------------ *)
 (* A2: Orchestra's big threshold at injection rate 1. *)
 
-let big_threshold_rows ~scale =
+let big_threshold_rows ?jobs ~scale () =
   let n = 8 in
   let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
-  let outcomes = ref [] and rows = ref [] in
   let variants =
     [ ("eager (n)", Mac_routing.Orchestra.with_big_threshold ~name:"orchestra-eager"
                       (fun ~n -> n));
@@ -80,27 +89,35 @@ let big_threshold_rows ~scale =
       ("never big", Mac_routing.Orchestra.with_big_threshold ~name:"orchestra-neverbig"
                       (fun ~n:_ -> max_int)) ]
   in
-  List.iter
-    (fun (label, algorithm) ->
-      List.iter
-        (fun (pname, pattern) ->
-          let o =
-            point ~id:(Printf.sprintf "bigthr/%s/%s" label pname) ~algorithm ~n
-              ~k:3 ~rho:1.0 ~beta:4.0 ~pattern ~rounds ~drain:0
-          in
-          outcomes := o :: !outcomes;
-          rows := ([ label; pname ] @ outcome_cells o) :: !rows)
-        [ ("flood", Pattern.flood ~n ~victim:3);
-          ("uniform", Pattern.uniform ~n ~seed:71) ])
-    variants;
-  (List.rev !rows, List.rev !outcomes)
+  let cells =
+    List.concat_map
+      (fun (label, algorithm) ->
+        List.map (fun (pname, pattern) -> (label, algorithm, pname, pattern))
+          [ ("flood", Pattern.flood ~n ~victim:3);
+            ("uniform", Pattern.uniform ~n ~seed:71) ])
+      variants
+  in
+  let outcomes =
+    Scenario.run_batch ?jobs
+      (List.map
+         (fun (label, algorithm, pname, pattern) () ->
+           point ~id:(Printf.sprintf "bigthr/%s/%s" label pname) ~algorithm ~n
+             ~k:3 ~rho:1.0 ~beta:4.0 ~pattern ~rounds ~drain:0)
+         cells)
+  in
+  let rows =
+    List.map2
+      (fun (label, _, pname, _) o -> [ label; pname ] @ outcome_cells o)
+      cells outcomes
+  in
+  (rows, outcomes)
 
 let big_threshold =
   { id = "A2.big-threshold";
     title = "Orchestra big-conductor threshold at rate 1 (n=8)";
     run =
-      (fun ~scale ->
-        let rows, outcomes = big_threshold_rows ~scale in
+      (fun ?jobs ~scale () ->
+        let rows, outcomes = big_threshold_rows ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:
@@ -113,33 +130,37 @@ let big_threshold =
 (* ------------------------------------------------------------------ *)
 (* A3: k-Subsets thread allocation at the optimal rate. *)
 
-let allocation_rows ~scale =
+let allocation_rows ?jobs ~scale () =
   let n = scaled ~scale ~quick:6 ~full:8 in
   let k = 3 in
   let rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
   let rho = Bounds.k_subsets_rate ~n ~k in
-  let outcomes = ref [] and rows = ref [] in
-  List.iter
-    (fun (label, allocation) ->
-      let o =
-        point ~id:(Printf.sprintf "alloc/%s" label)
-          ~algorithm:(Mac_routing.K_subsets.algorithm ~allocation ~n ~k ())
-          ~n ~k ~rho ~beta:4.0
-          ~pattern:(Pattern.pair_flood ~src:1 ~dst:2)
-          ~rounds ~drain:0
-      in
-      outcomes := o :: !outcomes;
-      rows := ([ label; fmt rho ] @ outcome_cells o) :: !rows)
-    [ ("balanced (paper)", `Balanced); ("first-fit", `First_fit) ];
-  (List.rev !rows, List.rev !outcomes)
+  let cells = [ ("balanced (paper)", `Balanced); ("first-fit", `First_fit) ] in
+  let outcomes =
+    Scenario.run_batch ?jobs
+      (List.map
+         (fun (label, allocation) () ->
+           point ~id:(Printf.sprintf "alloc/%s" label)
+             ~algorithm:(Mac_routing.K_subsets.algorithm ~allocation ~n ~k ())
+             ~n ~k ~rho ~beta:4.0
+             ~pattern:(Pattern.pair_flood ~src:1 ~dst:2)
+             ~rounds ~drain:0)
+         cells)
+  in
+  let rows =
+    List.map2
+      (fun (label, _) o -> [ label; fmt rho ] @ outcome_cells o)
+      cells outcomes
+  in
+  (rows, outcomes)
 
 let allocation =
   { id = "A3.allocation";
     title =
       "k-Subsets thread allocation at the optimal rate (pair flood, k=3)";
     run =
-      (fun ~scale ->
-        let rows, outcomes = allocation_rows ~scale in
+      (fun ?jobs ~scale () ->
+        let rows, outcomes = allocation_rows ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:

@@ -15,7 +15,14 @@
 type t = {
   id : string;
   title : string;
-  run : scale:[ `Quick | `Full ] -> Mac_sim.Report.t * Scenario.outcome list;
+  run :
+    ?jobs:int ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    Mac_sim.Report.t * Scenario.outcome list;
+  (** [jobs] (default 1) fans the ablation's grid cells out over that many
+      worker domains; rows and outcomes keep declaration order and match a
+      sequential run bit for bit. *)
 }
 
 val delta : t

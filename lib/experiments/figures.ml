@@ -5,6 +5,7 @@ type t = {
   title : string;
   run :
     ?observe:Scenario.observer ->
+    ?jobs:int ->
     scale:[ `Quick | `Full ] ->
     unit ->
     Mac_sim.Report.t * Scenario.outcome list;
@@ -19,28 +20,39 @@ let run_point ~observe ~id ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain =
     (Scenario.spec ~id ~algorithm ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds
        ~drain ())
 
+(* Each figure accumulates plot points as (run-thunk, row-of-outcome)
+   pairs, then fans the thunks out over a worker pool; rows are rendered
+   from the outcomes afterwards, so the table keeps its declaration order
+   whatever the parallel completion order was. *)
+let run_points ?jobs points =
+  let points = List.rev points in
+  let outcomes = Scenario.run_batch ?jobs (List.map fst points) in
+  let rows = List.map2 (fun (_, row) o -> row o) points outcomes in
+  (rows, outcomes)
+
 (* ------------------------------------------------------------------ *)
 (* F1: stability frontier. *)
 
-let frontier_rows ?observe ~scale () =
+let frontier_rows ?observe ?jobs ~scale () =
   let rounds = scaled ~scale ~quick:60_000 ~full:150_000 in
   let aw_rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
-  let outcomes = ref [] in
+  let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~threshold ~rho ~pattern ~rounds =
-    let o =
+    let thunk () =
       run_point ~observe ~id:(Printf.sprintf "frontier/%s@%.4f" row_algo rho) ~algorithm
         ~n ~k ~rho ~beta:2.0 ~pattern ~rounds ~drain:0
     in
-    outcomes := o :: !outcomes;
-    let s = o.Scenario.summary and st = o.Scenario.stability in
-    [ row_algo; string_of_int n; string_of_int k;
-      fmt threshold; fmt rho; fmt (rho /. threshold);
-      Mac_sim.Stability.verdict_to_string st.Mac_sim.Stability.verdict;
-      fmt st.Mac_sim.Stability.slope;
-      string_of_int s.Mac_sim.Metrics.max_total_queue ]
+    let row (o : Scenario.outcome) =
+      let s = o.Scenario.summary and st = o.Scenario.stability in
+      [ row_algo; string_of_int n; string_of_int k;
+        fmt threshold; fmt rho; fmt (rho /. threshold);
+        Mac_sim.Stability.verdict_to_string st.Mac_sim.Stability.verdict;
+        fmt st.Mac_sim.Stability.slope;
+        string_of_int s.Mac_sim.Metrics.max_total_queue ]
+    in
+    points := (thunk, row) :: !points
   in
-  let rows = ref [] in
-  let add r = rows := r :: !rows in
+  let add (() : unit) = () in
   (* Orchestra: stable all the way to rate 1. *)
   let n = 8 in
   add (point ~row_algo:"orchestra" ~algorithm:(module Mac_routing.Orchestra)
@@ -106,14 +118,14 @@ let frontier_rows ?observe ~scale () =
              ~n ~k:2 ~threshold:thr ~rho:(frac *. thr)
              ~pattern:(Pattern.pair_flood ~src:1 ~dst:2) ~rounds))
     [ 0.9; 1.3 ];
-  (List.rev !rows, List.rev !outcomes)
+  run_points ?jobs !points
 
 let frontier =
   { id = "F1.frontier";
     title = "Stability frontier: verdict around each algorithm's threshold";
     run =
-      (fun ?observe ~scale () ->
-        let rows, outcomes = frontier_rows ?observe ~scale () in
+      (fun ?observe ?jobs ~scale () ->
+        let rows, outcomes = frontier_rows ?observe ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:
@@ -126,20 +138,19 @@ let frontier =
 (* ------------------------------------------------------------------ *)
 (* F2: latency scaling with n. *)
 
-let scaling_rows ?observe ~scale () =
-  let outcomes = ref [] in
-  let rows = ref [] in
+let scaling_rows ?observe ?jobs ~scale () =
+  let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~rho ~bound ~pattern ~rounds =
-    let o =
+    let thunk () =
       run_point ~observe ~id:(Printf.sprintf "scaling/%s/n=%d" row_algo n) ~algorithm ~n
         ~k ~rho ~beta:2.0 ~pattern ~rounds ~drain:(rounds / 2)
     in
-    outcomes := o :: !outcomes;
-    let measured = Scenario.worst_delay o.Scenario.summary in
-    rows :=
+    let row (o : Scenario.outcome) =
+      let measured = Scenario.worst_delay o.Scenario.summary in
       [ row_algo; string_of_int n; string_of_int k; fmt rho;
         fmt measured; fmt bound; Mac_sim.Report.fmt_ratio ~measured ~bound ]
-      :: !rows
+    in
+    points := (thunk, row) :: !points
   in
   let ns = scaled ~scale ~quick:[ 4; 6 ] ~full:[ 4; 6; 8; 10; 12 ] in
   List.iter
@@ -178,14 +189,14 @@ let scaling_rows ?observe ~scale () =
            ~pattern:(Pattern.uniform ~n ~seed:(500 + n))
            ~rounds:(10 * Mac_routing.Adjust_window.initial_window ~n))
        [ 3; 4; 5 ]);
-  (List.rev !rows, List.rev !outcomes)
+  run_points ?jobs !points
 
 let scaling =
   { id = "F2.scaling";
     title = "Latency scaling with n (measured worst delay vs instantiated bound)";
     run =
-      (fun ?observe ~scale () ->
-        let rows, outcomes = scaling_rows ?observe ~scale () in
+      (fun ?observe ?jobs ~scale () ->
+        let rows, outcomes = scaling_rows ?observe ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:[ "algorithm"; "n"; "k"; "rho"; "worst-delay"; "bound"; "ratio" ]
@@ -196,27 +207,26 @@ let scaling =
 (* ------------------------------------------------------------------ *)
 (* F3: the latency-energy tradeoff across caps. *)
 
-let energy_rows ?observe ~scale () =
+let energy_rows ?observe ?jobs ~scale () =
   let n = 12 in
   let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
-  let outcomes = ref [] in
-  let rows = ref [] in
+  let points = ref [] in
   let point ~row_algo ~algorithm ~k ~threshold =
     let rho = 0.5 *. threshold in
-    let o =
+    let thunk () =
       run_point ~observe ~id:(Printf.sprintf "energy/%s/k=%d" row_algo k) ~algorithm ~n
         ~k ~rho ~beta:2.0 ~pattern:(Pattern.uniform ~n ~seed:(600 + k)) ~rounds
         ~drain:(rounds / 2)
     in
-    outcomes := o :: !outcomes;
-    let s = o.Scenario.summary in
-    rows :=
+    let row (o : Scenario.outcome) =
+      let s = o.Scenario.summary in
       [ row_algo; string_of_int k; fmt threshold; fmt rho;
         fmt s.Mac_sim.Metrics.mean_on;
         fmt (Mac_sim.Metrics.energy_per_delivery s);
         fmt s.Mac_sim.Metrics.mean_delay;
         string_of_int s.Mac_sim.Metrics.max_delay ]
-      :: !rows
+    in
+    points := (thunk, row) :: !points
   in
   (* Non-oblivious references at the same relative load: Orchestra needs
      only cap 3 for the throughput the always-on MBTF (cap n) achieves. *)
@@ -238,14 +248,14 @@ let energy_rows ?observe ~scale () =
       point ~row_algo:"k-clique" ~algorithm:(Mac_routing.K_clique.algorithm ~n ~k)
         ~k ~threshold:(Bounds.k_clique_stable_rate ~n ~k))
     ks;
-  (List.rev !rows, List.rev !outcomes)
+  run_points ?jobs !points
 
 let energy =
   { id = "F3.energy";
     title = "Latency-energy tradeoff at half the threshold rate (n=12)";
     run =
-      (fun ?observe ~scale () ->
-        let rows, outcomes = energy_rows ?observe ~scale () in
+      (fun ?observe ?jobs ~scale () ->
+        let rows, outcomes = energy_rows ?observe ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:
@@ -258,21 +268,20 @@ let energy =
 (* ------------------------------------------------------------------ *)
 (* F4: burstiness sensitivity. *)
 
-let burst_rows ?observe ~scale () =
-  let outcomes = ref [] in
-  let rows = ref [] in
+let burst_rows ?observe ?jobs ~scale () =
+  let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~rho ~beta ~bound ~pattern ~rounds ~drain
       ~metric =
-    let o =
+    let thunk () =
       run_point ~observe ~id:(Printf.sprintf "burst/%s/b=%g" row_algo beta) ~algorithm ~n
         ~k ~rho ~beta ~pattern ~rounds ~drain
     in
-    outcomes := o :: !outcomes;
-    let measured = metric o.Scenario.summary in
-    rows :=
+    let row (o : Scenario.outcome) =
+      let measured = metric o.Scenario.summary in
       [ row_algo; string_of_int n; fmt rho; fmt beta; fmt measured; fmt bound;
         Mac_sim.Report.fmt_ratio ~measured ~bound ]
-      :: !rows
+    in
+    points := (thunk, row) :: !points
   in
   let betas = scaled ~scale ~quick:[ 1.0; 32.0 ] ~full:[ 1.0; 8.0; 32.0; 128.0 ] in
   let n = 8 in
@@ -305,14 +314,14 @@ let burst_rows ?observe ~scale () =
         ~drain:0
         ~metric:(fun s -> float_of_int s.Mac_sim.Metrics.max_total_queue))
     betas;
-  (List.rev !rows, List.rev !outcomes)
+  run_points ?jobs !points
 
 let burst =
   { id = "F4.burst";
     title = "Burstiness sensitivity (worst delay, or backlog for Orchestra)";
     run =
-      (fun ?observe ~scale () ->
-        let rows, outcomes = burst_rows ?observe ~scale () in
+      (fun ?observe ?jobs ~scale () ->
+        let rows, outcomes = burst_rows ?observe ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:[ "algorithm"; "n"; "rho"; "beta"; "measured"; "bound"; "ratio" ]
@@ -325,7 +334,7 @@ let burst =
    oblivious discipline against the same dedicated pair flood, located by
    bisection, next to the random-schedule strawman. *)
 
-let baselines_rows ?observe ~scale () =
+let baselines_rows ?observe ?jobs ~scale () =
   (* Bisection probes run thousands of throwaway points; observing them
      would swamp any sink, so F5 deliberately ignores the observer. *)
   ignore (observe : Scenario.observer option);
@@ -344,9 +353,9 @@ let baselines_rows ?observe ~scale () =
       ("k-cycle (indirect)", Mac_routing.K_cycle.algorithm ~n ~k,
        Bounds.k_cycle_rate ~n ~k, Bounds.oblivious_rate_upper ~n ~k) ]
   in
-  let rows =
+  let brackets =
     List.map
-      (fun (label, algorithm, theory_lo, theory_hi) ->
+      (fun (_, algorithm, _, theory_hi) ->
         let probe =
           Sweep.stability_probe ~algorithm ~n ~k
             ~pattern:(fun () -> Pattern.pair_flood ~src:1 ~dst:2)
@@ -355,12 +364,18 @@ let baselines_rows ?observe ~scale () =
         let hi0 =
           if Float.is_nan theory_hi then 0.5 else Float.min 1.0 (2.0 *. theory_hi)
         in
-        let lo, hi = Sweep.bisect ~steps ~lo:0.004 ~hi:hi0 probe in
+        (0.004, hi0, probe))
+      subjects
+  in
+  let located = Sweep.bisect_many ?jobs ~steps brackets in
+  let rows =
+    List.map2
+      (fun (label, _, theory_lo, theory_hi) (lo, hi) ->
         [ label;
           (if Float.is_nan theory_lo then "?" else fmt theory_lo);
           (if Float.is_nan theory_hi then "?" else fmt theory_hi);
           fmt lo; fmt hi ])
-      subjects
+      subjects located
   in
   (rows, [])
 
@@ -369,8 +384,8 @@ let baselines =
     title =
       "Empirical stability frontiers under a dedicated pair flood (n=8, k=3, bisection)";
     run =
-      (fun ?observe ~scale () ->
-        let rows, outcomes = baselines_rows ?observe ~scale () in
+      (fun ?observe ?jobs ~scale () ->
+        let rows, outcomes = baselines_rows ?observe ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:

@@ -115,15 +115,19 @@ let row (outcome : Scenario.outcome) =
     recovery;
     string_of_int (int_of_float (Scenario.worst_delay s)) ]
 
-let suite ?observe ~scale () =
+let suite ?observe ?jobs ~scale () =
   let rounds = scaled ~scale ~quick:15_000 ~full:80_000 in
-  let outcomes =
+  let cells =
     List.concat_map
       (fun subject ->
-        List.map
-          (run_cell ?observe ~rounds subject)
-          (plans ~scale ~n:subject.n ~rounds))
+        List.map (fun plan -> (subject, plan)) (plans ~scale ~n:subject.n ~rounds))
       (subjects ~scale)
+  in
+  let outcomes =
+    Scenario.run_batch ?jobs
+      (List.map
+         (fun (subject, plan) () -> run_cell ?observe ~rounds subject plan)
+         cells)
   in
   let report = Mac_sim.Report.create ~header in
   List.iter (fun o -> Mac_sim.Report.add_row report (row o)) outcomes;

@@ -115,3 +115,27 @@ let run ?(checks = []) ?observe spec =
   let checks = List.map (fun c -> c summary stability) checks in
   { spec; summary; stability; checks;
     passed = List.for_all (fun c -> c.ok) checks }
+
+let run_batch ?(jobs = 1) thunks = Mac_sim.Pool.map ~jobs thunks (fun t -> t ())
+
+(* Machine-readable form of an outcome, shared by the bench harness and the
+   CLI so both write the same BENCH_table1.json rows. *)
+let check_json (c : check) =
+  Printf.sprintf
+    "{\"label\": \"%s\", \"bound\": %s, \"measured\": %s, \"ok\": %b}"
+    (Mac_sim.Export.json_escape c.label)
+    (if Float.is_finite c.bound then Printf.sprintf "%.6g" c.bound else "null")
+    (if Float.is_finite c.measured then Printf.sprintf "%.6g" c.measured
+     else "null")
+    c.ok
+
+let outcome_json ~experiment (o : outcome) =
+  Printf.sprintf
+    "{\"experiment\": \"%s\", \"scenario\": \"%s\", \"verdict\": \"%s\", \
+     \"passed\": %b, \"checks\": [%s], \"summary\": %s}"
+    (Mac_sim.Export.json_escape experiment)
+    (Mac_sim.Export.json_escape o.spec.id)
+    (Mac_sim.Stability.verdict_to_string o.stability.verdict)
+    o.passed
+    (String.concat ", " (List.map check_json o.checks))
+    (Mac_sim.Export.summary_json o.summary)

@@ -78,6 +78,19 @@ val run : ?checks:checker list -> ?observe:observer -> spec -> outcome
     algorithms) and evaluates the checks. [observe] may attach an event
     sink to the run; see {!observer}. *)
 
+val run_batch : ?jobs:int -> (unit -> outcome) list -> outcome list
+(** Run a batch of independent scenario thunks on a {!Mac_sim.Pool} of
+    [jobs] worker domains (default 1 = sequential), returning the outcomes
+    in input order. Scenario runs are shared-nothing, so the outcomes are
+    bit-identical to running the thunks sequentially. *)
+
+val check_json : check -> string
+(** One check as a JSON object. *)
+
+val outcome_json : experiment:string -> outcome -> string
+(** One outcome as the JSON row format of [BENCH_table1.json] (experiment
+    id, scenario id, verdict, checks, full summary). *)
+
 val schedule_of :
   Mac_channel.Algorithm.t -> n:int -> k:int ->
   (me:int -> round:int -> bool) option

@@ -19,3 +19,10 @@ let bisect ?(steps = 8) ~lo ~hi probe =
     if probe ~rho:mid then lo := mid else hi := mid
   done;
   (!lo, !hi)
+
+(* Each bisection is a sequential chain of runs, but independent brackets
+   (one per algorithm under the same adversary, say) can bisect side by
+   side on the pool. *)
+let bisect_many ?(jobs = 1) ?steps brackets =
+  Mac_sim.Pool.map ~jobs brackets (fun (lo, hi, probe) ->
+      bisect ?steps ~lo ~hi probe)

@@ -30,3 +30,13 @@ val bisect :
     [Invalid_argument] otherwise) and returns [(lo', hi')] with
     [hi' - lo' = (hi - lo) / 2^steps] (default 8 steps) such that the
     probe is stable at [lo'] and unstable at [hi']. *)
+
+val bisect_many :
+  ?jobs:int ->
+  ?steps:int ->
+  (float * float * (rho:float -> bool)) list ->
+  (float * float) list
+(** [bisect_many brackets] runs one {!bisect} per [(lo, hi, probe)]
+    bracket and returns the located frontiers in input order. Each
+    bisection is inherently sequential, but independent brackets run in
+    parallel on a {!Mac_sim.Pool} of [jobs] workers (default 1). *)

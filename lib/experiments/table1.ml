@@ -5,6 +5,7 @@ type t = {
   claim : string;
   run :
     ?observe:Scenario.observer ->
+    ?jobs:int ->
     scale:[ `Quick | `Full ] ->
     unit ->
     Scenario.outcome list;
@@ -23,7 +24,7 @@ let required_schedule algorithm ~n ~k =
 (* Row 1: Orchestra — stable at rate 1 with energy cap 3, queues
    bounded by 2n^3 + beta. *)
 
-let orchestra ?observe ~scale () =
+let orchestra ?observe ?jobs ~scale () =
   let n = scaled ~scale ~quick:6 ~full:10 in
   let rounds = scaled ~scale ~quick:60_000 ~full:300_000 in
   let beta = 20.0 in
@@ -33,44 +34,46 @@ let orchestra ?observe ~scale () =
       Scenario.stable;
       Scenario.clean ]
   in
-  let scenario id pattern =
+  let scenario id pattern () =
     Scenario.run ~checks ?observe
       (Scenario.spec ~id ~algorithm:(module Mac_routing.Orchestra) ~n ~k:3
          ~rate:1.0 ~burst:beta ~pattern ~rounds ~drain:0 ())
   in
-  [ scenario "orchestra/flood" (Pattern.flood ~n ~victim:(n / 2));
-    scenario "orchestra/uniform" (Pattern.uniform ~n ~seed:101);
-    scenario "orchestra/to-busiest" (Pattern.to_busiest ~n);
-    scenario "orchestra/alternating"
-      (Pattern.alternating ~src:1 ~dst_odd:2 ~dst_even:3) ]
+  Scenario.run_batch ?jobs
+    [ scenario "orchestra/flood" (Pattern.flood ~n ~victim:(n / 2));
+      scenario "orchestra/uniform" (Pattern.uniform ~n ~seed:101);
+      scenario "orchestra/to-busiest" (Pattern.to_busiest ~n);
+      scenario "orchestra/alternating"
+        (Pattern.alternating ~src:1 ~dst_odd:2 ~dst_even:3) ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 2: Theorem 2 — with energy cap 2 no algorithm sustains rate 1.
    Both cap-2 algorithms grow without bound at rate 1, under the
    adaptive Lemma-1 strategy and under a plain flood. *)
 
-let cap2_impossible ?observe ~scale () =
+let cap2_impossible ?observe ?jobs ~scale () =
   let n = scaled ~scale ~quick:6 ~full:10 in
   let rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
   let checks = [ Scenario.cap_at_most 2; Scenario.unstable; Scenario.clean ] in
-  let scenario id algorithm pattern burst =
+  let scenario id algorithm pattern burst () =
     Scenario.run ~checks ?observe
       (Scenario.spec ~id ~algorithm ~n ~k:2 ~rate:1.0 ~burst ~pattern ~rounds
          ~drain:0 ())
   in
-  [ scenario "cap2/count-hop-breaker" (module Mac_routing.Count_hop)
-      (Saboteur.cap2_breaker ~n).Saboteur.pattern 1.0;
-    scenario "cap2/count-hop-flood" (module Mac_routing.Count_hop)
-      (Pattern.flood ~n ~victim:1) 2.0;
-    scenario "cap2/adjust-window-flood" (module Mac_routing.Adjust_window)
-      (Pattern.flood ~n ~victim:1) 2.0 ]
+  Scenario.run_batch ?jobs
+    [ scenario "cap2/count-hop-breaker" (module Mac_routing.Count_hop)
+        (Saboteur.cap2_breaker ~n).Saboteur.pattern 1.0;
+      scenario "cap2/count-hop-flood" (module Mac_routing.Count_hop)
+        (Pattern.flood ~n ~victim:1) 2.0;
+      scenario "cap2/adjust-window-flood" (module Mac_routing.Adjust_window)
+        (Pattern.flood ~n ~victim:1) 2.0 ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 3: Count-Hop — universal with energy cap 2; latency at most
    2(n^2+beta)/(1-rho) (paper constant; the implementable constant is
    2(n(2n-3)+beta)/(1-rho), see DESIGN.md). *)
 
-let count_hop ?observe ~scale () =
+let count_hop ?observe ?jobs ~scale () =
   let rounds = scaled ~scale ~quick:60_000 ~full:250_000 in
   let scenario ~n ~rho ~beta id pattern =
     let checks =
@@ -85,18 +88,19 @@ let count_hop ?observe ~scale () =
          ~rate:rho ~burst:beta ~pattern ~rounds ())
   in
   let n = scaled ~scale ~quick:6 ~full:10 in
-  [ scenario ~n ~rho:0.5 ~beta:2.0 "count-hop/uniform-0.5" (Pattern.uniform ~n ~seed:111);
-    scenario ~n ~rho:0.9 ~beta:2.0 "count-hop/uniform-0.9" (Pattern.uniform ~n ~seed:112);
-    scenario ~n ~rho:0.9 ~beta:10.0 "count-hop/flood-0.9" (Pattern.flood ~n ~victim:2);
-    scenario ~n ~rho:0.8 ~beta:2.0 "count-hop/hotspot-0.8"
-      (Pattern.hotspot ~n ~seed:113 ~hot:1 ~bias:0.7) ]
+  Scenario.run_batch ?jobs
+    [ (fun () -> scenario ~n ~rho:0.5 ~beta:2.0 "count-hop/uniform-0.5" (Pattern.uniform ~n ~seed:111));
+      (fun () -> scenario ~n ~rho:0.9 ~beta:2.0 "count-hop/uniform-0.9" (Pattern.uniform ~n ~seed:112));
+      (fun () -> scenario ~n ~rho:0.9 ~beta:10.0 "count-hop/flood-0.9" (Pattern.flood ~n ~victim:2));
+      (fun () -> scenario ~n ~rho:0.8 ~beta:2.0 "count-hop/hotspot-0.8"
+        (Pattern.hotspot ~n ~seed:113 ~hot:1 ~bias:0.7)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 4: Adjust-Window — plain-packet universal with energy cap 2;
    latency (18n^3 lg^2 n + 2beta)/(1-rho) asymptotically; executable
    bound: twice the first window size absorbing the adversary. *)
 
-let adjust_window ?observe ~scale () =
+let adjust_window ?observe ?jobs ~scale () =
   let scenario ~n ~rho ~beta ~rounds id pattern =
     let checks =
       [ Scenario.latency_under (Bounds.adjust_window_latency_impl ~n ~rho ~beta);
@@ -110,22 +114,27 @@ let adjust_window ?observe ~scale () =
          ~rate:rho ~burst:beta ~pattern ~rounds
          ~drain:(Bounds.adjust_window_latency_impl ~n ~rho ~beta |> int_of_float) ())
   in
-  match scale with
-  | `Quick ->
-    [ scenario ~n:4 ~rho:0.3 ~beta:2.0 ~rounds:80_000 "adjust-window/uniform-0.3"
-        (Pattern.uniform ~n:4 ~seed:121) ]
-  | `Full ->
-    [ scenario ~n:4 ~rho:0.3 ~beta:2.0 ~rounds:200_000 "adjust-window/uniform-0.3"
-        (Pattern.uniform ~n:4 ~seed:121);
-      scenario ~n:4 ~rho:0.6 ~beta:2.0 ~rounds:300_000 "adjust-window/flood-0.6"
-        (Pattern.flood ~n:4 ~victim:2);
-      scenario ~n:6 ~rho:0.5 ~beta:2.0 ~rounds:400_000 "adjust-window/uniform-0.5"
-        (Pattern.uniform ~n:6 ~seed:122) ]
+  Scenario.run_batch ?jobs
+    (match scale with
+     | `Quick ->
+       [ (fun () ->
+           scenario ~n:4 ~rho:0.3 ~beta:2.0 ~rounds:80_000 "adjust-window/uniform-0.3"
+             (Pattern.uniform ~n:4 ~seed:121)) ]
+     | `Full ->
+       [ (fun () ->
+           scenario ~n:4 ~rho:0.3 ~beta:2.0 ~rounds:200_000 "adjust-window/uniform-0.3"
+             (Pattern.uniform ~n:4 ~seed:121));
+         (fun () ->
+           scenario ~n:4 ~rho:0.6 ~beta:2.0 ~rounds:300_000 "adjust-window/flood-0.6"
+             (Pattern.flood ~n:4 ~victim:2));
+         (fun () ->
+           scenario ~n:6 ~rho:0.5 ~beta:2.0 ~rounds:400_000 "adjust-window/uniform-0.5"
+             (Pattern.uniform ~n:6 ~seed:122)) ])
 
 (* ------------------------------------------------------------------ *)
 (* Row 5: k-Cycle — latency (32+beta)n below rate (k-1)/(n-1), cap k. *)
 
-let k_cycle ?observe ~scale () =
+let k_cycle ?observe ?jobs ~scale () =
   let n = 12 in
   let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
   let scenario ~k ~frac ~beta id pattern =
@@ -144,16 +153,17 @@ let k_cycle ?observe ~scale () =
       (Scenario.spec ~id ~algorithm:(Mac_routing.K_cycle.algorithm ~n ~k) ~n ~k
          ~rate:rho ~burst:beta ~pattern ~rounds ())
   in
-  [ scenario ~k:4 ~frac:0.5 ~beta:2.0 "k-cycle/k4-half" (Pattern.uniform ~n ~seed:131);
-    scenario ~k:4 ~frac:0.9 ~beta:2.0 "k-cycle/k4-near" (Pattern.flood ~n ~victim:5);
-    scenario ~k:6 ~frac:0.5 ~beta:2.0 "k-cycle/k6-half" (Pattern.uniform ~n ~seed:132);
-    scenario ~k:6 ~frac:0.9 ~beta:8.0 "k-cycle/k6-near" (Pattern.round_robin ~n) ]
+  Scenario.run_batch ?jobs
+    [ (fun () -> scenario ~k:4 ~frac:0.5 ~beta:2.0 "k-cycle/k4-half" (Pattern.uniform ~n ~seed:131));
+      (fun () -> scenario ~k:4 ~frac:0.9 ~beta:2.0 "k-cycle/k4-near" (Pattern.flood ~n ~victim:5));
+      (fun () -> scenario ~k:6 ~frac:0.5 ~beta:2.0 "k-cycle/k6-half" (Pattern.uniform ~n ~seed:132));
+      (fun () -> scenario ~k:6 ~frac:0.9 ~beta:8.0 "k-cycle/k6-near" (Pattern.round_robin ~n)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 6: Theorem 6 — no k-energy-oblivious algorithm is stable above
    k/n: the min-duty station cannot keep up. *)
 
-let oblivious_impossible ?observe ~scale () =
+let oblivious_impossible ?observe ?jobs ~scale () =
   let n = 12 in
   let rounds = scaled ~scale ~quick:80_000 ~full:200_000 in
   let horizon = scaled ~scale ~quick:30_000 ~full:60_000 in
@@ -166,14 +176,15 @@ let oblivious_impossible ?observe ~scale () =
          ~pattern:choice.Saboteur.pattern ~rounds ~drain:0 ())
   in
   let rho k = 1.2 *. Bounds.oblivious_rate_upper ~n ~k in
-  [ scenario "obl/k-cycle-k4" (Mac_routing.K_cycle.algorithm ~n ~k:4) ~k:4 ~rho:(rho 4);
-    scenario "obl/k-clique-k4" (Mac_routing.K_clique.algorithm ~n ~k:4) ~k:4 ~rho:(rho 4) ]
+  Scenario.run_batch ?jobs
+    [ (fun () -> scenario "obl/k-cycle-k4" (Mac_routing.K_cycle.algorithm ~n ~k:4) ~k:4 ~rho:(rho 4));
+      (fun () -> scenario "obl/k-clique-k4" (Mac_routing.K_clique.algorithm ~n ~k:4) ~k:4 ~rho:(rho 4)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 7: k-Clique — direct, latency 8(n^2/k)(1+beta/2k) up to rate
    k^2/(2n(2n-k)). *)
 
-let k_clique ?observe ~scale () =
+let k_clique ?observe ?jobs ~scale () =
   let n = 12 in
   let rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
   let scenario ~k ~beta id pattern =
@@ -189,15 +200,16 @@ let k_clique ?observe ~scale () =
       (Scenario.spec ~id ~algorithm:(Mac_routing.K_clique.algorithm ~n ~k) ~n ~k
          ~rate:rho ~burst:beta ~pattern ~rounds ())
   in
-  [ scenario ~k:4 ~beta:2.0 "k-clique/k4-uniform" (Pattern.uniform ~n ~seed:141);
-    scenario ~k:4 ~beta:2.0 "k-clique/k4-pair" (Pattern.pair_flood ~src:1 ~dst:2);
-    scenario ~k:6 ~beta:6.0 "k-clique/k6-uniform" (Pattern.uniform ~n ~seed:142) ]
+  Scenario.run_batch ?jobs
+    [ (fun () -> scenario ~k:4 ~beta:2.0 "k-clique/k4-uniform" (Pattern.uniform ~n ~seed:141));
+      (fun () -> scenario ~k:4 ~beta:2.0 "k-clique/k4-pair" (Pattern.pair_flood ~src:1 ~dst:2));
+      (fun () -> scenario ~k:6 ~beta:6.0 "k-clique/k6-uniform" (Pattern.uniform ~n ~seed:142)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 8: k-Subsets — stable at exactly k(k-1)/(n(n-1)) with queues
    under 2 C(n,k)(n^2+beta). *)
 
-let k_subsets ?observe ~scale () =
+let k_subsets ?observe ?jobs ~scale () =
   let n = scaled ~scale ~quick:6 ~full:8 in
   let k = 3 in
   let rounds = scaled ~scale ~quick:80_000 ~full:300_000 in
@@ -214,16 +226,17 @@ let k_subsets ?observe ~scale () =
          ~algorithm:(Mac_routing.K_subsets.algorithm ~discipline ~n ~k ())
          ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds ~drain:0 ())
   in
-  [ scenario "k-subsets/pair" (Pattern.pair_flood ~src:1 ~dst:2) ~beta:4.0;
-    scenario "k-subsets/uniform" (Pattern.uniform ~n ~seed:151) ~beta:4.0;
-    scenario ~discipline:`Rrw "k-subsets/rrw-uniform" (Pattern.uniform ~n ~seed:152)
-      ~beta:4.0 ]
+  Scenario.run_batch ?jobs
+    [ (fun () -> scenario "k-subsets/pair" (Pattern.pair_flood ~src:1 ~dst:2) ~beta:4.0);
+      (fun () -> scenario "k-subsets/uniform" (Pattern.uniform ~n ~seed:151) ~beta:4.0);
+      (fun () -> scenario ~discipline:`Rrw "k-subsets/rrw-uniform" (Pattern.uniform ~n ~seed:152)
+        ~beta:4.0) ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 9: Theorem 9 — no oblivious direct algorithm is stable above
    k(k-1)/(n(n-1)): the least co-scheduled pair drowns. *)
 
-let oblivious_direct_impossible ?observe ~scale () =
+let oblivious_direct_impossible ?observe ?jobs ~scale () =
   let n = scaled ~scale ~quick:6 ~full:8 in
   let k = 3 in
   let rounds = scaled ~scale ~quick:100_000 ~full:300_000 in
@@ -237,11 +250,14 @@ let oblivious_direct_impossible ?observe ~scale () =
          ~pattern:choice.Saboteur.pattern ~rounds ~drain:0 ())
   in
   let cap = Bounds.k_subsets_rate ~n ~k in
-  [ scenario "obl-dir/k-subsets"
-      (Mac_routing.K_subsets.algorithm ~n ~k ())
-      ~rho:(1.25 *. cap) ~horizon:(20 * gamma);
-    scenario "obl-dir/pair-tdma" (module Mac_routing.Pair_tdma)
-      ~rho:(1.25 *. cap) ~horizon:(4 * n * (n - 1)) ]
+  Scenario.run_batch ?jobs
+    [ (fun () ->
+        scenario "obl-dir/k-subsets"
+          (Mac_routing.K_subsets.algorithm ~n ~k ())
+          ~rho:(1.25 *. cap) ~horizon:(20 * gamma));
+      (fun () ->
+        scenario "obl-dir/pair-tdma" (module Mac_routing.Pair_tdma)
+          ~rho:(1.25 *. cap) ~horizon:(4 * n * (n - 1))) ]
 
 let all =
   [ { id = "T1.orchestra";

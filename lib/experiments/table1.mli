@@ -12,11 +12,15 @@ type t = {
   claim : string;  (** the paper's claim, humanly readable *)
   run :
     ?observe:Scenario.observer ->
+    ?jobs:int ->
     scale:[ `Quick | `Full ] ->
     unit ->
     Scenario.outcome list;
   (** [observe] is forwarded to every {!Scenario.run} of the row, keyed by
-      scenario id — attach tracing or event recording per scenario. *)
+      scenario id — attach tracing or event recording per scenario.
+      [jobs] (default 1) fans the row's scenarios out over that many worker
+      domains via {!Scenario.run_batch}; outcomes keep their listed order
+      and are bit-identical to a sequential run. *)
 }
 
 val all : t list

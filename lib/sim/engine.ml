@@ -48,6 +48,13 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
   let prev_on = Array.make n false in
   let on = Array.make n false in
   let strict = cfg.strict in
+  (* Scratch space for the round loop: at most n transmissions per round,
+     recorded into preallocated arrays instead of a consed-up list. The
+     message slots hold stale messages between rounds; [tx_count] is the
+     only truth about what is live. *)
+  let tx_station = Array.make n 0 in
+  let tx_message = Array.make n (Message.light []) in
+  let tx_count = ref 0 in
 
   (* Fault injection. An absent or empty plan keeps every code path below
      identical to the fault-free engine: [crashed] stays all-false, the
@@ -103,13 +110,12 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
                 match policy with
                 | Mac_faults.Fault_plan.Retain -> 0
                 | Mac_faults.Fault_plan.Drop ->
-                  let doomed = Pqueue.to_list queues.(i) in
-                  List.iter
-                    (fun p ->
-                      ignore (Pqueue.remove queues.(i) p);
-                      Hashtbl.remove registry p.Packet.id)
-                    doomed;
-                  List.length doomed
+                  List.fold_left
+                    (fun lost (p : Packet.t) ->
+                      Hashtbl.remove registry p.Packet.id;
+                      lost + 1)
+                    0
+                    (Pqueue.drain queues.(i))
               in
               Metrics.note_crash metrics ~round ~lost;
               if observing then
@@ -132,8 +138,11 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
         (Mac_faults.Fault_plan.actions p ~round)
   in
 
-  let view round : Mac_adversary.View.t =
-    { n; round;
+  (* One view for the whole run: the closure record is allocated here,
+     outside the round loop, and only the mutable [round] field advances.
+     The closures read live engine state, so the view is always current. *)
+  let view : Mac_adversary.View.t =
+    { n; round = 0;
       queue_size = (fun i -> Pqueue.size queues.(i));
       queued_to =
         (fun d ->
@@ -147,7 +156,8 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
   in
 
   let inject round =
-    let pairs = Mac_adversary.Adversary.inject driver ~view:(view round) in
+    view.Mac_adversary.View.round <- round;
+    let pairs = Mac_adversary.Adversary.inject driver ~view in
     List.iter
       (fun (src, dst) ->
         if src < 0 || src >= n || dst < 0 || dst >= n then
@@ -206,9 +216,10 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
     Metrics.note_on_count metrics !on_count;
     if observing && !on_count > cap then
       emit ~round (Event.Cap_exceeded { on_count = !on_count; cap });
-    (* Actions of switched-on stations. *)
-    let transmissions = ref [] in
-    for i = n - 1 downto 0 do
+    (* Actions of switched-on stations, recorded into the scratch arrays in
+       station order — the same order the old list-based path produced. *)
+    tx_count := 0;
+    for i = 0 to n - 1 do
       if on.(i) then
         match A.act states.(i) ~round ~queue:queues.(i) with
         | Action.Listen -> ()
@@ -224,23 +235,27 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
             raise
               (Protocol_violation
                  (Printf.sprintf "plain-packet algorithm %s sent a non-plain message" A.name));
-          transmissions := (i, m) :: !transmissions
+          tx_station.(!tx_count) <- i;
+          tx_message.(!tx_count) <- m;
+          incr tx_count
     done;
     if observing then
-      List.iter
-        (fun (i, m) ->
-          emit ~round
-            (Event.Transmit { station = i; light = m.Message.packet = None }))
-        !transmissions;
+      for j = 0 to !tx_count - 1 do
+        emit ~round
+          (Event.Transmit
+             { station = tx_station.(j);
+               light = tx_message.(j).Message.packet = None })
+      done;
     (* Channel resolution. A jam forces any round with at least one
        transmitter to read as a collision; noise forces a collision even
        on an empty channel. The Round_jammed event (and its metrics note)
        lands immediately before the Collision it forces, so replaying a
-       recorded stream books both at the same point the live run did. *)
+       recorded stream books both at the same point the live run did.
+       Colliding-station lists exist only in events, so they are built
+       only when a sink is observing. *)
     let jammed = !jam_now || !noise_now in
     let feedback, heard =
-      match !transmissions with
-      | [] ->
+      if !tx_count = 0 then
         if !noise_now then begin
           Metrics.note_jammed metrics ~round ~noise:true;
           Metrics.note_collision metrics;
@@ -255,27 +270,23 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
           if observing then emit ~round Event.Silence;
           (Feedback.Silence, None)
         end
-      | [ (s, _) ] when jammed ->
-        Metrics.note_jammed metrics ~round ~noise:!noise_now;
-        Metrics.note_collision metrics;
-        if observing then begin
-          emit ~round (Event.Round_jammed { transmitters = 1; noise = !noise_now });
-          emit ~round (Event.Collision { stations = [ s ] })
-        end;
-        (Feedback.Collision, None)
-      | [ (s, m) ] -> (Feedback.Heard m, Some (s, m))
-      | _ :: _ :: _ as colliding ->
+      else if !tx_count = 1 && not jammed then
+        (Feedback.Heard tx_message.(0), Some (tx_station.(0), tx_message.(0)))
+      else begin
         if jammed then begin
           Metrics.note_jammed metrics ~round ~noise:!noise_now;
           if observing then
             emit ~round
               (Event.Round_jammed
-                 { transmitters = List.length colliding; noise = !noise_now })
+                 { transmitters = !tx_count; noise = !noise_now })
         end;
         Metrics.note_collision metrics;
         if observing then
-          emit ~round (Event.Collision { stations = List.map fst colliding });
+          emit ~round
+            (Event.Collision
+               { stations = List.init !tx_count (fun j -> tx_station.(j)) });
         (Feedback.Collision, None)
+      end
     in
     (* A heard packet leaves the transmitter; it is delivered if its
        destination is on, otherwise it awaits adoption. *)

@@ -1,0 +1,41 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* The job queue is an atomic cursor over the input array: workers claim
+   indices with [fetch_and_add], so each index is handed out exactly once
+   and no locking is needed. Results land in a per-index slot; joining the
+   workers establishes the happens-before edge that lets the caller read
+   the slots without synchronisation. *)
+let map ~jobs xs f =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  match xs with
+  | [] -> []
+  | _ when jobs = 1 -> List.map f xs
+  | _ ->
+    let items = Array.of_list xs in
+    let m = Array.length items in
+    let results = Array.make m None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let running = ref true in
+      while !running do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= m || Atomic.get failure <> None then running := false
+        else
+          match f items.(i) with
+          | r -> results.(i) <- Some r
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            (* Only the first failure wins; later ones are dropped, like
+               the results of jobs that complete after it. *)
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+            running := false
+      done
+    in
+    let domains = List.init (min jobs m) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)

@@ -1,0 +1,29 @@
+(** A fixed-size, Domain-based worker pool for embarrassingly parallel
+    batches of simulator runs.
+
+    Every experiment suite in this repo is a list of independent
+    [Engine.run] calls: each run owns its queues, metrics, RNG state and
+    sinks, and the engine allocates nothing shared. [map] exploits that by
+    fanning the list out over OCaml 5 domains while keeping the contract
+    strict enough for golden-file tests: results come back in input order,
+    every job runs exactly once, and a batch at [jobs = 4] is bit-identical
+    to the same batch at [jobs = 1]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1 — the default the
+    CLI and bench harness use for their [--jobs] flags. *)
+
+val map : jobs:int -> 'a list -> ('a -> 'b) -> 'b list
+(** [map ~jobs xs f] applies [f] to every element of [xs] on a pool of
+    [min jobs (List.length xs)] worker domains and returns the results in
+    input order. At [jobs = 1] no domain is spawned and the call degenerates
+    to [List.map f xs] (left to right).
+
+    Jobs are claimed from a shared queue, so each runs exactly once. If some
+    [f x] raises, the pool stops handing out further jobs, lets in-flight
+    jobs finish, joins every worker, and re-raises the first exception (with
+    its backtrace) in the calling domain. Jobs that never started are simply
+    dropped.
+
+    Raises [Invalid_argument] if [jobs < 1]. [f] must not assume it runs in
+    the calling domain; it must not rely on shared mutable state. *)

@@ -87,7 +87,7 @@ let test_first_fit_unstable_at_threshold () =
 let test_catalog_runs_quick () =
   List.iter
     (fun (ab : Mac_experiments.Ablations.t) ->
-      let report, outcomes = ab.run ~scale:`Quick in
+      let report, outcomes = ab.run ~scale:`Quick () in
       check_bool (ab.id ^ " rows") true
         (String.length (Mac_sim.Report.to_string report) > 0);
       check_bool (ab.id ^ " outcomes") true (outcomes <> []))

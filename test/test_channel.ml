@@ -151,6 +151,69 @@ let test_pqueue_readdition_moves_to_tail () =
   Alcotest.(check (list int)) "adoption order" [ 2; 1 ]
     (List.map (fun (p : Packet.t) -> p.id) (Pqueue.to_list q))
 
+let test_pqueue_drain () =
+  let q = Pqueue.create ~n:4 in
+  List.iter (fun (id, dst) -> Pqueue.add q (packet ~id ~dst))
+    [ (1, 2); (2, 3); (3, 2); (4, 1) ];
+  let drained = Pqueue.drain q in
+  Alcotest.(check (list int))
+    "arrival order" [ 1; 2; 3; 4 ]
+    (List.map (fun (p : Packet.t) -> p.id) drained);
+  check_int "empty after drain" 0 (Pqueue.size q);
+  Alcotest.(check (list int)) "to_list empty" []
+    (List.map (fun (p : Packet.t) -> p.id) (Pqueue.to_list q));
+  List.iter (fun d -> check_int "dest count zero" 0 (Pqueue.count_to q d))
+    [ 0; 1; 2; 3 ];
+  check_bool "oldest is gone" true (Pqueue.oldest q = None);
+  (* the queue is reusable: re-adding a drained packet is not a duplicate *)
+  Pqueue.add q (packet ~id:1 ~dst:2);
+  Pqueue.add q (packet ~id:9 ~dst:0);
+  Alcotest.(check (list int)) "reusable" [ 1; 9 ]
+    (List.map (fun (p : Packet.t) -> p.id) (Pqueue.to_list q))
+
+(* Property: [drain] is exactly [to_list] followed by removing each listed
+   packet — same returned packets, same final state, even when the queue is
+   refilled and drained again afterwards. *)
+let pqueue_drain_equiv =
+  QCheck.Test.make ~name:"pqueue_drain_equals_to_list_then_removals" ~count:200
+    QCheck.(pair (list (int_range 0 5)) (list (int_range 0 5)))
+    (fun (dsts1, dsts2) ->
+      let q_drain = Pqueue.create ~n:6 and q_model = Pqueue.create ~n:6 in
+      let next = ref 0 in
+      let fill dsts =
+        List.iter
+          (fun dst ->
+            let id = !next in
+            incr next;
+            Pqueue.add q_drain (packet ~id ~dst);
+            Pqueue.add q_model (packet ~id ~dst))
+          dsts
+      in
+      let ids (l : Packet.t list) = List.map (fun (p : Packet.t) -> p.id) l in
+      let drain_via_model q =
+        let listed = Pqueue.to_list q in
+        List.iter (fun p -> ignore (Pqueue.remove q p)) listed;
+        listed
+      in
+      let same_state () =
+        ids (Pqueue.to_list q_drain) = ids (Pqueue.to_list q_model)
+        && Pqueue.size q_drain = Pqueue.size q_model
+        && List.for_all
+             (fun d -> Pqueue.count_to q_drain d = Pqueue.count_to q_model d)
+             [ 0; 1; 2; 3; 4; 5 ]
+      in
+      fill dsts1;
+      let first_ok =
+        ids (Pqueue.drain q_drain) = ids (drain_via_model q_model)
+        && same_state ()
+      in
+      (* refill and drain again: drained queues must stay interchangeable *)
+      fill dsts2;
+      first_ok
+      && same_state ()
+      && ids (Pqueue.drain q_drain) = ids (drain_via_model q_model)
+      && same_state ())
+
 (* Model-based property: a queue behaves like a list of (id, dst) pairs in
    insertion order under a random sequence of adds and removes. *)
 let pqueue_model =
@@ -291,6 +354,8 @@ let () =
          Alcotest.test_case "oldest queries" `Quick test_pqueue_oldest_queries;
          Alcotest.test_case "count below" `Quick test_pqueue_count_below;
          Alcotest.test_case "re-addition" `Quick test_pqueue_readdition_moves_to_tail;
+         Alcotest.test_case "drain" `Quick test_pqueue_drain;
+         QCheck_alcotest.to_alcotest pqueue_drain_equiv;
          QCheck_alcotest.to_alcotest pqueue_model ]);
       ("energy", [ Alcotest.test_case "accounting" `Quick test_energy_accounting ]);
       ("trace",
