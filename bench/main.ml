@@ -24,8 +24,8 @@ let outcome_row (o : Mac_experiments.Scenario.outcome) =
   [ sp.id;
     string_of_int sp.n;
     string_of_int sp.k;
-    fmt sp.rate;
-    fmt sp.burst;
+    Mac_channel.Qrat.to_string sp.rate;
+    Mac_channel.Qrat.to_string sp.burst;
     Mac_sim.Stability.verdict_to_string o.stability.verdict;
     string_of_int s.max_total_queue;
     string_of_int (max s.max_delay s.max_queued_age);

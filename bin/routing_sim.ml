@@ -9,6 +9,16 @@
 
 open Cmdliner
 
+(* Rates parse as exact rationals: "1/10", "0.1" and "1" all mean exactly
+   one tenth / one — never a float neighbour of it. *)
+let qrat_conv =
+  let parse s =
+    match Mac_channel.Qrat.of_string s with
+    | Ok q -> Ok q
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"RATIONAL" (parse, Mac_channel.Qrat.pp)
+
 let algorithms ~n ~k =
   [ ("orchestra", (module Mac_routing.Orchestra : Mac_channel.Algorithm.S));
     ("count-hop", (module Mac_routing.Count_hop));
@@ -90,7 +100,9 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
     if paced then Mac_adversary.Adversary.Paced { burst_at = None }
     else Mac_adversary.Adversary.Greedy
   in
-  let adversary = Mac_adversary.Adversary.create ~rate ~burst ~pacing pattern in
+  let adversary =
+    Mac_adversary.Adversary.create_q ~rate ~burst ~pacing pattern
+  in
   let trace =
     if trace_n > 0 then
       Some (Mac_channel.Trace.create ~capacity:trace_n ~enabled:true ())
@@ -158,10 +170,17 @@ let run_term =
           ~doc:(Printf.sprintf "One of: %s." (String.concat ", " algorithm_names)))
   in
   let rate =
-    Arg.(value & opt float 0.5 & info [ "rate" ] ~docv:"RHO" ~doc:"Injection rate.")
+    Arg.(
+      value
+      & opt qrat_conv (Mac_channel.Qrat.make 1 2)
+      & info [ "rate" ] ~docv:"RHO"
+          ~doc:"Injection rate, exact: 1/10, 0.35 or 1.")
   in
   let burst =
-    Arg.(value & opt float 2.0 & info [ "burst" ] ~docv:"BETA" ~doc:"Burstiness.")
+    Arg.(
+      value
+      & opt qrat_conv (Mac_channel.Qrat.of_int 2)
+      & info [ "burst" ] ~docv:"BETA" ~doc:"Burstiness (exact rational).")
   in
   let pattern =
     Arg.(
@@ -404,7 +423,7 @@ let resilience_cmd algo n k rate burst pattern_spec rounds drain seed quick
     end;
     let pattern = resolve_pattern pattern_spec ~algorithm ~n ~k ~seed in
     let adversary =
-      Mac_adversary.Adversary.create ~rate ~burst
+      Mac_adversary.Adversary.create_q ~rate ~burst
         ~pacing:Mac_adversary.Adversary.Greedy pattern
     in
     let sink = Option.map jsonl_sink events in
@@ -501,7 +520,7 @@ let inspect_cmd file algorithm_name n k rate burst pattern_spec rounds seed last
      let module A = (val algorithm) in
      let pattern = resolve_pattern pattern_spec ~algorithm ~n ~k ~seed in
      let adversary =
-       Mac_adversary.Adversary.create ~rate ~burst
+       Mac_adversary.Adversary.create_q ~rate ~burst
          ~pacing:Mac_adversary.Adversary.Greedy pattern
      in
      let tl = Mac_sim.Timeline.create ~rounds:(max last rounds) ~n () in
@@ -585,10 +604,17 @@ let resilience_term =
              suite.")
   in
   let rate =
-    Arg.(value & opt float 0.5 & info [ "rate" ] ~docv:"RHO" ~doc:"Injection rate.")
+    Arg.(
+      value
+      & opt qrat_conv (Mac_channel.Qrat.make 1 2)
+      & info [ "rate" ] ~docv:"RHO"
+          ~doc:"Injection rate, exact: 1/10, 0.35 or 1.")
   in
   let burst =
-    Arg.(value & opt float 2.0 & info [ "burst" ] ~docv:"BETA" ~doc:"Burstiness.")
+    Arg.(
+      value
+      & opt qrat_conv (Mac_channel.Qrat.of_int 2)
+      & info [ "burst" ] ~docv:"BETA" ~doc:"Burstiness (exact rational).")
   in
   let pattern =
     Arg.(
@@ -698,10 +724,17 @@ let inspect_term =
           ~doc:(Printf.sprintf "One of: %s." (String.concat ", " algorithm_names)))
   in
   let rate =
-    Arg.(value & opt float 0.5 & info [ "rate" ] ~docv:"RHO" ~doc:"Injection rate.")
+    Arg.(
+      value
+      & opt qrat_conv (Mac_channel.Qrat.make 1 2)
+      & info [ "rate" ] ~docv:"RHO"
+          ~doc:"Injection rate, exact: 1/10, 0.35 or 1.")
   in
   let burst =
-    Arg.(value & opt float 2.0 & info [ "burst" ] ~docv:"BETA" ~doc:"Burstiness.")
+    Arg.(
+      value
+      & opt qrat_conv (Mac_channel.Qrat.of_int 2)
+      & info [ "burst" ] ~docv:"BETA" ~doc:"Burstiness (exact rational).")
   in
   let pattern =
     Arg.(
@@ -729,6 +762,76 @@ let inspect_term =
       (const inspect_cmd $ file $ algorithm $ n_arg $ k_arg $ rate $ burst
        $ pattern $ rounds $ seed $ last $ width))
 
+(* ---- verify command ---- *)
+
+let verify_cmd count seed table1 quick rounds_cap jobs =
+  let cap x = match rounds_cap with None -> x | Some c -> min x c in
+  let spec_to_run (s : Mac_experiments.Scenario.spec) : Mac_verify.Diff.run =
+    { id = s.id; algorithm = s.algorithm; n = s.n; k = s.k; rate = s.rate;
+      burst = s.burst; pacing = s.pacing; pattern = s.pattern;
+      rounds = cap s.rounds; drain = cap s.drain; faults = s.faults }
+  in
+  let pairs =
+    if table1 then begin
+      let scale = if quick then `Quick else `Full in
+      (* the catalog is instantiated twice so each side owns fresh pattern
+         state; the two lists are equal in every other respect *)
+      let a = Mac_experiments.Table1.catalog ~scale in
+      let b = Mac_experiments.Table1.catalog ~scale in
+      List.map2 (fun x y -> (spec_to_run x, spec_to_run y)) a b
+    end
+    else List.init count (fun i -> Mac_verify.Diff.random_pair ~seed:(seed + i))
+  in
+  let verdicts = Mac_verify.Diff.run_pairs ~jobs pairs in
+  let bad = List.filter (fun v -> not (Mac_verify.Diff.agrees v)) verdicts in
+  List.iter (fun v -> Format.printf "%a@." Mac_verify.Diff.pp_verdict v) bad;
+  let events =
+    List.fold_left
+      (fun acc (v : Mac_verify.Diff.verdict) -> acc + v.events)
+      0 verdicts
+  in
+  Printf.printf "%d configuration(s), %d event(s) compared, %d divergence(s)\n"
+    (List.length verdicts) events (List.length bad);
+  if bad <> [] then exit 1;
+  `Ok ()
+
+let verify_term =
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Number of random configurations to check (ignored with --table1).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"First seed; configurations use seeds S, S+1, ... S+N-1.")
+  in
+  let table1 =
+    Arg.(
+      value & flag
+      & info [ "table1" ]
+          ~doc:
+            "Check the Table-1 catalog instead of random configurations \
+             (use --quick for the reduced scale, --rounds-cap to bound \
+             oracle time).")
+  in
+  let rounds_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds-cap" ] ~docv:"T"
+          ~doc:
+            "Cap injection and drain rounds per configuration. The oracle \
+             is deliberately quadratic per round; long catalog runs need \
+             this to finish quickly.")
+  in
+  Term.(
+    ret
+      (const verify_cmd $ count $ seed $ table1 $ quick_arg $ rounds_cap
+       $ jobs_arg))
+
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Simulate one algorithm/adversary scenario") run_term;
     Cmd.v
@@ -754,6 +857,12 @@ let cmds =
          ~doc:"ASCII station-by-round timeline of a run or a recorded event stream")
       inspect_term;
     Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Differential check: the engine against a naive reference oracle, \
+            over random configurations or the Table-1 catalog")
+      verify_term;
+    Cmd.v
       (Cmd.info "list" ~doc:"List algorithms and experiments")
       Term.(ret (const list_cmd $ const ())) ]
 
@@ -762,4 +871,18 @@ let () =
     Cmd.info "routing_sim" ~version:"1.0.0"
       ~doc:"Energy-efficient adversarial routing on multiple access channels"
   in
-  exit (Cmd.eval (Cmd.group ~default:run_term info cmds))
+  (* Domain validation lives in the libraries (bucket rate in (0, 1],
+     burst >= 1, schedule arities, ...); surface it as the usual one-line
+     exit-2 instead of an uncaught exception. Anything else keeps
+     cmdliner's internal-error rendering and exit code. *)
+  try exit (Cmd.eval ~catch:false (Cmd.group ~default:run_term info cmds))
+  with
+  | Invalid_argument msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+  | e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Printf.eprintf "routing_sim: internal error, uncaught exception:\n%s\n%s"
+      (Printexc.to_string e)
+      (Printexc.raw_backtrace_to_string bt);
+    exit 125

@@ -1,22 +1,30 @@
+open Mac_channel
+
 type pacing =
   | Greedy
   | Paced of { burst_at : int option }
 
 type t = {
   name : string;
-  rate : float;
-  burst : float;
+  rate : Qrat.t;
+  burst : Qrat.t;
   pacing : pacing;
   pattern : Pattern.t;
 }
 
-let create ?name ~rate ~burst ?(pacing = Greedy) pattern =
+let create_q ?name ~rate ~burst ?(pacing = Greedy) pattern =
   let name =
     match name with
     | Some s -> s
-    | None -> Printf.sprintf "%s@(%.3g,%.3g)" pattern.Pattern.name rate burst
+    | None ->
+      Printf.sprintf "%s@(%.3g,%.3g)" pattern.Pattern.name (Qrat.to_float rate)
+        (Qrat.to_float burst)
   in
   { name; rate; burst; pacing; pattern }
+
+let create ?name ~rate ~burst ?pacing pattern =
+  create_q ?name ~rate:(Qrat.of_float rate) ~burst:(Qrat.of_float burst) ?pacing
+    pattern
 
 type driver = {
   spec : t;
@@ -25,7 +33,7 @@ type driver = {
 }
 
 let start spec =
-  { spec; bucket = Leaky_bucket.create ~rate:spec.rate ~burst:spec.burst;
+  { spec; bucket = Leaky_bucket.create_q ~rate:spec.rate ~burst:spec.burst;
     injected_total = 0 }
 
 let spec d = d.spec
@@ -38,12 +46,11 @@ let desired d ~round =
   | Paced { burst_at } ->
     let r = d.spec.rate in
     let steady =
-      int_of_float (floor (r *. float_of_int (round + 1)))
-      - int_of_float (floor (r *. float_of_int round))
+      Qrat.floor (Qrat.mul_int r (round + 1)) - Qrat.floor (Qrat.mul_int r round)
     in
     let extra =
       match burst_at with
-      | Some b when b = round -> int_of_float (floor d.spec.burst)
+      | Some b when b = round -> Qrat.floor d.spec.burst
       | _ -> 0
     in
     steady + extra

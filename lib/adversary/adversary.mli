@@ -1,6 +1,10 @@
 (** A leaky-bucket adversary: a (ρ, β) type, a pacing discipline, and an
     injection pattern.
 
+    Rates and bursts are exact rationals ({!Mac_channel.Qrat}); pacing and
+    admission arithmetic never round, so the injection schedule is the
+    paper's recurrence for every ρ, dyadic or not.
+
     Pacing decides how eagerly the adversary spends its bucket:
     - [Greedy] injects the full grant every round — an initial burst of
       ⌊ρ + β⌋ packets, then a sustained ρ per round. This is the worst case
@@ -18,16 +22,27 @@ type pacing =
 
 type t = {
   name : string;
-  rate : float;
-  burst : float;
+  rate : Mac_channel.Qrat.t;
+  burst : Mac_channel.Qrat.t;
   pacing : pacing;
   pattern : Pattern.t;
 }
 
+val create_q :
+  ?name:string ->
+  rate:Mac_channel.Qrat.t ->
+  burst:Mac_channel.Qrat.t ->
+  ?pacing:pacing ->
+  Pattern.t ->
+  t
+(** Default pacing is [Greedy]. The default name combines the pattern name
+    and the type (formatted via floats, e.g. ["uniform@(0.5,2)"]). *)
+
 val create :
   ?name:string -> rate:float -> burst:float -> ?pacing:pacing -> Pattern.t -> t
-(** Default pacing is [Greedy]. The default name combines the pattern name
-    and the type. *)
+(** Deprecated float shim over {!create_q}: arguments are snapped to the
+    simplest rationals denoting them ({!Mac_channel.Qrat.of_float}), so
+    [~rate:0.1] means exactly 1/10. *)
 
 type driver
 

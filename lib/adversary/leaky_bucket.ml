@@ -1,22 +1,36 @@
+open Mac_channel
+
 type t = {
-  rate : float;
-  burst : float;
-  mutable tokens : float;
+  rate : Qrat.t;
+  burst : Qrat.t;
+  cap : Qrat.t; (* rate + burst, the clamp *)
+  mutable tokens : Qrat.t;
 }
 
+let create_q ~rate ~burst =
+  if not (Qrat.sign rate > 0 && Qrat.compare rate Qrat.one <= 0) then
+    invalid_arg "Leaky_bucket: rate must be in (0, 1]";
+  if Qrat.compare burst Qrat.one < 0 then
+    invalid_arg "Leaky_bucket: burst must be >= 1";
+  let cap = Qrat.add rate burst in
+  { rate; burst; cap; tokens = cap }
+
 let create ~rate ~burst =
-  if not (rate > 0.0 && rate <= 1.0) then invalid_arg "Leaky_bucket: rate must be in (0, 1]";
-  if not (burst >= 1.0) then invalid_arg "Leaky_bucket: burst must be >= 1";
-  { rate; burst; tokens = rate +. burst }
+  (* Snap the floats to the simplest rationals denoting them; validation
+     happens on the exact values so the error messages stay identical. *)
+  if not (Float.is_finite rate) then invalid_arg "Leaky_bucket: rate must be in (0, 1]";
+  if not (Float.is_finite burst) then invalid_arg "Leaky_bucket: burst must be >= 1";
+  create_q ~rate:(Qrat.of_float rate) ~burst:(Qrat.of_float burst)
 
-let rate t = t.rate
+let rate_q t = t.rate
+let burst_q t = t.burst
+let rate t = Qrat.to_float t.rate
+let burst t = Qrat.to_float t.burst
 
-let burst t = t.burst
-
-let grant t = int_of_float (floor t.tokens)
+let grant t = Qrat.floor t.tokens
 
 let consume t count =
   if count < 0 || count > grant t then invalid_arg "Leaky_bucket.consume";
-  t.tokens <- t.tokens -. float_of_int count
+  t.tokens <- Qrat.sub t.tokens (Qrat.of_int count)
 
-let advance t = t.tokens <- Float.min (t.rate +. t.burst) (t.tokens +. t.rate)
+let advance t = t.tokens <- Qrat.min t.cap (Qrat.add t.tokens t.rate)

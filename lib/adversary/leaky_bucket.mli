@@ -4,16 +4,35 @@
     contiguous interval of t rounds. The equivalent token-bucket recurrence
     is: tokens start at ρ + β (the burstiness ⌊β + ρ⌋ bounds a single round),
     injections consume tokens, and [advance] refills by ρ clamped at ρ + β.
-    Property tests verify the windowed constraint holds on every trace. *)
+
+    Token arithmetic is exact: ρ and β are {!Mac_channel.Qrat} rationals and
+    the recurrence bₜ₊₁ = min(β + ρ, bₜ − iₜ + ρ) is evaluated without
+    rounding, so [grant] equals the paper's recurrence at every round — for
+    ρ = 1/10 or 1/3 as much as for dyadic rates, over any horizon. (The
+    float accumulation this replaces drifted by a whole token after ~10⁵
+    rounds at non-dyadic rates, breaking the window bound one packet at a
+    time.) Property tests verify the windowed constraint on every trace. *)
 
 type t
 
+val create_q : rate:Mac_channel.Qrat.t -> burst:Mac_channel.Qrat.t -> t
+(** Requires [0 < rate <= 1] and [burst >= 1] (the paper's adversary type),
+    checked exactly. *)
+
 val create : rate:float -> burst:float -> t
-(** Requires [0 < rate <= 1] and [burst >= 1] (the paper's adversary type). *)
+(** Deprecated float shim: snaps each argument to the simplest rational
+    denoting it ({!Mac_channel.Qrat.of_float} — [0.1] becomes exactly
+    1/10) and defers to {!create_q}. Prefer [create_q] in new code. *)
+
+val rate_q : t -> Mac_channel.Qrat.t
+
+val burst_q : t -> Mac_channel.Qrat.t
 
 val rate : t -> float
+(** Deprecated: [Qrat.to_float (rate_q t)]. *)
 
 val burst : t -> float
+(** Deprecated: [Qrat.to_float (burst_q t)]. *)
 
 val grant : t -> int
 (** Packets that may still be injected in the current round. *)
@@ -23,4 +42,5 @@ val consume : t -> int -> unit
     exceeding [grant]. *)
 
 val advance : t -> unit
-(** Move to the next round: refill by [rate], clamped at [rate + burst]. *)
+(** Move to the next round: refill by [rate], clamped at [rate + burst] —
+    exactly. *)

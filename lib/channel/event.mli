@@ -48,12 +48,14 @@ type t =
       (** Fault injection: a crashed station rebooted with fresh
           algorithm state and takes part from this round on. *)
   | Round_jammed of { transmitters : int; noise : bool }
-      (** Fault injection: channel resolution was forced to a collision.
-          [noise] marks spurious noise (fires even with zero
-          transmitters); a jam only disturbs rounds with at least one
-          transmitter. Always immediately precedes the [Collision] it
-          forces, except for a [>= 2]-transmitter round, where it merely
-          annotates the natural collision. *)
+      (** Fault injection: a jam or noise fault fired this round.
+          [noise] marks spurious noise (forces a collision even with
+          zero transmitters). A jam with at least one transmitter forces
+          a collision; a jam of an empty round leaves the channel silent
+          but is still recorded — [transmitters = 0] and [noise = false]
+          then precedes a [Silence]. Otherwise the event immediately
+          precedes the [Collision] it forces ([>= 2] transmitters: it
+          merely annotates the natural collision). *)
 
 val notable : t -> bool
 (** The historically traced subset: injections, collisions, light

@@ -1,4 +1,5 @@
 open Mac_adversary
+open Mac_channel
 
 type t = {
   id : string;
@@ -16,7 +17,7 @@ let fmt = Mac_sim.Report.fmt_float
 
 let point ~id ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain =
   Scenario.run
-    (Scenario.spec ~id ~algorithm ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds
+    (Scenario.spec_q ~id ~algorithm ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds
        ~drain ())
 
 let outcome_cells (o : Scenario.outcome) =
@@ -35,10 +36,10 @@ let delta_rows ?jobs ~scale () =
   let cells =
     List.concat_map
       (fun (frac, label) ->
-        let rho = frac *. Bounds.k_cycle_rate ~n ~k in
+        let rho = Qrat.mul frac (Bounds.k_cycle_rate_q ~n ~k) in
         List.map (fun delta_scale -> (frac, label, rho, delta_scale))
           [ 0.125; 0.25; 1.0; 4.0 ])
-      [ (0.5, "half-rate"); (0.9, "near-threshold") ]
+      [ (Qrat.make 1 2, "half-rate"); (Qrat.make 9 10, "near-threshold") ]
   in
   let outcomes =
     Scenario.run_batch ?jobs
@@ -47,7 +48,7 @@ let delta_rows ?jobs ~scale () =
            point
              ~id:(Printf.sprintf "delta/%s/x%g" label delta_scale)
              ~algorithm:(Mac_routing.K_cycle.algorithm_scaled ~delta_scale ~n ~k)
-             ~n ~k ~rho ~beta:2.0
+             ~n ~k ~rho ~beta:(Qrat.of_int 2)
              ~pattern:(Pattern.flood ~n ~victim:5)
              ~rounds ~drain:(rounds / 2))
          cells)
@@ -55,7 +56,8 @@ let delta_rows ?jobs ~scale () =
   let rows =
     List.map2
       (fun (_, label, rho, delta_scale) o ->
-        [ Printf.sprintf "%g x delta" delta_scale; label; fmt rho ]
+        [ Printf.sprintf "%g x delta" delta_scale; label;
+          fmt (Qrat.to_float rho) ]
         @ outcome_cells o)
       cells outcomes
   in
@@ -102,7 +104,7 @@ let big_threshold_rows ?jobs ~scale () =
       (List.map
          (fun (label, algorithm, pname, pattern) () ->
            point ~id:(Printf.sprintf "bigthr/%s/%s" label pname) ~algorithm ~n
-             ~k:3 ~rho:1.0 ~beta:4.0 ~pattern ~rounds ~drain:0)
+             ~k:3 ~rho:Qrat.one ~beta:(Qrat.of_int 4) ~pattern ~rounds ~drain:0)
          cells)
   in
   let rows =
@@ -134,7 +136,7 @@ let allocation_rows ?jobs ~scale () =
   let n = scaled ~scale ~quick:6 ~full:8 in
   let k = 3 in
   let rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
-  let rho = Bounds.k_subsets_rate ~n ~k in
+  let rho = Bounds.k_subsets_rate_q ~n ~k in
   let cells = [ ("balanced (paper)", `Balanced); ("first-fit", `First_fit) ] in
   let outcomes =
     Scenario.run_batch ?jobs
@@ -142,14 +144,14 @@ let allocation_rows ?jobs ~scale () =
          (fun (label, allocation) () ->
            point ~id:(Printf.sprintf "alloc/%s" label)
              ~algorithm:(Mac_routing.K_subsets.algorithm ~allocation ~n ~k ())
-             ~n ~k ~rho ~beta:4.0
+             ~n ~k ~rho ~beta:(Qrat.of_int 4)
              ~pattern:(Pattern.pair_flood ~src:1 ~dst:2)
              ~rounds ~drain:0)
          cells)
   in
   let rows =
     List.map2
-      (fun (label, _) o -> [ label; fmt rho ] @ outcome_cells o)
+      (fun (label, _) o -> [ label; fmt (Qrat.to_float rho) ] @ outcome_cells o)
       cells outcomes
   in
   (rows, outcomes)

@@ -1,3 +1,5 @@
+open Mac_channel
+
 let cube n = float_of_int (n * n * n)
 
 let orchestra_queue_bound ~n ~beta = (2.0 *. cube n) +. beta
@@ -24,33 +26,44 @@ let adjust_window_latency_impl ~n ~rho ~beta =
   in
   2.0 *. float_of_int (grow (Mac_routing.Adjust_window.initial_window ~n))
 
-let k_cycle_rate ~n ~k =
+let k_cycle_rate_q ~n ~k =
   let k = Mac_routing.Cycle_groups.effective_k ~n ~k in
-  float_of_int (k - 1) /. float_of_int (n - 1)
+  Qrat.make (k - 1) (n - 1)
 
-let k_cycle_rate_impl ~n ~k =
+let k_cycle_rate ~n ~k = Qrat.to_float (k_cycle_rate_q ~n ~k)
+
+let k_cycle_rate_impl_q ~n ~k =
   let cg = Mac_routing.Cycle_groups.make ~n ~k () in
-  1.0 /. float_of_int (Mac_routing.Cycle_groups.group_count cg)
+  Qrat.make 1 (Mac_routing.Cycle_groups.group_count cg)
+
+let k_cycle_rate_impl ~n ~k = Qrat.to_float (k_cycle_rate_impl_q ~n ~k)
 
 let k_cycle_latency ~n ~beta = (32.0 +. beta) *. float_of_int n
 
-let oblivious_rate_upper ~n ~k = float_of_int k /. float_of_int n
+let oblivious_rate_upper_q ~n ~k = Qrat.make k n
 
-let k_clique_latency_rate ~n ~k =
-  let k = Mac_routing.Clique_pairs.effective_k ~n ~k in
-  float_of_int (k * k) /. float_of_int (2 * n * ((2 * n) - k))
+let oblivious_rate_upper ~n ~k = Qrat.to_float (oblivious_rate_upper_q ~n ~k)
 
-let k_clique_stable_rate ~n ~k =
+let k_clique_latency_rate_q ~n ~k =
   let k = Mac_routing.Clique_pairs.effective_k ~n ~k in
-  float_of_int (k * k) /. float_of_int (n * ((2 * n) - k))
+  Qrat.make (k * k) (2 * n * ((2 * n) - k))
+
+let k_clique_latency_rate ~n ~k = Qrat.to_float (k_clique_latency_rate_q ~n ~k)
+
+let k_clique_stable_rate_q ~n ~k =
+  let k = Mac_routing.Clique_pairs.effective_k ~n ~k in
+  Qrat.make (k * k) (n * ((2 * n) - k))
+
+let k_clique_stable_rate ~n ~k = Qrat.to_float (k_clique_stable_rate_q ~n ~k)
 
 let k_clique_latency ~n ~k ~beta =
   let k = Mac_routing.Clique_pairs.effective_k ~n ~k in
   8.0 *. float_of_int (n * n) /. float_of_int k
   *. (1.0 +. (beta /. float_of_int (2 * k)))
 
-let k_subsets_rate ~n ~k =
-  float_of_int (k * (k - 1)) /. float_of_int (n * (n - 1))
+let k_subsets_rate_q ~n ~k = Qrat.make (k * (k - 1)) (n * (n - 1))
+
+let k_subsets_rate ~n ~k = Qrat.to_float (k_subsets_rate_q ~n ~k)
 
 let k_subsets_queue_bound ~n ~k ~beta =
   2.0 *. float_of_int (Mac_routing.Combi.binomial n k)

@@ -35,8 +35,17 @@ val adjust_window_latency_impl : n:int -> rho:float -> beta:float -> float
 
 (** {1 Oblivious indirect (§5)} *)
 
+val k_cycle_rate_q : n:int -> k:int -> Mac_channel.Qrat.t
+(** Theorem 5 applies below (k−1)/(n−1) (with the effective k), as the
+    exact rational. The threshold rates in this section are all ratios of
+    small integers; the [_q] variants return them exactly so scenarios and
+    sweeps can sit precisely on (or ε away from) a frontier. *)
+
 val k_cycle_rate : n:int -> k:int -> float
-(** Theorem 5 applies below (k−1)/(n−1) (with the effective k). *)
+(** [Qrat.to_float] of {!k_cycle_rate_q}. *)
+
+val k_cycle_rate_impl_q : n:int -> k:int -> Mac_channel.Qrat.t
+(** Exact form of {!k_cycle_rate_impl}: 1/ℓ for ℓ groups. *)
 
 val k_cycle_rate_impl : n:int -> k:int -> float
 (** The frontier k-Cycle's construction actually sustains: a group serving
@@ -48,22 +57,38 @@ val k_cycle_rate_impl : n:int -> k:int -> float
 val k_cycle_latency : n:int -> beta:float -> float
 (** Theorem 5: (32 + β)·n. *)
 
+val oblivious_rate_upper_q : n:int -> k:int -> Mac_channel.Qrat.t
+(** Theorem 6: no k-energy-oblivious algorithm is stable above k/n,
+    exactly. *)
+
 val oblivious_rate_upper : n:int -> k:int -> float
-(** Theorem 6: no k-energy-oblivious algorithm is stable above k/n. *)
+(** [Qrat.to_float] of {!oblivious_rate_upper_q}. *)
 
 (** {1 Oblivious direct (§6)} *)
 
+val k_clique_latency_rate_q : n:int -> k:int -> Mac_channel.Qrat.t
+(** Theorem 7's latency bound applies up to k²/(2n(2n−k)) (effective k),
+    exactly. *)
+
 val k_clique_latency_rate : n:int -> k:int -> float
-(** Theorem 7's latency bound applies up to k²/(2n(2n−k)) (effective k). *)
+(** [Qrat.to_float] of {!k_clique_latency_rate_q}. *)
+
+val k_clique_stable_rate_q : n:int -> k:int -> Mac_channel.Qrat.t
+(** Theorem 7: bounded latency below k²/(n(2n−k)) = 1/m (effective k),
+    exactly. *)
 
 val k_clique_stable_rate : n:int -> k:int -> float
-(** Theorem 7: bounded latency below k²/(n(2n−k)) = 1/m (effective k). *)
+(** [Qrat.to_float] of {!k_clique_stable_rate_q}. *)
 
 val k_clique_latency : n:int -> k:int -> beta:float -> float
 (** Theorem 7: 8(n²/k)(1 + β/2k) (effective k). *)
 
+val k_subsets_rate_q : n:int -> k:int -> Mac_channel.Qrat.t
+(** Theorems 8 and 9: the optimal oblivious-direct rate k(k−1)/(n(n−1)),
+    exactly. *)
+
 val k_subsets_rate : n:int -> k:int -> float
-(** Theorems 8 and 9: the optimal oblivious-direct rate k(k−1)/(n(n−1)). *)
+(** [Qrat.to_float] of {!k_subsets_rate_q}. *)
 
 val k_subsets_queue_bound : n:int -> k:int -> beta:float -> float
 (** Theorem 8: at most 2·C(n,k)(n² + β) queued packets. *)

@@ -1,4 +1,5 @@
 open Mac_adversary
+open Mac_channel
 
 type t = {
   id : string;
@@ -15,9 +16,16 @@ let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> ful
 
 let fmt = Mac_sim.Report.fmt_float
 
+(* Figure operating points are exact rationals; decimal literals go
+   through [Qrat.of_float] (so [q 0.8] is exactly 4/5) and
+   threshold-derived points multiply the exact [Bounds._q] thresholds. *)
+let q = Qrat.of_float
+
+let fmt_q r = fmt (Qrat.to_float r)
+
 let run_point ~observe ~id ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain =
   Scenario.run ?observe
-    (Scenario.spec ~id ~algorithm ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds
+    (Scenario.spec_q ~id ~algorithm ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds
        ~drain ())
 
 (* Each figure accumulates plot points as (run-thunk, row-of-outcome)
@@ -39,13 +47,15 @@ let frontier_rows ?observe ?jobs ~scale () =
   let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~threshold ~rho ~pattern ~rounds =
     let thunk () =
-      run_point ~observe ~id:(Printf.sprintf "frontier/%s@%.4f" row_algo rho) ~algorithm
-        ~n ~k ~rho ~beta:2.0 ~pattern ~rounds ~drain:0
+      run_point ~observe
+        ~id:(Printf.sprintf "frontier/%s@%.4f" row_algo (Qrat.to_float rho))
+        ~algorithm ~n ~k ~rho ~beta:(Qrat.of_int 2) ~pattern ~rounds ~drain:0
     in
     let row (o : Scenario.outcome) =
       let s = o.Scenario.summary and st = o.Scenario.stability in
       [ row_algo; string_of_int n; string_of_int k;
-        fmt threshold; fmt rho; fmt (rho /. threshold);
+        fmt_q threshold; fmt_q rho;
+        fmt (Qrat.to_float rho /. Qrat.to_float threshold);
         Mac_sim.Stability.verdict_to_string st.Mac_sim.Stability.verdict;
         fmt st.Mac_sim.Stability.slope;
         string_of_int s.Mac_sim.Metrics.max_total_queue ]
@@ -56,66 +66,73 @@ let frontier_rows ?observe ?jobs ~scale () =
   (* Orchestra: stable all the way to rate 1. *)
   let n = 8 in
   add (point ~row_algo:"orchestra" ~algorithm:(module Mac_routing.Orchestra)
-         ~n ~k:3 ~threshold:1.0 ~rho:0.9 ~pattern:(Pattern.flood ~n ~victim:2) ~rounds);
+         ~n ~k:3 ~threshold:Qrat.one ~rho:(q 0.9)
+         ~pattern:(Pattern.flood ~n ~victim:2) ~rounds);
   add (point ~row_algo:"orchestra" ~algorithm:(module Mac_routing.Orchestra)
-         ~n ~k:3 ~threshold:1.0 ~rho:1.0 ~pattern:(Pattern.flood ~n ~victim:2) ~rounds);
+         ~n ~k:3 ~threshold:Qrat.one ~rho:Qrat.one
+         ~pattern:(Pattern.flood ~n ~victim:2) ~rounds);
   (* Count-Hop: universal below 1, breaks at 1. *)
   List.iter
     (fun rho ->
       add (point ~row_algo:"count-hop" ~algorithm:(module Mac_routing.Count_hop)
-             ~n ~k:2 ~threshold:1.0 ~rho ~pattern:(Pattern.flood ~n ~victim:2) ~rounds))
+             ~n ~k:2 ~threshold:Qrat.one ~rho:(q rho)
+             ~pattern:(Pattern.flood ~n ~victim:2) ~rounds))
     [ 0.8; 0.95; 1.0 ];
   (* Adjust-Window: same frontier with plain packets. *)
   List.iter
     (fun rho ->
       add (point ~row_algo:"adjust-window" ~algorithm:(module Mac_routing.Adjust_window)
-             ~n:4 ~k:2 ~threshold:1.0 ~rho ~pattern:(Pattern.flood ~n:4 ~victim:2)
-             ~rounds:aw_rounds))
+             ~n:4 ~k:2 ~threshold:Qrat.one ~rho:(q rho)
+             ~pattern:(Pattern.flood ~n:4 ~victim:2) ~rounds:aw_rounds))
     [ 0.5; 1.0 ];
   (* k-Cycle: guaranteed below (k-1)/(n-1); impossible above k/n; the strip
      between the two is the open territory the paper leaves. *)
   let n = 12 and k = 4 in
   let algorithm = Mac_routing.K_cycle.algorithm ~n ~k in
-  let thr = Bounds.k_cycle_rate ~n ~k in
+  let thr = Bounds.k_cycle_rate_q ~n ~k in
   List.iter
     (fun frac ->
       add (point ~row_algo:"k-cycle" ~algorithm ~n ~k ~threshold:thr
-             ~rho:(frac *. thr) ~pattern:(Pattern.flood ~n ~victim:5) ~rounds))
+             ~rho:(Qrat.mul (q frac) thr)
+             ~pattern:(Pattern.flood ~n ~victim:5) ~rounds))
     [ 0.6; 0.95; 1.05 ];
   let schedule = Option.get (Scenario.schedule_of algorithm ~n ~k) in
   let duty = Saboteur.min_duty ~n ~horizon:30_000 ~schedule in
   add (point ~row_algo:"k-cycle" ~algorithm ~n ~k ~threshold:thr
-         ~rho:(1.2 *. Bounds.oblivious_rate_upper ~n ~k)
+         ~rho:(Qrat.mul (Qrat.make 6 5) (Bounds.oblivious_rate_upper_q ~n ~k))
          ~pattern:duty.Saboteur.pattern ~rounds);
   (* k-Clique: bounded below 1/m, drowned by a pair flood above. *)
   let algorithm = Mac_routing.K_clique.algorithm ~n ~k in
-  let thr = Bounds.k_clique_stable_rate ~n ~k in
+  let thr = Bounds.k_clique_stable_rate_q ~n ~k in
   List.iter
     (fun frac ->
       add (point ~row_algo:"k-clique" ~algorithm ~n ~k ~threshold:thr
-             ~rho:(frac *. thr) ~pattern:(Pattern.pair_flood ~src:1 ~dst:2) ~rounds))
+             ~rho:(Qrat.mul (q frac) thr)
+             ~pattern:(Pattern.pair_flood ~src:1 ~dst:2) ~rounds))
     [ 0.6; 0.9; 1.25 ];
   (* k-Subsets: the optimal oblivious-direct frontier. *)
   let n = 8 and k = 3 in
   let algorithm = Mac_routing.K_subsets.algorithm ~n ~k () in
-  let thr = Bounds.k_subsets_rate ~n ~k in
+  let thr = Bounds.k_subsets_rate_q ~n ~k in
   List.iter
     (fun frac ->
       add (point ~row_algo:"k-subsets" ~algorithm ~n ~k ~threshold:thr
-             ~rho:(frac *. thr) ~pattern:(Pattern.pair_flood ~src:1 ~dst:2) ~rounds))
+             ~rho:(Qrat.mul (q frac) thr)
+             ~pattern:(Pattern.pair_flood ~src:1 ~dst:2) ~rounds))
     [ 0.9; 1.0 ];
   let schedule = Option.get (Scenario.schedule_of algorithm ~n ~k) in
   let pair = Saboteur.min_pair ~n ~horizon:(20 * Mac_routing.Combi.binomial n k) ~schedule in
   add (point ~row_algo:"k-subsets" ~algorithm ~n ~k ~threshold:thr
-         ~rho:(1.25 *. thr) ~pattern:pair.Saboteur.pattern ~rounds);
+         ~rho:(Qrat.mul (Qrat.make 5 4) thr) ~pattern:pair.Saboteur.pattern
+         ~rounds);
   (* Pair-TDMA baseline: a one-directional flood sees only the pair's own
      slot, 1/(n(n-1)) of rounds — half the optimal k = 2 rate that
      k-Subsets extracts by letting both directions share threads. *)
-  let thr = 1.0 /. float_of_int (n * (n - 1)) in
+  let thr = Qrat.make 1 (n * (n - 1)) in
   List.iter
     (fun frac ->
       add (point ~row_algo:"pair-tdma" ~algorithm:(module Mac_routing.Pair_tdma)
-             ~n ~k:2 ~threshold:thr ~rho:(frac *. thr)
+             ~n ~k:2 ~threshold:thr ~rho:(Qrat.mul (q frac) thr)
              ~pattern:(Pattern.pair_flood ~src:1 ~dst:2) ~rounds))
     [ 0.9; 1.3 ];
   run_points ?jobs !points
@@ -142,12 +159,13 @@ let scaling_rows ?observe ?jobs ~scale () =
   let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~rho ~bound ~pattern ~rounds =
     let thunk () =
-      run_point ~observe ~id:(Printf.sprintf "scaling/%s/n=%d" row_algo n) ~algorithm ~n
-        ~k ~rho ~beta:2.0 ~pattern ~rounds ~drain:(rounds / 2)
+      run_point ~observe ~id:(Printf.sprintf "scaling/%s/n=%d" row_algo n)
+        ~algorithm ~n ~k ~rho ~beta:(Qrat.of_int 2) ~pattern ~rounds
+        ~drain:(rounds / 2)
     in
     let row (o : Scenario.outcome) =
       let measured = Scenario.worst_delay o.Scenario.summary in
-      [ row_algo; string_of_int n; string_of_int k; fmt rho;
+      [ row_algo; string_of_int n; string_of_int k; fmt_q rho;
         fmt measured; fmt bound; Mac_sim.Report.fmt_ratio ~measured ~bound ]
     in
     points := (thunk, row) :: !points
@@ -156,14 +174,15 @@ let scaling_rows ?observe ?jobs ~scale () =
   List.iter
     (fun n ->
       point ~row_algo:"count-hop" ~algorithm:(module Mac_routing.Count_hop) ~n
-        ~k:2 ~rho:0.5 ~bound:(Bounds.count_hop_latency_impl ~n ~rho:0.5 ~beta:2.0)
+        ~k:2 ~rho:(q 0.5)
+        ~bound:(Bounds.count_hop_latency_impl ~n ~rho:0.5 ~beta:2.0)
         ~pattern:(Pattern.uniform ~n ~seed:(200 + n))
         ~rounds:(scaled ~scale ~quick:40_000 ~full:120_000))
     ns;
   let ns = scaled ~scale ~quick:[ 7 ] ~full:[ 7; 9; 11; 13 ] in
   List.iter
     (fun n ->
-      let rho = 0.5 *. Bounds.k_cycle_rate ~n ~k:4 in
+      let rho = Qrat.mul (Qrat.make 1 2) (Bounds.k_cycle_rate_q ~n ~k:4) in
       point ~row_algo:"k-cycle" ~algorithm:(Mac_routing.K_cycle.algorithm ~n ~k:4)
         ~n ~k:4 ~rho ~bound:(Bounds.k_cycle_latency ~n ~beta:2.0)
         ~pattern:(Pattern.uniform ~n ~seed:(300 + n))
@@ -172,7 +191,7 @@ let scaling_rows ?observe ?jobs ~scale () =
   let ns = scaled ~scale ~quick:[ 6 ] ~full:[ 6; 8; 12 ] in
   List.iter
     (fun n ->
-      let rho = Bounds.k_clique_latency_rate ~n ~k:4 in
+      let rho = Bounds.k_clique_latency_rate_q ~n ~k:4 in
       point ~row_algo:"k-clique" ~algorithm:(Mac_routing.K_clique.algorithm ~n ~k:4)
         ~n ~k:4 ~rho ~bound:(Bounds.k_clique_latency ~n ~k:4 ~beta:2.0)
         ~pattern:(Pattern.uniform ~n ~seed:(400 + n))
@@ -184,7 +203,7 @@ let scaling_rows ?observe ?jobs ~scale () =
      List.iter
        (fun n ->
          point ~row_algo:"adjust-window" ~algorithm:(module Mac_routing.Adjust_window)
-           ~n ~k:2 ~rho:0.3
+           ~n ~k:2 ~rho:(q 0.3)
            ~bound:(Bounds.adjust_window_latency_impl ~n ~rho:0.3 ~beta:2.0)
            ~pattern:(Pattern.uniform ~n ~seed:(500 + n))
            ~rounds:(10 * Mac_routing.Adjust_window.initial_window ~n))
@@ -212,15 +231,16 @@ let energy_rows ?observe ?jobs ~scale () =
   let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
   let points = ref [] in
   let point ~row_algo ~algorithm ~k ~threshold =
-    let rho = 0.5 *. threshold in
+    let rho = Qrat.mul (Qrat.make 1 2) threshold in
     let thunk () =
-      run_point ~observe ~id:(Printf.sprintf "energy/%s/k=%d" row_algo k) ~algorithm ~n
-        ~k ~rho ~beta:2.0 ~pattern:(Pattern.uniform ~n ~seed:(600 + k)) ~rounds
+      run_point ~observe ~id:(Printf.sprintf "energy/%s/k=%d" row_algo k)
+        ~algorithm ~n ~k ~rho ~beta:(Qrat.of_int 2)
+        ~pattern:(Pattern.uniform ~n ~seed:(600 + k)) ~rounds
         ~drain:(rounds / 2)
     in
     let row (o : Scenario.outcome) =
       let s = o.Scenario.summary in
-      [ row_algo; string_of_int k; fmt threshold; fmt rho;
+      [ row_algo; string_of_int k; fmt_q threshold; fmt_q rho;
         fmt s.Mac_sim.Metrics.mean_on;
         fmt (Mac_sim.Metrics.energy_per_delivery s);
         fmt s.Mac_sim.Metrics.mean_delay;
@@ -231,22 +251,22 @@ let energy_rows ?observe ?jobs ~scale () =
   (* Non-oblivious references at the same relative load: Orchestra needs
      only cap 3 for the throughput the always-on MBTF (cap n) achieves. *)
   point ~row_algo:"mbtf (always on)" ~algorithm:(module Mac_broadcast.Mbtf)
-    ~k:n ~threshold:1.0;
+    ~k:n ~threshold:Qrat.one;
   point ~row_algo:"orchestra" ~algorithm:(module Mac_routing.Orchestra) ~k:3
-    ~threshold:1.0;
+    ~threshold:Qrat.one;
   point ~row_algo:"pair-tdma" ~algorithm:(module Mac_routing.Pair_tdma) ~k:2
-    ~threshold:(Bounds.k_subsets_rate ~n ~k:2);
+    ~threshold:(Bounds.k_subsets_rate_q ~n ~k:2);
   let ks = scaled ~scale ~quick:[ 4 ] ~full:[ 3; 4; 6; 8 ] in
   List.iter
     (fun k ->
       point ~row_algo:"k-cycle" ~algorithm:(Mac_routing.K_cycle.algorithm ~n ~k) ~k
-        ~threshold:(Bounds.k_cycle_rate ~n ~k))
+        ~threshold:(Bounds.k_cycle_rate_q ~n ~k))
     ks;
   let ks = scaled ~scale ~quick:[ 4 ] ~full:[ 2; 4; 6; 8 ] in
   List.iter
     (fun k ->
       point ~row_algo:"k-clique" ~algorithm:(Mac_routing.K_clique.algorithm ~n ~k)
-        ~k ~threshold:(Bounds.k_clique_stable_rate ~n ~k))
+        ~k ~threshold:(Bounds.k_clique_stable_rate_q ~n ~k))
     ks;
   run_points ?jobs !points
 
@@ -273,13 +293,14 @@ let burst_rows ?observe ?jobs ~scale () =
   let point ~row_algo ~algorithm ~n ~k ~rho ~beta ~bound ~pattern ~rounds ~drain
       ~metric =
     let thunk () =
-      run_point ~observe ~id:(Printf.sprintf "burst/%s/b=%g" row_algo beta) ~algorithm ~n
-        ~k ~rho ~beta ~pattern ~rounds ~drain
+      run_point ~observe
+        ~id:(Printf.sprintf "burst/%s/b=%g" row_algo (Qrat.to_float beta))
+        ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain
     in
     let row (o : Scenario.outcome) =
       let measured = metric o.Scenario.summary in
-      [ row_algo; string_of_int n; fmt rho; fmt beta; fmt measured; fmt bound;
-        Mac_sim.Report.fmt_ratio ~measured ~bound ]
+      [ row_algo; string_of_int n; fmt_q rho; fmt_q beta; fmt measured;
+        fmt bound; Mac_sim.Report.fmt_ratio ~measured ~bound ]
     in
     points := (thunk, row) :: !points
   in
@@ -288,18 +309,18 @@ let burst_rows ?observe ?jobs ~scale () =
   List.iter
     (fun beta ->
       point ~row_algo:"count-hop" ~algorithm:(module Mac_routing.Count_hop) ~n
-        ~k:2 ~rho:0.8 ~beta
+        ~k:2 ~rho:(q 0.8) ~beta:(q beta)
         ~bound:(Bounds.count_hop_latency_impl ~n ~rho:0.8 ~beta)
         ~pattern:(Pattern.flood ~n ~victim:2)
         ~rounds:(scaled ~scale ~quick:50_000 ~full:120_000)
         ~drain:60_000 ~metric:Scenario.worst_delay)
     betas;
   let n = 12 and k = 4 in
-  let rho = 0.5 *. Bounds.k_cycle_rate ~n ~k in
+  let rho = Qrat.mul (Qrat.make 1 2) (Bounds.k_cycle_rate_q ~n ~k) in
   List.iter
     (fun beta ->
       point ~row_algo:"k-cycle" ~algorithm:(Mac_routing.K_cycle.algorithm ~n ~k)
-        ~n ~k ~rho ~beta ~bound:(Bounds.k_cycle_latency ~n ~beta)
+        ~n ~k ~rho ~beta:(q beta) ~bound:(Bounds.k_cycle_latency ~n ~beta)
         ~pattern:(Pattern.flood ~n ~victim:5)
         ~rounds:(scaled ~scale ~quick:50_000 ~full:120_000)
         ~drain:60_000 ~metric:Scenario.worst_delay)
@@ -308,7 +329,8 @@ let burst_rows ?observe ?jobs ~scale () =
   List.iter
     (fun beta ->
       point ~row_algo:"orchestra(queues)" ~algorithm:(module Mac_routing.Orchestra)
-        ~n ~k:3 ~rho:1.0 ~beta ~bound:(Bounds.orchestra_queue_bound ~n ~beta)
+        ~n ~k:3 ~rho:Qrat.one ~beta:(q beta)
+        ~bound:(Bounds.orchestra_queue_bound ~n ~beta)
         ~pattern:(Pattern.flood ~n ~victim:2)
         ~rounds:(scaled ~scale ~quick:50_000 ~full:120_000)
         ~drain:0
@@ -341,40 +363,44 @@ let baselines_rows ?observe ?jobs ~scale () =
   let n = 8 and k = 3 in
   let rounds = scaled ~scale ~quick:30_000 ~full:60_000 in
   let steps = scaled ~scale ~quick:4 ~full:7 in
+  (* [theory_lo = None] marks the strawman with no guaranteed frontier. *)
   let subjects =
     [ ("pair-tdma", (module Mac_routing.Pair_tdma : Mac_channel.Algorithm.S),
-       1.0 /. float_of_int (n * (n - 1)), 1.0 /. float_of_int (n * (n - 1)));
+       Some (Qrat.make 1 (n * (n - 1))), Some (Qrat.make 1 (n * (n - 1))));
       ("random-leader", Mac_routing.Random_leader.algorithm ~n ~k (),
-       Float.nan, Bounds.k_subsets_rate ~n ~k);
+       None, Some (Bounds.k_subsets_rate_q ~n ~k));
       ("k-clique", Mac_routing.K_clique.algorithm ~n ~k,
-       Bounds.k_clique_stable_rate ~n ~k, Bounds.k_subsets_rate ~n ~k);
+       Some (Bounds.k_clique_stable_rate_q ~n ~k),
+       Some (Bounds.k_subsets_rate_q ~n ~k));
       ("k-subsets", Mac_routing.K_subsets.algorithm ~n ~k (),
-       Bounds.k_subsets_rate ~n ~k, Bounds.k_subsets_rate ~n ~k);
+       Some (Bounds.k_subsets_rate_q ~n ~k),
+       Some (Bounds.k_subsets_rate_q ~n ~k));
       ("k-cycle (indirect)", Mac_routing.K_cycle.algorithm ~n ~k,
-       Bounds.k_cycle_rate ~n ~k, Bounds.oblivious_rate_upper ~n ~k) ]
+       Some (Bounds.k_cycle_rate_q ~n ~k),
+       Some (Bounds.oblivious_rate_upper_q ~n ~k)) ]
   in
   let brackets =
     List.map
       (fun (_, algorithm, _, theory_hi) ->
         let probe =
-          Sweep.stability_probe ~algorithm ~n ~k
+          Sweep.stability_probe_q ~algorithm ~n ~k
             ~pattern:(fun () -> Pattern.pair_flood ~src:1 ~dst:2)
             ~rounds ()
         in
         let hi0 =
-          if Float.is_nan theory_hi then 0.5 else Float.min 1.0 (2.0 *. theory_hi)
+          match theory_hi with
+          | None -> Qrat.make 1 2
+          | Some hi -> Qrat.min Qrat.one (Qrat.mul_int hi 2)
         in
-        (0.004, hi0, probe))
+        (Qrat.make 1 250, hi0, probe))
       subjects
   in
-  let located = Sweep.bisect_many ?jobs ~steps brackets in
+  let located = Sweep.bisect_many_q ?jobs ~steps brackets in
   let rows =
     List.map2
       (fun (label, _, theory_lo, theory_hi) (lo, hi) ->
-        [ label;
-          (if Float.is_nan theory_lo then "?" else fmt theory_lo);
-          (if Float.is_nan theory_hi then "?" else fmt theory_hi);
-          fmt lo; fmt hi ])
+        let opt = function None -> "?" | Some r -> fmt_q r in
+        [ label; opt theory_lo; opt theory_hi; fmt_q lo; fmt_q hi ])
       subjects located
   in
   (rows, [])

@@ -3,8 +3,8 @@ type spec = {
   algorithm : Mac_channel.Algorithm.t;
   n : int;
   k : int;
-  rate : float;
-  burst : float;
+  rate : Mac_channel.Qrat.t;
+  burst : Mac_channel.Qrat.t;
   pattern : Mac_adversary.Pattern.t;
   pacing : Mac_adversary.Adversary.pacing;
   rounds : int;
@@ -12,10 +12,16 @@ type spec = {
   faults : Mac_faults.Fault_plan.t option;
 }
 
-let spec ~id ~algorithm ~n ~k ~rate ~burst ~pattern
+let spec_q ~id ~algorithm ~n ~k ~rate ~burst ~pattern
     ?(pacing = Mac_adversary.Adversary.Greedy) ~rounds ?drain ?faults () =
   let drain = match drain with Some d -> d | None -> rounds / 2 in
   { id; algorithm; n; k; rate; burst; pattern; pacing; rounds; drain; faults }
+
+let spec ~id ~algorithm ~n ~k ~rate ~burst ~pattern ?pacing ~rounds ?drain
+    ?faults () =
+  spec_q ~id ~algorithm ~n ~k ~rate:(Mac_channel.Qrat.of_float rate)
+    ~burst:(Mac_channel.Qrat.of_float burst) ~pattern ?pacing ~rounds ?drain
+    ?faults ()
 
 type check = {
   label : string;
@@ -82,7 +88,7 @@ type observer = id:string -> Mac_sim.Sink.t option
 let run ?(checks = []) ?observe spec =
   let module A = (val spec.algorithm) in
   let adversary =
-    Mac_adversary.Adversary.create ~rate:spec.rate ~burst:spec.burst
+    Mac_adversary.Adversary.create_q ~rate:spec.rate ~burst:spec.burst
       ~pacing:spec.pacing spec.pattern
   in
   let sink =

@@ -11,14 +11,29 @@ type spec = {
   algorithm : Mac_channel.Algorithm.t;
   n : int;
   k : int;
-  rate : float;
-  burst : float;
+  rate : Mac_channel.Qrat.t;
+  burst : Mac_channel.Qrat.t;
   pattern : Mac_adversary.Pattern.t;
   pacing : Mac_adversary.Adversary.pacing;
   rounds : int;
   drain : int;
   faults : Mac_faults.Fault_plan.t option;
 }
+
+val spec_q :
+  id:string ->
+  algorithm:Mac_channel.Algorithm.t ->
+  n:int -> k:int ->
+  rate:Mac_channel.Qrat.t -> burst:Mac_channel.Qrat.t ->
+  pattern:Mac_adversary.Pattern.t ->
+  ?pacing:Mac_adversary.Adversary.pacing ->
+  rounds:int -> ?drain:int ->
+  ?faults:Mac_faults.Fault_plan.t -> unit -> spec
+(** Defaults: greedy pacing, drain = rounds/2, no faults. A non-empty
+    fault plan turns off strict mode for the run (stranding is expected
+    when consumers crash) — violations are counted, not raised. Rates are
+    exact: a scenario built from a [Bounds._q] threshold sits precisely on
+    the paper's frontier. *)
 
 val spec :
   id:string ->
@@ -28,9 +43,8 @@ val spec :
   ?pacing:Mac_adversary.Adversary.pacing ->
   rounds:int -> ?drain:int ->
   ?faults:Mac_faults.Fault_plan.t -> unit -> spec
-(** Defaults: greedy pacing, drain = rounds/2, no faults. A non-empty
-    fault plan turns off strict mode for the run (stranding is expected
-    when consumers crash) — violations are counted, not raised. *)
+(** Deprecated float shim over {!spec_q}; rates are snapped to the
+    simplest rationals denoting them ({!Mac_channel.Qrat.of_float}). *)
 
 type check = {
   label : string;

@@ -1,28 +1,48 @@
-let stability_probe ~algorithm ~n ~k ~pattern ?(burst = 4.0) ~rounds () ~rho =
+open Mac_channel
+
+let stability_probe_q ~algorithm ~n ~k ~pattern ?(burst = Qrat.of_int 4) ~rounds
+    () ~rho =
   let adversary =
-    Mac_adversary.Adversary.create ~rate:rho ~burst (pattern ())
+    Mac_adversary.Adversary.create_q ~rate:rho ~burst (pattern ())
   in
-  let summary =
-    Mac_sim.Engine.run ~algorithm ~n ~k ~adversary ~rounds ()
-  in
+  let summary = Mac_sim.Engine.run ~algorithm ~n ~k ~adversary ~rounds () in
   (Mac_sim.Stability.classify summary.queue_series).verdict
   = Mac_sim.Stability.Stable
 
-let bisect ?(steps = 8) ~lo ~hi probe =
+let stability_probe ~algorithm ~n ~k ~pattern ?(burst = 4.0) ~rounds () ~rho =
+  stability_probe_q ~algorithm ~n ~k ~pattern ~burst:(Qrat.of_float burst)
+    ~rounds () ~rho:(Qrat.of_float rho)
+
+let half = Qrat.make 1 2
+
+let bisect_q ?(steps = 8) ~lo ~hi probe =
   if not (probe ~rho:lo) then
     invalid_arg "Sweep.bisect: not stable at the lower rate";
   if probe ~rho:hi then
     invalid_arg "Sweep.bisect: not unstable at the upper rate";
   let lo = ref lo and hi = ref hi in
   for _ = 1 to steps do
-    let mid = 0.5 *. (!lo +. !hi) in
+    (* Exact midpoint: the bracket endpoints stay rationals, so the located
+       frontier is a property of the rate, not of IEEE-754 rounding. *)
+    let mid = Qrat.mul (Qrat.add !lo !hi) half in
     if probe ~rho:mid then lo := mid else hi := mid
   done;
   (!lo, !hi)
 
+let bisect ?steps ~lo ~hi probe =
+  let lo, hi =
+    bisect_q ?steps ~lo:(Qrat.of_float lo) ~hi:(Qrat.of_float hi)
+      (fun ~rho -> probe ~rho:(Qrat.to_float rho))
+  in
+  (Qrat.to_float lo, Qrat.to_float hi)
+
 (* Each bisection is a sequential chain of runs, but independent brackets
    (one per algorithm under the same adversary, say) can bisect side by
    side on the pool. *)
+let bisect_many_q ?(jobs = 1) ?steps brackets =
+  Mac_sim.Pool.map ~jobs brackets (fun (lo, hi, probe) ->
+      bisect_q ?steps ~lo ~hi probe)
+
 let bisect_many ?(jobs = 1) ?steps brackets =
   Mac_sim.Pool.map ~jobs brackets (fun (lo, hi, probe) ->
       bisect ?steps ~lo ~hi probe)

@@ -1,9 +1,26 @@
 (** Empirical stability-frontier location by bisection.
 
-    Table 1 predicts a sharp rate threshold for every algorithm; [bisect]
+    Table 1 predicts a sharp rate threshold for every algorithm; [bisect_q]
     pins the empirical frontier between a known-stable and a known-unstable
-    rate by repeated simulation. Used by the threshold-explorer example and
-    the frontier tests. *)
+    rate by repeated simulation. Brackets and midpoints are exact rationals
+    ({!Mac_channel.Qrat}), so the located thresholds are properties of the
+    rates themselves, not IEEE-754 artifacts. Used by the threshold-explorer
+    example and the frontier tests. *)
+
+val stability_probe_q :
+  algorithm:Mac_channel.Algorithm.t ->
+  n:int ->
+  k:int ->
+  pattern:(unit -> Mac_adversary.Pattern.t) ->
+  ?burst:Mac_channel.Qrat.t ->
+  rounds:int ->
+  unit ->
+  rho:Mac_channel.Qrat.t ->
+  bool
+(** [stability_probe_q ... () ~rho] simulates [rounds] injection rounds of
+    the algorithm against a fresh copy of the pattern at exact rate [rho]
+    (default burst 4) and reports whether the backlog stayed bounded.
+    Deterministic. *)
 
 val stability_probe :
   algorithm:Mac_channel.Algorithm.t ->
@@ -15,9 +32,20 @@ val stability_probe :
   unit ->
   rho:float ->
   bool
-(** [stability_probe ... () ~rho] simulates [rounds] injection rounds of the
-    algorithm against a fresh copy of the pattern at rate [rho] and reports
-    whether the backlog stayed bounded. Deterministic. *)
+(** Deprecated float shim over {!stability_probe_q} (arguments snapped via
+    {!Mac_channel.Qrat.of_float}). *)
+
+val bisect_q :
+  ?steps:int ->
+  lo:Mac_channel.Qrat.t ->
+  hi:Mac_channel.Qrat.t ->
+  (rho:Mac_channel.Qrat.t -> bool) ->
+  Mac_channel.Qrat.t * Mac_channel.Qrat.t
+(** [bisect_q ~lo ~hi probe] narrows the frontier bracket with exact
+    midpoints: requires [probe ~rho:lo = true] and [probe ~rho:hi = false]
+    (checked — raises [Invalid_argument] otherwise) and returns [(lo', hi')]
+    with [hi' − lo' = (hi − lo) / 2^steps] (default 8 steps) such that the
+    probe is stable at [lo'] and unstable at [hi']. *)
 
 val bisect :
   ?steps:int ->
@@ -25,18 +53,23 @@ val bisect :
   hi:float ->
   (rho:float -> bool) ->
   float * float
-(** [bisect ~lo ~hi probe] narrows the frontier bracket: requires
-    [probe ~rho:lo = true] and [probe ~rho:hi = false] (checked — raises
-    [Invalid_argument] otherwise) and returns [(lo', hi')] with
-    [hi' - lo' = (hi - lo) / 2^steps] (default 8 steps) such that the
-    probe is stable at [lo'] and unstable at [hi']. *)
+(** Deprecated float shim over {!bisect_q}; probe rates round-trip through
+    {!Mac_channel.Qrat.to_float}. *)
+
+val bisect_many_q :
+  ?jobs:int ->
+  ?steps:int ->
+  (Mac_channel.Qrat.t * Mac_channel.Qrat.t * (rho:Mac_channel.Qrat.t -> bool))
+  list ->
+  (Mac_channel.Qrat.t * Mac_channel.Qrat.t) list
+(** [bisect_many_q brackets] runs one {!bisect_q} per [(lo, hi, probe)]
+    bracket and returns the located frontiers in input order. Each
+    bisection is inherently sequential, but independent brackets run in
+    parallel on a {!Mac_sim.Pool} of [jobs] workers (default 1). *)
 
 val bisect_many :
   ?jobs:int ->
   ?steps:int ->
   (float * float * (rho:float -> bool)) list ->
   (float * float) list
-(** [bisect_many brackets] runs one {!bisect} per [(lo, hi, probe)]
-    bracket and returns the located frontiers in input order. Each
-    bisection is inherently sequential, but independent brackets run in
-    parallel on a {!Mac_sim.Pool} of [jobs] workers (default 1). *)
+(** Deprecated float shim over {!bisect_many_q}. *)

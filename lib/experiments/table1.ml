@@ -1,8 +1,15 @@
 open Mac_adversary
+open Mac_channel
+
+type cell = {
+  spec : Scenario.spec;
+  checks : Scenario.checker list;
+}
 
 type t = {
   id : string;
   claim : string;
+  cells : scale:[ `Quick | `Full ] -> cell list;
   run :
     ?observe:Scenario.observer ->
     ?jobs:int ->
@@ -10,6 +17,17 @@ type t = {
     unit ->
     Scenario.outcome list;
 }
+
+(* [run] is derived: evaluate the row's cells (fresh pattern state every
+   call) and fan the runs out over the pool. *)
+let row ~id ~claim cells =
+  let run ?observe ?jobs ~scale () =
+    Scenario.run_batch ?jobs
+      (List.map
+         (fun c () -> Scenario.run ~checks:c.checks ?observe c.spec)
+         (cells ~scale))
+  in
+  { id; claim; cells; run }
 
 let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
 
@@ -24,7 +42,7 @@ let required_schedule algorithm ~n ~k =
 (* Row 1: Orchestra — stable at rate 1 with energy cap 3, queues
    bounded by 2n^3 + beta. *)
 
-let orchestra ?observe ?jobs ~scale () =
+let orchestra_cells ~scale =
   let n = scaled ~scale ~quick:6 ~full:10 in
   let rounds = scaled ~scale ~quick:60_000 ~full:300_000 in
   let beta = 20.0 in
@@ -34,258 +52,260 @@ let orchestra ?observe ?jobs ~scale () =
       Scenario.stable;
       Scenario.clean ]
   in
-  let scenario id pattern () =
-    Scenario.run ~checks ?observe
-      (Scenario.spec ~id ~algorithm:(module Mac_routing.Orchestra) ~n ~k:3
-         ~rate:1.0 ~burst:beta ~pattern ~rounds ~drain:0 ())
+  let cell id pattern =
+    { checks;
+      spec =
+        Scenario.spec ~id ~algorithm:(module Mac_routing.Orchestra) ~n ~k:3
+          ~rate:1.0 ~burst:beta ~pattern ~rounds ~drain:0 () }
   in
-  Scenario.run_batch ?jobs
-    [ scenario "orchestra/flood" (Pattern.flood ~n ~victim:(n / 2));
-      scenario "orchestra/uniform" (Pattern.uniform ~n ~seed:101);
-      scenario "orchestra/to-busiest" (Pattern.to_busiest ~n);
-      scenario "orchestra/alternating"
-        (Pattern.alternating ~src:1 ~dst_odd:2 ~dst_even:3) ]
+  [ cell "orchestra/flood" (Pattern.flood ~n ~victim:(n / 2));
+    cell "orchestra/uniform" (Pattern.uniform ~n ~seed:101);
+    cell "orchestra/to-busiest" (Pattern.to_busiest ~n);
+    cell "orchestra/alternating"
+      (Pattern.alternating ~src:1 ~dst_odd:2 ~dst_even:3) ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 2: Theorem 2 — with energy cap 2 no algorithm sustains rate 1.
    Both cap-2 algorithms grow without bound at rate 1, under the
    adaptive Lemma-1 strategy and under a plain flood. *)
 
-let cap2_impossible ?observe ?jobs ~scale () =
+let cap2_impossible_cells ~scale =
   let n = scaled ~scale ~quick:6 ~full:10 in
   let rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
   let checks = [ Scenario.cap_at_most 2; Scenario.unstable; Scenario.clean ] in
-  let scenario id algorithm pattern burst () =
-    Scenario.run ~checks ?observe
-      (Scenario.spec ~id ~algorithm ~n ~k:2 ~rate:1.0 ~burst ~pattern ~rounds
-         ~drain:0 ())
+  let cell id algorithm pattern burst =
+    { checks;
+      spec =
+        Scenario.spec ~id ~algorithm ~n ~k:2 ~rate:1.0 ~burst ~pattern ~rounds
+          ~drain:0 () }
   in
-  Scenario.run_batch ?jobs
-    [ scenario "cap2/count-hop-breaker" (module Mac_routing.Count_hop)
-        (Saboteur.cap2_breaker ~n).Saboteur.pattern 1.0;
-      scenario "cap2/count-hop-flood" (module Mac_routing.Count_hop)
-        (Pattern.flood ~n ~victim:1) 2.0;
-      scenario "cap2/adjust-window-flood" (module Mac_routing.Adjust_window)
-        (Pattern.flood ~n ~victim:1) 2.0 ]
+  [ cell "cap2/count-hop-breaker" (module Mac_routing.Count_hop)
+      (Saboteur.cap2_breaker ~n).Saboteur.pattern 1.0;
+    cell "cap2/count-hop-flood" (module Mac_routing.Count_hop)
+      (Pattern.flood ~n ~victim:1) 2.0;
+    cell "cap2/adjust-window-flood" (module Mac_routing.Adjust_window)
+      (Pattern.flood ~n ~victim:1) 2.0 ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 3: Count-Hop — universal with energy cap 2; latency at most
    2(n^2+beta)/(1-rho) (paper constant; the implementable constant is
    2(n(2n-3)+beta)/(1-rho), see DESIGN.md). *)
 
-let count_hop ?observe ?jobs ~scale () =
+let count_hop_cells ~scale =
   let rounds = scaled ~scale ~quick:60_000 ~full:250_000 in
-  let scenario ~n ~rho ~beta id pattern =
-    let checks =
-      [ Scenario.latency_under (Bounds.count_hop_latency_impl ~n ~rho ~beta);
-        Scenario.cap_at_most 2;
-        Scenario.stable;
-        Scenario.delivered_all;
-        Scenario.clean ]
-    in
-    Scenario.run ~checks ?observe
-      (Scenario.spec ~id ~algorithm:(module Mac_routing.Count_hop) ~n ~k:2
-         ~rate:rho ~burst:beta ~pattern ~rounds ())
-  in
   let n = scaled ~scale ~quick:6 ~full:10 in
-  Scenario.run_batch ?jobs
-    [ (fun () -> scenario ~n ~rho:0.5 ~beta:2.0 "count-hop/uniform-0.5" (Pattern.uniform ~n ~seed:111));
-      (fun () -> scenario ~n ~rho:0.9 ~beta:2.0 "count-hop/uniform-0.9" (Pattern.uniform ~n ~seed:112));
-      (fun () -> scenario ~n ~rho:0.9 ~beta:10.0 "count-hop/flood-0.9" (Pattern.flood ~n ~victim:2));
-      (fun () -> scenario ~n ~rho:0.8 ~beta:2.0 "count-hop/hotspot-0.8"
-        (Pattern.hotspot ~n ~seed:113 ~hot:1 ~bias:0.7)) ]
+  let cell ~rho ~beta id pattern =
+    { checks =
+        [ Scenario.latency_under (Bounds.count_hop_latency_impl ~n ~rho ~beta);
+          Scenario.cap_at_most 2;
+          Scenario.stable;
+          Scenario.delivered_all;
+          Scenario.clean ];
+      spec =
+        Scenario.spec ~id ~algorithm:(module Mac_routing.Count_hop) ~n ~k:2
+          ~rate:rho ~burst:beta ~pattern ~rounds () }
+  in
+  [ cell ~rho:0.5 ~beta:2.0 "count-hop/uniform-0.5" (Pattern.uniform ~n ~seed:111);
+    cell ~rho:0.9 ~beta:2.0 "count-hop/uniform-0.9" (Pattern.uniform ~n ~seed:112);
+    cell ~rho:0.9 ~beta:10.0 "count-hop/flood-0.9" (Pattern.flood ~n ~victim:2);
+    cell ~rho:0.8 ~beta:2.0 "count-hop/hotspot-0.8"
+      (Pattern.hotspot ~n ~seed:113 ~hot:1 ~bias:0.7) ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 4: Adjust-Window — plain-packet universal with energy cap 2;
    latency (18n^3 lg^2 n + 2beta)/(1-rho) asymptotically; executable
    bound: twice the first window size absorbing the adversary. *)
 
-let adjust_window ?observe ?jobs ~scale () =
-  let scenario ~n ~rho ~beta ~rounds id pattern =
-    let checks =
-      [ Scenario.latency_under (Bounds.adjust_window_latency_impl ~n ~rho ~beta);
-        Scenario.cap_at_most 2;
-        Scenario.stable;
-        Scenario.delivered_all;
-        Scenario.clean ]
-    in
-    Scenario.run ~checks ?observe
-      (Scenario.spec ~id ~algorithm:(module Mac_routing.Adjust_window) ~n ~k:2
-         ~rate:rho ~burst:beta ~pattern ~rounds
-         ~drain:(Bounds.adjust_window_latency_impl ~n ~rho ~beta |> int_of_float) ())
-  in
-  Scenario.run_batch ?jobs
-    (match scale with
-     | `Quick ->
-       [ (fun () ->
-           scenario ~n:4 ~rho:0.3 ~beta:2.0 ~rounds:80_000 "adjust-window/uniform-0.3"
-             (Pattern.uniform ~n:4 ~seed:121)) ]
-     | `Full ->
-       [ (fun () ->
-           scenario ~n:4 ~rho:0.3 ~beta:2.0 ~rounds:200_000 "adjust-window/uniform-0.3"
-             (Pattern.uniform ~n:4 ~seed:121));
-         (fun () ->
-           scenario ~n:4 ~rho:0.6 ~beta:2.0 ~rounds:300_000 "adjust-window/flood-0.6"
-             (Pattern.flood ~n:4 ~victim:2));
-         (fun () ->
-           scenario ~n:6 ~rho:0.5 ~beta:2.0 ~rounds:400_000 "adjust-window/uniform-0.5"
-             (Pattern.uniform ~n:6 ~seed:122)) ])
-
-(* ------------------------------------------------------------------ *)
-(* Row 5: k-Cycle — latency (32+beta)n below rate (k-1)/(n-1), cap k. *)
-
-let k_cycle ?observe ?jobs ~scale () =
-  let n = 12 in
-  let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
-  let scenario ~k ~frac ~beta id pattern =
-    let rho = frac *. Bounds.k_cycle_rate ~n ~k in
-    let checks =
-      (* The paper's flat (32+beta)n holds away from the threshold; near it
-         the constant degrades (EXPERIMENTS.md) — at half rate it must hold. *)
-      (if frac <= 0.5 then [ Scenario.latency_under (Bounds.k_cycle_latency ~n ~beta) ]
-       else [])
-      @ [ Scenario.cap_at_most k;
+let adjust_window_cells ~scale =
+  let cell ~n ~rho ~beta ~rounds id pattern =
+    { checks =
+        [ Scenario.latency_under (Bounds.adjust_window_latency_impl ~n ~rho ~beta);
+          Scenario.cap_at_most 2;
           Scenario.stable;
           Scenario.delivered_all;
-          Scenario.clean ]
-    in
-    Scenario.run ~checks ?observe
-      (Scenario.spec ~id ~algorithm:(Mac_routing.K_cycle.algorithm ~n ~k) ~n ~k
-         ~rate:rho ~burst:beta ~pattern ~rounds ())
+          Scenario.clean ];
+      spec =
+        Scenario.spec ~id ~algorithm:(module Mac_routing.Adjust_window) ~n ~k:2
+          ~rate:rho ~burst:beta ~pattern ~rounds
+          ~drain:(Bounds.adjust_window_latency_impl ~n ~rho ~beta |> int_of_float)
+          () }
   in
-  Scenario.run_batch ?jobs
-    [ (fun () -> scenario ~k:4 ~frac:0.5 ~beta:2.0 "k-cycle/k4-half" (Pattern.uniform ~n ~seed:131));
-      (fun () -> scenario ~k:4 ~frac:0.9 ~beta:2.0 "k-cycle/k4-near" (Pattern.flood ~n ~victim:5));
-      (fun () -> scenario ~k:6 ~frac:0.5 ~beta:2.0 "k-cycle/k6-half" (Pattern.uniform ~n ~seed:132));
-      (fun () -> scenario ~k:6 ~frac:0.9 ~beta:8.0 "k-cycle/k6-near" (Pattern.round_robin ~n)) ]
+  match scale with
+  | `Quick ->
+    [ cell ~n:4 ~rho:0.3 ~beta:2.0 ~rounds:80_000 "adjust-window/uniform-0.3"
+        (Pattern.uniform ~n:4 ~seed:121) ]
+  | `Full ->
+    [ cell ~n:4 ~rho:0.3 ~beta:2.0 ~rounds:200_000 "adjust-window/uniform-0.3"
+        (Pattern.uniform ~n:4 ~seed:121);
+      cell ~n:4 ~rho:0.6 ~beta:2.0 ~rounds:300_000 "adjust-window/flood-0.6"
+        (Pattern.flood ~n:4 ~victim:2);
+      cell ~n:6 ~rho:0.5 ~beta:2.0 ~rounds:400_000 "adjust-window/uniform-0.5"
+        (Pattern.uniform ~n:6 ~seed:122) ]
+
+(* ------------------------------------------------------------------ *)
+(* Row 5: k-Cycle — latency (32+beta)n below rate (k-1)/(n-1), cap k.
+   Operating points are exact fractions of the exact threshold: frac
+   9/10 of rate 3/11 is 27/110, not a float neighbour of it. *)
+
+let k_cycle_cells ~scale =
+  let n = 12 in
+  let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
+  let cell ~k ~frac ~beta id pattern =
+    let rho = Qrat.mul frac (Bounds.k_cycle_rate_q ~n ~k) in
+    { checks =
+        (* The paper's flat (32+beta)n holds away from the threshold; near it
+           the constant degrades (EXPERIMENTS.md) — at half rate it must hold. *)
+        (if Qrat.compare frac (Qrat.make 1 2) <= 0 then
+           [ Scenario.latency_under
+               (Bounds.k_cycle_latency ~n ~beta:(Qrat.to_float beta)) ]
+         else [])
+        @ [ Scenario.cap_at_most k;
+            Scenario.stable;
+            Scenario.delivered_all;
+            Scenario.clean ];
+      spec =
+        Scenario.spec_q ~id ~algorithm:(Mac_routing.K_cycle.algorithm ~n ~k) ~n
+          ~k ~rate:rho ~burst:beta ~pattern ~rounds () }
+  in
+  let half = Qrat.make 1 2 and near = Qrat.make 9 10 in
+  [ cell ~k:4 ~frac:half ~beta:(Qrat.of_int 2) "k-cycle/k4-half"
+      (Pattern.uniform ~n ~seed:131);
+    cell ~k:4 ~frac:near ~beta:(Qrat.of_int 2) "k-cycle/k4-near"
+      (Pattern.flood ~n ~victim:5);
+    cell ~k:6 ~frac:half ~beta:(Qrat.of_int 2) "k-cycle/k6-half"
+      (Pattern.uniform ~n ~seed:132);
+    cell ~k:6 ~frac:near ~beta:(Qrat.of_int 8) "k-cycle/k6-near"
+      (Pattern.round_robin ~n) ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 6: Theorem 6 — no k-energy-oblivious algorithm is stable above
    k/n: the min-duty station cannot keep up. *)
 
-let oblivious_impossible ?observe ?jobs ~scale () =
+let oblivious_impossible_cells ~scale =
   let n = 12 in
   let rounds = scaled ~scale ~quick:80_000 ~full:200_000 in
   let horizon = scaled ~scale ~quick:30_000 ~full:60_000 in
   let checks = [ Scenario.unstable; Scenario.clean ] in
-  let scenario id algorithm ~k ~rho =
+  let cell id algorithm ~k =
+    (* 6/5 of the exact upper bound k/n: unambiguously above it. *)
+    let rho = Qrat.mul (Qrat.make 6 5) (Bounds.oblivious_rate_upper_q ~n ~k) in
     let schedule = required_schedule algorithm ~n ~k in
     let choice = Saboteur.min_duty ~n ~horizon ~schedule in
-    Scenario.run ~checks ?observe
-      (Scenario.spec ~id ~algorithm ~n ~k ~rate:rho ~burst:2.0
-         ~pattern:choice.Saboteur.pattern ~rounds ~drain:0 ())
+    { checks;
+      spec =
+        Scenario.spec_q ~id ~algorithm ~n ~k ~rate:rho ~burst:(Qrat.of_int 2)
+          ~pattern:choice.Saboteur.pattern ~rounds ~drain:0 () }
   in
-  let rho k = 1.2 *. Bounds.oblivious_rate_upper ~n ~k in
-  Scenario.run_batch ?jobs
-    [ (fun () -> scenario "obl/k-cycle-k4" (Mac_routing.K_cycle.algorithm ~n ~k:4) ~k:4 ~rho:(rho 4));
-      (fun () -> scenario "obl/k-clique-k4" (Mac_routing.K_clique.algorithm ~n ~k:4) ~k:4 ~rho:(rho 4)) ]
+  [ cell "obl/k-cycle-k4" (Mac_routing.K_cycle.algorithm ~n ~k:4) ~k:4;
+    cell "obl/k-clique-k4" (Mac_routing.K_clique.algorithm ~n ~k:4) ~k:4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 7: k-Clique — direct, latency 8(n^2/k)(1+beta/2k) up to rate
    k^2/(2n(2n-k)). *)
 
-let k_clique ?observe ?jobs ~scale () =
+let k_clique_cells ~scale =
   let n = 12 in
   let rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
-  let scenario ~k ~beta id pattern =
-    let rho = Bounds.k_clique_latency_rate ~n ~k in
-    let checks =
-      [ Scenario.latency_under (Bounds.k_clique_latency ~n ~k ~beta);
-        Scenario.cap_at_most k;
-        Scenario.stable;
-        Scenario.delivered_all;
-        Scenario.clean ]
-    in
-    Scenario.run ~checks ?observe
-      (Scenario.spec ~id ~algorithm:(Mac_routing.K_clique.algorithm ~n ~k) ~n ~k
-         ~rate:rho ~burst:beta ~pattern ~rounds ())
+  let cell ~k ~beta id pattern =
+    let rho = Bounds.k_clique_latency_rate_q ~n ~k in
+    { checks =
+        [ Scenario.latency_under (Bounds.k_clique_latency ~n ~k ~beta);
+          Scenario.cap_at_most k;
+          Scenario.stable;
+          Scenario.delivered_all;
+          Scenario.clean ];
+      spec =
+        Scenario.spec_q ~id ~algorithm:(Mac_routing.K_clique.algorithm ~n ~k)
+          ~n ~k ~rate:rho ~burst:(Qrat.of_float beta) ~pattern ~rounds () }
   in
-  Scenario.run_batch ?jobs
-    [ (fun () -> scenario ~k:4 ~beta:2.0 "k-clique/k4-uniform" (Pattern.uniform ~n ~seed:141));
-      (fun () -> scenario ~k:4 ~beta:2.0 "k-clique/k4-pair" (Pattern.pair_flood ~src:1 ~dst:2));
-      (fun () -> scenario ~k:6 ~beta:6.0 "k-clique/k6-uniform" (Pattern.uniform ~n ~seed:142)) ]
+  [ cell ~k:4 ~beta:2.0 "k-clique/k4-uniform" (Pattern.uniform ~n ~seed:141);
+    cell ~k:4 ~beta:2.0 "k-clique/k4-pair" (Pattern.pair_flood ~src:1 ~dst:2);
+    cell ~k:6 ~beta:6.0 "k-clique/k6-uniform" (Pattern.uniform ~n ~seed:142) ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 8: k-Subsets — stable at exactly k(k-1)/(n(n-1)) with queues
-   under 2 C(n,k)(n^2+beta). *)
+   under 2 C(n,k)(n^2+beta). The operating rate IS the threshold — the
+   strongest case for exact admission, since one extra granted packet
+   per window tips the row unstable. *)
 
-let k_subsets ?observe ?jobs ~scale () =
+let k_subsets_cells ~scale =
   let n = scaled ~scale ~quick:6 ~full:8 in
   let k = 3 in
   let rounds = scaled ~scale ~quick:80_000 ~full:300_000 in
-  let rho = Bounds.k_subsets_rate ~n ~k in
-  let scenario ?(discipline = `Mbtf) id pattern ~beta =
-    let checks =
-      [ Scenario.queues_under (Bounds.k_subsets_queue_bound ~n ~k ~beta);
-        Scenario.cap_at_most k;
-        Scenario.stable;
-        Scenario.clean ]
-    in
-    Scenario.run ~checks ?observe
-      (Scenario.spec ~id
-         ~algorithm:(Mac_routing.K_subsets.algorithm ~discipline ~n ~k ())
-         ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds ~drain:0 ())
+  let rho = Bounds.k_subsets_rate_q ~n ~k in
+  let cell ?(discipline = `Mbtf) id pattern ~beta =
+    { checks =
+        [ Scenario.queues_under (Bounds.k_subsets_queue_bound ~n ~k ~beta);
+          Scenario.cap_at_most k;
+          Scenario.stable;
+          Scenario.clean ];
+      spec =
+        Scenario.spec_q ~id
+          ~algorithm:(Mac_routing.K_subsets.algorithm ~discipline ~n ~k ())
+          ~n ~k ~rate:rho ~burst:(Qrat.of_float beta) ~pattern ~rounds ~drain:0
+          () }
   in
-  Scenario.run_batch ?jobs
-    [ (fun () -> scenario "k-subsets/pair" (Pattern.pair_flood ~src:1 ~dst:2) ~beta:4.0);
-      (fun () -> scenario "k-subsets/uniform" (Pattern.uniform ~n ~seed:151) ~beta:4.0);
-      (fun () -> scenario ~discipline:`Rrw "k-subsets/rrw-uniform" (Pattern.uniform ~n ~seed:152)
-        ~beta:4.0) ]
+  [ cell "k-subsets/pair" (Pattern.pair_flood ~src:1 ~dst:2) ~beta:4.0;
+    cell "k-subsets/uniform" (Pattern.uniform ~n ~seed:151) ~beta:4.0;
+    cell ~discipline:`Rrw "k-subsets/rrw-uniform" (Pattern.uniform ~n ~seed:152)
+      ~beta:4.0 ]
 
 (* ------------------------------------------------------------------ *)
 (* Row 9: Theorem 9 — no oblivious direct algorithm is stable above
    k(k-1)/(n(n-1)): the least co-scheduled pair drowns. *)
 
-let oblivious_direct_impossible ?observe ?jobs ~scale () =
+let oblivious_direct_impossible_cells ~scale =
   let n = scaled ~scale ~quick:6 ~full:8 in
   let k = 3 in
   let rounds = scaled ~scale ~quick:100_000 ~full:300_000 in
   let checks = [ Scenario.unstable; Scenario.clean ] in
   let gamma = Mac_routing.Combi.binomial n k in
-  let scenario id algorithm ~rho ~horizon =
+  let cap = Bounds.k_subsets_rate_q ~n ~k in
+  let rho = Qrat.mul (Qrat.make 5 4) cap in
+  let cell id algorithm ~horizon =
     let schedule = required_schedule algorithm ~n ~k in
     let choice = Saboteur.min_pair ~n ~horizon ~schedule in
-    Scenario.run ~checks ?observe
-      (Scenario.spec ~id ~algorithm ~n ~k ~rate:rho ~burst:4.0
-         ~pattern:choice.Saboteur.pattern ~rounds ~drain:0 ())
+    { checks;
+      spec =
+        Scenario.spec_q ~id ~algorithm ~n ~k ~rate:rho ~burst:(Qrat.of_int 4)
+          ~pattern:choice.Saboteur.pattern ~rounds ~drain:0 () }
   in
-  let cap = Bounds.k_subsets_rate ~n ~k in
-  Scenario.run_batch ?jobs
-    [ (fun () ->
-        scenario "obl-dir/k-subsets"
-          (Mac_routing.K_subsets.algorithm ~n ~k ())
-          ~rho:(1.25 *. cap) ~horizon:(20 * gamma));
-      (fun () ->
-        scenario "obl-dir/pair-tdma" (module Mac_routing.Pair_tdma)
-          ~rho:(1.25 *. cap) ~horizon:(4 * n * (n - 1))) ]
+  [ cell "obl-dir/k-subsets"
+      (Mac_routing.K_subsets.algorithm ~n ~k ())
+      ~horizon:(20 * gamma);
+    cell "obl-dir/pair-tdma" (module Mac_routing.Pair_tdma)
+      ~horizon:(4 * n * (n - 1)) ]
 
 let all =
-  [ { id = "T1.orchestra";
-      claim = "Orchestra: rate 1, cap 3, queues <= 2n^3+beta (Thm 1)";
-      run = orchestra };
-    { id = "T1.cap2-impossible";
-      claim = "No cap-2 algorithm is stable at rate 1 (Thm 2)";
-      run = cap2_impossible };
-    { id = "T1.count-hop";
-      claim = "Count-Hop: cap 2, universal, latency <= 2(n^2+b)/(1-r) (Thm 3)";
-      run = count_hop };
-    { id = "T1.adjust-window";
-      claim = "Adjust-Window: plain packets, cap 2, universal (Thm 4)";
-      run = adjust_window };
-    { id = "T1.k-cycle";
-      claim = "k-Cycle: latency (32+b)n below rate (k-1)/(n-1) (Thm 5)";
-      run = k_cycle };
-    { id = "T1.obl-impossible";
-      claim = "No k-oblivious algorithm is stable above k/n (Thm 6)";
-      run = oblivious_impossible };
-    { id = "T1.k-clique";
-      claim = "k-Clique: direct, latency 8(n^2/k)(1+b/2k) (Thm 7)";
-      run = k_clique };
-    { id = "T1.k-subsets";
-      claim = "k-Subsets: stable at k(k-1)/(n(n-1)), queues <= 2C(n,k)(n^2+b) (Thm 8)";
-      run = k_subsets };
-    { id = "T1.obl-dir-impossible";
-      claim = "No oblivious direct algorithm beats k(k-1)/(n(n-1)) (Thm 9)";
-      run = oblivious_direct_impossible } ]
+  [ row ~id:"T1.orchestra"
+      ~claim:"Orchestra: rate 1, cap 3, queues <= 2n^3+beta (Thm 1)"
+      orchestra_cells;
+    row ~id:"T1.cap2-impossible"
+      ~claim:"No cap-2 algorithm is stable at rate 1 (Thm 2)"
+      cap2_impossible_cells;
+    row ~id:"T1.count-hop"
+      ~claim:"Count-Hop: cap 2, universal, latency <= 2(n^2+b)/(1-r) (Thm 3)"
+      count_hop_cells;
+    row ~id:"T1.adjust-window"
+      ~claim:"Adjust-Window: plain packets, cap 2, universal (Thm 4)"
+      adjust_window_cells;
+    row ~id:"T1.k-cycle"
+      ~claim:"k-Cycle: latency (32+b)n below rate (k-1)/(n-1) (Thm 5)"
+      k_cycle_cells;
+    row ~id:"T1.obl-impossible"
+      ~claim:"No k-oblivious algorithm is stable above k/n (Thm 6)"
+      oblivious_impossible_cells;
+    row ~id:"T1.k-clique"
+      ~claim:"k-Clique: direct, latency 8(n^2/k)(1+b/2k) (Thm 7)"
+      k_clique_cells;
+    row ~id:"T1.k-subsets"
+      ~claim:"k-Subsets: stable at k(k-1)/(n(n-1)), queues <= 2C(n,k)(n^2+b) (Thm 8)"
+      k_subsets_cells;
+    row ~id:"T1.obl-dir-impossible"
+      ~claim:"No oblivious direct algorithm beats k(k-1)/(n(n-1)) (Thm 9)"
+      oblivious_direct_impossible_cells ]
 
 let find id = List.find (fun t -> t.id = id) all
+
+let catalog ~scale =
+  List.concat_map (fun t -> List.map (fun c -> c.spec) (t.cells ~scale)) all

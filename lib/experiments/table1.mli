@@ -5,25 +5,45 @@
     claim: measured latency/queues under the instantiated bound, the energy
     cap respected exactly, stability or forced instability as stated, and a
     protocol-clean run. [`Quick] scale is used by the test suite, [`Full] by
-    the benchmark harness. *)
+    the benchmark harness.
+
+    A row is a {e catalog of cells} — (scenario spec, checks) pairs — and
+    [run] simply executes them. Exposing the cells lets other harnesses
+    (the differential verifier, notably) re-run the exact Table-1
+    configurations through independent machinery. *)
+
+type cell = {
+  spec : Scenario.spec;
+  checks : Scenario.checker list;
+}
 
 type t = {
   id : string;     (** e.g. "T1.orchestra" *)
   claim : string;  (** the paper's claim, humanly readable *)
+  cells : scale:[ `Quick | `Full ] -> cell list;
+  (** The row's scenarios at the given scale. Every call builds fresh
+      pattern state, so each returned spec can drive exactly one run;
+      call again for another (identical) batch. *)
   run :
     ?observe:Scenario.observer ->
     ?jobs:int ->
     scale:[ `Quick | `Full ] ->
     unit ->
     Scenario.outcome list;
-  (** [observe] is forwarded to every {!Scenario.run} of the row, keyed by
-      scenario id — attach tracing or event recording per scenario.
-      [jobs] (default 1) fans the row's scenarios out over that many worker
-      domains via {!Scenario.run_batch}; outcomes keep their listed order
-      and are bit-identical to a sequential run. *)
+  (** Runs the row's cells. [observe] is forwarded to every
+      {!Scenario.run} of the row, keyed by scenario id — attach tracing or
+      event recording per scenario. [jobs] (default 1) fans the row's
+      scenarios out over that many worker domains via {!Scenario.run_batch};
+      outcomes keep their listed order and are bit-identical to a
+      sequential run. *)
 }
 
 val all : t list
 
 val find : string -> t
 (** Lookup by [id]; raises [Not_found]. *)
+
+val catalog : scale:[ `Quick | `Full ] -> Scenario.spec list
+(** Every scenario spec of every row, in row order — fresh pattern state
+    per call (call twice to drive two independent runs of the same
+    configurations, e.g. engine vs oracle). *)

@@ -21,7 +21,9 @@
       station twice.
     - {b jam}: every transmission of the round reads as a collision to
       all listeners (a single transmitter included); with no
-      transmitter the round is untouched.
+      transmitter the round stays silent, but the jam is still counted
+      (the fault fired — [jammed_rounds] and the [Round_jammed] event
+      record it either way).
     - {b noise}: the round reads as a collision even when nobody
       transmitted — spurious channel activity. *)
 

@@ -168,9 +168,9 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
         if src = dst then begin
           (* Self-addressed packets need no channel use; delivered at
              injection (see DESIGN.md interpretation 5). Patterns never
-             produce these; kept for external users of the engine. *)
-          Metrics.note_injection metrics;
-          Metrics.note_delivery metrics ~delay:0 ~hops:0;
+             produce these; kept for external users of the engine. They
+             never enter a queue, so they must not touch the queue peaks. *)
+          Metrics.note_self_injection metrics;
           if observing then begin
             emit ~round (Event.Injected { id; src; dst });
             emit ~round
@@ -249,10 +249,12 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
     (* Channel resolution. A jam forces any round with at least one
        transmitter to read as a collision; noise forces a collision even
        on an empty channel. The Round_jammed event (and its metrics note)
-       lands immediately before the Collision it forces, so replaying a
-       recorded stream books both at the same point the live run did.
-       Colliding-station lists exist only in events, so they are built
-       only when a sink is observing. *)
+       lands immediately before the resolution it affects, so replaying a
+       recorded stream books both at the same point the live run did. A
+       jam of a zero-transmitter round leaves the channel silent but is
+       still counted — the fault fired, whether or not anyone was
+       talking. Colliding-station lists exist only in events, so they are
+       built only when a sink is observing. *)
     let jammed = !jam_now || !noise_now in
     let feedback, heard =
       if !tx_count = 0 then
@@ -266,6 +268,11 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
           (Feedback.Collision, None)
         end
         else begin
+          if !jam_now then begin
+            Metrics.note_jammed metrics ~round ~noise:false;
+            if observing then
+              emit ~round (Event.Round_jammed { transmitters = 0; noise = false })
+          end;
           Metrics.note_silence metrics;
           if observing then emit ~round Event.Silence;
           (Feedback.Silence, None)

@@ -8,9 +8,10 @@ let max_buckets = 960
 type t = {
   counts : int array;
   mutable total : int;
+  mutable max_value : int; (* largest value recorded; clamps [percentile] *)
 }
 
-let create () = { counts = Array.make max_buckets 0; total = 0 }
+let create () = { counts = Array.make max_buckets 0; total = 0; max_value = 0 }
 
 let msb v =
   let r = ref 0 and x = ref v in
@@ -38,7 +39,8 @@ let bounds_of idx =
 
 let record t v =
   t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  if v > t.max_value then t.max_value <- v
 
 let count t = t.total
 
@@ -53,7 +55,9 @@ let percentile t q =
       seen := !seen + t.counts.(!idx);
       incr idx
     done;
-    snd (bounds_of (!idx - 1))
+    (* The top bucket's upper bound can overshoot the data (nothing that
+       large was ever recorded): clamp to the recorded maximum. *)
+    min (snd (bounds_of (!idx - 1))) t.max_value
   end
 
 let buckets t =

@@ -18,8 +18,9 @@ val count : t -> int
 
 val percentile : t -> float -> int
 (** [percentile t q] for [q] in (0, 1]: the upper bound of the bucket
-    containing the value of rank [ceil (q * count)] — an upper estimate
-    within one bucket of the exact order statistic. 0 when empty. *)
+    containing the value of rank [ceil (q * count)], clamped to the
+    largest value actually recorded — an upper estimate within one
+    bucket of the exact order statistic. 0 when empty. *)
 
 val buckets : t -> (int * int * int) list
 (** Non-empty buckets as [(lo, hi, count)], ascending. *)

@@ -161,6 +161,21 @@ let note_injection t =
   t.injected <- t.injected + 1;
   if total_queued t > t.max_total_queue then t.max_total_queue <- total_queued t
 
+let note_delivery t ~delay ~hops =
+  t.delivered <- t.delivered + 1;
+  t.delivery_rounds <- t.delivery_rounds + 1;
+  t.delay_sum <- t.delay_sum +. float_of_int delay;
+  if delay > t.max_delay then t.max_delay <- delay;
+  if hops > t.max_hops then t.max_hops <- hops;
+  Histogram.record t.delay_hist delay
+
+(* A self-addressed packet is delivered at injection and never queued:
+   injection and delivery are booked atomically, so [total_queued] never
+   transiently includes it and the queue peaks stay untouched. *)
+let note_self_injection t =
+  t.injected <- t.injected + 1;
+  note_delivery t ~delay:0 ~hops:0
+
 let note_on_count t on =
   t.on_total <- t.on_total + on;
   if on > t.max_on then t.max_on <- on;
@@ -172,14 +187,6 @@ let note_station_queue t size =
 let note_silence t = t.silent_rounds <- t.silent_rounds + 1
 let note_collision t = t.collision_rounds <- t.collision_rounds + 1
 let note_light t = t.light_rounds <- t.light_rounds + 1
-
-let note_delivery t ~delay ~hops =
-  t.delivered <- t.delivered + 1;
-  t.delivery_rounds <- t.delivery_rounds + 1;
-  t.delay_sum <- t.delay_sum +. float_of_int delay;
-  if delay > t.max_delay then t.max_delay <- delay;
-  if hops > t.max_hops then t.max_hops <- hops;
-  Histogram.record t.delay_hist delay
 
 let note_relay t = t.relay_rounds <- t.relay_rounds + 1
 
@@ -239,8 +246,13 @@ let end_round t ~round ~draining =
 let observe t ~round (ev : Mac_channel.Event.t) =
   match ev with
   | Injected { src; dst; _ } ->
-    note_injection t;
-    if src <> dst then begin
+    if src = dst then
+      (* Delivered-at-injection: the Delivered event that follows books
+         the delivery, so only the injection count moves here — exactly
+         what [note_self_injection] does live. *)
+      t.injected <- t.injected + 1
+    else begin
+      note_injection t;
       t.qsizes.(src) <- t.qsizes.(src) + 1;
       note_station_queue t t.qsizes.(src)
     end
@@ -291,7 +303,7 @@ let finalize t ~final_round ~max_queued_age =
     max_delay = t.max_delay;
     mean_delay =
       (if t.delivered = 0 then 0.0 else t.delay_sum /. float_of_int t.delivered);
-    p99_delay = min (Histogram.percentile t.delay_hist 0.99) t.max_delay;
+    p99_delay = Histogram.percentile t.delay_hist 0.99;
     delay_histogram = Array.of_list (Histogram.buckets t.delay_hist);
     max_queued_age;
     max_total_queue = t.max_total_queue;

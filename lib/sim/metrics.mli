@@ -49,8 +49,8 @@ type summary = {
   mean_delay : float;
   p99_delay : int;         (** from the log-bucketed histogram: an upper
                                estimate within one bucket (~6%) of the
-                               exact order statistic, clamped to
-                               [max_delay] *)
+                               exact order statistic, clamped (inside
+                               {!Histogram.percentile}) to [max_delay] *)
   delay_histogram : (int * int * int) array;
   (** non-empty delay buckets as [(lo, hi, count)], ascending — the full
       delay distribution at fixed memory (see {!Histogram}) *)
@@ -96,6 +96,13 @@ val create :
   sample_every:int -> t
 
 val note_injection : t -> unit
+
+val note_self_injection : t -> unit
+(** A self-addressed packet: injected and delivered in the same breath
+    ([delay = 0], [hops = 0]), never queued — so unlike a
+    [note_injection]/[note_delivery] pair it cannot transiently inflate
+    [max_total_queue]. *)
+
 val note_on_count : t -> int -> unit
 val note_station_queue : t -> int -> unit
 (** Observed size of some station's queue (for the max). *)

@@ -1,0 +1,295 @@
+open Mac_channel
+
+type run = {
+  id : string;
+  algorithm : Algorithm.t;
+  n : int;
+  k : int;
+  rate : Qrat.t;
+  burst : Qrat.t;
+  pacing : Mac_adversary.Adversary.pacing;
+  pattern : Mac_adversary.Pattern.t;
+  rounds : int;
+  drain : int;
+  faults : Mac_faults.Fault_plan.t option;
+}
+
+type mismatch = { what : string; engine : string; oracle : string }
+
+type verdict = {
+  id : string;
+  events : int;
+  mismatches : mismatch list;
+}
+
+let agrees v = v.mismatches = []
+
+let pp_verdict ppf v =
+  if agrees v then
+    Format.fprintf ppf "%s: ok (%d events)" v.id v.events
+  else begin
+    Format.fprintf ppf "@[<v>%s: %d divergence(s)" v.id (List.length v.mismatches);
+    List.iter
+      (fun m ->
+        Format.fprintf ppf "@,  %s: engine=%s oracle=%s" m.what m.engine m.oracle)
+      v.mismatches;
+    Format.fprintf ppf "@]"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Running both sides. *)
+
+type 'a outcome = Finished of 'a | Raised of string
+
+let engine_side (r : run) =
+  let events_rev = ref [] in
+  let sink =
+    Mac_sim.Sink.make (fun ~round ev -> events_rev := (round, ev) :: !events_rev)
+  in
+  let adversary =
+    Mac_adversary.Adversary.create_q ~name:r.id ~rate:r.rate ~burst:r.burst
+      ~pacing:r.pacing r.pattern
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds:r.rounds) with
+      drain_limit = r.drain;
+      strict = false;
+      check_schedule = false;
+      sink = Some sink;
+      faults = r.faults }
+  in
+  let outcome =
+    try
+      Finished
+        (Mac_sim.Engine.run ~config ~algorithm:r.algorithm ~n:r.n ~k:r.k
+           ~adversary ~rounds:r.rounds ())
+    with Mac_sim.Engine.Protocol_violation msg -> Raised msg
+  in
+  (outcome, List.rev !events_rev)
+
+let oracle_side (r : run) =
+  try
+    let digest, events =
+      Oracle.run ~algorithm:r.algorithm ~n:r.n ~k:r.k ~rate:r.rate
+        ~burst:r.burst ~pacing:r.pacing ~pattern:r.pattern ~rounds:r.rounds
+        ~drain:r.drain ~strict:false ?faults:r.faults ()
+    in
+    (Finished digest, events)
+  with Oracle.Violation msg -> (Raised msg, [])
+
+(* ------------------------------------------------------------------ *)
+(* Comparison. *)
+
+let fmt_float f = Printf.sprintf "%h" f
+
+let compare_summary (s : Mac_sim.Metrics.summary) (d : Oracle.digest) =
+  let acc = ref [] in
+  let int what a b =
+    if a <> b then
+      acc := { what; engine = string_of_int a; oracle = string_of_int b } :: !acc
+  in
+  (* Float fields are compared bit-for-bit: both sides accumulate in the
+     same order, so any difference is a real drift. *)
+  let flt what a b =
+    if Int64.bits_of_float a <> Int64.bits_of_float b then
+      acc := { what; engine = fmt_float a; oracle = fmt_float b } :: !acc
+  in
+  int "rounds" s.rounds d.rounds;
+  int "drain_rounds" s.drain_rounds d.drain_rounds;
+  int "injected" s.injected d.injected;
+  int "delivered" s.delivered d.delivered;
+  int "undelivered" s.undelivered d.undelivered;
+  int "max_delay" s.max_delay d.max_delay;
+  flt "mean_delay" s.mean_delay d.mean_delay;
+  int "max_queued_age" s.max_queued_age d.max_queued_age;
+  int "max_total_queue" s.max_total_queue d.max_total_queue;
+  int "final_total_queue" s.final_total_queue d.final_total_queue;
+  int "max_station_queue" s.max_station_queue d.max_station_queue;
+  int "energy_cap" s.energy_cap d.energy_cap;
+  int "max_on" s.max_on d.max_on;
+  flt "mean_on" s.mean_on d.mean_on;
+  int "station_rounds" s.station_rounds d.station_rounds;
+  int "silent_rounds" s.silent_rounds d.silent_rounds;
+  int "light_rounds" s.light_rounds d.light_rounds;
+  int "delivery_rounds" s.delivery_rounds d.delivery_rounds;
+  int "relay_rounds" s.relay_rounds d.relay_rounds;
+  int "collision_rounds" s.collision_rounds d.collision_rounds;
+  int "max_hops" s.max_hops d.max_hops;
+  int "control_bits_total" s.control_bits_total d.control_bits_total;
+  int "control_bits_max" s.control_bits_max d.control_bits_max;
+  int "cap_exceeded" s.violations.cap_exceeded d.cap_exceeded;
+  int "stranded" s.violations.stranded d.stranded;
+  int "adoption_conflicts" s.violations.adoption_conflicts d.adoption_conflicts;
+  int "spurious_adoptions" s.violations.spurious_adoptions d.spurious_adoptions;
+  int "crashes" s.faults.crashes d.crashes;
+  int "restarts" s.faults.restarts d.restarts;
+  int "jammed_rounds" s.faults.jammed_rounds d.jammed_rounds;
+  int "noise_rounds" s.faults.noise_rounds d.noise_rounds;
+  int "lost_to_crash" s.faults.lost_to_crash d.lost_to_crash;
+  int "last_fault_round" s.faults.last_fault_round d.last_fault_round;
+  int "pre_fault_queue" s.faults.pre_fault_queue d.pre_fault_queue;
+  int "post_fault_peak_queue" s.faults.post_fault_peak_queue
+    d.post_fault_peak_queue;
+  int "recovery_rounds" s.faults.recovery_rounds d.recovery_rounds;
+  List.rev !acc
+
+let fmt_event (round, ev) = Printf.sprintf "r%d %s" round (Event.to_string ev)
+
+let compare_events engine_events oracle_events =
+  let rec go i es os =
+    match (es, os) with
+    | [], [] -> None
+    | e :: es', o :: os' ->
+      if e = o then go (i + 1) es' os'
+      else
+        Some
+          { what = Printf.sprintf "event[%d]" i;
+            engine = fmt_event e;
+            oracle = fmt_event o }
+    | e :: _, [] ->
+      Some
+        { what = Printf.sprintf "event[%d]" i;
+          engine = fmt_event e;
+          oracle = "<stream ended>" }
+    | [], o :: _ ->
+      Some
+        { what = Printf.sprintf "event[%d]" i;
+          engine = "<stream ended>";
+          oracle = fmt_event o }
+  in
+  go 0 engine_events oracle_events
+
+let run_pair ~(engine : run) ~(oracle : run) =
+  let id = engine.id in
+  let e_outcome, e_events = engine_side engine in
+  let o_outcome, o_events = oracle_side oracle in
+  let events = max (List.length e_events) (List.length o_events) in
+  let mismatches =
+    match (e_outcome, o_outcome) with
+    | Finished s, Finished d -> (
+      let fields = compare_summary s d in
+      match compare_events e_events o_events with
+      | None -> fields
+      | Some m -> fields @ [ m ])
+    | Raised e, Raised o ->
+      if e = o then []
+      else [ { what = "exception"; engine = e; oracle = o } ]
+    | Finished _, Raised o ->
+      [ { what = "exception"; engine = "<finished>"; oracle = o } ]
+    | Raised e, Finished _ ->
+      [ { what = "exception"; engine = e; oracle = "<finished>" } ]
+  in
+  { id; events; mismatches }
+
+let run_pairs ?(jobs = 1) pairs =
+  Mac_sim.Pool.map ~jobs pairs (fun (engine, oracle) -> run_pair ~engine ~oracle)
+
+(* ------------------------------------------------------------------ *)
+(* Random configurations. *)
+
+(* Each entry: a human tag plus (n, k) bounds-respecting builder. The
+   algorithm values themselves are stateless (per-station state is created
+   inside each run), so engine and oracle can share one value. *)
+let build_algorithm rng =
+  let pick_nk ~nmin ~nmax ~kmax_of rng =
+    let n = nmin + Rng.int rng (nmax - nmin + 1) in
+    let kmax = kmax_of n in
+    let k = 2 + Rng.int rng (max 1 (kmax - 1)) in
+    (n, min k kmax)
+  in
+  match Rng.int rng 8 with
+  | 0 ->
+    let n = 3 + Rng.int rng 6 in
+    (n, 3, (module Mac_routing.Orchestra : Algorithm.S))
+  | 1 ->
+    let n, k = pick_nk ~nmin:4 ~nmax:10 ~kmax_of:(fun n -> n - 1) rng in
+    (n, k, Mac_routing.K_cycle.algorithm ~n ~k)
+  | 2 ->
+    let n, k = pick_nk ~nmin:4 ~nmax:7 ~kmax_of:(fun n -> n - 1) rng in
+    (n, k, Mac_routing.K_subsets.algorithm ~n ~k ())
+  | 3 ->
+    let n, k = pick_nk ~nmin:4 ~nmax:7 ~kmax_of:(fun n -> n - 1) rng in
+    (n, k, Mac_routing.K_subsets.algorithm ~discipline:`Rrw ~n ~k ())
+  | 4 ->
+    let n, k = pick_nk ~nmin:4 ~nmax:8 ~kmax_of:(fun n -> n - 1) rng in
+    (n, k, Mac_routing.K_clique.algorithm ~n ~k)
+  | 5 ->
+    let n, k = pick_nk ~nmin:3 ~nmax:9 ~kmax_of:(fun n -> n) rng in
+    (n, k, Mac_routing.Random_leader.algorithm ~seed:(Rng.int rng 1000) ~n ~k ())
+  | 6 ->
+    let n = 3 + Rng.int rng 6 in
+    (n, 2, (module Mac_routing.Count_hop : Algorithm.S))
+  | _ ->
+    let n = 3 + Rng.int rng 6 in
+    (n, 2, (module Mac_routing.Adjust_window : Algorithm.S))
+
+(* A pattern *maker*: called once per side so each run owns fresh state.
+   Every random draw happens before the thunk is built — both calls must
+   construct the SAME pattern, differing only in internal state. *)
+let build_pattern rng ~n =
+  let case = Rng.int rng 7 in
+  let seed = Rng.int rng 10_000 in
+  let a = Rng.int rng n in
+  let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+  let bias = 0.25 +. (0.5 *. float_of_int (Rng.int rng 3) /. 2.0) in
+  let busy = 5 + Rng.int rng 20 in
+  let idle = 5 + Rng.int rng 20 in
+  fun () ->
+    match case with
+    | 0 -> Mac_adversary.Pattern.uniform ~n ~seed
+    | 1 -> Mac_adversary.Pattern.flood ~n ~victim:a
+    | 2 -> Mac_adversary.Pattern.pair_flood ~src:a ~dst:b
+    | 3 -> Mac_adversary.Pattern.round_robin ~n
+    | 4 ->
+      (* keep both destinations distinct from the source [a] *)
+      let e = (b + 1) mod n in
+      let dst_even = if e = a then (e + 1) mod n else e in
+      Mac_adversary.Pattern.alternating ~src:a ~dst_odd:b ~dst_even
+    | 5 -> Mac_adversary.Pattern.hotspot ~n ~seed ~hot:a ~bias
+    | 6 ->
+      Mac_adversary.Pattern.duty_cycle ~busy ~idle
+        (Mac_adversary.Pattern.uniform ~n ~seed)
+    | _ -> assert false
+
+let random_pair ~seed =
+  let rng = Rng.create ~seed in
+  let n, k, algorithm = build_algorithm rng in
+  let den = 1 + Rng.int rng 12 in
+  let num = 1 + Rng.int rng den in
+  let rate = Qrat.make num den in
+  let burst =
+    Qrat.add (Qrat.of_int (1 + Rng.int rng 4)) (Qrat.make 1 (2 + Rng.int rng 6))
+  in
+  let pacing =
+    match Rng.int rng 3 with
+    | 0 -> Mac_adversary.Adversary.Greedy
+    | 1 -> Mac_adversary.Adversary.Paced { burst_at = None }
+    | _ -> Mac_adversary.Adversary.Paced { burst_at = Some (Rng.int rng 200) }
+  in
+  let rounds = 200 + Rng.int rng 1100 in
+  let drain = if Rng.bool rng then rounds / 2 else 0 in
+  let faults =
+    match Rng.int rng 3 with
+    | 0 -> None
+    | 1 ->
+      Some
+        (Mac_faults.Fault_plan.random ~seed:(Rng.int rng 10_000) ~n ~rounds
+           ~jam_rate:0.01 ~noise_rate:0.005 ())
+    | _ ->
+      Some
+        (Mac_faults.Fault_plan.random ~seed:(Rng.int rng 10_000) ~n ~rounds
+           ~crash_rate:0.002 ~jam_rate:0.005
+           ~restart_after:(if Rng.bool rng then 0 else 40)
+           ~queue:(if Rng.bool rng then Mac_faults.Fault_plan.Retain
+                   else Mac_faults.Fault_plan.Drop)
+           ())
+  in
+  let make_pattern = build_pattern rng ~n in
+  let make pattern =
+    { id =
+        Printf.sprintf "seed=%d %s n=%d k=%d rho=%s beta=%s r=%d"
+          seed pattern.Mac_adversary.Pattern.name n k (Qrat.to_string rate)
+          (Qrat.to_string burst) rounds;
+      algorithm; n; k; rate; burst; pacing; pattern; rounds; drain; faults }
+  in
+  (make (make_pattern ()), make (make_pattern ()))

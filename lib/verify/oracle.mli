@@ -1,0 +1,89 @@
+(** A deliberately naive reference simulator.
+
+    The oracle re-implements the channel semantics — admission (the exact
+    leaky-bucket recurrence), mode decisions, channel resolution, packet
+    fate, faults, and packet conservation — from the paper's description,
+    with none of the engine's performance machinery: no scratch arrays, no
+    maintained totals, no fast paths. Queue sizes and backlogs are
+    recomputed by scanning every queue each time they are needed
+    (O(n²)-ish per round), packet tracking is a linear scan of a list, and
+    events are consed onto a list. It is slow on purpose: the value of a
+    differential harness is exactly that the two implementations share no
+    shortcuts, so a drift bug in either one shows up as a divergence
+    ({!Diff}).
+
+    The oracle additionally re-checks packet conservation from first
+    principles at every round end — the sum of scanned queue sizes must
+    equal injected − delivered − lost-to-crash — and raises {!Violation}
+    if it ever fails. *)
+
+exception Violation of string
+(** Mirrors [Mac_sim.Engine.Protocol_violation], message for message, so
+    a differential driver can match "both implementations rejected this
+    run for the same reason". *)
+
+(** The oracle's independently computed run statistics: the comparable
+    subset of [Mac_sim.Metrics.summary] (everything except the
+    log-bucketed histogram, its p99 read-out, and the sampled queue
+    series, which are engine implementation details tested on their
+    own). Field meanings match the summary field of the same name. *)
+type digest = {
+  rounds : int;
+  drain_rounds : int;
+  injected : int;
+  delivered : int;
+  undelivered : int;
+  max_delay : int;
+  mean_delay : float;
+  max_queued_age : int;
+  max_total_queue : int;
+  final_total_queue : int;
+  max_station_queue : int;
+  energy_cap : int;
+  max_on : int;
+  mean_on : float;
+  station_rounds : int;
+  silent_rounds : int;
+  light_rounds : int;
+  delivery_rounds : int;
+  relay_rounds : int;
+  collision_rounds : int;
+  max_hops : int;
+  control_bits_total : int;
+  control_bits_max : int;
+  cap_exceeded : int;
+  stranded : int;
+  adoption_conflicts : int;
+  spurious_adoptions : int;
+  crashes : int;
+  restarts : int;
+  jammed_rounds : int;
+  noise_rounds : int;
+  lost_to_crash : int;
+  last_fault_round : int;
+  pre_fault_queue : int;
+  post_fault_peak_queue : int;
+  recovery_rounds : int;
+}
+
+val run :
+  algorithm:Mac_channel.Algorithm.t ->
+  n:int ->
+  k:int ->
+  rate:Mac_channel.Qrat.t ->
+  burst:Mac_channel.Qrat.t ->
+  pacing:Mac_adversary.Adversary.pacing ->
+  pattern:Mac_adversary.Pattern.t ->
+  rounds:int ->
+  drain:int ->
+  ?strict:bool ->
+  ?faults:Mac_faults.Fault_plan.t ->
+  unit ->
+  digest * (int * Mac_channel.Event.t) list
+(** Simulate the run and return the digest plus the complete event
+    stream ((round, event) pairs, in emission order) — the stream an
+    engine run with a recording sink must reproduce verbatim. [strict]
+    defaults to [false]: protocol violations are counted, not raised
+    (matching the configuration {!Diff} runs the engine with); hard
+    model breaches (a transmitted packet not in the queue, duplicate
+    delivery, conservation failure, …) raise {!Violation} regardless. *)

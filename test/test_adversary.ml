@@ -38,12 +38,16 @@ let test_bucket_bad_args () =
     (fun () -> ignore (Leaky_bucket.create ~rate:0.5 ~burst:0.5))
 
 (* The defining property: for every greedy trace and every window [s, t],
-   injections <= rate * len + burst (up to integer rounding of each grant). *)
+   injections <= rate * len + burst — checked in exact arithmetic, with no
+   rounding slack, over random rational types. *)
 let bucket_window_property =
+  let open Mac_channel in
   QCheck.Test.make ~name:"bucket_respects_every_window" ~count:100
-    QCheck.(pair (float_range 0.05 1.0) (float_range 1.0 8.0))
-    (fun (rate, burst) ->
-      let b = Leaky_bucket.create ~rate ~burst in
+    QCheck.(quad (int_range 1 32) (int_range 1 32) (int_range 1 7) (int_range 2 32))
+    (fun (rn, rd, bi, bd) ->
+      let rate = Qrat.make (min rn rd) rd in
+      let burst = Qrat.add (Qrat.of_int bi) (Qrat.make 1 bd) in
+      let b = Leaky_bucket.create_q ~rate ~burst in
       let horizon = 200 in
       let taken = Array.make horizon 0 in
       for t = 0 to horizon - 1 do
@@ -59,8 +63,8 @@ let bucket_window_property =
         let sum = ref 0 in
         for t = s to horizon - 1 do
           sum := !sum + taken.(t);
-          let len = float_of_int (t - s + 1) in
-          if float_of_int !sum > (rate *. len) +. burst +. 1e-9 then ok := false
+          let bound = Qrat.add (Qrat.mul_int rate (t - s + 1)) burst in
+          if Qrat.compare (Qrat.of_int !sum) bound > 0 then ok := false
         done
       done;
       !ok)
@@ -261,6 +265,57 @@ let test_cap2_breaker_moves_witness () =
     check_bool "helpers avoid the new witness" true (s1 <> 4 && s2 <> 4 && s1 <> s2)
   | _ -> Alcotest.fail "expected one injection"
 
+(* ---- drift regression ----
+
+   The bucket's grant schedule under paced consumption (at most one packet
+   a round, the discipline where the exact token value hits integer
+   boundaries every 1/rho rounds), pinned against an integer recurrence
+   over the rate's own denominator: tokens are tracked as a numerator, so
+   every comparison is exact. The same loop drives a float
+   re-implementation of the pre-fix bucket; its schedule must demonstrably
+   drift — if it ever stops drifting, the regression test itself has lost
+   its teeth. The discipline and the per-rate burst are chosen where the
+   float orbit demonstrably drifts: under greedy full-grant consumption —
+   and at rho=1/3 with burst 2 even under pacing — the float residue
+   settles into a periodic orbit whose errors cancel at every grant
+   boundary (round-to-even on the 3*fr tie), hiding the bug. *)
+
+let drift_case ~rate_num ~rate_den ~burst_int () =
+  let rounds = 1_000_000 in
+  let den = rate_den in
+  let cap = rate_num + (burst_int * den) in
+  let bucket =
+    Leaky_bucket.create_q
+      ~rate:(Mac_channel.Qrat.make rate_num rate_den)
+      ~burst:(Mac_channel.Qrat.of_int burst_int)
+  in
+  let tokens = ref cap in
+  let fr = float_of_int rate_num /. float_of_int rate_den in
+  let fcap = fr +. float_of_int burst_int in
+  let ftokens = ref fcap in
+  let bucket_mismatch = ref 0 and float_mismatch = ref 0 in
+  for _ = 1 to rounds do
+    let g = min 1 (!tokens / den) in
+    tokens := min cap (!tokens - (g * den) + rate_num);
+    let gb = min 1 (Leaky_bucket.grant bucket) in
+    Leaky_bucket.consume bucket gb;
+    Leaky_bucket.advance bucket;
+    if gb <> g then incr bucket_mismatch;
+    let gf = min 1 (int_of_float (Float.floor !ftokens)) in
+    ftokens := Float.min fcap (!ftokens -. float_of_int gf +. fr);
+    if gf <> g then incr float_mismatch
+  done;
+  check_int
+    (Printf.sprintf "rho=%d/%d: bucket grant schedule is exact over %d rounds"
+       rate_num rate_den rounds)
+    0 !bucket_mismatch;
+  check_bool
+    (Printf.sprintf
+       "rho=%d/%d: the float bucket drifts (the pre-fix bug is observable)"
+       rate_num rate_den)
+    true
+    (!float_mismatch > 0)
+
 let () =
   Alcotest.run "adversary"
     [ ("leaky-bucket",
@@ -269,6 +324,10 @@ let () =
          Alcotest.test_case "clamp" `Quick test_bucket_clamp;
          Alcotest.test_case "overdraw" `Quick test_bucket_overdraw_rejected;
          Alcotest.test_case "bad args" `Quick test_bucket_bad_args;
+         Alcotest.test_case "drift regression rho=1/10" `Quick
+           (drift_case ~rate_num:1 ~rate_den:10 ~burst_int:2);
+         Alcotest.test_case "drift regression rho=1/3" `Quick
+           (drift_case ~rate_num:1 ~rate_den:3 ~burst_int:1);
          QCheck_alcotest.to_alcotest bucket_window_property ]);
       ("patterns",
        [ no_self_pairs "uniform valid" (Pattern.uniform ~n:8 ~seed:1);

@@ -307,6 +307,39 @@ let determinism_property =
       && a.station_rounds = b.station_rounds
       && a.queue_series = b.queue_series)
 
+(* A self-addressed packet is delivered the instant it is admitted: it
+   must count as injected and delivered with zero delay, but never touch
+   the queue gauges — live (note_self_injection) and through a stream
+   replay (observe of Injected with src = dst). The pre-fix accounting
+   bumped total_queued on admission and only drained it on delivery,
+   skewing max_total_queue upward. *)
+let test_self_injection_queue_gauges () =
+  let finalize m = Mac_sim.Metrics.finalize m ~final_round:1 ~max_queued_age:0 in
+  let live =
+    Mac_sim.Metrics.create ~algorithm:"a" ~adversary:"b" ~n:3 ~k:2 ~cap:2
+      ~sample_every:1
+  in
+  Mac_sim.Metrics.note_self_injection live;
+  Mac_sim.Metrics.end_round live ~round:0 ~draining:false;
+  let s = finalize live in
+  Alcotest.(check int) "injected" 1 s.injected;
+  Alcotest.(check int) "delivered" 1 s.delivered;
+  Alcotest.(check int) "max_total_queue untouched" 0 s.max_total_queue;
+  Alcotest.(check int) "final_total_queue untouched" 0 s.final_total_queue;
+  Alcotest.(check int) "max delay 0" 0 s.max_delay;
+  Alcotest.(check int) "max hops 0" 0 s.max_hops;
+  let replayed =
+    Mac_sim.Metrics.create ~algorithm:"a" ~adversary:"b" ~n:3 ~k:2 ~cap:2
+      ~sample_every:1
+  in
+  Mac_sim.Metrics.observe replayed ~round:0
+    (Event.Injected { id = 0; src = 1; dst = 1 });
+  Mac_sim.Metrics.observe replayed ~round:0
+    (Event.Delivered { id = 0; from_ = 1; dst = 1; delay = 0; hops = 0 });
+  Mac_sim.Metrics.end_round replayed ~round:0 ~draining:false;
+  let r = finalize replayed in
+  Alcotest.(check bool) "replay agrees with the live path" true (r = s)
+
 let () =
   Alcotest.run "engine"
     [ ("lawful",
@@ -319,7 +352,9 @@ let () =
            test_collisions_counted_and_packets_survive;
          Alcotest.test_case "drain" `Quick test_drain_stops_when_empty;
          Alcotest.test_case "energy summary" `Quick test_energy_accounting_in_summary;
-         Alcotest.test_case "series sampling" `Quick test_queue_series_sampling ]);
+         Alcotest.test_case "series sampling" `Quick test_queue_series_sampling;
+         Alcotest.test_case "self-injection gauges" `Quick
+           test_self_injection_queue_gauges ]);
       ("violations",
        [ Alcotest.test_case "foreign packet" `Quick test_foreign_packet_rejected;
          Alcotest.test_case "plain breach" `Quick test_plain_packet_breach;

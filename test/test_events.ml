@@ -249,6 +249,29 @@ let test_histogram_percentile_known () =
   let lo50, hi50 = Mac_sim.Histogram.bounds_of (Mac_sim.Histogram.bucket_of 50) in
   check_bool "p50 within its bucket" true (lo50 <= p50 && p50 <= hi50)
 
+(* The histogram percentile against the naive definition — sort, index at
+   rank ceil(q*count): the reported value is the rank bucket's upper bound
+   clamped to the recorded maximum, so it never undershoots the exact
+   order statistic and never exceeds any recorded value. *)
+let qcheck_percentile_vs_sorted =
+  QCheck.Test.make ~name:"percentile_matches_naive_sort" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200) (int_range 0 5000))
+        (int_range 1 100))
+    (fun (values, qi) ->
+      let q = float_of_int qi /. 100.0 in
+      let h = Mac_sim.Histogram.create () in
+      List.iter (Mac_sim.Histogram.record h) values;
+      let sorted = List.sort compare values in
+      let count = List.length values in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int count))) in
+      let exact = List.nth sorted (rank - 1) in
+      let maxv = List.fold_left max 0 values in
+      let hi = snd (Mac_sim.Histogram.bounds_of (Mac_sim.Histogram.bucket_of exact)) in
+      let reported = Mac_sim.Histogram.percentile h q in
+      exact <= reported && reported = min hi maxv)
+
 (* The acceptance bound: the summary's histogram p99 is within one bucket
    of the exact order statistic, measured on a real run by collecting the
    exact delays through a custom sink. *)
@@ -375,7 +398,8 @@ let () =
          Alcotest.test_case "percentiles in bucket" `Quick
            test_histogram_percentile_known;
          Alcotest.test_case "p99 within one bucket" `Quick
-           test_p99_within_one_bucket_of_exact ]);
+           test_p99_within_one_bucket_of_exact;
+         QCheck_alcotest.to_alcotest qcheck_percentile_vs_sorted ]);
       ("timeline",
        [ Alcotest.test_case "render" `Quick test_timeline_render;
          Alcotest.test_case "window keeps tail" `Quick

@@ -372,15 +372,63 @@ let test_metrics_replay_reconstructs_faulted_summary () =
 let test_jam_events_precede_their_collision () =
   let _, events = faulted_recording () in
   let rec walk = function
-    | (r, Event.Round_jammed _) :: ((r', Event.Collision _) :: _ as rest) ->
+    | (r, Event.Round_jammed { transmitters; _ })
+      :: ((r', next) :: _ as rest) -> (
       check_int "same round" r r';
-      walk rest
+      (* a jam over transmissions reads as a collision; a jam over an
+         empty channel is counted but the round stays silent *)
+      match next with
+      | Event.Collision _ -> walk rest
+      | Event.Silence when transmitters = 0 -> walk rest
+      | _ -> Alcotest.fail "Round_jammed not resolved by Collision/Silence")
     | (_, Event.Round_jammed _) :: _ ->
-      Alcotest.fail "Round_jammed not followed by its Collision"
+      Alcotest.fail "Round_jammed not followed by its resolution"
     | _ :: rest -> walk rest
     | [] -> ()
   in
   walk events
+
+(* A jam on a round where nobody transmits: the channel stays silent, but
+   the fault is still counted — live and through a metrics replay of the
+   recorded stream. (The pre-fix engine dropped these jams silently, so a
+   replayed recording could disagree with the live summary.) *)
+let test_jam_on_empty_round_counted () =
+  let silent =
+    Mac_adversary.Pattern.make ~name:"silent"
+      (fun ~round:_ ~budget:_ ~view:_ -> [])
+  in
+  let plan = FP.scripted ~name:"jam-empty" [ (3, FP.Jam) ] in
+  let summary, events =
+    record_run ~faults:(Some plan)
+      ~algorithm:(module Mac_routing.Count_hop) ~n:4 ~k:2 ~rate:0.5 ~burst:2.0
+      ~pattern:silent ~rounds:10 ~drain:0 ()
+  in
+  check_int "the empty-round jam is counted" 1 summary.faults.jammed_rounds;
+  check_int "no collision was fabricated" 0 summary.collision_rounds;
+  (match
+     List.find_opt
+       (fun (_, ev) ->
+         match ev with
+         | Event.Round_jammed { transmitters = 0; noise = false } -> true
+         | _ -> false)
+       events
+   with
+  | Some (r, _) -> check_int "jam recorded at its round" 3 r
+  | None -> Alcotest.fail "no zero-transmitter Round_jammed in the stream");
+  let replay =
+    Mac_sim.Metrics.create ~algorithm:summary.algorithm
+      ~adversary:summary.adversary ~n:summary.n ~k:summary.k
+      ~cap:summary.energy_cap ~sample_every:1
+  in
+  List.iter (fun (round, ev) -> Mac_sim.Metrics.observe replay ~round ev) events;
+  let rebuilt =
+    Mac_sim.Metrics.finalize replay
+      ~final_round:(summary.rounds + summary.drain_rounds)
+      ~max_queued_age:summary.max_queued_age
+  in
+  check_int "replay agrees on jammed rounds" summary.faults.jammed_rounds
+    rebuilt.faults.jammed_rounds;
+  check_bool "replay reconstructs the whole summary" true (rebuilt = summary)
 
 (* ---- admission under faults: the bucket bound survives a crash ---- *)
 
@@ -391,8 +439,12 @@ let test_jam_events_precede_their_collision () =
    never silently dropped. *)
 let bucket_bound_under_crash =
   QCheck.Test.make ~name:"bucket_bound_holds_into_crashed_station" ~count:25
-    QCheck.(pair (float_range 0.1 0.9) (float_range 1.0 6.0))
-    (fun (rate, burst) ->
+    QCheck.(pair (pair (int_range 1 9) (int_range 10 20)) (pair (int_range 1 5) (int_range 2 8)))
+    (fun ((rn, rd), (bi, bd)) ->
+      (* small exact rationals through the float shim: rate in (0, 0.9],
+         burst in (1, 6) *)
+      let rate = float_of_int rn /. float_of_int rd in
+      let burst = float_of_int bi +. (1.0 /. float_of_int bd) in
       let rounds = 300 in
       let plan =
         FP.scripted ~name:"qcheck-crash"
@@ -445,6 +497,8 @@ let () =
          Alcotest.test_case "metrics replay reconstructs" `Quick
            test_metrics_replay_reconstructs_faulted_summary;
          Alcotest.test_case "jam precedes collision" `Quick
-           test_jam_events_precede_their_collision ]);
+           test_jam_events_precede_their_collision;
+         Alcotest.test_case "jam on empty round counted" `Quick
+           test_jam_on_empty_round_counted ]);
       ("admission",
        [ QCheck_alcotest.to_alcotest bucket_bound_under_crash ]) ]
