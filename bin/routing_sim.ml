@@ -92,7 +92,28 @@ let jsonl_sink path =
     exit 2
 
 let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
-    series trace_n events stations csv json =
+    series trace_n events stations csv json checkpoint checkpoint_every resume
+    =
+  (match (checkpoint, checkpoint_every) with
+   | Some _, e when e <= 0 ->
+     Printf.eprintf "--checkpoint requires --checkpoint-every N with N >= 1\n";
+     exit 2
+   | None, e when e > 0 ->
+     Printf.eprintf "--checkpoint-every requires --checkpoint FILE\n";
+     exit 2
+   | _ -> ());
+  let resume_snap =
+    match resume with
+    | None -> None
+    | Some path -> (
+      match Mac_sim.Checkpoint.read ~path with
+      | Ok snap ->
+        Printf.printf "resuming %s\n" (Mac_sim.Checkpoint.describe snap);
+        Some snap
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2)
+  in
   let algorithm = resolve_algorithm algorithm_name ~n ~k in
   let module A = (val algorithm) in
   let pattern = resolve_pattern pattern_spec ~algorithm ~n ~k ~seed in
@@ -123,12 +144,19 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
   in
   let config =
     { (Mac_sim.Engine.default_config ~rounds) with
-      drain_limit = drain; check_schedule = A.oblivious; trace; sink }
+      drain_limit = drain; check_schedule = A.oblivious; trace; sink;
+      checkpoint_every;
+      on_checkpoint =
+        Option.map
+          (fun path snap -> Mac_sim.Checkpoint.write ~path snap)
+          checkpoint }
   in
   let summary =
     Fun.protect
       ~finally:(fun () -> Option.iter Mac_sim.Sink.close sink)
-      (fun () -> Mac_sim.Engine.run ~config ~algorithm ~n ~k ~adversary ~rounds ())
+      (fun () ->
+        Mac_sim.Engine.run ~config ?resume:resume_snap ~algorithm ~n ~k
+          ~adversary ~rounds ())
   in
   let stability = Mac_sim.Stability.classify summary.queue_series in
   Format.printf "%a@." Mac_sim.Metrics.pp_summary summary;
@@ -233,11 +261,38 @@ let run_term =
       & info [ "stations" ]
           ~doc:"Print the per-station ledger (on-rounds, traffic, queue peaks).")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a crash-safe checkpoint of the run to FILE every \
+             --checkpoint-every rounds (atomic overwrite; resume with \
+             --resume FILE).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint period in rounds (requires --checkpoint).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by --checkpoint. The other \
+             flags must describe the same run (algorithm, n, k, rate, \
+             pattern, rounds, drain); mismatches are rejected, and the \
+             resumed run's output is bit-identical to an uninterrupted one.")
+  in
   Term.(
     ret
       (const run_cmd $ algorithm $ n_arg $ k_arg $ rate $ burst $ pattern
        $ rounds $ drain $ seed $ paced $ series $ trace_n $ events $ stations
-       $ csv $ json))
+       $ csv $ json $ checkpoint $ checkpoint_every $ resume))
 
 (* ---- table1 / figures commands ---- *)
 
@@ -305,9 +360,10 @@ let check_jobs jobs =
   end;
   jobs
 
-let table1_cmd id quick jobs trace_n events_dir json =
+let table1_cmd id quick jobs trace_n events_dir json resume_dir =
   let scale = if quick then `Quick else `Full in
   let jobs = check_jobs jobs in
+  Option.iter ensure_dir resume_dir;
   let observe = scenario_observer ~trace_n ~events_dir in
   let experiments =
     match id with
@@ -322,16 +378,37 @@ let table1_cmd id quick jobs trace_n events_dir json =
   List.iter
     (fun (e : Mac_experiments.Table1.t) ->
       Printf.printf "--- %s ---\n%s\n" e.id e.claim;
-      List.iter
-        (fun (o : Mac_experiments.Scenario.outcome) ->
-          if json <> None then
-            json_rows :=
-              Mac_experiments.Scenario.outcome_json ~experiment:e.id o
-              :: !json_rows;
-          Printf.printf "%-28s %s %s\n" o.spec.id
-            (Mac_sim.Stability.verdict_to_string o.stability.verdict)
-            (if o.passed then "PASS" else "FAIL"))
-        (e.run ?observe ~jobs ~scale ()))
+      let row ~scenario ~verdict ~passed ~json_row ~cached =
+        if json <> None then json_rows := json_row () :: !json_rows;
+        Printf.printf "%-28s %s %s%s\n" scenario verdict
+          (if passed then "PASS" else "FAIL")
+          (if cached then "  (resumed)" else "")
+      in
+      match resume_dir with
+      | None ->
+        List.iter
+          (fun (o : Mac_experiments.Scenario.outcome) ->
+            row ~scenario:o.spec.id
+              ~verdict:(Mac_sim.Stability.verdict_to_string o.stability.verdict)
+              ~passed:o.passed
+              ~json_row:(fun () ->
+                Mac_experiments.Scenario.outcome_json ~experiment:e.id o)
+              ~cached:false)
+          (e.run ?observe ~jobs ~scale ())
+      | Some dir ->
+        List.iter
+          (fun (r : Mac_experiments.Scenario.resumed) ->
+            row
+              ~scenario:(Mac_experiments.Scenario.resumed_id r)
+              ~verdict:(Mac_experiments.Scenario.resumed_verdict r)
+              ~passed:(Mac_experiments.Scenario.resumed_passed r)
+              ~json_row:(fun () ->
+                Mac_experiments.Scenario.resumed_json ~experiment:e.id r)
+              ~cached:
+                (match r with
+                 | Mac_experiments.Scenario.Cached _ -> true
+                 | Mac_experiments.Scenario.Fresh _ -> false))
+          (e.run_resumable ?observe ~jobs ~resume_dir:dir ~scale ()))
     experiments;
   Option.iter
     (fun path ->
@@ -593,6 +670,17 @@ let table1_json_arg =
           "Write every scenario's checks and summary as a JSON array to FILE \
            (the BENCH_table1.json format).")
 
+let table1_resume_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume-dir" ] ~docv:"DIR"
+        ~doc:
+          "Record a completion marker per scenario under DIR and skip \
+           scenarios already marked done: restarting a killed sweep with \
+           the same DIR re-runs only the unfinished scenarios, and the \
+           --json output is byte-identical to an uninterrupted sweep.")
+
 let resilience_term =
   let algo =
     Arg.(
@@ -839,7 +927,7 @@ let cmds =
       Term.(
         ret
           (const table1_cmd $ id_arg $ quick_arg $ jobs_arg $ exp_trace_arg
-           $ exp_events_arg $ table1_json_arg));
+           $ exp_events_arg $ table1_json_arg $ table1_resume_dir_arg));
     Cmd.v
       (Cmd.info "figures" ~doc:"Re-run figure sweeps")
       Term.(

@@ -38,6 +38,22 @@ let start spec =
 
 let spec d = d.spec
 
+type driver_state = {
+  tokens : Qrat.t;
+  injected_total : int;
+  pattern_state : string;
+}
+
+let save_driver d =
+  { tokens = Leaky_bucket.tokens d.bucket;
+    injected_total = d.injected_total;
+    pattern_state = d.spec.pattern.Pattern.save () }
+
+let restore_driver d st =
+  Leaky_bucket.set_tokens d.bucket st.tokens;
+  d.injected_total <- st.injected_total;
+  d.spec.pattern.Pattern.load st.pattern_state
+
 (* Number of packets the pacing discipline wants to inject this round,
    before bucket capping. *)
 let desired d ~round =

@@ -50,6 +50,21 @@ val start : t -> driver
 
 val spec : driver -> t
 
+type driver_state = {
+  tokens : Mac_channel.Qrat.t;
+  injected_total : int;
+  pattern_state : string;
+}
+(** A pure-data snapshot of a driver's mutable run state: exact bucket level,
+    injection count, and the pattern's serialised cursor. *)
+
+val save_driver : driver -> driver_state
+(** Capture the driver's state at a round boundary. *)
+
+val restore_driver : driver -> driver_state -> unit
+(** Restore state captured by {!save_driver} onto a freshly started driver of
+    the same spec. Raises [Invalid_argument] on a mismatched snapshot. *)
+
 val inject : driver -> view:View.t -> (int * int) list
 (** Injections for the round described by [view] (uses [view.round]); also
     advances the bucket. The returned pairs always satisfy the leaky-bucket

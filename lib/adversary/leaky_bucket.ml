@@ -27,6 +27,13 @@ let burst_q t = t.burst
 let rate t = Qrat.to_float t.rate
 let burst t = Qrat.to_float t.burst
 
+let tokens t = t.tokens
+
+let set_tokens t v =
+  if Qrat.sign v < 0 || Qrat.compare v t.cap > 0 then
+    invalid_arg "Leaky_bucket.set_tokens: out of [0, rate+burst]";
+  t.tokens <- v
+
 let grant t = Qrat.floor t.tokens
 
 let consume t count =

@@ -34,6 +34,13 @@ val rate : t -> float
 val burst : t -> float
 (** Deprecated: [Qrat.to_float (burst_q t)]. *)
 
+val tokens : t -> Mac_channel.Qrat.t
+(** The exact current token level, for checkpointing. *)
+
+val set_tokens : t -> Mac_channel.Qrat.t -> unit
+(** Restore a token level previously read with {!tokens}. Raises
+    [Invalid_argument] outside [0, rate+burst]. *)
+
 val grant : t -> int
 (** Packets that may still be injected in the current round. *)
 

@@ -1,9 +1,60 @@
 type t = {
   name : string;
   generate : round:int -> budget:int -> view:View.t -> (int * int) list;
+  save : unit -> string;
+  load : string -> unit;
 }
 
-let make ~name generate = { name; generate }
+let make ?save ?load ~name generate =
+  let save = match save with Some f -> f | None -> fun () -> "" in
+  let load =
+    match load with
+    | Some f -> f
+    | None ->
+      fun s ->
+        if s <> "" then
+          invalid_arg
+            (Printf.sprintf
+               "Pattern.load: %s is stateless but was given state %S" name s)
+  in
+  { name; generate; save; load }
+
+(* Checkpoint encodings are length-prefixed concatenations so composite
+   patterns (mix, duty_cycle) can nest inner states without escaping. *)
+let cat parts =
+  String.concat ""
+    (List.map (fun s -> string_of_int (String.length s) ^ ":" ^ s) parts)
+
+let uncat s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match String.index_from_opt s i ':' with
+      | None -> invalid_arg "Pattern.load: malformed state"
+      | Some j ->
+        let len =
+          match int_of_string_opt (String.sub s i (j - i)) with
+          | Some l when l >= 0 && j + 1 + l <= n -> l
+          | _ -> invalid_arg "Pattern.load: malformed state"
+        in
+        go (j + 1 + len) (String.sub s (j + 1) len :: acc)
+  in
+  go 0 []
+
+let rng_save rng () = Int64.to_string (Mac_channel.Rng.state rng)
+
+let rng_load rng s =
+  match Int64.of_string_opt s with
+  | Some v -> Mac_channel.Rng.set_state rng v
+  | None -> invalid_arg "Pattern.load: bad rng state"
+
+let counter_save c () = string_of_int !c
+
+let counter_load c s =
+  match int_of_string_opt s with
+  | Some v -> c := v
+  | None -> invalid_arg "Pattern.load: bad counter state"
 
 (* Builds a list of [budget] pairs from an indexed generator. *)
 let tabulate budget f = List.init budget f
@@ -17,7 +68,8 @@ let uniform ~n ~seed =
         let dst = if d >= src then d + 1 else d in
         (src, dst))
   in
-  make ~name:(Printf.sprintf "uniform(seed=%d)" seed) gen
+  make ~save:(rng_save rng) ~load:(rng_load rng)
+    ~name:(Printf.sprintf "uniform(seed=%d)" seed) gen
 
 let flood ~n ~victim =
   let counter = ref 0 in
@@ -28,7 +80,8 @@ let flood ~n ~victim =
         let dst = if d >= victim then d + 1 else d in
         (victim, dst))
   in
-  make ~name:(Printf.sprintf "flood(victim=%d)" victim) gen
+  make ~save:(counter_save counter) ~load:(counter_load counter)
+    ~name:(Printf.sprintf "flood(victim=%d)" victim) gen
 
 let pair_flood ~src ~dst =
   if src = dst then invalid_arg "Pattern.pair_flood: src = dst";
@@ -43,7 +96,8 @@ let round_robin ~n =
         incr counter;
         (src, (src + 1) mod n))
   in
-  make ~name:"round-robin" gen
+  make ~save:(counter_save counter) ~load:(counter_load counter)
+    ~name:"round-robin" gen
 
 let hotspot ~n ~seed ~hot ~bias =
   if not (bias >= 0.0 && bias <= 1.0) then invalid_arg "Pattern.hotspot: bias";
@@ -58,7 +112,8 @@ let hotspot ~n ~seed ~hot ~bias =
         let src = if s >= dst then s + 1 else s in
         (src, dst))
   in
-  make ~name:(Printf.sprintf "hotspot(hot=%d,bias=%.2f)" hot bias) gen
+  make ~save:(rng_save rng) ~load:(rng_load rng)
+    ~name:(Printf.sprintf "hotspot(hot=%d,bias=%.2f)" hot bias) gen
 
 let alternating ~src ~dst_odd ~dst_even =
   if src = dst_odd || src = dst_even then invalid_arg "Pattern.alternating";
@@ -90,7 +145,17 @@ let mix ~seed weighted =
         | [] -> [])
       (List.init budget (fun i -> i))
   in
-  make ~name:"mix" gen
+  let save () =
+    cat (rng_save rng () :: List.map (fun (_, p) -> p.save ()) weighted)
+  in
+  let load s =
+    match uncat s with
+    | own :: inner when List.length inner = List.length weighted ->
+      rng_load rng own;
+      List.iter2 (fun (_, p) st -> p.load st) weighted inner
+    | _ -> invalid_arg "Pattern.load: mix arity mismatch"
+  in
+  make ~save ~load ~name:"mix" gen
 
 let duty_cycle ~busy ~idle inner =
   if busy <= 0 || idle < 0 then invalid_arg "Pattern.duty_cycle";
@@ -98,7 +163,8 @@ let duty_cycle ~busy ~idle inner =
   let gen ~round ~budget ~view =
     if round mod period < busy then inner.generate ~round ~budget ~view else []
   in
-  make ~name:(Printf.sprintf "duty(%d/%d,%s)" busy period inner.name) gen
+  make ~save:inner.save ~load:inner.load
+    ~name:(Printf.sprintf "duty(%d/%d,%s)" busy period inner.name) gen
 
 let one_shot ~at ~src ~dst =
   if src = dst then invalid_arg "Pattern.one_shot: src = dst";
@@ -110,7 +176,15 @@ let one_shot ~at ~src ~dst =
     end
     else []
   in
-  make ~name:(Printf.sprintf "one-shot(%d->%d@%d)" src dst at) gen
+  make
+    ~save:(fun () -> if !fired then "1" else "0")
+    ~load:(fun s ->
+      match s with
+      | "0" -> fired := false
+      | "1" -> fired := true
+      | _ -> invalid_arg "Pattern.load: bad one-shot state")
+    ~name:(Printf.sprintf "one-shot(%d->%d@%d)" src dst at)
+    gen
 
 let to_busiest ~n =
   let counter = ref 0 in
@@ -125,4 +199,5 @@ let to_busiest ~n =
         let dst = if d >= !busiest then d + 1 else d in
         (!busiest, dst))
   in
-  make ~name:"to-busiest" gen
+  make ~save:(counter_save counter) ~load:(counter_load counter)
+    ~name:"to-busiest" gen

@@ -8,9 +8,32 @@
 type t = {
   name : string;
   generate : round:int -> budget:int -> view:View.t -> (int * int) list;
+  save : unit -> string;
+      (** Serialise the pattern's mutable cursor (RNG state, counters, fired
+          flags) for a checkpoint. Stateless patterns return [""]. *)
+  load : string -> unit;
+      (** Restore a cursor previously produced by {!save} on a freshly
+          constructed pattern of the same shape. Raises [Invalid_argument]
+          on a malformed or mismatched state string. *)
 }
 
-val make : name:string -> (round:int -> budget:int -> view:View.t -> (int * int) list) -> t
+val make :
+  ?save:(unit -> string) ->
+  ?load:(string -> unit) ->
+  name:string ->
+  (round:int -> budget:int -> view:View.t -> (int * int) list) ->
+  t
+(** [make ~name gen] builds a pattern. Stateful patterns should provide
+    [save]/[load] so checkpoint/resume reproduces their stream exactly; the
+    defaults are the empty state (and [load] rejecting non-empty input). *)
+
+val cat : string list -> string
+(** Length-prefixed concatenation of state strings, for composite patterns
+    that nest inner pattern states. Inverse of {!uncat}. *)
+
+val uncat : string -> string list
+(** Split a {!cat}-encoded string back into its parts. Raises
+    [Invalid_argument] on malformed input. *)
 
 val uniform : n:int -> seed:int -> t
 (** Source and destination uniform at random (distinct). *)

@@ -80,5 +80,11 @@ let cap2_breaker ~n =
     let s1, s2 = helpers !s in
     List.init budget (fun _ -> (s1, s2))
   in
-  { pattern = Pattern.make ~name:"cap2-breaker" gen;
+  let save () = string_of_int !s in
+  let load st =
+    match int_of_string_opt st with
+    | Some v when v >= 0 && v < n -> s := v
+    | _ -> invalid_arg "Saboteur.cap2_breaker: bad witness state"
+  in
+  { pattern = Pattern.make ~save ~load ~name:"cap2-breaker" gen;
     description = "adaptive Lemma-1 witness strategy" }

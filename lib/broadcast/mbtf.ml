@@ -38,3 +38,7 @@ let observe s ~round:_ ~queue:_ ~feedback =
   Reaction.No_reaction
 
 let offline_tick _ ~round:_ ~queue:_ = ()
+
+include Algorithm.Marshal_codec (struct
+  type nonrec state = state
+end)

@@ -59,4 +59,8 @@ end) : Algorithm.S = struct
     Reaction.No_reaction
 
   let offline_tick _ ~round:_ ~queue:_ = ()
+
+  include Algorithm.Marshal_codec (struct
+    type nonrec state = state
+  end)
 end

@@ -53,6 +53,33 @@ module type S = sig
     state -> round:int -> queue:Pqueue.t -> feedback:Feedback.t -> Reaction.t
 
   val offline_tick : state -> round:int -> queue:Pqueue.t -> unit
+
+  val state_version : int
+  (** Version tag of the encoded-state format. Bump whenever [state]'s
+      layout changes so stale checkpoints are rejected instead of
+      misinterpreted. *)
+
+  val encode_state : state -> string
+  (** Serialise a station's full mutable state for a checkpoint. Must be a
+      lossless round-trip with {!decode_state}: the decoded state behaves
+      bit-identically to the original on every future round. *)
+
+  val decode_state : string -> state
+  (** Inverse of {!encode_state}. Only called on strings produced by the
+      same [state_version] of the same algorithm (the checkpoint layer
+      validates both before calling). *)
+end
+
+(** Default codec for algorithms whose [state] is pure data (no closures, no
+    custom blocks): OCaml's [Marshal] round-trips such values exactly,
+    including hashtable layout. Usage inside an implementation:
+    [include Algorithm.Marshal_codec (struct type nonrec state = state end)]. *)
+module Marshal_codec (T : sig
+  type state
+end) : sig
+  val state_version : int
+  val encode_state : T.state -> string
+  val decode_state : string -> T.state
 end
 
 type t = (module S)

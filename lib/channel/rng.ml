@@ -13,6 +13,9 @@ let next_int64 t =
 
 let split t = { state = next_int64 t }
 
+let state t = t.state
+let set_state t s = t.state <- s
+
 let int t bound =
   assert (bound > 0);
   let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in

@@ -13,6 +13,13 @@ val create : seed:int -> t
 val split : t -> t
 (** [split t] derives a new independent generator from [t], advancing [t]. *)
 
+val state : t -> int64
+(** The full internal state, for checkpointing. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a state previously read with {!state}. [set_state t (state t')]
+    makes [t] produce exactly [t']'s future stream. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
 

@@ -332,3 +332,7 @@ let observe s ~round ~queue:_ ~feedback =
   | Main, _ | Auxiliary, _ -> Reaction.No_reaction
 
 let offline_tick s ~round ~queue = sync s ~round ~queue
+
+include Algorithm.Marshal_codec (struct
+  type nonrec state = state
+end)

@@ -174,3 +174,7 @@ let observe s ~round ~queue:_ ~feedback =
   Reaction.No_reaction
 
 let offline_tick _ ~round:_ ~queue:_ = ()
+
+include Algorithm.Marshal_codec (struct
+  type nonrec state = state
+end)

@@ -90,5 +90,9 @@ let algorithm ~n ~k =
       Reaction.No_reaction
 
     let offline_tick _ ~round:_ ~queue:_ = ()
+
+    include Algorithm.Marshal_codec (struct
+      type nonrec state = state
+    end)
   end in
   (module M : Algorithm.S)

@@ -108,6 +108,10 @@ let build ?delta_scale ~n ~k () =
            Reaction.No_reaction)
 
     let offline_tick _ ~round:_ ~queue:_ = ()
+
+    include Algorithm.Marshal_codec (struct
+      type nonrec state = state
+    end)
   end in
   (module M : Algorithm.S)
 

@@ -223,5 +223,9 @@ let algorithm ?(discipline = `Mbtf) ?(allocation = `Balanced) ~n ~k () =
     (* Keep phase allocation running while switched off: assignment is
        local bookkeeping over the station's own queue, not channel use. *)
     let offline_tick s ~round ~queue = sync s ~round ~queue
+
+    include Algorithm.Marshal_codec (struct
+      type nonrec state = state
+    end)
   end in
   (module M : Algorithm.S)

@@ -149,6 +149,10 @@ end) : Mac_channel.Algorithm.S = struct
     Reaction.No_reaction
 
   let offline_tick s ~round ~queue = sync s ~round ~queue
+
+  include Algorithm.Marshal_codec (struct
+    type nonrec state = state
+  end)
 end
 
 include Impl (struct

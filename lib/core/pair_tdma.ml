@@ -40,3 +40,7 @@ let act s ~round ~queue =
 let observe _ ~round:_ ~queue:_ ~feedback:_ = Reaction.No_reaction
 
 let offline_tick _ ~round:_ ~queue:_ = ()
+
+include Algorithm.Marshal_codec (struct
+  type nonrec state = state
+end)

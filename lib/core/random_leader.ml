@@ -72,5 +72,9 @@ let algorithm ?(seed = 0) ~n ~k () =
     let observe _ ~round:_ ~queue:_ ~feedback:_ = Reaction.No_reaction
 
     let offline_tick _ ~round:_ ~queue:_ = ()
+
+    include Algorithm.Marshal_codec (struct
+      type nonrec state = state
+    end)
   end in
   (module M : Algorithm.S)

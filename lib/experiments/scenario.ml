@@ -135,6 +135,9 @@ let check_json (c : check) =
      else "null")
     c.ok
 
+let verdict_string (o : outcome) =
+  Mac_sim.Stability.verdict_to_string o.stability.verdict
+
 let outcome_json ~experiment (o : outcome) =
   Printf.sprintf
     "{\"experiment\": \"%s\", \"scenario\": \"%s\", \"verdict\": \"%s\", \
@@ -145,3 +148,113 @@ let outcome_json ~experiment (o : outcome) =
     o.passed
     (String.concat ", " (List.map check_json o.checks))
     (Mac_sim.Export.summary_json o.summary)
+
+(* --- Resumable batches ------------------------------------------------- *)
+
+type cached = {
+  scenario : string;
+  verdict : string;
+  succeeded : bool;
+  row : string;
+}
+
+type resumed = Fresh of outcome | Cached of cached
+
+let resumed_id = function
+  | Fresh o -> o.spec.id
+  | Cached c -> c.scenario
+
+let resumed_passed = function
+  | Fresh o -> o.passed
+  | Cached c -> c.succeeded
+
+let resumed_verdict = function
+  | Fresh o -> verdict_string o
+  | Cached c -> c.verdict
+
+let resumed_json ~experiment = function
+  | Fresh o -> outcome_json ~experiment o
+  | Cached c -> c.row
+
+(* Marker filenames are derived from the scenario id, but the id is also
+   recorded verbatim inside the marker: two ids that sanitize to the same
+   filename cannot silently satisfy each other. *)
+let sanitize_id id =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '_')
+    id
+
+let marker_magic = "MACDONE 1"
+
+let marker_path ~resume_dir id =
+  Filename.concat resume_dir (sanitize_id id ^ ".done")
+
+let load_cached ~id path =
+  if not (Sys.file_exists path) then None
+  else
+    let lines =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | line -> go (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    in
+    let strip ~prefix line =
+      let n = String.length prefix in
+      if String.length line > n && String.sub line 0 n = prefix then
+        Some (String.sub line n (String.length line - n))
+      else None
+    in
+    match lines with
+    | [ magic; id_line; verdict_line; passed_line; row ]
+      when magic = marker_magic -> (
+      match
+        ( strip ~prefix:"scenario " id_line,
+          strip ~prefix:"verdict " verdict_line,
+          strip ~prefix:"passed " passed_line )
+      with
+      | Some scenario, Some verdict, Some passed_s
+        when scenario = id && (passed_s = "true" || passed_s = "false") ->
+        Some { scenario; verdict; succeeded = passed_s = "true"; row }
+      | _ -> None)
+    | _ -> None
+
+let store_cached ~experiment path (o : outcome) =
+  let content =
+    String.concat "\n"
+      [ marker_magic;
+        "scenario " ^ o.spec.id;
+        "verdict " ^ verdict_string o;
+        Printf.sprintf "passed %b" o.passed;
+        outcome_json ~experiment o ]
+  in
+  let tmp =
+    Filename.concat (Filename.dirname path) ("." ^ Filename.basename path ^ ".tmp")
+  in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc content)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let run_resumable ?checks ?observe ~resume_dir ~experiment spec =
+  if not (Sys.file_exists resume_dir) then Sys.mkdir resume_dir 0o755;
+  let path = marker_path ~resume_dir spec.id in
+  match load_cached ~id:spec.id path with
+  | Some c -> Cached c
+  | None ->
+    let o = run ?checks ?observe spec in
+    store_cached ~experiment path o;
+    Fresh o

@@ -105,6 +105,50 @@ val outcome_json : experiment:string -> outcome -> string
 (** One outcome as the JSON row format of [BENCH_table1.json] (experiment
     id, scenario id, verdict, checks, full summary). *)
 
+(** {2 Resumable batches}
+
+    A killed sweep can be resumed by re-running it with the same
+    [resume_dir]: scenarios whose marker file is present are skipped and
+    their recorded outcome row is replayed byte-for-byte, so the JSON
+    output of an interrupted-and-resumed sweep is identical to an
+    uninterrupted one. Markers are written atomically (tmp + rename) after
+    a scenario completes, never mid-run. *)
+
+type cached = {
+  scenario : string;  (** scenario id, recorded verbatim *)
+  verdict : string;   (** stability verdict string *)
+  succeeded : bool;   (** the recorded [passed] flag *)
+  row : string;       (** the exact [outcome_json] line of the original run *)
+}
+
+type resumed = Fresh of outcome | Cached of cached
+
+val resumed_id : resumed -> string
+val resumed_passed : resumed -> bool
+val resumed_verdict : resumed -> string
+
+val resumed_json : experiment:string -> resumed -> string
+(** The BENCH_table1.json row: computed via {!outcome_json} for [Fresh],
+    replayed verbatim from the marker for [Cached] (whose stored row
+    already embeds the experiment id it was run under). *)
+
+val marker_path : resume_dir:string -> string -> string
+(** Where [run_resumable] records a scenario id's completion. Filenames
+    sanitize the id to [[A-Za-z0-9._-]]; the marker also stores the id
+    verbatim, so colliding sanitizations cannot satisfy each other. *)
+
+val run_resumable :
+  ?checks:checker list ->
+  ?observe:observer ->
+  resume_dir:string ->
+  experiment:string ->
+  spec ->
+  resumed
+(** Like {!run}, but checks [resume_dir] (created if missing) for a
+    completion marker first. On a hit, returns [Cached] without simulating;
+    on a miss, runs the scenario, writes the marker, and returns [Fresh].
+    A corrupt or mismatched marker is treated as a miss and rewritten. *)
+
 val schedule_of :
   Mac_channel.Algorithm.t -> n:int -> k:int ->
   (me:int -> round:int -> bool) option

@@ -16,10 +16,18 @@ type t = {
     scale:[ `Quick | `Full ] ->
     unit ->
     Scenario.outcome list;
+  run_resumable :
+    ?observe:Scenario.observer ->
+    ?jobs:int ->
+    resume_dir:string ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    Scenario.resumed list;
 }
 
 (* [run] is derived: evaluate the row's cells (fresh pattern state every
-   call) and fan the runs out over the pool. *)
+   call) and fan the runs out over the pool. [run_resumable] is the same
+   shape, with each cell consulting the resume directory first. *)
 let row ~id ~claim cells =
   let run ?observe ?jobs ~scale () =
     Scenario.run_batch ?jobs
@@ -27,7 +35,16 @@ let row ~id ~claim cells =
          (fun c () -> Scenario.run ~checks:c.checks ?observe c.spec)
          (cells ~scale))
   in
-  { id; claim; cells; run }
+  let run_resumable ?observe ?(jobs = 1) ~resume_dir ~scale () =
+    Mac_sim.Pool.map ~jobs
+      (List.map
+         (fun c () ->
+           Scenario.run_resumable ~checks:c.checks ?observe ~resume_dir
+             ~experiment:id c.spec)
+         (cells ~scale))
+      (fun t -> t ())
+  in
+  { id; claim; cells; run; run_resumable }
 
 let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
 

@@ -36,6 +36,18 @@ type t = {
       scenarios out over that many worker domains via {!Scenario.run_batch};
       outcomes keep their listed order and are bit-identical to a
       sequential run. *)
+  run_resumable :
+    ?observe:Scenario.observer ->
+    ?jobs:int ->
+    resume_dir:string ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    Scenario.resumed list;
+  (** Like [run], but each cell goes through {!Scenario.run_resumable}
+      keyed by the row id: cells already recorded in [resume_dir] are
+      replayed as [Cached] without simulating, so a killed sweep restarted
+      with the same directory re-runs only its unfinished scenarios and
+      reproduces the original JSON rows byte-for-byte. *)
 }
 
 val all : t list

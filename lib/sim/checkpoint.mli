@@ -1,0 +1,25 @@
+(** Persistent, self-describing checkpoint files for {!Engine} snapshots.
+
+    A checkpoint file is a text header — a magic line ["MACCKPT <version>"]
+    and one line of JSON metadata (algorithm, n, k, round; inspectable with
+    [head -2]) — followed by the binary snapshot blob. Writes are atomic
+    (tmp file + rename), so a crash mid-write leaves the previous checkpoint
+    intact; [read] validates the header and version before touching the
+    blob, and {!Engine.run} re-validates the snapshot's identity fields
+    against the resuming run's configuration. Checkpoint files are
+    build-specific (the blob is OCaml [Marshal] output): a file written by a
+    different binary is rejected by the header version or the snapshot
+    version, not misread. *)
+
+val format_version : int
+
+val write : path:string -> Engine.snapshot -> unit
+(** Atomically persist a snapshot: written to a hidden sibling tmp file,
+    then renamed over [path]. *)
+
+val read : path:string -> (Engine.snapshot, string) result
+(** Load a checkpoint. [Error] carries a one-line human-readable reason
+    (missing file, bad magic, version mismatch, truncated blob). *)
+
+val describe : Engine.snapshot -> string
+(** One line: algorithm, n, k and the snapshot's round position. *)

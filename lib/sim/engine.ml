@@ -2,6 +2,49 @@ open Mac_channel
 
 exception Protocol_violation of string
 
+let snapshot_version = 1
+
+(* A pure-data photograph of a run at a round boundary. Everything mutable
+   the round loop reads is here: queues (in arrival order, with per-packet
+   hop counts), encoded algorithm states, the adversary driver (exact
+   bucket level + pattern cursor), mode memory, crash flags, and a deep
+   copy of the metrics collector. The identity fields up front let resume
+   reject a snapshot taken under a different configuration instead of
+   silently diverging. *)
+type snapshot = {
+  snap_version : int;
+  algorithm : string;
+  state_version : int;
+  snap_n : int;
+  snap_k : int;
+  adversary_name : string;
+  rate : Qrat.t;
+  burst : Qrat.t;
+  pacing : Mac_adversary.Adversary.pacing;
+  pattern_name : string;
+  plan_name : string option;
+  cfg_rounds : int;
+  drain_limit : int;
+  sample_every : int;
+  round : int;
+  drained : int;
+  next_id : int;
+  queues : Packet.t array array;
+  hops : int array array;
+  states : string array;
+  prev_on : bool array;
+  crashed : bool array;
+  adversary_state : Mac_adversary.Adversary.driver_state;
+  metrics : Metrics.t;
+}
+
+let snapshot_round s = s.round
+let snapshot_drained s = s.drained
+let snapshot_algorithm s = s.algorithm
+let snapshot_n s = s.snap_n
+let snapshot_k s = s.snap_k
+let snapshot_rounds s = s.cfg_rounds
+
 type config = {
   rounds : int;
   drain_limit : int;
@@ -11,11 +54,14 @@ type config = {
   trace : Trace.t option;
   sink : Sink.t option;
   faults : Mac_faults.Fault_plan.t option;
+  checkpoint_every : int;
+  on_checkpoint : (snapshot -> unit) option;
 }
 
 let default_config ~rounds =
   { rounds; drain_limit = 0; sample_every = 0; check_schedule = false;
-    strict = true; trace = None; sink = None; faults = None }
+    strict = true; trace = None; sink = None; faults = None;
+    checkpoint_every = 0; on_checkpoint = None }
 
 type tracked = {
   packet : Packet.t;
@@ -27,9 +73,20 @@ let violation ~strict metrics note msg =
   note metrics;
   if strict then raise (Protocol_violation msg)
 
-let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () =
+let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
+    ~rounds () =
   let cfg =
-    match config with Some c -> c | None -> default_config ~rounds
+    match config with
+    | None -> default_config ~rounds
+    | Some c ->
+      (* One source of truth: a config whose [rounds] disagrees with the
+         [~rounds] argument used to win silently — now it is an error. *)
+      if c.rounds <> rounds then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.run: ~rounds:%d disagrees with config.rounds = %d" rounds
+             c.rounds);
+      c
   in
   let cap = A.required_cap ~n ~k in
   let sample_every =
@@ -37,9 +94,75 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
     else max 1 ((cfg.rounds + cfg.drain_limit) / 1024)
   in
   let metrics =
-    Metrics.create ~algorithm:A.name ~adversary:adversary.Mac_adversary.Adversary.name
-      ~n ~k ~cap ~sample_every
+    match resume with
+    | Some s -> Metrics.copy s.metrics
+    | None ->
+      Metrics.create ~algorithm:A.name
+        ~adversary:adversary.Mac_adversary.Adversary.name ~n ~k ~cap
+        ~sample_every
   in
+  let plan =
+    match cfg.faults with
+    | Some p when not (Mac_faults.Fault_plan.is_empty p) -> Some p
+    | _ -> None
+  in
+  (* Resume, part 1: validate that the snapshot was taken under this exact
+     configuration (a mismatch would not crash — it would silently produce
+     a different run). Checked before any per-station state is built, so a
+     wrong [n] is reported as a resume error, not as whatever the
+     algorithm's constructor does with it. *)
+  (match resume with
+   | None -> ()
+   | Some s ->
+     let fail fmt =
+       Printf.ksprintf
+         (fun msg -> invalid_arg ("Engine.run: cannot resume: " ^ msg))
+         fmt
+     in
+     if s.snap_version <> snapshot_version then
+       fail "snapshot format version %d (this engine writes %d)"
+         s.snap_version snapshot_version;
+     if s.algorithm <> A.name then
+       fail "snapshot is of algorithm %s, not %s" s.algorithm A.name;
+     if s.state_version <> A.state_version then
+       fail "%s state version %d (current %d)" A.name s.state_version
+         A.state_version;
+     if s.snap_n <> n || s.snap_k <> k then
+       fail "snapshot has n=%d k=%d, run has n=%d k=%d" s.snap_n s.snap_k n k;
+     if s.cfg_rounds <> cfg.rounds then
+       fail "snapshot ran %d rounds, config says %d" s.cfg_rounds cfg.rounds;
+     if s.drain_limit <> cfg.drain_limit then
+       fail "snapshot drain limit %d, config says %d" s.drain_limit
+         cfg.drain_limit;
+     if s.sample_every <> sample_every then
+       fail "snapshot sampled every %d rounds, this run samples every %d"
+         s.sample_every sample_every;
+     if s.adversary_name <> adversary.Mac_adversary.Adversary.name then
+       fail "snapshot adversary %s, run adversary %s" s.adversary_name
+         adversary.Mac_adversary.Adversary.name;
+     if
+       not
+         (Qrat.equal s.rate adversary.Mac_adversary.Adversary.rate
+         && Qrat.equal s.burst adversary.Mac_adversary.Adversary.burst)
+     then
+       fail "snapshot adversary type (%s,%s), run type (%s,%s)"
+         (Qrat.to_string s.rate) (Qrat.to_string s.burst)
+         (Qrat.to_string adversary.Mac_adversary.Adversary.rate)
+         (Qrat.to_string adversary.Mac_adversary.Adversary.burst);
+     if s.pacing <> adversary.Mac_adversary.Adversary.pacing then
+       fail "snapshot and run disagree on pacing";
+     if
+       s.pattern_name
+       <> adversary.Mac_adversary.Adversary.pattern.Mac_adversary.Pattern.name
+     then
+       fail "snapshot pattern %s, run pattern %s" s.pattern_name
+         adversary.Mac_adversary.Adversary.pattern.Mac_adversary.Pattern.name;
+     if s.plan_name <> Option.map Mac_faults.Fault_plan.name plan then
+       fail "snapshot fault plan %s, run fault plan %s"
+         (Option.value s.plan_name ~default:"<none>")
+         (Option.value
+            (Option.map Mac_faults.Fault_plan.name plan)
+            ~default:"<none>"));
   let queues = Array.init n (fun _ -> Pqueue.create ~n) in
   let states = Array.init n (fun me -> A.create ~n ~k ~me) in
   let registry : (int, tracked) Hashtbl.t = Hashtbl.create 4096 in
@@ -61,14 +184,28 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
      jam flags stay unset, and [apply_faults] is never called — so a run
      with [faults = None] is bit-identical (metrics and event stream) to
      one predating the fault layer. *)
-  let plan =
-    match cfg.faults with
-    | Some p when not (Mac_faults.Fault_plan.is_empty p) -> Some p
-    | _ -> None
-  in
   let crashed = Array.make n false in
   let jam_now = ref false in
   let noise_now = ref false in
+
+  (* Resume, part 2: the snapshot is known to match; rebuild every piece
+     of mutable state from it. *)
+  (match resume with
+   | None -> ()
+   | Some s ->
+     next_id := s.next_id;
+     for i = 0 to n - 1 do
+       states.(i) <- A.decode_state s.states.(i);
+       Array.iteri
+         (fun j (p : Packet.t) ->
+           Pqueue.add queues.(i) p;
+           Hashtbl.replace registry p.Packet.id
+             { packet = p; delivered = false; hops = s.hops.(i).(j) })
+         s.queues.(i)
+     done;
+     Array.blit s.prev_on 0 prev_on 0 n;
+     Array.blit s.crashed 0 crashed 0 n;
+     Mac_adversary.Adversary.restore_driver driver s.adversary_state);
 
   (* Event emission. Every observable step of the round loop produces a
      typed Event.t, fanned out to the configured sinks (the legacy trace
@@ -383,15 +520,71 @@ let run ?config ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary ~rounds () 
       emit ~round (Event.Round_end { on_count = !on_count; draining })
   in
 
-  for round = 0 to cfg.rounds - 1 do
-    step ~round ~draining:false
-  done;
-  let round = ref cfg.rounds in
+  let round = ref 0 in
   let drained = ref 0 in
+  (match resume with
+   | Some s ->
+     round := s.round;
+     drained := s.drained
+   | None -> ());
+  (* Snapshots are taken between rounds: round [!round] is the next one to
+     execute and everything per-round (scratch arrays, jam flags, the view)
+     is recomputed at the top of [step], so nothing transient escapes.
+     Building a snapshot reads but never writes engine state — a checkpointed
+     run is bit-identical to an unobserved one. *)
+  let make_snapshot () =
+    { snap_version = snapshot_version;
+      algorithm = A.name;
+      state_version = A.state_version;
+      snap_n = n;
+      snap_k = k;
+      adversary_name = adversary.Mac_adversary.Adversary.name;
+      rate = adversary.Mac_adversary.Adversary.rate;
+      burst = adversary.Mac_adversary.Adversary.burst;
+      pacing = adversary.Mac_adversary.Adversary.pacing;
+      pattern_name =
+        adversary.Mac_adversary.Adversary.pattern.Mac_adversary.Pattern.name;
+      plan_name = Option.map Mac_faults.Fault_plan.name plan;
+      cfg_rounds = cfg.rounds;
+      drain_limit = cfg.drain_limit;
+      sample_every;
+      round = !round;
+      drained = !drained;
+      next_id = !next_id;
+      queues = Array.map (fun q -> Array.of_list (Pqueue.to_list q)) queues;
+      hops =
+        Array.map
+          (fun q ->
+            let hs = Array.make (Pqueue.size q) 0 in
+            let j = ref 0 in
+            Pqueue.iter q ~f:(fun p ->
+                hs.(!j) <- (Hashtbl.find registry p.Packet.id).hops;
+                incr j);
+            hs)
+          queues;
+      states = Array.map A.encode_state states;
+      prev_on = Array.copy prev_on;
+      crashed = Array.copy crashed;
+      adversary_state = Mac_adversary.Adversary.save_driver driver;
+      metrics = Metrics.copy metrics }
+  in
+  let maybe_checkpoint () =
+    match cfg.on_checkpoint with
+    | Some f when cfg.checkpoint_every > 0 && !round mod cfg.checkpoint_every = 0
+      ->
+      f (make_snapshot ())
+    | _ -> ()
+  in
+  while !round < cfg.rounds do
+    step ~round:!round ~draining:false;
+    incr round;
+    maybe_checkpoint ()
+  done;
   while !drained < cfg.drain_limit && Metrics.total_queued metrics > 0 do
     step ~round:!round ~draining:true;
     incr round;
-    incr drained
+    incr drained;
+    maybe_checkpoint ()
   done;
   let final_round = !round in
   (* Conservation and duplicate checks. Every injected packet is

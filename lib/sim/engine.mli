@@ -37,6 +37,34 @@
 
 exception Protocol_violation of string
 
+val snapshot_version : int
+(** Format version of {!snapshot}; bumped when the snapshot layout changes. *)
+
+type snapshot
+(** A pure-data photograph of a run at a round boundary: per-station queues
+    (arrival order, with hop counts), encoded algorithm states (via each
+    algorithm's {!Mac_channel.Algorithm.S.encode_state}), the adversary
+    driver (exact leaky-bucket level and pattern cursor), mode memory, crash
+    flags, and a deep copy of the metrics collector — plus identity fields
+    (algorithm, n, k, adversary type, fault-plan name, config) that [resume]
+    validates. Snapshots are self-contained: holding one and resuming from
+    it twice gives two identical runs. Serialise with {!Checkpoint}. *)
+
+val snapshot_round : snapshot -> int
+(** The next round the resumed run will execute. *)
+
+val snapshot_drained : snapshot -> int
+(** Drain rounds already executed (0 while in the injection phase). *)
+
+val snapshot_algorithm : snapshot -> string
+
+val snapshot_n : snapshot -> int
+
+val snapshot_k : snapshot -> int
+
+val snapshot_rounds : snapshot -> int
+(** The run's configured injection-round count. *)
+
 type config = {
   rounds : int;          (** rounds with injection *)
   drain_limit : int;     (** additional injection-free rounds, stopping early
@@ -57,14 +85,23 @@ type config = {
       [Protocol_violation]. Crash-heavy plans usually want
       [strict = false]: a packet heard while its only consumers are
       crashed strands, which strict mode treats as a protocol bug. *)
+  checkpoint_every : int;
+  (** when positive (and [on_checkpoint] is set), a snapshot is taken at
+      every round boundary divisible by this period — injection and drain
+      rounds both count. [0] disables checkpointing. *)
+  on_checkpoint : (snapshot -> unit) option;
+  (** receives each periodic snapshot (typically to persist it via
+      {!Checkpoint.write}). Taking a snapshot reads but never writes engine
+      state, so a checkpointed run is bit-identical to an unobserved one. *)
 }
 
 val default_config : rounds:int -> config
 (** No drain, auto sampling, no schedule check, strict, no trace, no sink,
-    no faults. *)
+    no faults, no checkpointing. *)
 
 val run :
   ?config:config ->
+  ?resume:snapshot ->
   algorithm:Mac_channel.Algorithm.t ->
   n:int ->
   k:int ->
@@ -72,7 +109,17 @@ val run :
   rounds:int ->
   unit ->
   Metrics.summary
-(** [run ~algorithm ~n ~k ~adversary ~rounds ()] simulates [rounds] rounds
-    (or [config.rounds] if a config is given — the [rounds] argument is then
-    ignored). [k] is the offered energy cap; the energy accountant checks
-    against the algorithm's [required_cap ~n ~k]. *)
+(** [run ~algorithm ~n ~k ~adversary ~rounds ()] simulates [rounds] rounds.
+    When a config is given its [rounds] field must equal the [~rounds]
+    argument — a mismatch raises [Invalid_argument] (historically
+    [config.rounds] silently won). [k] is the offered energy cap; the energy
+    accountant checks against the algorithm's [required_cap ~n ~k].
+
+    When [resume] is given, the run continues from that snapshot instead of
+    round 0 and produces the exact suffix of the uninterrupted run: the event
+    stream emitted to [config.sink] from the snapshot round on, and the final
+    summary, are bit-identical to what the straight-through run produces.
+    The snapshot must have been taken by a run with the same algorithm
+    (name and [state_version]), n, k, adversary (name, exact type, pacing,
+    pattern), fault plan and config ([rounds], [drain_limit], resolved
+    [sample_every]) — any mismatch raises [Invalid_argument]. *)

@@ -12,6 +12,17 @@ let columns =
 
 let csv_header = String.concat "," columns
 
+(* Non-finite floats have no JSON representation ("%.6g" would emit the
+   invalid tokens [nan] or [inf]) and no meaningful table cell; JSON gets
+   [null], CSV/table cells get "-". Mean delay is nan-free today (finalize
+   maps zero deliveries to 0.0) but energy-per-delivery is genuinely nan on
+   zero-delivery runs, and both emitters must stay safe under refactors. *)
+let finite_or float_repr fallback v =
+  if Float.is_finite v then float_repr v else fallback
+
+let csv_float v = finite_or (Printf.sprintf "%.6g") "-" v
+let json_float v = finite_or (Printf.sprintf "%.6g") "null" v
+
 (* CSV-quote a field only when necessary. *)
 let quote field =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
@@ -23,11 +34,11 @@ let cells (s : Metrics.summary) =
     string_of_int s.rounds; string_of_int s.drain_rounds;
     string_of_int s.injected; string_of_int s.delivered;
     string_of_int s.undelivered; string_of_int s.max_delay;
-    Printf.sprintf "%.6g" s.mean_delay; string_of_int s.p99_delay;
+    csv_float s.mean_delay; string_of_int s.p99_delay;
     string_of_int s.max_queued_age; string_of_int s.max_total_queue;
     string_of_int s.final_total_queue; string_of_int s.max_station_queue;
     string_of_int s.energy_cap; string_of_int s.max_on;
-    Printf.sprintf "%.6g" s.mean_on; string_of_int s.station_rounds;
+    csv_float s.mean_on; string_of_int s.station_rounds;
     string_of_int s.silent_rounds; string_of_int s.light_rounds;
     string_of_int s.delivery_rounds; string_of_int s.relay_rounds;
     string_of_int s.collision_rounds; string_of_int s.max_hops;
@@ -82,7 +93,7 @@ let summary_json (s : Metrics.summary) =
   let field name value = Printf.sprintf "%S: %s" name value in
   let str name value = field name (Printf.sprintf "\"%s\"" (json_escape value)) in
   let int name value = field name (string_of_int value) in
-  let float name value = field name (Printf.sprintf "%.6g" value) in
+  let float name value = field name (json_float value) in
   let fields =
     [ str "algorithm" s.algorithm; str "adversary" s.adversary; int "n" s.n;
       int "k" s.k; int "rounds" s.rounds; int "drain_rounds" s.drain_rounds;

@@ -21,6 +21,13 @@ val summary_json : Metrics.summary -> string
 (** One JSON object on one line; the [delay_histogram] field is an array of
     [[lo, hi, count]] bucket triples (see {!Histogram.buckets}). *)
 
+val csv_float : float -> string
+(** ["%.6g"], except non-finite values render as ["-"]. *)
+
+val json_float : float -> string
+(** ["%.6g"], except non-finite values render as ["null"] — ["%.6g"] alone
+    would emit [nan]/[inf], which are invalid JSON tokens. *)
+
 val json_escape : string -> string
 (** Escape a string for inclusion inside JSON double quotes: quote,
     backslash, newlines and all other control characters below 0x20. *)

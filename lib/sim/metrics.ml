@@ -288,9 +288,22 @@ let observe t ~round (ev : Mac_channel.Event.t) =
 
 let sink t = Sink.make (fun ~round ev -> observe t ~round ev)
 
+(* The collector is pure data (scalars, arrays, lists — no closures), so a
+   Marshal round-trip is an exact deep copy; checkpoints rely on this. *)
+let copy (t : t) : t = Marshal.from_string (Marshal.to_string t []) 0
+
 let finalize t ~final_round ~max_queued_age =
   let total_rounds = t.rounds + t.drain_rounds in
-  ignore final_round;
+  (* Always sample the final backlog: with sample_every > 1 the series could
+     otherwise end up to sample_every-1 rounds short, cutting off the
+     drained tail from plots. [final_round] is the count of executed rounds,
+     so the last executed round is [final_round - 1]; idempotent if that
+     round was already sampled. *)
+  (match t.series_rev with
+  | (r, _) :: _ when r >= final_round - 1 -> ()
+  | _ ->
+    if final_round > 0 then
+      t.series_rev <- (final_round - 1, total_queued t) :: t.series_rev);
   { algorithm = t.algorithm;
     adversary = t.adversary;
     n = t.n;

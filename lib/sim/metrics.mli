@@ -146,4 +146,12 @@ val total_queued : t -> int
 (** [injected - delivered - lost_to_crash]: packets still sitting in some
     queue. *)
 
+val copy : t -> t
+(** Exact deep copy of the collector (it is pure data), for checkpoints:
+    the copy and the original evolve independently. *)
+
 val finalize : t -> final_round:int -> max_queued_age:int -> summary
+(** Freeze the collector into a summary. Always appends a final
+    [queue_series] sample at [final_round] (when one is not already
+    present), so the drained tail is never cut off between [sample_every]
+    marks. *)

@@ -42,7 +42,7 @@ let to_string t =
 let print t = print_string (to_string t)
 
 let fmt_float f =
-  if Float.is_nan f then "-"
+  if not (Float.is_finite f) then "-"
   else if f = 0.0 then "0"
   else if Float.abs f >= 1e6 || Float.abs f < 1e-3 then Printf.sprintf "%.2e" f
   else if Float.abs f >= 100.0 then Printf.sprintf "%.0f" f

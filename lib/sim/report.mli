@@ -14,7 +14,8 @@ val print : t -> unit
 (** [to_string] on stdout, followed by a newline. *)
 
 val fmt_float : float -> string
-(** Compact float formatting for table cells ("12.3", "0.0012", "4.1e+06"). *)
+(** Compact float formatting for table cells ("12.3", "0.0012", "4.1e+06");
+    non-finite values (nan, ±inf) render as "-". *)
 
 val fmt_ratio : measured:float -> bound:float -> string
 (** "measured/bound" percentage cell, or "-" when the bound is not finite. *)

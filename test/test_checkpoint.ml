@@ -1,0 +1,386 @@
+(* Checkpoint/resume equivalence: a run interrupted at a checkpoint and
+   resumed from it must be bit-identical to the uninterrupted run — the
+   event stream, the summary and the queue series — across the Table-1
+   catalog and random configurations (fault plans included). The file
+   layer must round-trip snapshots and reject junk, and the engine must
+   reject snapshots that do not match the resuming configuration. *)
+
+open Mac_verify
+
+exception Interrupted
+
+(* Run a configuration to completion (optionally from a snapshot),
+   recording the full typed event stream. *)
+let complete ?resume (r : Diff.run) =
+  let events = ref [] in
+  let sink =
+    Mac_sim.Sink.make (fun ~round ev -> events := (round, ev) :: !events)
+  in
+  let adversary =
+    Mac_adversary.Adversary.create_q ~name:r.id ~rate:r.rate ~burst:r.burst
+      ~pacing:r.pacing r.pattern
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds:r.rounds) with
+      drain_limit = r.drain; strict = false; check_schedule = false;
+      sink = Some sink; faults = r.faults }
+  in
+  let summary =
+    Mac_sim.Engine.run ~config ?resume ~algorithm:r.algorithm ~n:r.n ~k:r.k
+      ~adversary ~rounds:r.rounds ()
+  in
+  (summary, List.rev !events)
+
+(* Run until the checkpoint at round [at] fires, then crash: raising from
+   [on_checkpoint] aborts [Engine.run] mid-loop exactly like a kill at
+   that round boundary would. Returns the snapshot and the event prefix
+   the run emitted before dying. *)
+let interrupt ~at (r : Diff.run) =
+  let snap = ref None in
+  let events = ref [] in
+  let sink =
+    Mac_sim.Sink.make (fun ~round ev -> events := (round, ev) :: !events)
+  in
+  let adversary =
+    Mac_adversary.Adversary.create_q ~name:r.id ~rate:r.rate ~burst:r.burst
+      ~pacing:r.pacing r.pattern
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds:r.rounds) with
+      drain_limit = r.drain; strict = false; check_schedule = false;
+      sink = Some sink; faults = r.faults;
+      checkpoint_every = at;
+      on_checkpoint = Some (fun s -> snap := Some s; raise Interrupted) }
+  in
+  (match
+     Mac_sim.Engine.run ~config ~algorithm:r.algorithm ~n:r.n ~k:r.k
+       ~adversary ~rounds:r.rounds ()
+   with
+   | _ -> Alcotest.failf "%s: checkpoint at round %d never fired" r.id at
+   | exception Interrupted -> ());
+  (Option.get !snap, List.rev !events)
+
+let check_events id expected got =
+  if expected <> got then begin
+    let show (round, ev) =
+      Printf.sprintf "r%d %s" round (Mac_channel.Event.to_string ev)
+    in
+    let rec first i ea eg =
+      match (ea, eg) with
+      | [], [] ->
+        Alcotest.failf "%s: streams differ but no divergent event found" id
+      | e :: _, [] ->
+        Alcotest.failf "%s: resumed stream ends at event %d; expected %s" id i
+          (show e)
+      | [], e :: _ ->
+        Alcotest.failf "%s: resumed stream has extra event %d: %s" id i (show e)
+      | e :: ta, e' :: tg ->
+        if e <> e' then
+          Alcotest.failf "%s: first divergence at event %d: expected %s, got %s"
+            id i (show e) (show e')
+        else first (i + 1) ta tg
+    in
+    first 0 expected got
+  end
+
+let check_summaries id a b =
+  Alcotest.(check string) (id ^ ": summary")
+    (Mac_sim.Export.summary_json a) (Mac_sim.Export.summary_json b);
+  Alcotest.(check string) (id ^ ": queue series")
+    (Mac_sim.Export.series_csv a) (Mac_sim.Export.series_csv b)
+
+(* The core property. [straight], [interrupted] and [resumer] must be the
+   same configuration with independently created pattern state (patterns
+   are stateful; each run needs its own). *)
+let check_resume ~at (straight : Diff.run) interrupted resumer =
+  match complete straight with
+  | exception Mac_sim.Engine.Protocol_violation _ ->
+    (* some random configs legitimately die on a protocol violation;
+       there is no completed run to resume, so nothing to compare. A
+       violation below, in the interrupted or resumed copy of a config
+       whose straight run finished, still fails the test: determinism
+       means it can only come from a resume bug. *)
+    ()
+  | s_sum, s_ev ->
+    let snap, prefix = interrupt ~at interrupted in
+    let r_sum, suffix = complete ~resume:snap resumer in
+    let id = Printf.sprintf "%s@%d" straight.Diff.id at in
+    check_summaries id s_sum r_sum;
+    check_events id s_ev (prefix @ suffix)
+
+(* Three independently instantiated copies of the same random config. *)
+let triple ~seed =
+  let a, b = Diff.random_pair ~seed in
+  let c, _ = Diff.random_pair ~seed in
+  (a, b, c)
+
+let check_seed seed =
+  let a, b, c = triple ~seed in
+  let rng = Mac_channel.Rng.create ~seed:(seed lxor 0x5bd1e995) in
+  let at = 1 + Mac_channel.Rng.int rng a.Diff.rounds in
+  check_resume ~at a b c
+
+let test_random_sweep () =
+  for seed = 0 to 39 do
+    check_seed seed
+  done
+
+(* Resume at the injection/drain boundary: the snapshot round equals the
+   configured rounds, so the resumed run executes only the drain. *)
+let test_boundary_resume () =
+  let a, b, c = triple ~seed:17 in
+  check_resume ~at:a.Diff.rounds a b c
+
+let qcheck_random_configs =
+  QCheck.Test.make ~name:"resume_bit_identical_on_random_configs" ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed -> check_seed seed; true)
+
+(* The equivalence check itself runs inside pool workers at jobs 1 and 2:
+   resumed runs stay bit-identical off the main domain too. *)
+let test_jobs_invariance () =
+  let seeds = [ 101; 202; 303; 404 ] in
+  List.iter
+    (fun jobs ->
+      ignore (Mac_sim.Pool.map ~jobs seeds (fun seed -> check_seed seed)))
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table-1 catalog: every cell of every row, rounds capped so the three
+   runs per cell stay cheap (the resume logic is round-count agnostic). *)
+
+let rounds_cap = 1_500
+
+let spec_to_run (s : Mac_experiments.Scenario.spec) : Diff.run =
+  { id = s.id; algorithm = s.algorithm; n = s.n; k = s.k; rate = s.rate;
+    burst = s.burst; pacing = s.pacing; pattern = s.pattern;
+    rounds = min s.rounds rounds_cap; drain = min s.drain rounds_cap;
+    faults = s.faults }
+
+let test_table1_catalog () =
+  let catalog () =
+    List.map spec_to_run (Mac_experiments.Table1.catalog ~scale:`Quick)
+  in
+  let rec go i a b c =
+    match (a, b, c) with
+    | [], [], [] -> ()
+    | x :: a, y :: b, z :: c ->
+      let at = 1 + ((i * 397) mod x.Diff.rounds) in
+      check_resume ~at x y z;
+      go (i + 1) a b c
+    | _ -> assert false
+  in
+  go 0 (catalog ()) (catalog ()) (catalog ())
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint files. *)
+
+let temp_path suffix = Filename.temp_file "mac_ckpt" suffix
+
+let test_file_roundtrip () =
+  let a, b, c = triple ~seed:5 in
+  let at = max 1 (a.Diff.rounds / 2) in
+  let snap, prefix = interrupt ~at b in
+  let path = temp_path ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Mac_sim.Checkpoint.write ~path snap;
+      match Mac_sim.Checkpoint.read ~path with
+      | Error msg -> Alcotest.fail msg
+      | Ok snap' ->
+        Alcotest.(check int) "round survives the file"
+          (Mac_sim.Engine.snapshot_round snap)
+          (Mac_sim.Engine.snapshot_round snap');
+        Alcotest.(check string) "algorithm survives the file"
+          (Mac_sim.Engine.snapshot_algorithm snap)
+          (Mac_sim.Engine.snapshot_algorithm snap');
+        (* resuming from the re-read snapshot is still bit-identical *)
+        let s_sum, s_ev = complete a in
+        let r_sum, suffix = complete ~resume:snap' c in
+        check_summaries "file-roundtrip" s_sum r_sum;
+        check_events "file-roundtrip" s_ev (prefix @ suffix);
+        let d = Mac_sim.Checkpoint.describe snap' in
+        Alcotest.(check bool)
+          (Printf.sprintf "describe mentions the algorithm (%s)" d)
+          true
+          (let name = Mac_sim.Engine.snapshot_algorithm snap' in
+           let rec has i =
+             i + String.length name <= String.length d
+             && (String.sub d i (String.length name) = name || has (i + 1))
+           in
+           has 0))
+
+let expect_error what = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+
+let write_string path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let read_string path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_file_errors () =
+  let missing = temp_path ".bin" in
+  Sys.remove missing;
+  expect_error "missing file" (Mac_sim.Checkpoint.read ~path:missing);
+  let path = temp_path ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      write_string path "not a checkpoint\n";
+      expect_error "bad magic" (Mac_sim.Checkpoint.read ~path);
+      write_string path "MACCKPT 999\n{}\n";
+      expect_error "future version" (Mac_sim.Checkpoint.read ~path);
+      (* a real checkpoint, truncated mid-blob *)
+      let _, b, _ = triple ~seed:3 in
+      let snap, _ = interrupt ~at:50 b in
+      Mac_sim.Checkpoint.write ~path snap;
+      let whole = read_string path in
+      write_string path (String.sub whole 0 (String.length whole - 20));
+      expect_error "truncated blob" (Mac_sim.Checkpoint.read ~path))
+
+(* ------------------------------------------------------------------ *)
+(* Engine-side validation: a snapshot must match the resuming run. *)
+
+let expect_invalid what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  | exception Invalid_argument _ -> ()
+
+let test_resume_validation () =
+  let _, b, c = triple ~seed:9 in
+  let snap, _ = interrupt ~at:(max 1 (b.Diff.rounds / 2)) b in
+  expect_invalid "wrong n" (fun () ->
+      complete ~resume:snap { c with Diff.n = c.Diff.n + 1 });
+  expect_invalid "wrong rounds" (fun () ->
+      complete ~resume:snap { c with Diff.rounds = c.Diff.rounds + 1 });
+  expect_invalid "wrong drain" (fun () ->
+      complete ~resume:snap { c with Diff.drain = c.Diff.drain + 1 });
+  let other : Mac_channel.Algorithm.t =
+    if Mac_sim.Engine.snapshot_algorithm snap = "count-hop" then
+      (module Mac_routing.Orchestra)
+    else (module Mac_routing.Count_hop)
+  in
+  expect_invalid "wrong algorithm" (fun () ->
+      complete ~resume:snap { c with Diff.algorithm = other })
+
+(* Satellite regression: ~rounds disagreeing with config.rounds used to be
+   silently resolved in config's favour; it must be rejected. *)
+let test_rounds_config_mismatch () =
+  let adversary =
+    Mac_adversary.Adversary.create ~rate:0.5 ~burst:2.0
+      (Mac_adversary.Pattern.uniform ~n:6 ~seed:1)
+  in
+  let config = Mac_sim.Engine.default_config ~rounds:100 in
+  expect_invalid "rounds/config mismatch" (fun () ->
+      Mac_sim.Engine.run ~config ~algorithm:(module Mac_routing.Orchestra) ~n:6
+        ~k:3 ~adversary ~rounds:99 ())
+
+(* ------------------------------------------------------------------ *)
+(* Scenario-level resume: completion markers skip finished scenarios and
+   replay their recorded JSON rows byte-for-byte. *)
+
+let temp_dir () =
+  let d = Filename.temp_file "mac_resume" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let small_spec ~id ~seed =
+  Mac_experiments.Scenario.spec ~id ~algorithm:(module Mac_routing.Count_hop)
+    ~n:6 ~k:2 ~rate:0.5 ~burst:2.0
+    ~pattern:(Mac_adversary.Pattern.uniform ~n:6 ~seed)
+    ~rounds:800 ~drain:200 ()
+
+let test_scenario_resumable () =
+  let dir = temp_dir () in
+  let checks = [ Mac_experiments.Scenario.cap_at_most 2 ] in
+  let run () =
+    Mac_experiments.Scenario.run_resumable ~checks ~resume_dir:dir
+      ~experiment:"exp" (small_spec ~id:"row/cell" ~seed:1)
+  in
+  let r1 = run () in
+  (match r1 with
+   | Mac_experiments.Scenario.Fresh _ -> ()
+   | Cached _ -> Alcotest.fail "first run must simulate");
+  let r2 = run () in
+  (match r2 with
+   | Mac_experiments.Scenario.Cached _ -> ()
+   | Fresh _ -> Alcotest.fail "second run must hit the marker");
+  let json r = Mac_experiments.Scenario.resumed_json ~experiment:"exp" r in
+  Alcotest.(check string) "replayed row is byte-identical" (json r1) (json r2);
+  Alcotest.(check string) "id" "row/cell"
+    (Mac_experiments.Scenario.resumed_id r2);
+  Alcotest.(check string) "verdict"
+    (Mac_experiments.Scenario.resumed_verdict r1)
+    (Mac_experiments.Scenario.resumed_verdict r2);
+  Alcotest.(check bool) "passed"
+    (Mac_experiments.Scenario.resumed_passed r1)
+    (Mac_experiments.Scenario.resumed_passed r2);
+  (* a corrupt marker is a miss: the scenario reruns (deterministically,
+     so the row comes back identical) and the marker is rewritten *)
+  let marker =
+    Mac_experiments.Scenario.marker_path ~resume_dir:dir "row/cell"
+  in
+  Alcotest.(check bool) "marker exists" true (Sys.file_exists marker);
+  write_string marker "garbage";
+  let r3 = run () in
+  (match r3 with
+   | Mac_experiments.Scenario.Fresh _ -> ()
+   | Cached _ -> Alcotest.fail "corrupt marker must not be trusted");
+  Alcotest.(check string) "rerun row matches" (json r1) (json r3);
+  (match run () with
+   | Mac_experiments.Scenario.Cached _ -> ()
+   | Fresh _ -> Alcotest.fail "marker must be rewritten after the rerun")
+
+(* A half-finished sweep resumed at a different jobs count still produces
+   the original rows, in order. *)
+let test_resumable_batch_jobs () =
+  let specs () = List.init 4 (fun i ->
+      small_spec ~id:(Printf.sprintf "batch/cell-%d" i) ~seed:(10 + i))
+  in
+  let rows ~jobs ~dir specs =
+    Mac_sim.Pool.map ~jobs specs (fun s ->
+        Mac_experiments.Scenario.resumed_json ~experiment:"batch"
+          (Mac_experiments.Scenario.run_resumable ~resume_dir:dir
+             ~experiment:"batch" s))
+  in
+  let reference = rows ~jobs:1 ~dir:(temp_dir ()) (specs ()) in
+  let dir = temp_dir () in
+  (* first two cells complete, then the sweep dies *)
+  ignore (rows ~jobs:1 ~dir (List.filteri (fun i _ -> i < 2) (specs ())));
+  let resumed = rows ~jobs:2 ~dir (specs ()) in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string) (Printf.sprintf "row %d" i) a b)
+    (List.combine reference resumed)
+
+let () =
+  Alcotest.run "checkpoint"
+    [ ("resume-equivalence",
+       [ Alcotest.test_case "random configs, seeds 0..39" `Slow
+           test_random_sweep;
+         Alcotest.test_case "injection/drain boundary" `Quick
+           test_boundary_resume;
+         Alcotest.test_case "jobs 1 and 2" `Quick test_jobs_invariance;
+         Alcotest.test_case "Table-1 catalog" `Slow test_table1_catalog;
+         QCheck_alcotest.to_alcotest qcheck_random_configs ]);
+      ("checkpoint-files",
+       [ Alcotest.test_case "write/read round-trip" `Quick test_file_roundtrip;
+         Alcotest.test_case "rejects junk" `Quick test_file_errors ]);
+      ("validation",
+       [ Alcotest.test_case "mismatched snapshots rejected" `Quick
+           test_resume_validation;
+         Alcotest.test_case "rounds/config mismatch rejected" `Quick
+           test_rounds_config_mismatch ]);
+      ("scenario-resume",
+       [ Alcotest.test_case "markers replay rows byte-for-byte" `Quick
+           test_scenario_resumable;
+         Alcotest.test_case "half-finished sweep, jobs 1 -> 2" `Quick
+           test_resumable_batch_jobs ]) ]

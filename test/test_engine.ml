@@ -68,6 +68,10 @@ module Toy = struct
     end
 
   let offline_tick _ ~round:_ ~queue:_ = ()
+
+  include Algorithm.Marshal_codec (struct
+    type nonrec state = state
+  end)
 end
 
 (* A wrapper changing the declared flags without rewriting the hooks. *)

@@ -70,6 +70,37 @@ let test_json_escaping () =
   Alcotest.(check string) "json_escape itself" {|a\"b\\c\nd\u0000|}
     (Mac_sim.Export.json_escape "a\"b\\c\nd\x00")
 
+(* Non-finite floats (a zero-delivery run's nan mean, an infinite ratio)
+   must never leak into emitted JSON or CSV: "%.6g" alone would print the
+   invalid JSON tokens [nan]/[inf]. *)
+let test_non_finite_floats () =
+  let s = sample_summary () in
+  let crafted =
+    { s with Mac_sim.Metrics.mean_delay = Float.nan; mean_on = Float.infinity }
+  in
+  let json = Mac_sim.Export.summary_json crafted in
+  check_bool "no nan token" false (contains ~needle:"nan" json);
+  check_bool "no inf token" false (contains ~needle:"inf" json);
+  check_bool "nan field is null" true
+    (contains ~needle:"\"mean_delay\": null" json);
+  check_bool "inf field is null" true
+    (contains ~needle:"\"mean_on\": null" json);
+  let row = Mac_sim.Export.summary_csv_row crafted in
+  check_bool "csv renders non-finite as dash" false
+    (contains ~needle:"nan" row || contains ~needle:"inf" row);
+  Alcotest.(check string) "json_float nan" "null"
+    (Mac_sim.Export.json_float Float.nan);
+  Alcotest.(check string) "json_float -inf" "null"
+    (Mac_sim.Export.json_float Float.neg_infinity);
+  Alcotest.(check string) "csv_float nan" "-"
+    (Mac_sim.Export.csv_float Float.nan);
+  Alcotest.(check string) "csv_float finite" "0.25"
+    (Mac_sim.Export.csv_float 0.25);
+  Alcotest.(check string) "fmt_float inf" "-"
+    (Mac_sim.Report.fmt_float Float.infinity);
+  Alcotest.(check string) "fmt_float nan" "-"
+    (Mac_sim.Report.fmt_float Float.nan)
+
 let test_json_histogram_field () =
   let s = sample_summary () in
   let json = Mac_sim.Export.summary_json s in
@@ -196,6 +227,7 @@ let () =
        [ Alcotest.test_case "shape" `Quick test_json_parses_shape;
          Alcotest.test_case "escaping" `Quick test_json_escaping;
          Alcotest.test_case "histogram field" `Quick test_json_histogram_field;
+         Alcotest.test_case "non-finite floats" `Quick test_non_finite_floats;
          Alcotest.test_case "jsonl lines valid" `Quick test_jsonl_lines_valid ]);
       ("trace",
        [ Alcotest.test_case "records events" `Quick test_engine_trace_records_events;
