@@ -11,6 +11,21 @@
 
 let fmt = Mac_sim.Report.fmt_float
 
+(* BENCH_*.json always land at the repository root (the directory holding
+   dune-project), wherever the harness was launched from — CI archives
+   them by that fixed path. Falls back to the cwd outside a checkout. *)
+let repo_root =
+  lazy
+    (let rec up dir =
+       if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+       else
+         let parent = Filename.dirname dir in
+         if parent = dir then None else up parent
+     in
+     match up (Sys.getcwd ()) with Some d -> d | None -> Sys.getcwd ())
+
+let output_path name = Filename.concat (Lazy.force repo_root) name
+
 let check_cell (c : Mac_experiments.Scenario.check) =
   let body =
     if Float.is_finite c.bound then
@@ -34,7 +49,7 @@ let outcome_row (o : Mac_experiments.Scenario.outcome) =
     (if o.passed then "PASS" else "FAIL") ]
 
 let write_table1_json rows =
-  let path = "BENCH_table1.json" in
+  let path = output_path "BENCH_table1.json" in
   let body = "[\n" ^ String.concat ",\n" rows ^ "\n]\n" in
   Mac_sim.Export.write_file ~path body;
   Printf.printf "wrote %s (%d scenarios)\n\n" path (List.length rows)
@@ -226,10 +241,11 @@ let time_config c ~rounds =
     seconds = t1 -. t0;
     minor_words_per_round = (w1 -. w0) /. float_of_int rounds }
 
-let time_table1 ~scale ~jobs =
+let time_table1 ?telemetry ~scale ~jobs () =
   let t0 = Unix.gettimeofday () in
   List.iter
-    (fun (exp : Mac_experiments.Table1.t) -> ignore (exp.run ~jobs ~scale ()))
+    (fun (exp : Mac_experiments.Table1.t) ->
+      ignore (exp.run ?telemetry ~jobs ~scale ()))
     Mac_experiments.Table1.all;
   Unix.gettimeofday () -. t0
 
@@ -260,24 +276,41 @@ let print_speed ~scale ~jobs =
     samples;
   Mac_sim.Report.print report;
   print_newline ();
-  let sequential = time_table1 ~scale ~jobs:1 in
-  let parallel = time_table1 ~scale ~jobs in
+  let sequential = time_table1 ~scale ~jobs:1 () in
+  let parallel = time_table1 ~scale ~jobs () in
   let speedup = sequential /. parallel in
   Printf.printf
     "Table 1 wall clock: sequential %.2fs, parallel (jobs=%d) %.2fs, speedup \
      %.2fx\n"
     sequential jobs parallel speedup;
+  (* Telemetry cost over the same catalog: probes at the default cadence,
+     no exposition files, so this isolates the sampling overhead the
+     engine adds (the acceptance bar is <= 5%). *)
+  let telemetry_every = 1000 in
+  let fleet = Mac_sim.Telemetry.Fleet.create ~every:telemetry_every () in
+  let telemetry_seconds = time_table1 ~telemetry:fleet ~scale ~jobs:1 () in
+  let overhead_pct =
+    if sequential > 0.0 then
+      100.0 *. (telemetry_seconds -. sequential) /. sequential
+    else 0.0
+  in
+  Printf.printf
+    "Table 1 with telemetry (cadence %d): %.2fs sequential, overhead %+.1f%%\n"
+    telemetry_every telemetry_seconds overhead_pct;
   let body =
     Printf.sprintf
       "{\n  \"scale\": \"%s\",\n  \"jobs\": %d,\n  \"round_loop\": [\n    \
        %s\n  ],\n  \"table1\": {\"jobs\": %d, \"sequential_seconds\": %.3f, \
-       \"parallel_seconds\": %.3f, \"speedup\": %.3f}\n}\n"
+       \"parallel_seconds\": %.3f, \"speedup\": %.3f},\n  \
+       \"telemetry\": {\"every\": %d, \"sequential_seconds\": %.3f, \
+       \"overhead_pct\": %.1f}\n}\n"
       (match scale with `Quick -> "quick" | `Full -> "full")
       jobs
       (String.concat ",\n    " (List.map loop_sample_json samples))
-      jobs sequential parallel speedup
+      jobs sequential parallel speedup telemetry_every telemetry_seconds
+      overhead_pct
   in
-  let path = "BENCH_perf.json" in
+  let path = output_path "BENCH_perf.json" in
   Mac_sim.Export.write_file ~path body;
   Printf.printf "wrote %s\n\n" path
 

@@ -91,9 +91,34 @@ let jsonl_sink path =
     Printf.eprintf "%s\n" msg;
     exit 2
 
+(* The progress line goes to stderr only — stdout stays machine-parseable
+   (summary, --json, --series) whether or not progress is on. *)
+let progress_line ~round registry =
+  let module T = Mac_sim.Telemetry in
+  let s = T.sample registry in
+  let get name = Option.value ~default:0.0 (T.find_sample s name) in
+  let target = get T.Names.rounds_target in
+  let rps = get T.Names.rounds_per_second in
+  let backlog = get T.Names.backlog in
+  let pct =
+    if target > 0.0 then 100.0 *. float_of_int round /. target else 0.0
+  in
+  let eta =
+    if rps > 0.0 && target > float_of_int round then
+      Printf.sprintf "%.0fs" ((target -. float_of_int round) /. rps)
+    else "-"
+  in
+  Printf.eprintf
+    "\rround %d/%.0f (%.1f%%)  %.0f rounds/s  backlog %.0f  ETA %s   %!"
+    round target pct rps backlog eta
+
 let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
     series trace_n events stations csv json checkpoint checkpoint_every resume
-    =
+    telemetry_file telemetry_jsonl telemetry_every progress =
+  if telemetry_every < 1 then begin
+    Printf.eprintf "--telemetry-every must be >= 1 (got %d)\n" telemetry_every;
+    exit 2
+  end;
   (match (checkpoint, checkpoint_every) with
    | Some _, e when e <= 0 ->
      Printf.eprintf "--checkpoint requires --checkpoint-every N with N >= 1\n";
@@ -142,6 +167,43 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
     | [ s ] -> Some s
     | ss -> Some (Mac_sim.Sink.tee ss)
   in
+  let telemetry_probe, telemetry_close =
+    if telemetry_file = None && telemetry_jsonl = None && not progress then
+      (None, fun () -> ())
+    else begin
+      let registry = Mac_sim.Telemetry.create () in
+      let jsonl_oc =
+        Option.map
+          (fun path ->
+            try open_out path
+            with Sys_error msg ->
+              Printf.eprintf "%s\n" msg;
+              exit 2)
+          telemetry_jsonl
+      in
+      let on_sample ~round reg =
+        Option.iter
+          (fun path ->
+            Mac_sim.Telemetry.write_atomic ~path (Mac_sim.Telemetry.render reg))
+          telemetry_file;
+        Option.iter
+          (fun oc ->
+            let ev =
+              Mac_channel.Event.Telemetry
+                { sample = Mac_sim.Telemetry.sample reg }
+            in
+            output_string oc (Mac_channel.Event.to_json ~round ev);
+            output_char oc '\n';
+            flush oc)
+          jsonl_oc;
+        if progress then progress_line ~round reg
+      in
+      ( Some (Mac_sim.Telemetry.probe ~every:telemetry_every ~on_sample registry),
+        fun () ->
+          Option.iter close_out jsonl_oc;
+          if progress then prerr_newline () )
+    end
+  in
   let config =
     { (Mac_sim.Engine.default_config ~rounds) with
       drain_limit = drain; check_schedule = A.oblivious; trace; sink;
@@ -149,11 +211,14 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
       on_checkpoint =
         Option.map
           (fun path snap -> Mac_sim.Checkpoint.write ~path snap)
-          checkpoint }
+          checkpoint;
+      telemetry = telemetry_probe }
   in
   let summary =
     Fun.protect
-      ~finally:(fun () -> Option.iter Mac_sim.Sink.close sink)
+      ~finally:(fun () ->
+        Option.iter Mac_sim.Sink.close sink;
+        telemetry_close ())
       (fun () ->
         Mac_sim.Engine.run ~config ?resume:resume_snap ~algorithm ~n ~k
           ~adversary ~rounds ())
@@ -174,6 +239,8 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
       Mac_sim.Report.print (Mac_sim.Ledger.report l))
     ledger;
   Option.iter (fun path -> Printf.printf "wrote %s\n" path) events;
+  Option.iter (fun path -> Printf.printf "wrote %s\n" path) telemetry_file;
+  Option.iter (fun path -> Printf.printf "wrote %s\n" path) telemetry_jsonl;
   if series then print_string (Mac_sim.Export.series_csv summary);
   Option.iter
     (fun path ->
@@ -288,11 +355,43 @@ let run_term =
              pattern, rounds, drain); mismatches are rejected, and the \
              resumed run's output is bit-identical to an uninterrupted one.")
   in
+  let telemetry_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-file" ] ~docv:"FILE"
+          ~doc:
+            "Rewrite a Prometheus-style text exposition of the live metrics \
+             registry to FILE (atomic tmp + rename, so a concurrent scraper \
+             never sees a partial file) every --telemetry-every rounds.")
+  in
+  let telemetry_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-jsonl" ] ~docv:"FILE"
+          ~doc:"Append each telemetry sample as one event JSON line to FILE.")
+  in
+  let telemetry_every =
+    Arg.(
+      value & opt int 1000
+      & info [ "telemetry-every" ] ~docv:"N"
+          ~doc:"Telemetry sampling cadence in rounds (default 1000).")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Print a live progress line (round, throughput, backlog, ETA) to \
+             stderr every --telemetry-every rounds; stdout is untouched.")
+  in
   Term.(
     ret
       (const run_cmd $ algorithm $ n_arg $ k_arg $ rate $ burst $ pattern
        $ rounds $ drain $ seed $ paced $ series $ trace_n $ events $ stations
-       $ csv $ json $ checkpoint $ checkpoint_every $ resume))
+       $ csv $ json $ checkpoint $ checkpoint_every $ resume $ telemetry_file
+       $ telemetry_jsonl $ telemetry_every $ progress))
 
 (* ---- table1 / figures commands ---- *)
 
@@ -360,11 +459,25 @@ let check_jobs jobs =
   end;
   jobs
 
-let table1_cmd id quick jobs trace_n events_dir json resume_dir =
+(* Batch drivers publish per-scenario expositions plus a fleet aggregate
+   under --telemetry-dir; [routing_sim top DIR] watches those files. *)
+let fleet_of ~telemetry_dir ~telemetry_every =
+  if telemetry_every < 1 then begin
+    Printf.eprintf "--telemetry-every must be >= 1 (got %d)\n" telemetry_every;
+    exit 2
+  end;
+  Option.map
+    (fun dir ->
+      Mac_sim.Telemetry.Fleet.create ~dir ~every:telemetry_every ())
+    telemetry_dir
+
+let table1_cmd id quick jobs trace_n events_dir json resume_dir telemetry_dir
+    telemetry_every =
   let scale = if quick then `Quick else `Full in
   let jobs = check_jobs jobs in
   Option.iter ensure_dir resume_dir;
   let observe = scenario_observer ~trace_n ~events_dir in
+  let telemetry = fleet_of ~telemetry_dir ~telemetry_every in
   let experiments =
     match id with
     | None -> Mac_experiments.Table1.all
@@ -394,7 +507,7 @@ let table1_cmd id quick jobs trace_n events_dir json resume_dir =
               ~json_row:(fun () ->
                 Mac_experiments.Scenario.outcome_json ~experiment:e.id o)
               ~cached:false)
-          (e.run ?observe ~jobs ~scale ())
+          (e.run ?observe ?telemetry ~jobs ~scale ())
       | Some dir ->
         List.iter
           (fun (r : Mac_experiments.Scenario.resumed) ->
@@ -408,7 +521,7 @@ let table1_cmd id quick jobs trace_n events_dir json resume_dir =
                 (match r with
                  | Mac_experiments.Scenario.Cached _ -> true
                  | Mac_experiments.Scenario.Fresh _ -> false))
-          (e.run_resumable ?observe ~jobs ~resume_dir:dir ~scale ()))
+          (e.run_resumable ?observe ?telemetry ~jobs ~resume_dir:dir ~scale ()))
     experiments;
   Option.iter
     (fun path ->
@@ -417,12 +530,14 @@ let table1_cmd id quick jobs trace_n events_dir json resume_dir =
       Printf.printf "wrote %s\n" path)
     json;
   Option.iter (fun dir -> Printf.printf "event streams under %s/\n" dir) events_dir;
+  Option.iter (fun dir -> Printf.printf "telemetry under %s/\n" dir) telemetry_dir;
   `Ok ()
 
-let figures_cmd id quick jobs trace_n events_dir =
+let figures_cmd id quick jobs trace_n events_dir telemetry_dir telemetry_every =
   let scale = if quick then `Quick else `Full in
   let jobs = check_jobs jobs in
   let observe = scenario_observer ~trace_n ~events_dir in
+  let telemetry = fleet_of ~telemetry_dir ~telemetry_every in
   let figures =
     match id with
     | None -> Mac_experiments.Figures.all
@@ -439,11 +554,12 @@ let figures_cmd id quick jobs trace_n events_dir =
   List.iter
     (fun (f : Mac_experiments.Figures.t) ->
       Printf.printf "--- %s ---\n%s\n" f.id f.title;
-      let report, _ = f.run ?observe ~jobs ~scale () in
+      let report, _ = f.run ?observe ?telemetry ~jobs ~scale () in
       Mac_sim.Report.print report;
       print_newline ())
     figures;
   Option.iter (fun dir -> Printf.printf "event streams under %s/\n" dir) events_dir;
+  Option.iter (fun dir -> Printf.printf "telemetry under %s/\n" dir) telemetry_dir;
   `Ok ()
 
 (* ---- resilience command ---- *)
@@ -456,21 +572,25 @@ let load_fault_plan path =
     exit 2
 
 let resilience_cmd algo n k rate burst pattern_spec rounds drain seed quick
-    jobs trace_n events_dir fault_plan fault_seed crash_rate jam_rate
-    noise_rate restart_after crash_drop events json =
+    jobs trace_n events_dir telemetry_dir telemetry_every fault_plan fault_seed
+    crash_rate jam_rate noise_rate restart_after crash_drop events json =
   match algo with
   | None ->
     (* Suite mode: sweep every subject algorithm across the fault plans. *)
     let scale = if quick then `Quick else `Full in
     let jobs = check_jobs jobs in
     let observe = scenario_observer ~trace_n ~events_dir in
+    let telemetry = fleet_of ~telemetry_dir ~telemetry_every in
     let report, _ =
-      Mac_experiments.Resilience.suite ?observe ~jobs ~scale ()
+      Mac_experiments.Resilience.suite ?observe ?telemetry ~jobs ~scale ()
     in
     Mac_sim.Report.print report;
     Option.iter
       (fun dir -> Printf.printf "event streams under %s/\n" dir)
       events_dir;
+    Option.iter
+      (fun dir -> Printf.printf "telemetry under %s/\n" dir)
+      telemetry_dir;
     `Ok ()
   | Some algorithm_name ->
     (* Single-run mode: one algorithm under one fault plan. *)
@@ -546,7 +666,7 @@ let event_stations (ev : Mac_channel.Event.t) =
   | Delivered { from_; dst; _ } -> [ from_; dst ]
   | Relayed { from_; relay; dst; _ } -> [ from_; relay; dst ]
   | Station_crashed { station; _ } | Station_restarted { station } -> [ station ]
-  | Silence | Cap_exceeded _ | Round_end _ | Round_jammed _ -> []
+  | Silence | Cap_exceeded _ | Round_end _ | Round_jammed _ | Telemetry _ -> []
 
 let read_events path =
   let ic =
@@ -660,6 +780,23 @@ let exp_events_arg =
     & opt (some string) None
     & info [ "events" ] ~docv:"DIR"
         ~doc:"Record each scenario's event stream as DIR/<scenario>.jsonl.")
+
+let telemetry_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-dir" ] ~docv:"DIR"
+        ~doc:
+          "Publish live Prometheus-style expositions: one \
+           DIR/<scenario>.prom per running scenario plus the aggregate \
+           DIR/fleet.prom, each rewritten atomically every \
+           --telemetry-every rounds. Watch them with routing_sim top DIR.")
+
+let telemetry_every_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "telemetry-every" ] ~docv:"N"
+        ~doc:"Telemetry sampling cadence in rounds (default 1000).")
 
 let table1_json_arg =
   Arg.(
@@ -791,8 +928,9 @@ let resilience_term =
     ret
       (const resilience_cmd $ algo $ n_arg $ k_arg $ rate $ burst $ pattern
        $ rounds $ drain $ seed $ quick_arg $ jobs_arg $ exp_trace_arg
-       $ events_dir $ fault_plan $ fault_seed $ crash_rate $ jam_rate
-       $ noise_rate $ restart_after $ crash_drop $ events $ json))
+       $ events_dir $ telemetry_dir_arg $ telemetry_every_arg $ fault_plan
+       $ fault_seed $ crash_rate $ jam_rate $ noise_rate $ restart_after
+       $ crash_drop $ events $ json))
 
 let inspect_term =
   let file =
@@ -849,6 +987,205 @@ let inspect_term =
     ret
       (const inspect_cmd $ file $ algorithm $ n_arg $ k_arg $ rate $ burst
        $ pattern $ rounds $ seed $ last $ width))
+
+(* ---- top command ---- *)
+
+(* A live dashboard over telemetry exposition files: one row per
+   scenario file, a footer from the fleet aggregate. The writers rewrite
+   atomically (tmp + rename), so each read sees a consistent snapshot. *)
+
+type top_row = {
+  top_label : string;
+  top_round : float;
+  top_target : float;
+  top_rps : float;
+  top_backlog : float;
+  top_p99 : float option;
+  top_energy : float;
+}
+
+let top_files paths =
+  List.concat_map
+    (fun p ->
+      if Sys.file_exists p && Sys.is_directory p then
+        Sys.readdir p |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".prom")
+        |> List.map (Filename.concat p)
+        |> List.sort compare
+      else [ p ])
+    paths
+
+let read_exposition path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (match Mac_sim.Telemetry.parse_exposition content with
+     | Ok triples -> Ok triples
+     | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let top_metric ?quantile triples name =
+  List.find_map
+    (fun (n, labels, v) ->
+      if n <> name then None
+      else
+        match quantile with
+        | None -> Some v
+        | Some q ->
+          if List.assoc_opt "quantile" labels = Some q then Some v else None)
+    triples
+
+let top_row_of triples path =
+  let module N = Mac_sim.Telemetry.Names in
+  let get name = Option.value ~default:0.0 (top_metric triples name) in
+  let top_label =
+    match
+      List.find_map (fun (_, ls, _) -> List.assoc_opt "scenario" ls) triples
+    with
+    | Some id -> id
+    | None -> Filename.remove_extension (Filename.basename path)
+  in
+  { top_label; top_round = get N.round; top_target = get N.rounds_target;
+    top_rps = get N.rounds_per_second; top_backlog = get N.backlog;
+    top_p99 = top_metric ~quantile:"0.99" triples N.delay;
+    top_energy = get N.energy_total }
+
+let top_fleet_line triples =
+  let module N = Mac_sim.Telemetry.Names in
+  let get name = Option.value ~default:0.0 (top_metric triples name) in
+  let probes = get N.bisect_probes in
+  Printf.sprintf "fleet: %.0f started, %.0f completed, %.0f cached%s"
+    (get N.scenarios_started) (get N.scenarios_completed)
+    (get N.scenarios_cached)
+    (if probes > 0.0 then Printf.sprintf ", %.0f bisect probes" probes else "")
+
+let top_render rows fleet errors =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-34s %10s %6s %9s %9s %8s %11s %7s\n" "scenario" "round"
+       "%" "rounds/s" "backlog" "p99" "energy" "ETA");
+  List.iter
+    (fun r ->
+      let pct =
+        if r.top_target > 0.0 then 100.0 *. r.top_round /. r.top_target
+        else 0.0
+      in
+      let eta =
+        if r.top_target > 0.0 && r.top_round >= r.top_target then "done"
+        else if r.top_rps > 0.0 then
+          Printf.sprintf "%.0fs" ((r.top_target -. r.top_round) /. r.top_rps)
+        else "-"
+      in
+      let p99 =
+        match r.top_p99 with Some v -> Printf.sprintf "%.0f" v | None -> "-"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%-34s %10.0f %5.1f%% %9.0f %9.0f %8s %11.0f %7s\n"
+           r.top_label r.top_round pct r.top_rps r.top_backlog p99
+           r.top_energy eta))
+    rows;
+  Option.iter (fun line -> Buffer.add_string b (line ^ "\n")) fleet;
+  List.iter (fun msg -> Buffer.add_string b ("! " ^ msg ^ "\n")) errors;
+  Buffer.contents b
+
+let top_gather paths =
+  let files = top_files paths in
+  let fleet_files, scenario_files =
+    List.partition (fun p -> Filename.basename p = "fleet.prom") files
+  in
+  let errors = ref [] in
+  let parse p =
+    match read_exposition p with
+    | Ok triples when triples <> [] -> Some triples
+    | Ok _ -> None
+    | Error msg ->
+      errors := msg :: !errors;
+      None
+  in
+  let rows =
+    List.filter_map
+      (fun p -> Option.map (fun t -> top_row_of t p) (parse p))
+      scenario_files
+  in
+  let fleet =
+    match fleet_files with
+    | [] -> None
+    | p :: _ -> Option.map top_fleet_line (parse p)
+  in
+  (rows, fleet, List.rev !errors)
+
+let top_cmd paths watch once check =
+  if paths = [] then begin
+    Printf.eprintf
+      "top: name at least one telemetry file or directory (as written by \
+       --telemetry-file / --telemetry-dir)\n";
+    exit 2
+  end;
+  if check || once then begin
+    let rows, fleet, errors = top_gather paths in
+    print_string (top_render rows fleet errors);
+    if check then begin
+      if errors <> [] then begin
+        Printf.eprintf "top --check: malformed exposition(s)\n";
+        exit 1
+      end;
+      let live =
+        List.filter (fun r -> r.top_round > 0.0 && r.top_target > 0.0) rows
+      in
+      if live = [] then begin
+        Printf.eprintf "top --check: no live telemetry rows\n";
+        exit 1
+      end
+    end;
+    `Ok ()
+  end
+  else begin
+    (* Watch mode: redraw until interrupted. *)
+    while true do
+      let rows, fleet, errors = top_gather paths in
+      print_string "\027[H\027[2J";
+      print_string (top_render rows fleet errors);
+      flush stdout;
+      Unix.sleepf watch
+    done;
+    `Ok ()
+  end
+
+let top_term =
+  let paths =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Telemetry exposition files (*.prom) or directories of them, as \
+             written by run --telemetry-file or the batch commands' \
+             --telemetry-dir.")
+  in
+  let watch =
+    Arg.(
+      value & opt float 2.0
+      & info [ "watch" ] ~docv:"SECS"
+          ~doc:"Refresh period of the live dashboard (default 2 seconds).")
+  in
+  let once =
+    Arg.(
+      value & flag & info [ "once" ] ~doc:"Render one snapshot and exit.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Render once and exit non-zero unless every exposition parses \
+             and at least one scenario row carries live telemetry — for \
+             smoke tests.")
+  in
+  Term.(ret (const top_cmd $ paths $ watch $ once $ check))
 
 (* ---- verify command ---- *)
 
@@ -927,13 +1264,14 @@ let cmds =
       Term.(
         ret
           (const table1_cmd $ id_arg $ quick_arg $ jobs_arg $ exp_trace_arg
-           $ exp_events_arg $ table1_json_arg $ table1_resume_dir_arg));
+           $ exp_events_arg $ table1_json_arg $ table1_resume_dir_arg
+           $ telemetry_dir_arg $ telemetry_every_arg));
     Cmd.v
       (Cmd.info "figures" ~doc:"Re-run figure sweeps")
       Term.(
         ret
           (const figures_cmd $ id_arg $ quick_arg $ jobs_arg $ exp_trace_arg
-           $ exp_events_arg));
+           $ exp_events_arg $ telemetry_dir_arg $ telemetry_every_arg));
     Cmd.v
       (Cmd.info "resilience"
          ~doc:
@@ -944,6 +1282,12 @@ let cmds =
       (Cmd.info "inspect"
          ~doc:"ASCII station-by-round timeline of a run or a recorded event stream")
       inspect_term;
+    Cmd.v
+      (Cmd.info "top"
+         ~doc:
+           "Live fleet dashboard over telemetry exposition files (one row \
+            per scenario: round, throughput, backlog, p99 delay, energy, ETA)")
+      top_term;
     Cmd.v
       (Cmd.info "verify"
          ~doc:

@@ -38,6 +38,8 @@ let start spec =
 
 let spec d = d.spec
 
+let tokens d = Leaky_bucket.tokens d.bucket
+
 type driver_state = {
   tokens : Qrat.t;
   injected_total : int;

@@ -50,6 +50,9 @@ val start : t -> driver
 
 val spec : driver -> t
 
+val tokens : driver -> Mac_channel.Qrat.t
+(** Current bucket level — read-only, for telemetry gauges. *)
+
 type driver_state = {
   tokens : Mac_channel.Qrat.t;
   injected_total : int;

@@ -16,6 +16,7 @@ type t =
   | Station_crashed of { station : int; lost : int }
   | Station_restarted of { station : int }
   | Round_jammed of { transmitters : int; noise : bool }
+  | Telemetry of { sample : (string * float) list }
 
 let notable = function
   | Injected _ | Collision _ | Delivered _ | Relayed _ | Stranded _
@@ -23,7 +24,8 @@ let notable = function
   | Station_crashed _ | Station_restarted _ | Round_jammed _ ->
     true
   | Heard { light; _ } -> light
-  | Switched_on _ | Switched_off _ | Transmit _ | Silence | Round_end _ ->
+  | Switched_on _ | Switched_off _ | Transmit _ | Silence | Round_end _
+  | Telemetry _ ->
     false
 
 let stations_string stations =
@@ -63,8 +65,19 @@ let to_string = function
     Printf.sprintf "%s (%d transmitters)"
       (if noise then "noise" else "jammed")
       transmitters
+  | Telemetry { sample } ->
+    Printf.sprintf "telemetry (%d metrics)" (List.length sample)
 
 (* ---- JSON encoding ---- *)
+
+(* Floats must round-trip through the line format exactly: integral
+   values print without a fractional part, everything else uses enough
+   digits to reconstruct the double. Non-finite values have no JSON
+   spelling; they are clamped to 0. *)
+let float_repr f =
+  if f <> f || f = infinity || f = neg_infinity then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
 
 let add_field buf name value =
   Buffer.add_string buf ",\"";
@@ -149,7 +162,26 @@ let to_json ~round ev =
    | Round_jammed { transmitters; noise } ->
      typ "round_jammed";
      int_field buf "transmitters" transmitters;
-     bool_field buf "noise" noise);
+     bool_field buf "noise" noise
+   | Telemetry { sample } ->
+     typ "telemetry";
+     Buffer.add_string buf ",\"sample\":{";
+     List.iteri
+       (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         Buffer.add_char buf '"';
+         String.iter
+           (fun c ->
+             match c with
+             | '"' | '\\' ->
+               Buffer.add_char buf '\\';
+               Buffer.add_char buf c
+             | c -> Buffer.add_char buf c)
+           k;
+         Buffer.add_string buf "\":";
+         Buffer.add_string buf (float_repr v))
+       sample;
+     Buffer.add_char buf '}');
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -159,7 +191,12 @@ let to_json ~round ev =
    string keys mapping to ints, booleans, strings, or arrays of ints. No
    dependency on a JSON library; rejects anything deeper than we write. *)
 
-type jv = Jint of int | Jbool of bool | Jstr of string | Jints of int list
+type jv =
+  | Jint of int
+  | Jbool of bool
+  | Jstr of string
+  | Jints of int list
+  | Jobj of (string * float) list
 
 exception Bad of string
 
@@ -227,6 +264,31 @@ let parse_object line =
     if !pos = start then raise (Bad "expected integer");
     int_of_string (String.sub line start (!pos - start))
   in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    let digits () =
+      while
+        !pos < len && match line.[!pos] with '0' .. '9' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    if peek () = Some '-' then incr pos;
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       incr pos;
+       (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+       digits ()
+     | _ -> ());
+    if !pos = start then raise (Bad "expected number");
+    float_of_string (String.sub line start (!pos - start))
+  in
   let parse_value () =
     skip_ws ();
     match peek () with
@@ -260,6 +322,34 @@ let parse_object line =
         done;
         expect ']';
         Jints (List.rev !items)
+      end
+    | Some '{' ->
+      (* Nested object of numbers — only [Telemetry.sample] is written
+         this way; anything deeper is rejected. *)
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Jobj []
+      end
+      else begin
+        let items = ref [] in
+        let member () =
+          skip_ws ();
+          let k = parse_string () in
+          expect ':';
+          let v = parse_number () in
+          items := (k, v) :: !items
+        in
+        member ();
+        skip_ws ();
+        while peek () = Some ',' do
+          incr pos;
+          member ();
+          skip_ws ()
+        done;
+        expect '}';
+        Jobj (List.rev !items)
       end
     | Some ('-' | '0' .. '9') -> Jint (parse_int ())
     | _ -> raise (Bad (Printf.sprintf "unexpected input at offset %d" !pos))
@@ -346,6 +436,12 @@ let of_json_line line =
       | "station_restarted" -> Station_restarted { station = int "station" }
       | "round_jammed" ->
         Round_jammed { transmitters = int "transmitters"; noise = bool "noise" }
+      | "telemetry" ->
+        Telemetry
+          { sample =
+              (match get "sample" with
+               | Jobj kvs -> kvs
+               | _ -> raise (Bad "sample: not an object")) }
       | other -> raise (Bad ("unknown event type " ^ other))
     in
     Ok (round, ev)

@@ -56,6 +56,12 @@ type t =
           then precedes a [Silence]. Otherwise the event immediately
           precedes the [Collision] it forces ([>= 2] transmitters: it
           merely annotates the natural collision). *)
+  | Telemetry of { sample : (string * float) list }
+      (** Live telemetry snapshot: the registry's counters and gauges as
+          [(metric name, value)] pairs, in registration order, emitted by
+          the engine on the configured cadence (see [Mac_sim.Telemetry]).
+          Carries no channel semantics — replay-oriented consumers
+          ignore it. *)
 
 val notable : t -> bool
 (** The historically traced subset: injections, collisions, light

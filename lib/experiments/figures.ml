@@ -6,6 +6,7 @@ type t = {
   title : string;
   run :
     ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
     ?jobs:int ->
     scale:[ `Quick | `Full ] ->
     unit ->
@@ -23,8 +24,9 @@ let q = Qrat.of_float
 
 let fmt_q r = fmt (Qrat.to_float r)
 
-let run_point ~observe ~id ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain =
-  Scenario.run ?observe
+let run_point ~observe ~telemetry ~id ~algorithm ~n ~k ~rho ~beta ~pattern
+    ~rounds ~drain =
+  Scenario.run ?observe ?telemetry
     (Scenario.spec_q ~id ~algorithm ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds
        ~drain ())
 
@@ -41,13 +43,13 @@ let run_points ?jobs points =
 (* ------------------------------------------------------------------ *)
 (* F1: stability frontier. *)
 
-let frontier_rows ?observe ?jobs ~scale () =
+let frontier_rows ?observe ?telemetry ?jobs ~scale () =
   let rounds = scaled ~scale ~quick:60_000 ~full:150_000 in
   let aw_rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
   let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~threshold ~rho ~pattern ~rounds =
     let thunk () =
-      run_point ~observe
+      run_point ~observe ~telemetry
         ~id:(Printf.sprintf "frontier/%s@%.4f" row_algo (Qrat.to_float rho))
         ~algorithm ~n ~k ~rho ~beta:(Qrat.of_int 2) ~pattern ~rounds ~drain:0
     in
@@ -141,8 +143,8 @@ let frontier =
   { id = "F1.frontier";
     title = "Stability frontier: verdict around each algorithm's threshold";
     run =
-      (fun ?observe ?jobs ~scale () ->
-        let rows, outcomes = frontier_rows ?observe ?jobs ~scale () in
+      (fun ?observe ?telemetry ?jobs ~scale () ->
+        let rows, outcomes = frontier_rows ?observe ?telemetry ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:
@@ -155,11 +157,12 @@ let frontier =
 (* ------------------------------------------------------------------ *)
 (* F2: latency scaling with n. *)
 
-let scaling_rows ?observe ?jobs ~scale () =
+let scaling_rows ?observe ?telemetry ?jobs ~scale () =
   let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~rho ~bound ~pattern ~rounds =
     let thunk () =
-      run_point ~observe ~id:(Printf.sprintf "scaling/%s/n=%d" row_algo n)
+      run_point ~observe ~telemetry
+        ~id:(Printf.sprintf "scaling/%s/n=%d" row_algo n)
         ~algorithm ~n ~k ~rho ~beta:(Qrat.of_int 2) ~pattern ~rounds
         ~drain:(rounds / 2)
     in
@@ -214,8 +217,8 @@ let scaling =
   { id = "F2.scaling";
     title = "Latency scaling with n (measured worst delay vs instantiated bound)";
     run =
-      (fun ?observe ?jobs ~scale () ->
-        let rows, outcomes = scaling_rows ?observe ?jobs ~scale () in
+      (fun ?observe ?telemetry ?jobs ~scale () ->
+        let rows, outcomes = scaling_rows ?observe ?telemetry ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:[ "algorithm"; "n"; "k"; "rho"; "worst-delay"; "bound"; "ratio" ]
@@ -226,14 +229,15 @@ let scaling =
 (* ------------------------------------------------------------------ *)
 (* F3: the latency-energy tradeoff across caps. *)
 
-let energy_rows ?observe ?jobs ~scale () =
+let energy_rows ?observe ?telemetry ?jobs ~scale () =
   let n = 12 in
   let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
   let points = ref [] in
   let point ~row_algo ~algorithm ~k ~threshold =
     let rho = Qrat.mul (Qrat.make 1 2) threshold in
     let thunk () =
-      run_point ~observe ~id:(Printf.sprintf "energy/%s/k=%d" row_algo k)
+      run_point ~observe ~telemetry
+        ~id:(Printf.sprintf "energy/%s/k=%d" row_algo k)
         ~algorithm ~n ~k ~rho ~beta:(Qrat.of_int 2)
         ~pattern:(Pattern.uniform ~n ~seed:(600 + k)) ~rounds
         ~drain:(rounds / 2)
@@ -274,8 +278,8 @@ let energy =
   { id = "F3.energy";
     title = "Latency-energy tradeoff at half the threshold rate (n=12)";
     run =
-      (fun ?observe ?jobs ~scale () ->
-        let rows, outcomes = energy_rows ?observe ?jobs ~scale () in
+      (fun ?observe ?telemetry ?jobs ~scale () ->
+        let rows, outcomes = energy_rows ?observe ?telemetry ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:
@@ -288,12 +292,12 @@ let energy =
 (* ------------------------------------------------------------------ *)
 (* F4: burstiness sensitivity. *)
 
-let burst_rows ?observe ?jobs ~scale () =
+let burst_rows ?observe ?telemetry ?jobs ~scale () =
   let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~rho ~beta ~bound ~pattern ~rounds ~drain
       ~metric =
     let thunk () =
-      run_point ~observe
+      run_point ~observe ~telemetry
         ~id:(Printf.sprintf "burst/%s/b=%g" row_algo (Qrat.to_float beta))
         ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain
     in
@@ -342,8 +346,8 @@ let burst =
   { id = "F4.burst";
     title = "Burstiness sensitivity (worst delay, or backlog for Orchestra)";
     run =
-      (fun ?observe ?jobs ~scale () ->
-        let rows, outcomes = burst_rows ?observe ?jobs ~scale () in
+      (fun ?observe ?telemetry ?jobs ~scale () ->
+        let rows, outcomes = burst_rows ?observe ?telemetry ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:[ "algorithm"; "n"; "rho"; "beta"; "measured"; "bound"; "ratio" ]
@@ -356,9 +360,10 @@ let burst =
    oblivious discipline against the same dedicated pair flood, located by
    bisection, next to the random-schedule strawman. *)
 
-let baselines_rows ?observe ?jobs ~scale () =
+let baselines_rows ?observe ?telemetry ?jobs ~scale () =
   (* Bisection probes run thousands of throwaway points; observing them
-     would swamp any sink, so F5 deliberately ignores the observer. *)
+     would swamp any sink, so F5 deliberately ignores the observer, and
+     telemetry only counts probes on the fleet (no per-scenario files). *)
   ignore (observe : Scenario.observer option);
   let n = 8 and k = 3 in
   let rounds = scaled ~scale ~quick:30_000 ~full:60_000 in
@@ -395,7 +400,7 @@ let baselines_rows ?observe ?jobs ~scale () =
         (Qrat.make 1 250, hi0, probe))
       subjects
   in
-  let located = Sweep.bisect_many_q ?jobs ~steps brackets in
+  let located = Sweep.bisect_many_q ?jobs ?telemetry ~steps brackets in
   let rows =
     List.map2
       (fun (label, _, theory_lo, theory_hi) (lo, hi) ->
@@ -410,8 +415,8 @@ let baselines =
     title =
       "Empirical stability frontiers under a dedicated pair flood (n=8, k=3, bisection)";
     run =
-      (fun ?observe ?jobs ~scale () ->
-        let rows, outcomes = baselines_rows ?observe ?jobs ~scale () in
+      (fun ?observe ?telemetry ?jobs ~scale () ->
+        let rows, outcomes = baselines_rows ?observe ?telemetry ?jobs ~scale () in
         let report =
           Mac_sim.Report.create
             ~header:

@@ -14,12 +14,15 @@ type t = {
   title : string;
   run :
     ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
     ?jobs:int ->
     scale:[ `Quick | `Full ] ->
     unit ->
     Mac_sim.Report.t * Scenario.outcome list;
   (** [observe] is forwarded to each plotted point's {!Scenario.run}, keyed
       by scenario id. F5 ignores it (bisection probes are throwaway runs).
+      [telemetry] attaches a fleet probe to every plotted point; F5 only
+      counts its probe runs on the fleet's bisect-probes counter.
       [jobs] (default 1) fans the figure's points — for F5, its bisection
       brackets — out over that many worker domains; rows and outcomes keep
       their declaration order and match a sequential run bit for bit. *)

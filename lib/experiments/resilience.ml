@@ -66,10 +66,10 @@ let plans ~scale ~n ~rounds =
     ( "jam-random",
       Fault_plan.random ~seed:404 ~n ~rounds ~jam_rate:0.01 () ) ]
 
-let run_cell ?observe ~rounds subject (plan_label, plan) =
+let run_cell ?observe ?telemetry ~rounds subject (plan_label, plan) =
   let id = Printf.sprintf "resilience/%s/%s" subject.label plan_label in
   let faults = if Fault_plan.is_empty plan then None else Some plan in
-  Scenario.run ?observe
+  Scenario.run ?observe ?telemetry
     (Scenario.spec ~id ~algorithm:subject.algorithm ~n:subject.n ~k:subject.k
        ~rate:subject.rate ~burst:subject.burst ~pattern:subject.pattern
        ~rounds ?faults ())
@@ -115,7 +115,7 @@ let row (outcome : Scenario.outcome) =
     recovery;
     string_of_int (int_of_float (Scenario.worst_delay s)) ]
 
-let suite ?observe ?jobs ~scale () =
+let suite ?observe ?telemetry ?jobs ~scale () =
   let rounds = scaled ~scale ~quick:15_000 ~full:80_000 in
   let cells =
     List.concat_map
@@ -126,7 +126,8 @@ let suite ?observe ?jobs ~scale () =
   let outcomes =
     Scenario.run_batch ?jobs
       (List.map
-         (fun (subject, plan) () -> run_cell ?observe ~rounds subject plan)
+         (fun (subject, plan) () ->
+           run_cell ?observe ?telemetry ~rounds subject plan)
          cells)
   in
   let report = Mac_sim.Report.create ~header in

@@ -16,12 +16,14 @@
 
 val suite :
   ?observe:Scenario.observer ->
+  ?telemetry:Mac_sim.Telemetry.Fleet.t ->
   ?jobs:int ->
   scale:[ `Quick | `Full ] ->
   unit ->
   Mac_sim.Report.t * Scenario.outcome list
 (** Run the full sweep (4 algorithms x 7 plans). Outcome ids are
     ["resilience/<algorithm>/<plan>"]; the observer, if given, is called
-    once per cell with that id. [jobs] (default 1) fans the cells out over
-    that many worker domains; rows and outcomes keep declaration order and
-    match a sequential run bit for bit. *)
+    once per cell with that id, and [telemetry] attaches a fleet probe to
+    every cell. [jobs] (default 1) fans the cells out over that many
+    worker domains; rows and outcomes keep declaration order and match a
+    sequential run bit for bit. *)

@@ -85,7 +85,7 @@ let schedule_of (module A : Mac_channel.Algorithm.S) ~n ~k =
 
 type observer = id:string -> Mac_sim.Sink.t option
 
-let run ?(checks = []) ?observe spec =
+let run ?(checks = []) ?observe ?telemetry spec =
   let module A = (val spec.algorithm) in
   let adversary =
     Mac_adversary.Adversary.create_q ~rate:spec.rate ~burst:spec.burst
@@ -99,6 +99,11 @@ let run ?(checks = []) ?observe spec =
     | Some p -> not (Mac_faults.Fault_plan.is_empty p)
     | None -> false
   in
+  let probe =
+    Option.map
+      (fun fleet -> Mac_sim.Telemetry.Fleet.probe fleet ~id:spec.id)
+      telemetry
+  in
   let config =
     { (Mac_sim.Engine.default_config ~rounds:spec.rounds) with
       drain_limit = spec.drain;
@@ -108,7 +113,8 @@ let run ?(checks = []) ?observe spec =
          instead of raising. *)
       strict = not faulted;
       sink;
-      faults = spec.faults }
+      faults = spec.faults;
+      telemetry = probe }
   in
   let summary =
     Fun.protect
@@ -117,6 +123,9 @@ let run ?(checks = []) ?observe spec =
         Mac_sim.Engine.run ~config ~algorithm:spec.algorithm ~n:spec.n
           ~k:spec.k ~adversary ~rounds:spec.rounds ())
   in
+  (match (telemetry, probe) with
+   | Some fleet, Some p -> Mac_sim.Telemetry.Fleet.finish fleet p
+   | _ -> ());
   let stability = Mac_sim.Stability.classify summary.queue_series in
   let checks = List.map (fun c -> c summary stability) checks in
   { spec; summary; stability; checks;
@@ -249,12 +258,16 @@ let store_cached ~experiment path (o : outcome) =
      raise e);
   Sys.rename tmp path
 
-let run_resumable ?checks ?observe ~resume_dir ~experiment spec =
+let run_resumable ?checks ?observe ?telemetry ~resume_dir ~experiment spec =
   if not (Sys.file_exists resume_dir) then Sys.mkdir resume_dir 0o755;
   let path = marker_path ~resume_dir spec.id in
   match load_cached ~id:spec.id path with
-  | Some c -> Cached c
+  | Some c ->
+    Option.iter
+      (fun fleet -> Mac_sim.Telemetry.Fleet.note_cached fleet ~id:spec.id)
+      telemetry;
+    Cached c
   | None ->
-    let o = run ?checks ?observe spec in
+    let o = run ?checks ?observe ?telemetry spec in
     store_cached ~experiment path o;
     Fresh o

@@ -87,10 +87,18 @@ type observer = id:string -> Mac_sim.Sink.t option
     scenario's id; returning a sink attaches it to that run's event stream.
     The sink is closed when the run finishes, even on an exception. *)
 
-val run : ?checks:checker list -> ?observe:observer -> spec -> outcome
+val run :
+  ?checks:checker list ->
+  ?observe:observer ->
+  ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+  spec ->
+  outcome
 (** Simulates the scenario (schedule cross-checking enabled for oblivious
     algorithms) and evaluates the checks. [observe] may attach an event
-    sink to the run; see {!observer}. *)
+    sink to the run; see {!observer}. [telemetry] attaches a
+    {!Mac_sim.Telemetry.Fleet} probe: the run publishes a live
+    [scenario=<id>] registry on the fleet's cadence and merges it into
+    the fleet aggregate when the run finishes. *)
 
 val run_batch : ?jobs:int -> (unit -> outcome) list -> outcome list
 (** Run a batch of independent scenario thunks on a {!Mac_sim.Pool} of
@@ -140,14 +148,16 @@ val marker_path : resume_dir:string -> string -> string
 val run_resumable :
   ?checks:checker list ->
   ?observe:observer ->
+  ?telemetry:Mac_sim.Telemetry.Fleet.t ->
   resume_dir:string ->
   experiment:string ->
   spec ->
   resumed
 (** Like {!run}, but checks [resume_dir] (created if missing) for a
-    completion marker first. On a hit, returns [Cached] without simulating;
-    on a miss, runs the scenario, writes the marker, and returns [Fresh].
-    A corrupt or mismatched marker is treated as a miss and rewritten. *)
+    completion marker first. On a hit, returns [Cached] without simulating
+    (noting the cache hit on [telemetry] when given); on a miss, runs the
+    scenario, writes the marker, and returns [Fresh]. A corrupt or
+    mismatched marker is treated as a miss and rewritten. *)
 
 val schedule_of :
   Mac_channel.Algorithm.t -> n:int -> k:int ->

@@ -39,9 +39,19 @@ let bisect ?steps ~lo ~hi probe =
 (* Each bisection is a sequential chain of runs, but independent brackets
    (one per algorithm under the same adversary, say) can bisect side by
    side on the pool. *)
-let bisect_many_q ?(jobs = 1) ?steps brackets =
+let bisect_many_q ?(jobs = 1) ?telemetry ?steps brackets =
+  let count_probe probe =
+    match telemetry with
+    | None -> probe
+    | Some fleet ->
+      fun ~rho ->
+        Mac_sim.Telemetry.Fleet.add_counter fleet
+          ~help:"Throwaway bisection probe runs executed"
+          Mac_sim.Telemetry.Names.bisect_probes;
+        probe ~rho
+  in
   Mac_sim.Pool.map ~jobs brackets (fun (lo, hi, probe) ->
-      bisect_q ?steps ~lo ~hi probe)
+      bisect_q ?steps ~lo ~hi (count_probe probe))
 
 let bisect_many ?(jobs = 1) ?steps brackets =
   Mac_sim.Pool.map ~jobs brackets (fun (lo, hi, probe) ->

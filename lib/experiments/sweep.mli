@@ -58,6 +58,7 @@ val bisect :
 
 val bisect_many_q :
   ?jobs:int ->
+  ?telemetry:Mac_sim.Telemetry.Fleet.t ->
   ?steps:int ->
   (Mac_channel.Qrat.t * Mac_channel.Qrat.t * (rho:Mac_channel.Qrat.t -> bool))
   list ->
@@ -65,7 +66,11 @@ val bisect_many_q :
 (** [bisect_many_q brackets] runs one {!bisect_q} per [(lo, hi, probe)]
     bracket and returns the located frontiers in input order. Each
     bisection is inherently sequential, but independent brackets run in
-    parallel on a {!Mac_sim.Pool} of [jobs] workers (default 1). *)
+    parallel on a {!Mac_sim.Pool} of [jobs] workers (default 1). Probe
+    runs are throwaway simulations that never publish per-scenario
+    registries; [telemetry], when given, at least counts each probe on
+    the fleet's {!Mac_sim.Telemetry.Names.bisect_probes} counter so a
+    dashboard can see bisection progress. *)
 
 val bisect_many :
   ?jobs:int ->

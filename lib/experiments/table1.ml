@@ -12,12 +12,14 @@ type t = {
   cells : scale:[ `Quick | `Full ] -> cell list;
   run :
     ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
     ?jobs:int ->
     scale:[ `Quick | `Full ] ->
     unit ->
     Scenario.outcome list;
   run_resumable :
     ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
     ?jobs:int ->
     resume_dir:string ->
     scale:[ `Quick | `Full ] ->
@@ -29,18 +31,18 @@ type t = {
    call) and fan the runs out over the pool. [run_resumable] is the same
    shape, with each cell consulting the resume directory first. *)
 let row ~id ~claim cells =
-  let run ?observe ?jobs ~scale () =
+  let run ?observe ?telemetry ?jobs ~scale () =
     Scenario.run_batch ?jobs
       (List.map
-         (fun c () -> Scenario.run ~checks:c.checks ?observe c.spec)
+         (fun c () -> Scenario.run ~checks:c.checks ?observe ?telemetry c.spec)
          (cells ~scale))
   in
-  let run_resumable ?observe ?(jobs = 1) ~resume_dir ~scale () =
+  let run_resumable ?observe ?telemetry ?(jobs = 1) ~resume_dir ~scale () =
     Mac_sim.Pool.map ~jobs
       (List.map
          (fun c () ->
-           Scenario.run_resumable ~checks:c.checks ?observe ~resume_dir
-             ~experiment:id c.spec)
+           Scenario.run_resumable ~checks:c.checks ?observe ?telemetry
+             ~resume_dir ~experiment:id c.spec)
          (cells ~scale))
       (fun t -> t ())
   in

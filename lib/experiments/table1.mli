@@ -26,18 +26,21 @@ type t = {
       call again for another (identical) batch. *)
   run :
     ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
     ?jobs:int ->
     scale:[ `Quick | `Full ] ->
     unit ->
     Scenario.outcome list;
   (** Runs the row's cells. [observe] is forwarded to every
       {!Scenario.run} of the row, keyed by scenario id — attach tracing or
-      event recording per scenario. [jobs] (default 1) fans the row's
-      scenarios out over that many worker domains via {!Scenario.run_batch};
-      outcomes keep their listed order and are bit-identical to a
-      sequential run. *)
+      event recording per scenario. [telemetry] is likewise forwarded, so
+      every scenario of the row publishes live progress into the fleet.
+      [jobs] (default 1) fans the row's scenarios out over that many
+      worker domains via {!Scenario.run_batch}; outcomes keep their
+      listed order and are bit-identical to a sequential run. *)
   run_resumable :
     ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
     ?jobs:int ->
     resume_dir:string ->
     scale:[ `Quick | `Full ] ->

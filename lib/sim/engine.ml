@@ -56,18 +56,123 @@ type config = {
   faults : Mac_faults.Fault_plan.t option;
   checkpoint_every : int;
   on_checkpoint : (snapshot -> unit) option;
+  telemetry : Telemetry.probe option;
 }
 
 let default_config ~rounds =
   { rounds; drain_limit = 0; sample_every = 0; check_schedule = false;
     strict = true; trace = None; sink = None; faults = None;
-    checkpoint_every = 0; on_checkpoint = None }
+    checkpoint_every = 0; on_checkpoint = None; telemetry = None }
 
 type tracked = {
   packet : Packet.t;
   mutable delivered : bool;
   mutable hops : int;
 }
+
+(* Live-telemetry state for one run: the registry handles, resolved once
+   at run start, plus the previous-sample cursors (time, round, energy,
+   GC) that turn running totals into window rates. Engine-private. *)
+let phase_names = [| "inject"; "faults"; "resolve"; "deliver"; "observe" |]
+
+type live_telemetry = {
+  lt_probe : Telemetry.probe;
+  lt_round : Telemetry.gauge;
+  lt_target : Telemetry.gauge;
+  lt_rps : Telemetry.gauge;
+  lt_backlog : Telemetry.gauge;
+  lt_backlog_peak : Telemetry.gauge;
+  lt_queue_peak : Telemetry.gauge;
+  lt_tokens : Telemetry.gauge;
+  lt_crashed : Telemetry.gauge;
+  lt_energy_window : Telemetry.gauge;
+  lt_energy_total : Telemetry.counter;
+  lt_injected : Telemetry.counter;
+  lt_delivered : Telemetry.counter;
+  lt_collisions : Telemetry.counter;
+  lt_jams : Telemetry.counter;
+  lt_lost : Telemetry.counter;
+  lt_checkpoints : Telemetry.counter;
+  lt_samples : Telemetry.counter;
+  lt_gc_minor_rate : Telemetry.gauge;
+  lt_gc_heap : Telemetry.gauge;
+  lt_gc_majors : Telemetry.counter;
+  lt_phase : Histogram.t array; (* indexed like [phase_names] *)
+  mutable lt_last_time : float;
+  mutable lt_last_round : int;
+  mutable lt_last_energy : int;
+  mutable lt_last_minor : float;
+}
+
+let attach_telemetry (p : Telemetry.probe) ~target ~(metrics : Metrics.t) =
+  let reg = p.Telemetry.registry in
+  let g ?merge ~help name = Telemetry.gauge reg ~help ?merge name in
+  let c ~help name = Telemetry.counter reg ~help name in
+  let lt =
+    { lt_probe = p;
+      lt_round =
+        g ~merge:Telemetry.Max ~help:"Rounds executed so far."
+          Telemetry.Names.round;
+      lt_target =
+        g ~help:"Configured rounds plus drain limit."
+          Telemetry.Names.rounds_target;
+      lt_rps =
+        g ~help:"Rounds per second since the previous sample."
+          Telemetry.Names.rounds_per_second;
+      lt_backlog = g ~help:"Packets queued now." Telemetry.Names.backlog;
+      lt_backlog_peak =
+        g ~merge:Telemetry.Max ~help:"Peak total backlog."
+          Telemetry.Names.backlog_peak;
+      lt_queue_peak =
+        g ~merge:Telemetry.Max ~help:"Peak single-station queue."
+          Telemetry.Names.station_queue_peak;
+      lt_tokens =
+        g ~help:"Adversary leaky-bucket level." Telemetry.Names.bucket_tokens;
+      lt_crashed =
+        g ~help:"Stations currently crashed." Telemetry.Names.crashed_stations;
+      lt_energy_window =
+        g ~help:"Station-rounds spent since the previous sample."
+          Telemetry.Names.energy_window;
+      lt_energy_total =
+        c ~help:"Station-rounds spent so far." Telemetry.Names.energy_total;
+      lt_injected = c ~help:"Packets injected." Telemetry.Names.injected_total;
+      lt_delivered =
+        c ~help:"Packets delivered." Telemetry.Names.delivered_total;
+      lt_collisions =
+        c ~help:"Collision rounds." Telemetry.Names.collisions_total;
+      lt_jams = c ~help:"Jammed rounds." Telemetry.Names.jams_total;
+      lt_lost = c ~help:"Packets lost to crashes." Telemetry.Names.lost_total;
+      lt_checkpoints =
+        c ~help:"Checkpoints written." Telemetry.Names.checkpoints_total;
+      lt_samples =
+        c ~help:"Telemetry samples taken." Telemetry.Names.samples_total;
+      lt_gc_minor_rate =
+        g ~help:"Minor-heap words allocated per round since the previous sample."
+          Telemetry.Names.gc_minor_words_per_round;
+      lt_gc_heap =
+        g ~merge:Telemetry.Max ~help:"Major-heap words."
+          Telemetry.Names.gc_heap_words;
+      lt_gc_majors =
+        c ~help:"Major collections." Telemetry.Names.gc_major_collections_total;
+      lt_phase =
+        Array.map
+          (fun ph ->
+            Telemetry.histogram reg
+              ~help:
+                "Wall-clock nanoseconds per engine phase of sampled rounds."
+              ~labels:[ ("phase", ph) ] Telemetry.Names.phase_ns)
+          phase_names;
+      lt_last_time = Unix.gettimeofday ();
+      lt_last_round = 0;
+      lt_last_energy = (Metrics.live_stats metrics).Metrics.live_station_rounds;
+      lt_last_minor = Gc.minor_words () }
+  in
+  ignore
+    (Telemetry.register_histogram reg ~help:"Delivery delay in rounds."
+       Telemetry.Names.delay
+       (Metrics.live_delay_histogram metrics));
+  Telemetry.set_gauge lt.lt_target (float_of_int target);
+  lt
 
 let violation ~strict metrics note msg =
   note metrics;
@@ -223,6 +328,42 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
     | _ -> fun ~round ev -> List.iter (fun (s : Sink.t) -> s.emit ~round ev) sinks
   in
 
+  (* Live telemetry. With [cfg.telemetry = None] every hook below
+     degenerates to a false branch on a pre-existing ref — no closures,
+     no allocation, no clock reads — so an uninstrumented run keeps the
+     zero-allocation fast path and stays bit-identical. When a probe is
+     installed, engine phases are timed only on cadence-boundary rounds
+     (the round preceding each sample), keeping the overhead bounded by
+     the cadence rather than the round count. *)
+  let lt =
+    Option.map
+      (fun p ->
+        let l =
+          attach_telemetry p ~target:(cfg.rounds + cfg.drain_limit) ~metrics
+        in
+        (match resume with Some s -> l.lt_last_round <- s.round | None -> ());
+        l)
+      cfg.telemetry
+  in
+  let tel_every =
+    match cfg.telemetry with Some p -> p.Telemetry.every | None -> 0
+  in
+  let timing = ref false in
+  let obs_acc = ref 0.0 in
+  let emit =
+    match lt with
+    | None -> emit
+    | Some _ ->
+      let base = emit in
+      fun ~round ev ->
+        if !timing then begin
+          let t0 = Unix.gettimeofday () in
+          base ~round ev;
+          obs_acc := !obs_acc +. (Unix.gettimeofday () -. t0)
+        end
+        else base ~round ev
+  in
+
   (* Applied at the top of the round, after injection and before mode
      decisions: a crash this round already silences the station's mode
      decision; a restart rejoins from this round's decision on. Jam and
@@ -324,9 +465,66 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
       pairs
   in
 
+  (* One telemetry sample: refresh every gauge/counter from the live
+     collector and engine state, then hand the registry to the sinks (as
+     a typed event) and the probe's [on_sample] hook. Reads only. *)
+  let tel_sample (l : live_telemetry) ~round =
+    let now = Unix.gettimeofday () in
+    let live = Metrics.live_stats metrics in
+    Telemetry.set_gauge l.lt_round (float_of_int round);
+    let dr = round - l.lt_last_round in
+    let dt = now -. l.lt_last_time in
+    if dr > 0 && dt > 0.0 then
+      Telemetry.set_gauge l.lt_rps (float_of_int dr /. dt);
+    Telemetry.set_gauge l.lt_backlog
+      (float_of_int live.Metrics.live_total_queued);
+    Telemetry.set_gauge l.lt_backlog_peak
+      (float_of_int live.Metrics.live_max_total_queue);
+    Telemetry.set_gauge l.lt_queue_peak
+      (float_of_int live.Metrics.live_max_station_queue);
+    Telemetry.set_gauge l.lt_tokens
+      (Qrat.to_float (Mac_adversary.Adversary.tokens driver));
+    let crashed_count = ref 0 in
+    Array.iter (fun c -> if c then incr crashed_count) crashed;
+    Telemetry.set_gauge l.lt_crashed (float_of_int !crashed_count);
+    Telemetry.set_gauge l.lt_energy_window
+      (float_of_int (live.Metrics.live_station_rounds - l.lt_last_energy));
+    Telemetry.set_counter l.lt_energy_total live.Metrics.live_station_rounds;
+    Telemetry.set_counter l.lt_injected live.Metrics.live_injected;
+    Telemetry.set_counter l.lt_delivered live.Metrics.live_delivered;
+    Telemetry.set_counter l.lt_collisions live.Metrics.live_collision_rounds;
+    Telemetry.set_counter l.lt_jams live.Metrics.live_jammed_rounds;
+    Telemetry.set_counter l.lt_lost live.Metrics.live_lost;
+    Telemetry.inc l.lt_samples;
+    let st = Gc.quick_stat () in
+    let minor = st.Gc.minor_words in
+    if dr > 0 then
+      Telemetry.set_gauge l.lt_gc_minor_rate
+        ((minor -. l.lt_last_minor) /. float_of_int dr);
+    Telemetry.set_gauge l.lt_gc_heap (float_of_int st.Gc.heap_words);
+    Telemetry.set_counter l.lt_gc_majors st.Gc.major_collections;
+    l.lt_last_time <- now;
+    l.lt_last_round <- round;
+    l.lt_last_energy <- live.Metrics.live_station_rounds;
+    l.lt_last_minor <- minor;
+    if observing then
+      emit ~round
+        (Event.Telemetry
+           { sample = Telemetry.sample l.lt_probe.Telemetry.registry });
+    l.lt_probe.Telemetry.on_sample ~round l.lt_probe.Telemetry.registry
+  in
+
   let step ~round ~draining =
+    if tel_every > 0 then begin
+      (* Time this round's phases iff it ends on a sample boundary. *)
+      timing := (round + 1) mod tel_every = 0;
+      if !timing then obs_acc := 0.0
+    end;
+    let t0 = if !timing then Unix.gettimeofday () else 0.0 in
     if not draining then inject round;
+    let t1 = if !timing then Unix.gettimeofday () else 0.0 in
     apply_faults round;
+    let t2 = if !timing then Unix.gettimeofday () else 0.0 in
     (* Mode decisions. Crashed stations are inert: forced off, their
        on_duty never called (state frozen for a later restart), and the
        static-schedule check waived — the schedule says on, the fault
@@ -432,6 +630,7 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
         (Feedback.Collision, None)
       end
     in
+    let t3 = if !timing then Unix.gettimeofday () else 0.0 in
     (* A heard packet leaves the transmitter; it is delivered if its
        destination is on, otherwise it awaits adoption. *)
     let pending = ref None in
@@ -517,7 +716,19 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
     Array.blit on 0 prev_on 0 n;
     Metrics.end_round metrics ~round ~draining;
     if observing then
-      emit ~round (Event.Round_end { on_count = !on_count; draining })
+      emit ~round (Event.Round_end { on_count = !on_count; draining });
+    if !timing then begin
+      match lt with
+      | Some l ->
+        let t4 = Unix.gettimeofday () in
+        let ns a b = int_of_float ((b -. a) *. 1e9) in
+        Histogram.record l.lt_phase.(0) (ns t0 t1);
+        Histogram.record l.lt_phase.(1) (ns t1 t2);
+        Histogram.record l.lt_phase.(2) (ns t2 t3);
+        Histogram.record l.lt_phase.(3) (ns t3 t4);
+        Histogram.record l.lt_phase.(4) (int_of_float (!obs_acc *. 1e9))
+      | None -> ()
+    end
   in
 
   let round = ref 0 in
@@ -572,20 +783,37 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
     match cfg.on_checkpoint with
     | Some f when cfg.checkpoint_every > 0 && !round mod cfg.checkpoint_every = 0
       ->
-      f (make_snapshot ())
+      f (make_snapshot ());
+      (match lt with Some l -> Telemetry.inc l.lt_checkpoints | None -> ())
+    | _ -> ()
+  in
+  (* Telemetry samples land at round boundaries divisible by the cadence
+     (mirroring checkpoints), plus one final sample so the exposition
+     always reflects the finished run. *)
+  let last_sample = ref min_int in
+  let maybe_sample () =
+    match lt with
+    | Some l when !round mod tel_every = 0 ->
+      last_sample := !round;
+      tel_sample l ~round:!round
     | _ -> ()
   in
   while !round < cfg.rounds do
     step ~round:!round ~draining:false;
     incr round;
-    maybe_checkpoint ()
+    maybe_checkpoint ();
+    maybe_sample ()
   done;
   while !drained < cfg.drain_limit && Metrics.total_queued metrics > 0 do
     step ~round:!round ~draining:true;
     incr round;
     incr drained;
-    maybe_checkpoint ()
+    maybe_checkpoint ();
+    maybe_sample ()
   done;
+  (match lt with
+   | Some l when !last_sample <> !round -> tel_sample l ~round:!round
+   | _ -> ());
   let final_round = !round in
   (* Conservation and duplicate checks. Every injected packet is
      classified: delivered, still queued, or lost-to-crash — lost packets

@@ -93,11 +93,21 @@ type config = {
   (** receives each periodic snapshot (typically to persist it via
       {!Checkpoint.write}). Taking a snapshot reads but never writes engine
       state, so a checkpointed run is bit-identical to an unobserved one. *)
+  telemetry : Telemetry.probe option;
+  (** when set, the engine refreshes the probe's registry (backlog,
+      energy, throughput, GC and phase-timing metrics — see
+      {!Telemetry.Names}) at every round boundary divisible by
+      [probe.every], plus once at the end of the run. Each sample emits an
+      [Event.Telemetry] through the sinks (when any are installed) and
+      then calls [probe.on_sample]. Sampling reads but never writes
+      engine state: a run with telemetry on produces the same summary,
+      checkpoints, and (telemetry events aside) event stream as one with
+      it off. [None] leaves the round loop untouched. *)
 }
 
 val default_config : rounds:int -> config
 (** No drain, auto sampling, no schedule check, strict, no trace, no sink,
-    no faults, no checkpointing. *)
+    no faults, no checkpointing, no telemetry. *)
 
 val run :
   ?config:config ->

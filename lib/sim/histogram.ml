@@ -60,6 +60,23 @@ let percentile t q =
     min (snd (bounds_of (!idx - 1))) t.max_value
   end
 
+let max_value t = t.max_value
+
+let copy t =
+  { counts = Array.copy t.counts; total = t.total; max_value = t.max_value }
+
+let merge_into ~into src =
+  for idx = 0 to max_buckets - 1 do
+    into.counts.(idx) <- into.counts.(idx) + src.counts.(idx)
+  done;
+  into.total <- into.total + src.total;
+  if src.max_value > into.max_value then into.max_value <- src.max_value
+
+let merge a b =
+  let t = copy a in
+  merge_into ~into:t b;
+  t
+
 let buckets t =
   let acc = ref [] in
   for idx = max_buckets - 1 downto 0 do

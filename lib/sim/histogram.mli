@@ -22,6 +22,21 @@ val percentile : t -> float -> int
     largest value actually recorded — an upper estimate within one
     bucket of the exact order statistic. 0 when empty. *)
 
+val max_value : t -> int
+(** Largest value recorded; 0 when empty. *)
+
+val copy : t -> t
+(** Independent deep copy. *)
+
+val merge : t -> t -> t
+(** Exact bucket-wise sum as a fresh histogram: recording [xs] and [ys]
+    separately then merging is indistinguishable from recording
+    [xs @ ys] into one histogram. Neither argument is modified. *)
+
+val merge_into : into:t -> t -> unit
+(** In-place variant of [merge]: accumulate the second histogram's
+    buckets into [into]. *)
+
 val buckets : t -> (int * int * int) list
 (** Non-empty buckets as [(lo, hi, count)], ascending. *)
 

@@ -64,7 +64,7 @@ let observe t (ev : Event.t) =
     s.lost <- s.lost + lost;
     s.queue <- s.queue - lost
   | Silence | Heard _ | Stranded _ | Cap_exceeded _ | Adoption_conflict _
-  | Spurious_adoption _ | Station_restarted _ | Round_jammed _ ->
+  | Spurious_adoption _ | Station_restarted _ | Round_jammed _ | Telemetry _ ->
     ()
 
 let sink t = Sink.make (fun ~round:_ ev -> observe t ev)

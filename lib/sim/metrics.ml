@@ -284,9 +284,33 @@ let observe t ~round (ev : Mac_channel.Event.t) =
     note_crash t ~round ~lost
   | Station_restarted _ -> note_restart t ~round
   | Round_jammed { noise; _ } -> note_jammed t ~round ~noise
-  | Switched_on _ | Switched_off _ | Transmit _ -> ()
+  | Switched_on _ | Switched_off _ | Transmit _ | Telemetry _ -> ()
 
 let sink t = Sink.make (fun ~round ev -> observe t ~round ev)
+
+type live = {
+  live_injected : int;
+  live_delivered : int;
+  live_total_queued : int;
+  live_max_total_queue : int;
+  live_max_station_queue : int;
+  live_collision_rounds : int;
+  live_jammed_rounds : int;
+  live_crashes : int;
+  live_station_rounds : int;
+  live_lost : int;
+}
+
+let live_stats t =
+  { live_injected = t.injected; live_delivered = t.delivered;
+    live_total_queued = total_queued t;
+    live_max_total_queue = t.max_total_queue;
+    live_max_station_queue = t.max_station_queue;
+    live_collision_rounds = t.collision_rounds;
+    live_jammed_rounds = t.jammed_rounds; live_crashes = t.crashes;
+    live_station_rounds = t.on_total; live_lost = t.lost }
+
+let live_delay_histogram t = t.delay_hist
 
 (* The collector is pure data (scalars, arrays, lists — no closures), so a
    Marshal round-trip is an exact deep copy; checkpoints rely on this. *)

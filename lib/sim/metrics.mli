@@ -146,6 +146,28 @@ val total_queued : t -> int
 (** [injected - delivered - lost_to_crash]: packets still sitting in some
     queue. *)
 
+(** Mid-run snapshot of the counters telemetry streams (see
+    [Mac_sim.Telemetry]); reading it never perturbs the collector. *)
+type live = {
+  live_injected : int;
+  live_delivered : int;
+  live_total_queued : int;
+  live_max_total_queue : int;
+  live_max_station_queue : int;
+  live_collision_rounds : int;
+  live_jammed_rounds : int;
+  live_crashes : int;
+  live_station_rounds : int;  (** total energy spent so far *)
+  live_lost : int;
+}
+
+val live_stats : t -> live
+
+val live_delay_histogram : t -> Histogram.t
+(** The collector's delay histogram, shared (not copied): telemetry
+    registers it so quantile lines track the live distribution. Callers
+    must treat it as read-only. *)
+
 val copy : t -> t
 (** Exact deep copy of the collector (it is pure data), for checkpoints:
     the copy and the original evolve independently. *)

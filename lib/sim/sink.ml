@@ -84,7 +84,7 @@ let counting () =
     | Station_restarted _ -> incr restarts
     | Round_jammed _ -> incr jammed
     | Heard _ | Switched_on _ | Switched_off _ | Transmit _ | Cap_exceeded _
-    | Adoption_conflict _ | Spurious_adoption _ ->
+    | Adoption_conflict _ | Spurious_adoption _ | Telemetry _ ->
       ()
   in
   ( make emit,

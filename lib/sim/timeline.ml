@@ -61,7 +61,8 @@ let feed t ~round (ev : Event.t) =
     set station '#'
   | Station_restarted { station } -> set station 'r'
   | Injected _ | Silence | Heard _ | Stranded _ | Cap_exceeded _
-  | Adoption_conflict _ | Spurious_adoption _ | Round_end _ | Round_jammed _ ->
+  | Adoption_conflict _ | Spurious_adoption _ | Round_end _ | Round_jammed _
+  | Telemetry _ ->
     ()
 
 let sink t = Sink.make (fun ~round ev -> feed t ~round ev)

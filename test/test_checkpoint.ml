@@ -270,6 +270,41 @@ let test_resume_validation () =
   expect_invalid "wrong algorithm" (fun () ->
       complete ~resume:snap { c with Diff.algorithm = other })
 
+(* Telemetry sampling must not perturb checkpoints: the snapshot file
+   written at the same round is byte-identical whether or not a probe is
+   attached (with cadences chosen so samples and checkpoints interleave). *)
+let test_checkpoint_bytes_telemetry_invariant () =
+  let run telemetry =
+    let path = temp_path ".bin" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let adversary =
+          Mac_adversary.Adversary.create ~rate:0.7 ~burst:2.0
+            (Mac_adversary.Pattern.uniform ~n:6 ~seed:29)
+        in
+        let config =
+          { (Mac_sim.Engine.default_config ~rounds:2_000) with
+            drain_limit = 500;
+            checkpoint_every = 300;
+            on_checkpoint = Some (fun s -> Mac_sim.Checkpoint.write ~path s);
+            telemetry }
+        in
+        let summary =
+          Mac_sim.Engine.run ~config ~algorithm:(module Mac_routing.Count_hop)
+            ~n:6 ~k:2 ~adversary ~rounds:2_000 ()
+        in
+        (summary, read_string path))
+  in
+  let s_off, bytes_off = run None in
+  let probe = Mac_sim.Telemetry.probe ~every:77 (Mac_sim.Telemetry.create ()) in
+  let s_on, bytes_on = run (Some probe) in
+  Alcotest.(check bool) "summaries identical" true (s_off = s_on);
+  Alcotest.(check bool) "probe saw samples" true
+    (Mac_sim.Telemetry.sample probe.Mac_sim.Telemetry.registry <> []);
+  Alcotest.(check bool) "last checkpoint byte-identical" true
+    (bytes_off = bytes_on)
+
 (* Satellite regression: ~rounds disagreeing with config.rounds used to be
    silently resolved in config's favour; it must be rejected. *)
 let test_rounds_config_mismatch () =
@@ -373,7 +408,9 @@ let () =
          QCheck_alcotest.to_alcotest qcheck_random_configs ]);
       ("checkpoint-files",
        [ Alcotest.test_case "write/read round-trip" `Quick test_file_roundtrip;
-         Alcotest.test_case "rejects junk" `Quick test_file_errors ]);
+         Alcotest.test_case "rejects junk" `Quick test_file_errors;
+         Alcotest.test_case "telemetry leaves checkpoints untouched" `Quick
+           test_checkpoint_bytes_telemetry_invariant ]);
       ("validation",
        [ Alcotest.test_case "mismatched snapshots rejected" `Quick
            test_resume_validation;

@@ -81,6 +81,48 @@ let test_plan_station_out_of_range_exits_2 () =
   Alcotest.(check bool) (Printf.sprintf "one-line stderr (got %S)" err) true
     (one_line err)
 
+(* --progress must leave stdout byte-identical (stderr is its only
+   channel), so piping the summary stays safe with a progress line on. *)
+let progress_base_args =
+  [ "run"; "-a"; "count-hop"; "-n"; "6"; "-k"; "2"; "--rate"; "0.6";
+    "--rounds"; "2000"; "--seed"; "11" ]
+
+let test_progress_keeps_stdout_pure () =
+  let code_plain, out_plain, _ = run_cli progress_base_args in
+  let code_prog, out_prog, err_prog =
+    run_cli (progress_base_args @ [ "--progress"; "--telemetry-every"; "500" ])
+  in
+  Alcotest.(check int) "plain exit" 0 code_plain;
+  Alcotest.(check int) "progress exit" 0 code_prog;
+  Alcotest.(check string) "stdout byte-identical" out_plain out_prog;
+  Alcotest.(check bool) "progress line went to stderr" true
+    (contains err_prog "round" && contains err_prog "rounds/s")
+
+let temp_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let test_top_check_on_live_file () =
+  let dir = temp_dir "eear_top" in
+  let prom = Filename.concat dir "run.prom" in
+  let code_run, _, err_run =
+    run_cli
+      (progress_base_args @ [ "--telemetry-file"; prom; "--telemetry-every"; "500" ])
+  in
+  Alcotest.(check int) (Printf.sprintf "run exit (stderr %S)" err_run) 0 code_run;
+  Alcotest.(check bool) "exposition written" true (Sys.file_exists prom);
+  let code_top, out_top, err_top = run_cli [ "top"; prom; "--once"; "--check" ] in
+  Alcotest.(check int) (Printf.sprintf "top exit (stderr %S)" err_top) 0 code_top;
+  Alcotest.(check bool) "renders the scenario row" true (contains out_top "run");
+  Alcotest.(check bool) "shows progress" true (contains out_top "rounds/s")
+
+let test_top_check_fails_without_rows () =
+  let dir = temp_dir "eear_top_empty" in
+  let code, _, _ = run_cli [ "top"; dir; "--once"; "--check" ] in
+  Alcotest.(check int) "no live rows is a check failure" 1 code
+
 let test_smoke_matches_golden () =
   let code, out, err = run_cli smoke_args in
   Alcotest.(check int) (Printf.sprintf "exit code (stderr %S)" err) 0 code;
@@ -95,5 +137,12 @@ let () =
            test_malformed_plan_file_exits_2;
          Alcotest.test_case "station out of range" `Quick
            test_plan_station_out_of_range_exits_2 ]);
+      ("telemetry",
+       [ Alcotest.test_case "progress keeps stdout pure" `Quick
+           test_progress_keeps_stdout_pure;
+         Alcotest.test_case "top --check on a live file" `Quick
+           test_top_check_on_live_file;
+         Alcotest.test_case "top --check without rows" `Quick
+           test_top_check_fails_without_rows ]);
       ("golden",
        [ Alcotest.test_case "resilience smoke" `Quick test_smoke_matches_golden ]) ]

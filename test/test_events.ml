@@ -35,7 +35,15 @@ let all_variants : Event.t list =
     Station_restarted { station = 3 };
     Round_jammed { transmitters = 0; noise = true };
     Round_jammed { transmitters = 1; noise = false };
-    Round_jammed { transmitters = 4; noise = false } ]
+    Round_jammed { transmitters = 4; noise = false };
+    Telemetry { sample = [] };
+    Telemetry
+      { sample =
+          [ ("eear_round", 12_000.0); ("eear_rounds_per_second", 123456.75);
+            ("eear_backlog_packets", 0.0);
+            ("eear_gc_minor_words_per_round", 0.1000000000000000055511151231257827);
+            ("eear_phase_ns{phase=\"inject\"}", 481.0);
+            ("odd \\ name", -3.5) ] } ]
 
 let test_json_roundtrip () =
   List.iteri
@@ -326,6 +334,46 @@ let test_observation_is_transparent () =
   let observed = run (Some Mac_sim.Sink.null) in
   check_bool "identical summaries" true (bare = observed)
 
+(* Telemetry sampling reads but never writes engine state: the summary is
+   identical with it on or off, and the recorded event stream differs only
+   by the Telemetry events themselves — byte for byte. *)
+let test_telemetry_is_transparent () =
+  let run telemetry =
+    let lines = ref [] in
+    let sink =
+      Mac_sim.Sink.make (fun ~round ev ->
+          lines := Event.to_json ~round ev :: !lines)
+    in
+    let adversary =
+      Mac_adversary.Adversary.create ~rate:0.8 ~burst:2.0
+        (Mac_adversary.Pattern.uniform ~n:6 ~seed:83)
+    in
+    let config =
+      { (Mac_sim.Engine.default_config ~rounds:2_000) with
+        drain_limit = 500; sink = Some sink; telemetry }
+    in
+    let s =
+      Mac_sim.Engine.run ~config ~algorithm:(module Mac_routing.Orchestra)
+        ~n:6 ~k:3 ~adversary ~rounds:2_000 ()
+    in
+    (s, List.rev !lines)
+  in
+  let s_off, lines_off = run None in
+  let probe = Mac_sim.Telemetry.probe ~every:500 (Mac_sim.Telemetry.create ()) in
+  let s_on, lines_on = run (Some probe) in
+  check_bool "identical summaries" true (s_off = s_on);
+  let is_telemetry line =
+    match Event.of_json_line line with
+    | Ok (_, Event.Telemetry _) -> true
+    | Ok _ -> false
+    | Error msg -> Alcotest.failf "bad line %s: %s" line msg
+  in
+  let telemetry_lines = List.filter is_telemetry lines_on in
+  check_bool "samples were emitted" true (telemetry_lines <> []);
+  Alcotest.(check (list string))
+    "stream identical after dropping telemetry events" lines_off
+    (List.filter (fun l -> not (is_telemetry l)) lines_on)
+
 (* ---- timeline ---- *)
 
 let test_timeline_render () =
@@ -390,7 +438,9 @@ let () =
          Alcotest.test_case "metrics replay reconstructs summary" `Quick
            test_metrics_replay_reconstructs_summary;
          Alcotest.test_case "observation transparent" `Quick
-           test_observation_is_transparent ]);
+           test_observation_is_transparent;
+         Alcotest.test_case "telemetry transparent" `Quick
+           test_telemetry_is_transparent ]);
       ("ledger", [ Alcotest.test_case "invariants" `Quick test_ledger_invariants ]);
       ("histogram",
        [ Alcotest.test_case "exact below 16" `Quick test_histogram_exact_below_16;

@@ -1,0 +1,25 @@
+(* Regenerates test/golden/telemetry.prom:
+
+     dune exec test/tools/gen_telemetry_golden.exe > test/golden/telemetry.prom
+
+   The registry built here must stay in lock-step with
+   [reference_registry] in test/test_telemetry.ml — the golden test
+   compares that registry's rendering against the file this prints. *)
+
+module T = Mac_sim.Telemetry
+module H = Mac_sim.Histogram
+
+let () =
+  let r = T.create ~labels:[ ("scenario", "t1/cell \"a\"") ] () in
+  T.add (T.counter r ~help:"Packets delivered." "eear_delivered_total") 42;
+  let g = T.gauge r ~help:"Current backlog." "eear_backlog_packets" in
+  T.set_gauge g 17.0;
+  let f = T.gauge r "fractional" in
+  T.set_gauge f 0.125;
+  let nf = T.gauge r "nonfinite" in
+  T.set_gauge nf infinity;
+  let h = T.histogram r ~help:"Delays." "eear_delay_rounds" in
+  List.iter (H.record h) [ 1; 1; 2; 100; 1000 ];
+  T.add (T.counter r ~labels:[ ("phase", "inject") ] "eear_phase_ns_total") 100;
+  T.add (T.counter r ~labels:[ ("phase", "resolve") ] "eear_phase_ns_total") 200;
+  print_string (T.render r)
