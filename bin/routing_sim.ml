@@ -81,6 +81,73 @@ let resolve_pattern spec ~algorithm ~n ~k ~seed =
   | [ "cap2" ] -> (Mac_adversary.Saboteur.cap2_breaker ~n).Mac_adversary.Saboteur.pattern
   | _ -> fail "unrecognised syntax"
 
+(* ---- supervised execution (shared by run and the batch commands) ---- *)
+
+(* First SIGTERM/SIGINT asks the supervisor to drain: in-flight work
+   finishes (recording its completion markers / checkpoints), queued work
+   is skipped, and the command exits 4. A second signal aborts on the
+   spot. *)
+let install_drain_handlers () =
+  let fired = ref false in
+  let handle name _signal =
+    if !fired then exit 130
+    else begin
+      fired := true;
+      Mac_sim.Supervisor.request_drain ();
+      Printf.eprintf
+        "\n%s: draining — in-flight work finishes, the rest is skipped \
+         (repeat to abort)\n%!"
+        name
+    end
+  in
+  List.iter
+    (fun (s, name) ->
+      try Sys.set_signal s (Sys.Signal_handle (handle name))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ (Sys.sigterm, "SIGTERM"); (Sys.sigint, "SIGINT") ]
+
+let policy_of ~retries ~job_timeout ~keep_going =
+  if retries < 0 then begin
+    Printf.eprintf "--retries must be >= 0 (got %d)\n" retries;
+    exit 2
+  end;
+  if job_timeout < 0.0 then begin
+    Printf.eprintf "--job-timeout must be >= 0 (got %g)\n" job_timeout;
+    exit 2
+  end;
+  { Mac_sim.Supervisor.default_policy with retries; job_timeout; keep_going }
+
+let print_supervisor_event ev =
+  Format.eprintf "supervisor: %a@." Mac_sim.Supervisor.pp_event ev
+
+(* Exit discipline of the supervised batch commands: a drain request wins
+   (exit 4), otherwise persistent failures mean degraded completion
+   (exit 3). Called after all reports and output files are written, so a
+   degraded sweep still delivers every successful result. *)
+let finish_supervised failures =
+  let failed, skipped =
+    List.partition
+      (fun (_, e) ->
+        match e with Mac_sim.Supervisor.Skipped -> false | _ -> true)
+      failures
+  in
+  if skipped <> [] then
+    Printf.eprintf "%d job(s) skipped by the drain request\n"
+      (List.length skipped);
+  if failed <> [] then begin
+    Printf.eprintf "%d job(s) failed:\n" (List.length failed);
+    List.iter
+      (fun (label, err) ->
+        Printf.eprintf "  %-28s %s\n" label
+          (Mac_sim.Supervisor.error_to_string err))
+      failed
+  end;
+  if Mac_sim.Supervisor.drain_requested () then exit 4
+  else if failed <> [] then begin
+    Printf.eprintf "completed with failures (exit 3)\n";
+    exit 3
+  end
+
 (* ---- run command ---- *)
 
 (* [Sink.jsonl_file] opens eagerly; turn an unwritable path into a CLI
@@ -131,9 +198,15 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
     match resume with
     | None -> None
     | Some path -> (
-      match Mac_sim.Checkpoint.read ~path with
-      | Ok snap ->
+      match Mac_sim.Checkpoint.read_latest ~path with
+      | Ok (snap, `Current) ->
         Printf.printf "resuming %s\n" (Mac_sim.Checkpoint.describe snap);
+        Some snap
+      | Ok (snap, `Salvaged reason) ->
+        Printf.printf "resuming %s\n" (Mac_sim.Checkpoint.describe snap);
+        Printf.printf "salvaged %s: %s\n"
+          (Mac_sim.Checkpoint.prev_path path)
+          reason;
         Some snap
       | Error msg ->
         Printf.eprintf "%s\n" msg;
@@ -204,13 +277,20 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
           if progress then prerr_newline () )
     end
   in
+  if checkpoint <> None then install_drain_handlers ();
   let config =
     { (Mac_sim.Engine.default_config ~rounds) with
       drain_limit = drain; check_schedule = A.oblivious; trace; sink;
       checkpoint_every;
       on_checkpoint =
         Option.map
-          (fun path snap -> Mac_sim.Checkpoint.write ~path snap)
+          (fun path snap ->
+            Mac_sim.Checkpoint.write_rotated ~path snap;
+            if Mac_sim.Supervisor.drain_requested () then begin
+              Printf.eprintf "drained: wrote %s (%s)\n" path
+                (Mac_sim.Checkpoint.describe snap);
+              raise Mac_sim.Supervisor.Drained
+            end)
           checkpoint;
       telemetry = telemetry_probe }
   in
@@ -335,8 +415,10 @@ let run_term =
       & info [ "checkpoint" ] ~docv:"FILE"
           ~doc:
             "Write a crash-safe checkpoint of the run to FILE every \
-             --checkpoint-every rounds (atomic overwrite; resume with \
-             --resume FILE).")
+             --checkpoint-every rounds (fsync + atomic rename; the \
+             previous generation is kept as FILE.prev; resume with \
+             --resume FILE). With a checkpoint configured, SIGTERM/SIGINT \
+             drains: the next checkpoint is written, then the run exits 4.")
   in
   let checkpoint_every =
     Arg.(
@@ -353,7 +435,9 @@ let run_term =
             "Resume from a checkpoint written by --checkpoint. The other \
              flags must describe the same run (algorithm, n, k, rate, \
              pattern, rounds, drain); mismatches are rejected, and the \
-             resumed run's output is bit-identical to an uninterrupted one.")
+             resumed run's output is bit-identical to an uninterrupted one. \
+             A corrupt FILE falls back to the FILE.prev generation \
+             (reported as salvaged).")
   in
   let telemetry_file =
     Arg.(
@@ -472,12 +556,24 @@ let fleet_of ~telemetry_dir ~telemetry_every =
     telemetry_dir
 
 let table1_cmd id quick jobs trace_n events_dir json resume_dir telemetry_dir
-    telemetry_every =
+    telemetry_every retries job_timeout keep_going inject =
   let scale = if quick then `Quick else `Full in
   let jobs = check_jobs jobs in
   Option.iter ensure_dir resume_dir;
   let observe = scenario_observer ~trace_n ~events_dir in
   let telemetry = fleet_of ~telemetry_dir ~telemetry_every in
+  install_drain_handlers ();
+  let supervised =
+    retries > 0 || job_timeout > 0.0 || keep_going || inject <> None
+  in
+  let policy = policy_of ~retries ~job_timeout ~keep_going in
+  let inject =
+    Option.map
+      (fun bad cid ->
+        if cid = bad then
+          failwith (Printf.sprintf "injected failure in %s" cid))
+      inject
+  in
   let experiments =
     match id with
     | None -> Mac_experiments.Table1.all
@@ -488,6 +584,7 @@ let table1_cmd id quick jobs trace_n events_dir json resume_dir telemetry_dir
          exit 2)
   in
   let json_rows = ref [] in
+  let failures = ref [] in
   List.iter
     (fun (e : Mac_experiments.Table1.t) ->
       Printf.printf "--- %s ---\n%s\n" e.id e.claim;
@@ -497,31 +594,58 @@ let table1_cmd id quick jobs trace_n events_dir json resume_dir telemetry_dir
           (if passed then "PASS" else "FAIL")
           (if cached then "  (resumed)" else "")
       in
-      match resume_dir with
-      | None ->
+      let ok_row (o : Mac_experiments.Scenario.outcome) =
+        row ~scenario:o.spec.id
+          ~verdict:(Mac_sim.Stability.verdict_to_string o.stability.verdict)
+          ~passed:o.passed
+          ~json_row:(fun () ->
+            Mac_experiments.Scenario.outcome_json ~experiment:e.id o)
+          ~cached:false
+      in
+      let resumed_row (r : Mac_experiments.Scenario.resumed) =
+        row
+          ~scenario:(Mac_experiments.Scenario.resumed_id r)
+          ~verdict:(Mac_experiments.Scenario.resumed_verdict r)
+          ~passed:(Mac_experiments.Scenario.resumed_passed r)
+          ~json_row:(fun () ->
+            Mac_experiments.Scenario.resumed_json ~experiment:e.id r)
+          ~cached:
+            (match r with
+             | Mac_experiments.Scenario.Cached _ -> true
+             | Mac_experiments.Scenario.Fresh _ -> false)
+      in
+      let failed_row cid err =
+        failures := (cid, err) :: !failures;
+        match err with
+        | Mac_sim.Supervisor.Skipped ->
+          Printf.printf "%-28s SKIPPED  (drain)\n" cid
+        | err ->
+          Printf.printf "%-28s FAILED   %s\n" cid
+            (Mac_sim.Supervisor.error_to_string err)
+      in
+      match (resume_dir, supervised) with
+      | None, false ->
+        List.iter ok_row (e.run ?observe ?telemetry ~jobs ~scale ())
+      | None, true ->
         List.iter
-          (fun (o : Mac_experiments.Scenario.outcome) ->
-            row ~scenario:o.spec.id
-              ~verdict:(Mac_sim.Stability.verdict_to_string o.stability.verdict)
-              ~passed:o.passed
-              ~json_row:(fun () ->
-                Mac_experiments.Scenario.outcome_json ~experiment:e.id o)
-              ~cached:false)
-          (e.run ?observe ?telemetry ~jobs ~scale ())
-      | Some dir ->
+          (fun (cid, outcome) ->
+            match outcome with
+            | Ok o -> ok_row o
+            | Error err -> failed_row cid err)
+          (e.run_s ?observe ?telemetry ~jobs ~policy
+             ~on_event:print_supervisor_event ?inject ~scale ())
+      | Some dir, false ->
+        List.iter resumed_row
+          (e.run_resumable ?observe ?telemetry ~jobs ~resume_dir:dir ~scale ())
+      | Some dir, true ->
         List.iter
-          (fun (r : Mac_experiments.Scenario.resumed) ->
-            row
-              ~scenario:(Mac_experiments.Scenario.resumed_id r)
-              ~verdict:(Mac_experiments.Scenario.resumed_verdict r)
-              ~passed:(Mac_experiments.Scenario.resumed_passed r)
-              ~json_row:(fun () ->
-                Mac_experiments.Scenario.resumed_json ~experiment:e.id r)
-              ~cached:
-                (match r with
-                 | Mac_experiments.Scenario.Cached _ -> true
-                 | Mac_experiments.Scenario.Fresh _ -> false))
-          (e.run_resumable ?observe ?telemetry ~jobs ~resume_dir:dir ~scale ()))
+          (fun (cid, outcome) ->
+            match outcome with
+            | Ok r -> resumed_row r
+            | Error err -> failed_row cid err)
+          (e.run_resumable_s ?observe ?telemetry ~jobs ~policy
+             ~on_event:print_supervisor_event ?inject ~resume_dir:dir ~scale
+             ()))
     experiments;
   Option.iter
     (fun path ->
@@ -531,13 +655,18 @@ let table1_cmd id quick jobs trace_n events_dir json resume_dir telemetry_dir
     json;
   Option.iter (fun dir -> Printf.printf "event streams under %s/\n" dir) events_dir;
   Option.iter (fun dir -> Printf.printf "telemetry under %s/\n" dir) telemetry_dir;
+  finish_supervised (List.rev !failures);
   `Ok ()
 
-let figures_cmd id quick jobs trace_n events_dir telemetry_dir telemetry_every =
+let figures_cmd id quick jobs trace_n events_dir telemetry_dir telemetry_every
+    retries job_timeout keep_going =
   let scale = if quick then `Quick else `Full in
   let jobs = check_jobs jobs in
   let observe = scenario_observer ~trace_n ~events_dir in
   let telemetry = fleet_of ~telemetry_dir ~telemetry_every in
+  install_drain_handlers ();
+  let supervised = retries > 0 || job_timeout > 0.0 || keep_going in
+  let policy = policy_of ~retries ~job_timeout ~keep_going in
   let figures =
     match id with
     | None -> Mac_experiments.Figures.all
@@ -551,15 +680,27 @@ let figures_cmd id quick jobs trace_n events_dir telemetry_dir telemetry_every =
         Printf.eprintf "unknown figure %S\n" id;
         exit 2)
   in
+  let failures = ref [] in
   List.iter
     (fun (f : Mac_experiments.Figures.t) ->
       Printf.printf "--- %s ---\n%s\n" f.id f.title;
-      let report, _ = f.run ?observe ?telemetry ~jobs ~scale () in
+      let report =
+        if supervised then begin
+          let (s : Mac_experiments.Figures.supervised) =
+            f.run_s ?observe ?telemetry ~jobs ~policy
+              ~on_event:print_supervisor_event ~scale ()
+          in
+          failures := !failures @ s.failures;
+          s.report
+        end
+        else fst (f.run ?observe ?telemetry ~jobs ~scale ())
+      in
       Mac_sim.Report.print report;
       print_newline ())
     figures;
   Option.iter (fun dir -> Printf.printf "event streams under %s/\n" dir) events_dir;
   Option.iter (fun dir -> Printf.printf "telemetry under %s/\n" dir) telemetry_dir;
+  finish_supervised !failures;
   `Ok ()
 
 (* ---- resilience command ---- *)
@@ -573,7 +714,8 @@ let load_fault_plan path =
 
 let resilience_cmd algo n k rate burst pattern_spec rounds drain seed quick
     jobs trace_n events_dir telemetry_dir telemetry_every fault_plan fault_seed
-    crash_rate jam_rate noise_rate restart_after crash_drop events json =
+    crash_rate jam_rate noise_rate restart_after crash_drop events json retries
+    job_timeout keep_going =
   match algo with
   | None ->
     (* Suite mode: sweep every subject algorithm across the fault plans. *)
@@ -581,19 +723,47 @@ let resilience_cmd algo n k rate burst pattern_spec rounds drain seed quick
     let jobs = check_jobs jobs in
     let observe = scenario_observer ~trace_n ~events_dir in
     let telemetry = fleet_of ~telemetry_dir ~telemetry_every in
-    let report, _ =
-      Mac_experiments.Resilience.suite ?observe ?telemetry ~jobs ~scale ()
-    in
-    Mac_sim.Report.print report;
-    Option.iter
-      (fun dir -> Printf.printf "event streams under %s/\n" dir)
-      events_dir;
-    Option.iter
-      (fun dir -> Printf.printf "telemetry under %s/\n" dir)
-      telemetry_dir;
+    install_drain_handlers ();
+    let supervised = retries > 0 || job_timeout > 0.0 || keep_going in
+    if supervised then begin
+      let policy = policy_of ~retries ~job_timeout ~keep_going in
+      let report, outcomes =
+        Mac_experiments.Resilience.suite_s ?observe ?telemetry ~jobs ~policy
+          ~on_event:print_supervisor_event ~scale ()
+      in
+      Mac_sim.Report.print report;
+      let failures =
+        List.filter_map
+          (fun (cid, o) ->
+            match o with Ok _ -> None | Error e -> Some (cid, e))
+          outcomes
+      in
+      Option.iter
+        (fun dir -> Printf.printf "event streams under %s/\n" dir)
+        events_dir;
+      Option.iter
+        (fun dir -> Printf.printf "telemetry under %s/\n" dir)
+        telemetry_dir;
+      finish_supervised failures
+    end
+    else begin
+      let report, _ =
+        Mac_experiments.Resilience.suite ?observe ?telemetry ~jobs ~scale ()
+      in
+      Mac_sim.Report.print report;
+      Option.iter
+        (fun dir -> Printf.printf "event streams under %s/\n" dir)
+        events_dir;
+      Option.iter
+        (fun dir -> Printf.printf "telemetry under %s/\n" dir)
+        telemetry_dir
+    end;
     `Ok ()
   | Some algorithm_name ->
     (* Single-run mode: one algorithm under one fault plan. *)
+    if retries > 0 || job_timeout > 0.0 || keep_going then
+      Printf.eprintf
+        "note: --retries/--job-timeout/--keep-going apply to suite mode only\n";
     let algorithm = resolve_algorithm algorithm_name ~n ~k in
     let module A = (val algorithm) in
     let plan =
@@ -807,6 +977,43 @@ let table1_json_arg =
           "Write every scenario's checks and summary as a JSON array to FILE \
            (the BENCH_table1.json format).")
 
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a failed or timed-out scenario up to N more times with \
+           exponential backoff. Retries rebuild the scenario from scratch, \
+           so a retried success is bit-identical to a first-attempt one.")
+
+let job_timeout_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "job-timeout" ] ~docv:"SECS"
+        ~doc:
+          "Watchdog deadline per scenario attempt: a scenario making no \
+           round progress for SECS seconds is cancelled (and retried under \
+           --retries). 0 disables the watchdog.")
+
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "keep-going" ]
+        ~doc:
+          "Do not abort the sweep on the first scenario failure: run \
+           everything, report every failure with its attempt count, and \
+           exit 3 if any remain. Successful scenarios are unaffected and \
+           bit-identical to an undisturbed sweep.")
+
+let inject_failure_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject-failure" ] ~docv:"ID"
+        ~doc:
+          "Testing hook: raise inside scenario ID on every attempt, to \
+           exercise the --retries/--keep-going failure handling.")
+
 let table1_resume_dir_arg =
   Arg.(
     value
@@ -930,7 +1137,8 @@ let resilience_term =
        $ rounds $ drain $ seed $ quick_arg $ jobs_arg $ exp_trace_arg
        $ events_dir $ telemetry_dir_arg $ telemetry_every_arg $ fault_plan
        $ fault_seed $ crash_rate $ jam_rate $ noise_rate $ restart_after
-       $ crash_drop $ events $ json))
+       $ crash_drop $ events $ json $ retries_arg $ job_timeout_arg
+       $ keep_going_arg))
 
 let inspect_term =
   let file =
@@ -1004,29 +1212,41 @@ type top_row = {
   top_energy : float;
 }
 
+(* Scraped runs come and go: a directory, a .prom file, or its content
+   can vanish between the scan and the read (a finished sweep cleaning
+   up, a writer that is not atomic). Everything transient is "not there
+   this frame" — skipped, rescanned next frame — never an error. *)
 let top_files paths =
   List.concat_map
     (fun p ->
-      if Sys.file_exists p && Sys.is_directory p then
-        Sys.readdir p |> Array.to_list
-        |> List.filter (fun f -> Filename.check_suffix f ".prom")
-        |> List.map (Filename.concat p)
-        |> List.sort compare
-      else [ p ])
+      match Sys.is_directory p with
+      | exception Sys_error _ -> [ p ]
+      | false -> [ p ]
+      | true -> (
+        match Sys.readdir p with
+        | exception Sys_error _ -> []
+        | entries ->
+          Array.to_list entries
+          |> List.filter (fun f -> Filename.check_suffix f ".prom")
+          |> List.map (Filename.concat p)
+          |> List.sort compare))
     paths
 
 let read_exposition path =
   match open_in_bin path with
-  | exception Sys_error msg -> Error msg
-  | ic ->
-    let content =
+  | exception Sys_error _ -> `Missing
+  | ic -> (
+    match
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    (match Mac_sim.Telemetry.parse_exposition content with
-     | Ok triples -> Ok triples
-     | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+    with
+    | exception Sys_error _ -> `Missing
+    | exception End_of_file -> `Missing (* shrank mid-read *)
+    | content -> (
+      match Mac_sim.Telemetry.parse_exposition content with
+      | Ok triples -> `Rows triples
+      | Error msg -> `Malformed (Printf.sprintf "%s: %s" path msg)))
 
 let top_metric ?quantile triples name =
   List.find_map
@@ -1100,9 +1320,9 @@ let top_gather paths =
   let errors = ref [] in
   let parse p =
     match read_exposition p with
-    | Ok triples when triples <> [] -> Some triples
-    | Ok _ -> None
-    | Error msg ->
+    | `Rows triples when triples <> [] -> Some triples
+    | `Rows _ | `Missing -> None
+    | `Malformed msg ->
       errors := msg :: !errors;
       None
   in
@@ -1127,6 +1347,15 @@ let top_cmd paths watch once check =
   end;
   if check || once then begin
     let rows, fleet, errors = top_gather paths in
+    (* A half-rewritten exposition parses clean on the next frame; give
+       non-atomic writers one rescan before --check calls it corrupt. *)
+    let rows, fleet, errors =
+      if check && errors <> [] then begin
+        Unix.sleepf 0.05;
+        top_gather paths
+      end
+      else (rows, fleet, errors)
+    in
     print_string (top_render rows fleet errors);
     if check then begin
       if errors <> [] then begin
@@ -1186,6 +1415,53 @@ let top_term =
              smoke tests.")
   in
   Term.(ret (const top_cmd $ paths $ watch $ once $ check))
+
+(* ---- chaos command ---- *)
+
+let chaos_cmd count seed dir verbose =
+  if count < 1 then begin
+    Printf.eprintf "--count must be >= 1 (got %d)\n" count;
+    exit 2
+  end;
+  let log = if verbose then Some prerr_endline else None in
+  let st = Mac_verify.Chaos.run ?log ?dir ~count ~seed () in
+  Format.printf "%a@." Mac_verify.Chaos.pp_stats st;
+  if not (Mac_verify.Chaos.passed st) then begin
+    List.iter
+      (fun msg -> Printf.eprintf "FAIL %s\n" msg)
+      st.Mac_verify.Chaos.failures;
+    exit 1
+  end;
+  `Ok ()
+
+let chaos_term =
+  let count =
+    Arg.(
+      value & opt int 50
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Number of seeded chaos configurations to run.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"First seed; configurations use seeds S, S+1, ... S+N-1.")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Scratch directory for checkpoint and failpoint files (default: \
+             a fresh directory under the system temp dir).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Log one line per configuration to stderr.")
+  in
+  Term.(ret (const chaos_cmd $ count $ seed $ dir $ verbose))
 
 (* ---- verify command ---- *)
 
@@ -1265,13 +1541,15 @@ let cmds =
         ret
           (const table1_cmd $ id_arg $ quick_arg $ jobs_arg $ exp_trace_arg
            $ exp_events_arg $ table1_json_arg $ table1_resume_dir_arg
-           $ telemetry_dir_arg $ telemetry_every_arg));
+           $ telemetry_dir_arg $ telemetry_every_arg $ retries_arg
+           $ job_timeout_arg $ keep_going_arg $ inject_failure_arg));
     Cmd.v
       (Cmd.info "figures" ~doc:"Re-run figure sweeps")
       Term.(
         ret
           (const figures_cmd $ id_arg $ quick_arg $ jobs_arg $ exp_trace_arg
-           $ exp_events_arg $ telemetry_dir_arg $ telemetry_every_arg));
+           $ exp_events_arg $ telemetry_dir_arg $ telemetry_every_arg
+           $ retries_arg $ job_timeout_arg $ keep_going_arg));
     Cmd.v
       (Cmd.info "resilience"
          ~doc:
@@ -1295,12 +1573,31 @@ let cmds =
             over random configurations or the Table-1 catalog")
       verify_term;
     Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Seeded fault-injection of the supervision and durability layers: \
+            scripted job failures, worker kills, watchdog stalls, checkpoint \
+            corruption and rename failures, asserting completed work stays \
+            bit-identical to an undisturbed run")
+      chaos_term;
+    Cmd.v
       (Cmd.info "list" ~doc:"List algorithms and experiments")
       Term.(ret (const list_cmd $ const ())) ]
 
 let () =
+  let exits =
+    Cmd.Exit.info 3
+      ~doc:
+        "a supervised sweep (--keep-going) completed, but some scenarios \
+         failed every attempt; the successful results were reported."
+    :: Cmd.Exit.info 4
+         ~doc:
+           "the command drained cleanly after SIGTERM/SIGINT: in-flight \
+            work was finished and saved, the rest was skipped."
+    :: Cmd.Exit.defaults
+  in
   let info =
-    Cmd.info "routing_sim" ~version:"1.0.0"
+    Cmd.info "routing_sim" ~version:"1.0.0" ~exits
       ~doc:"Energy-efficient adversarial routing on multiple access channels"
   in
   (* Domain validation lives in the libraries (bucket rate in (0, 1],
@@ -1309,6 +1606,11 @@ let () =
      cmdliner's internal-error rendering and exit code. *)
   try exit (Cmd.eval ~catch:false (Cmd.group ~default:run_term info cmds))
   with
+  | Mac_sim.Supervisor.Drained ->
+    Printf.eprintf
+      "routing_sim: drained after a termination request; completed work was \
+       saved\n";
+    exit 4
   | Invalid_argument msg ->
     Printf.eprintf "%s\n" msg;
     exit 2

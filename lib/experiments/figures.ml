@@ -1,6 +1,16 @@
 open Mac_adversary
 open Mac_channel
 
+(* Result of a supervised figure run: the rendered table (successful
+   points only), the successful outcomes in declaration order, and the
+   per-point failures (label, error) that a [--keep-going] run reports
+   instead of aborting. *)
+type supervised = {
+  report : Mac_sim.Report.t;
+  outcomes : Scenario.outcome list;
+  failures : (string * Mac_sim.Supervisor.error) list;
+}
+
 type t = {
   id : string;
   title : string;
@@ -11,6 +21,15 @@ type t = {
     scale:[ `Quick | `Full ] ->
     unit ->
     Mac_sim.Report.t * Scenario.outcome list;
+  run_s :
+    ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+    ?jobs:int ->
+    ?policy:Mac_sim.Supervisor.policy ->
+    ?on_event:(Mac_sim.Supervisor.event -> unit) ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    supervised;
 }
 
 let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
@@ -24,34 +43,90 @@ let q = Qrat.of_float
 
 let fmt_q r = fmt (Qrat.to_float r)
 
-let run_point ~observe ~telemetry ~id ~algorithm ~n ~k ~rho ~beta ~pattern
-    ~rounds ~drain =
-  Scenario.run ?observe ?telemetry
+let run_point ?heartbeat ~observe ~telemetry ~id ~algorithm ~n ~k ~rho ~beta
+    ~pattern ~rounds ~drain () =
+  Scenario.run ?observe ?telemetry ?heartbeat
     (Scenario.spec_q ~id ~algorithm ~n ~k ~rate:rho ~burst:beta ~pattern ~rounds
        ~drain ())
 
-(* Each figure accumulates plot points as (run-thunk, row-of-outcome)
-   pairs, then fans the thunks out over a worker pool; rows are rendered
+(* Each figure declares its plot points as (id, run-thunk, row-of-outcome)
+   triples; the thunks fan out over the supervisor, and rows are rendered
    from the outcomes afterwards, so the table keeps its declaration order
    whatever the parallel completion order was. *)
 let run_points ?jobs points =
-  let points = List.rev points in
-  let outcomes = Scenario.run_batch ?jobs (List.map fst points) in
-  let rows = List.map2 (fun (_, row) o -> row o) points outcomes in
+  let outcomes =
+    Scenario.run_batch ?jobs
+      (List.map (fun (_, thunk, _) () -> thunk ?heartbeat:None ()) points)
+  in
+  let rows = List.map2 (fun (_, _, row) o -> row o) points outcomes in
   (rows, outcomes)
+
+(* Supervised: [build ()] must re-create the points — and with them any
+   mutable pattern cursors — afresh, so each retry of point [i] replays
+   bit-identically to a first run. *)
+let run_points_s ?jobs ?policy ?on_event build =
+  let template = build () in
+  let labelled =
+    List.mapi
+      (fun i (id, _, _) ->
+        ( id,
+          fun ~heartbeat ->
+            let _, thunk, _ = List.nth (build ()) i in
+            thunk ?heartbeat:(Some heartbeat) () ))
+      template
+  in
+  let results = Scenario.run_batch_s ?jobs ?policy ?on_event labelled in
+  let rows =
+    List.concat
+      (List.map2
+         (fun (_, _, row) (_, o) ->
+           match o with Ok oc -> [ row oc ] | Error _ -> [])
+         template results)
+  in
+  let outcomes =
+    List.filter_map (function _, Ok o -> Some o | _ -> None) results
+  in
+  let failures =
+    List.filter_map
+      (function lbl, Error e -> Some (lbl, e) | _, Ok _ -> None)
+      results
+  in
+  (rows, outcomes, failures)
+
+let figure ~id ~title ~header points =
+  let run ?observe ?telemetry ?jobs ~scale () =
+    let rows, outcomes =
+      run_points ?jobs (points ?observe ?telemetry ~scale ())
+    in
+    let report = Mac_sim.Report.create ~header in
+    List.iter (Mac_sim.Report.add_row report) rows;
+    (report, outcomes)
+  in
+  let run_s ?observe ?telemetry ?jobs ?policy ?on_event ~scale () =
+    let rows, outcomes, failures =
+      run_points_s ?jobs ?policy ?on_event (fun () ->
+          points ?observe ?telemetry ~scale ())
+    in
+    let report = Mac_sim.Report.create ~header in
+    List.iter (Mac_sim.Report.add_row report) rows;
+    { report; outcomes; failures }
+  in
+  { id; title; run; run_s }
 
 (* ------------------------------------------------------------------ *)
 (* F1: stability frontier. *)
 
-let frontier_rows ?observe ?telemetry ?jobs ~scale () =
+let frontier_points ?observe ?telemetry ~scale () =
   let rounds = scaled ~scale ~quick:60_000 ~full:150_000 in
   let aw_rounds = scaled ~scale ~quick:80_000 ~full:250_000 in
   let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~threshold ~rho ~pattern ~rounds =
-    let thunk () =
-      run_point ~observe ~telemetry
-        ~id:(Printf.sprintf "frontier/%s@%.4f" row_algo (Qrat.to_float rho))
-        ~algorithm ~n ~k ~rho ~beta:(Qrat.of_int 2) ~pattern ~rounds ~drain:0
+    let id =
+      Printf.sprintf "frontier/%s@%.4f" row_algo (Qrat.to_float rho)
+    in
+    let thunk ?heartbeat () =
+      run_point ?heartbeat ~observe ~telemetry ~id ~algorithm ~n ~k ~rho
+        ~beta:(Qrat.of_int 2) ~pattern ~rounds ~drain:0 ()
     in
     let row (o : Scenario.outcome) =
       let s = o.Scenario.summary and st = o.Scenario.stability in
@@ -62,7 +137,7 @@ let frontier_rows ?observe ?telemetry ?jobs ~scale () =
         fmt st.Mac_sim.Stability.slope;
         string_of_int s.Mac_sim.Metrics.max_total_queue ]
     in
-    points := (thunk, row) :: !points
+    points := (id, thunk, row) :: !points
   in
   let add (() : unit) = () in
   (* Orchestra: stable all the way to rate 1. *)
@@ -137,41 +212,33 @@ let frontier_rows ?observe ?telemetry ?jobs ~scale () =
              ~n ~k:2 ~threshold:thr ~rho:(Qrat.mul (q frac) thr)
              ~pattern:(Pattern.pair_flood ~src:1 ~dst:2) ~rounds))
     [ 0.9; 1.3 ];
-  run_points ?jobs !points
+  List.rev !points
 
 let frontier =
-  { id = "F1.frontier";
-    title = "Stability frontier: verdict around each algorithm's threshold";
-    run =
-      (fun ?observe ?telemetry ?jobs ~scale () ->
-        let rows, outcomes = frontier_rows ?observe ?telemetry ?jobs ~scale () in
-        let report =
-          Mac_sim.Report.create
-            ~header:
-              [ "algorithm"; "n"; "k"; "threshold"; "rho"; "rho/thr";
-                "verdict"; "slope"; "max-queue" ]
-        in
-        List.iter (Mac_sim.Report.add_row report) rows;
-        (report, outcomes)) }
+  figure ~id:"F1.frontier"
+    ~title:"Stability frontier: verdict around each algorithm's threshold"
+    ~header:
+      [ "algorithm"; "n"; "k"; "threshold"; "rho"; "rho/thr";
+        "verdict"; "slope"; "max-queue" ]
+    frontier_points
 
 (* ------------------------------------------------------------------ *)
 (* F2: latency scaling with n. *)
 
-let scaling_rows ?observe ?telemetry ?jobs ~scale () =
+let scaling_points ?observe ?telemetry ~scale () =
   let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~rho ~bound ~pattern ~rounds =
-    let thunk () =
-      run_point ~observe ~telemetry
-        ~id:(Printf.sprintf "scaling/%s/n=%d" row_algo n)
-        ~algorithm ~n ~k ~rho ~beta:(Qrat.of_int 2) ~pattern ~rounds
-        ~drain:(rounds / 2)
+    let id = Printf.sprintf "scaling/%s/n=%d" row_algo n in
+    let thunk ?heartbeat () =
+      run_point ?heartbeat ~observe ~telemetry ~id ~algorithm ~n ~k ~rho
+        ~beta:(Qrat.of_int 2) ~pattern ~rounds ~drain:(rounds / 2) ()
     in
     let row (o : Scenario.outcome) =
       let measured = Scenario.worst_delay o.Scenario.summary in
       [ row_algo; string_of_int n; string_of_int k; fmt_q rho;
         fmt measured; fmt bound; Mac_sim.Report.fmt_ratio ~measured ~bound ]
     in
-    points := (thunk, row) :: !points
+    points := (id, thunk, row) :: !points
   in
   let ns = scaled ~scale ~quick:[ 4; 6 ] ~full:[ 4; 6; 8; 10; 12 ] in
   List.iter
@@ -211,36 +278,29 @@ let scaling_rows ?observe ?telemetry ?jobs ~scale () =
            ~pattern:(Pattern.uniform ~n ~seed:(500 + n))
            ~rounds:(10 * Mac_routing.Adjust_window.initial_window ~n))
        [ 3; 4; 5 ]);
-  run_points ?jobs !points
+  List.rev !points
 
 let scaling =
-  { id = "F2.scaling";
-    title = "Latency scaling with n (measured worst delay vs instantiated bound)";
-    run =
-      (fun ?observe ?telemetry ?jobs ~scale () ->
-        let rows, outcomes = scaling_rows ?observe ?telemetry ?jobs ~scale () in
-        let report =
-          Mac_sim.Report.create
-            ~header:[ "algorithm"; "n"; "k"; "rho"; "worst-delay"; "bound"; "ratio" ]
-        in
-        List.iter (Mac_sim.Report.add_row report) rows;
-        (report, outcomes)) }
+  figure ~id:"F2.scaling"
+    ~title:"Latency scaling with n (measured worst delay vs instantiated bound)"
+    ~header:[ "algorithm"; "n"; "k"; "rho"; "worst-delay"; "bound"; "ratio" ]
+    scaling_points
 
 (* ------------------------------------------------------------------ *)
 (* F3: the latency-energy tradeoff across caps. *)
 
-let energy_rows ?observe ?telemetry ?jobs ~scale () =
+let energy_points ?observe ?telemetry ~scale () =
   let n = 12 in
   let rounds = scaled ~scale ~quick:60_000 ~full:200_000 in
   let points = ref [] in
   let point ~row_algo ~algorithm ~k ~threshold =
     let rho = Qrat.mul (Qrat.make 1 2) threshold in
-    let thunk () =
-      run_point ~observe ~telemetry
-        ~id:(Printf.sprintf "energy/%s/k=%d" row_algo k)
-        ~algorithm ~n ~k ~rho ~beta:(Qrat.of_int 2)
+    let id = Printf.sprintf "energy/%s/k=%d" row_algo k in
+    let thunk ?heartbeat () =
+      run_point ?heartbeat ~observe ~telemetry ~id ~algorithm ~n ~k ~rho
+        ~beta:(Qrat.of_int 2)
         ~pattern:(Pattern.uniform ~n ~seed:(600 + k)) ~rounds
-        ~drain:(rounds / 2)
+        ~drain:(rounds / 2) ()
     in
     let row (o : Scenario.outcome) =
       let s = o.Scenario.summary in
@@ -250,7 +310,7 @@ let energy_rows ?observe ?telemetry ?jobs ~scale () =
         fmt s.Mac_sim.Metrics.mean_delay;
         string_of_int s.Mac_sim.Metrics.max_delay ]
     in
-    points := (thunk, row) :: !points
+    points := (id, thunk, row) :: !points
   in
   (* Non-oblivious references at the same relative load: Orchestra needs
      only cap 3 for the throughput the always-on MBTF (cap n) achieves. *)
@@ -272,41 +332,34 @@ let energy_rows ?observe ?telemetry ?jobs ~scale () =
       point ~row_algo:"k-clique" ~algorithm:(Mac_routing.K_clique.algorithm ~n ~k)
         ~k ~threshold:(Bounds.k_clique_stable_rate_q ~n ~k))
     ks;
-  run_points ?jobs !points
+  List.rev !points
 
 let energy =
-  { id = "F3.energy";
-    title = "Latency-energy tradeoff at half the threshold rate (n=12)";
-    run =
-      (fun ?observe ?telemetry ?jobs ~scale () ->
-        let rows, outcomes = energy_rows ?observe ?telemetry ?jobs ~scale () in
-        let report =
-          Mac_sim.Report.create
-            ~header:
-              [ "algorithm"; "k"; "threshold"; "rho"; "mean-on";
-                "energy/delivery"; "mean-delay"; "max-delay" ]
-        in
-        List.iter (Mac_sim.Report.add_row report) rows;
-        (report, outcomes)) }
+  figure ~id:"F3.energy"
+    ~title:"Latency-energy tradeoff at half the threshold rate (n=12)"
+    ~header:
+      [ "algorithm"; "k"; "threshold"; "rho"; "mean-on";
+        "energy/delivery"; "mean-delay"; "max-delay" ]
+    energy_points
 
 (* ------------------------------------------------------------------ *)
 (* F4: burstiness sensitivity. *)
 
-let burst_rows ?observe ?telemetry ?jobs ~scale () =
+let burst_points ?observe ?telemetry ~scale () =
   let points = ref [] in
   let point ~row_algo ~algorithm ~n ~k ~rho ~beta ~bound ~pattern ~rounds ~drain
       ~metric =
-    let thunk () =
-      run_point ~observe ~telemetry
-        ~id:(Printf.sprintf "burst/%s/b=%g" row_algo (Qrat.to_float beta))
-        ~algorithm ~n ~k ~rho ~beta ~pattern ~rounds ~drain
+    let id = Printf.sprintf "burst/%s/b=%g" row_algo (Qrat.to_float beta) in
+    let thunk ?heartbeat () =
+      run_point ?heartbeat ~observe ~telemetry ~id ~algorithm ~n ~k ~rho ~beta
+        ~pattern ~rounds ~drain ()
     in
     let row (o : Scenario.outcome) =
       let measured = metric o.Scenario.summary in
       [ row_algo; string_of_int n; fmt_q rho; fmt_q beta; fmt measured;
         fmt bound; Mac_sim.Report.fmt_ratio ~measured ~bound ]
     in
-    points := (thunk, row) :: !points
+    points := (id, thunk, row) :: !points
   in
   let betas = scaled ~scale ~quick:[ 1.0; 32.0 ] ~full:[ 1.0; 8.0; 32.0; 128.0 ] in
   let n = 8 in
@@ -340,25 +393,59 @@ let burst_rows ?observe ?telemetry ?jobs ~scale () =
         ~drain:0
         ~metric:(fun s -> float_of_int s.Mac_sim.Metrics.max_total_queue))
     betas;
-  run_points ?jobs !points
+  List.rev !points
 
 let burst =
-  { id = "F4.burst";
-    title = "Burstiness sensitivity (worst delay, or backlog for Orchestra)";
-    run =
-      (fun ?observe ?telemetry ?jobs ~scale () ->
-        let rows, outcomes = burst_rows ?observe ?telemetry ?jobs ~scale () in
-        let report =
-          Mac_sim.Report.create
-            ~header:[ "algorithm"; "n"; "rho"; "beta"; "measured"; "bound"; "ratio" ]
-        in
-        List.iter (Mac_sim.Report.add_row report) rows;
-        (report, outcomes)) }
+  figure ~id:"F4.burst"
+    ~title:"Burstiness sensitivity (worst delay, or backlog for Orchestra)"
+    ~header:[ "algorithm"; "n"; "rho"; "beta"; "measured"; "bound"; "ratio" ]
+    burst_points
 
 (* ------------------------------------------------------------------ *)
 (* F5: what the paper's schedules buy — empirical frontiers of every
    oblivious discipline against the same dedicated pair flood, located by
    bisection, next to the random-schedule strawman. *)
+
+let baselines_header =
+  [ "discipline"; "theory stable <="; "theory unstable >";
+    "empirical stable"; "empirical unstable" ]
+
+let baselines_subjects ~n ~k =
+  (* [theory_lo = None] marks the strawman with no guaranteed frontier. *)
+  [ ("pair-tdma", (module Mac_routing.Pair_tdma : Mac_channel.Algorithm.S),
+     Some (Qrat.make 1 (n * (n - 1))), Some (Qrat.make 1 (n * (n - 1))));
+    ("random-leader", Mac_routing.Random_leader.algorithm ~n ~k (),
+     None, Some (Bounds.k_subsets_rate_q ~n ~k));
+    ("k-clique", Mac_routing.K_clique.algorithm ~n ~k,
+     Some (Bounds.k_clique_stable_rate_q ~n ~k),
+     Some (Bounds.k_subsets_rate_q ~n ~k));
+    ("k-subsets", Mac_routing.K_subsets.algorithm ~n ~k (),
+     Some (Bounds.k_subsets_rate_q ~n ~k),
+     Some (Bounds.k_subsets_rate_q ~n ~k));
+    ("k-cycle (indirect)", Mac_routing.K_cycle.algorithm ~n ~k,
+     Some (Bounds.k_cycle_rate_q ~n ~k),
+     Some (Bounds.oblivious_rate_upper_q ~n ~k)) ]
+
+let baselines_brackets ~subjects ~n ~k ~rounds =
+  ignore (n, k);
+  List.map
+    (fun (label, algorithm, _, theory_hi) ->
+      let probe =
+        Sweep.stability_probe_q ~algorithm ~n ~k
+          ~pattern:(fun () -> Pattern.pair_flood ~src:1 ~dst:2)
+          ~rounds ()
+      in
+      let hi0 =
+        match theory_hi with
+        | None -> Qrat.make 1 2
+        | Some hi -> Qrat.min Qrat.one (Qrat.mul_int hi 2)
+      in
+      (label, Qrat.make 1 250, hi0, probe))
+    subjects
+
+let baselines_row (label, _, theory_lo, theory_hi) (lo, hi) =
+  let opt = function None -> "?" | Some r -> fmt_q r in
+  [ label; opt theory_lo; opt theory_hi; fmt_q lo; fmt_q hi ]
 
 let baselines_rows ?observe ?telemetry ?jobs ~scale () =
   (* Bisection probes run thousands of throwaway points; observing them
@@ -368,47 +455,39 @@ let baselines_rows ?observe ?telemetry ?jobs ~scale () =
   let n = 8 and k = 3 in
   let rounds = scaled ~scale ~quick:30_000 ~full:60_000 in
   let steps = scaled ~scale ~quick:4 ~full:7 in
-  (* [theory_lo = None] marks the strawman with no guaranteed frontier. *)
-  let subjects =
-    [ ("pair-tdma", (module Mac_routing.Pair_tdma : Mac_channel.Algorithm.S),
-       Some (Qrat.make 1 (n * (n - 1))), Some (Qrat.make 1 (n * (n - 1))));
-      ("random-leader", Mac_routing.Random_leader.algorithm ~n ~k (),
-       None, Some (Bounds.k_subsets_rate_q ~n ~k));
-      ("k-clique", Mac_routing.K_clique.algorithm ~n ~k,
-       Some (Bounds.k_clique_stable_rate_q ~n ~k),
-       Some (Bounds.k_subsets_rate_q ~n ~k));
-      ("k-subsets", Mac_routing.K_subsets.algorithm ~n ~k (),
-       Some (Bounds.k_subsets_rate_q ~n ~k),
-       Some (Bounds.k_subsets_rate_q ~n ~k));
-      ("k-cycle (indirect)", Mac_routing.K_cycle.algorithm ~n ~k,
-       Some (Bounds.k_cycle_rate_q ~n ~k),
-       Some (Bounds.oblivious_rate_upper_q ~n ~k)) ]
-  in
+  let subjects = baselines_subjects ~n ~k in
   let brackets =
     List.map
-      (fun (_, algorithm, _, theory_hi) ->
-        let probe =
-          Sweep.stability_probe_q ~algorithm ~n ~k
-            ~pattern:(fun () -> Pattern.pair_flood ~src:1 ~dst:2)
-            ~rounds ()
-        in
-        let hi0 =
-          match theory_hi with
-          | None -> Qrat.make 1 2
-          | Some hi -> Qrat.min Qrat.one (Qrat.mul_int hi 2)
-        in
-        (Qrat.make 1 250, hi0, probe))
-      subjects
+      (fun (_, lo, hi, probe) -> (lo, hi, probe))
+      (baselines_brackets ~subjects ~n ~k ~rounds)
   in
   let located = Sweep.bisect_many_q ?jobs ?telemetry ~steps brackets in
-  let rows =
-    List.map2
-      (fun (label, _, theory_lo, theory_hi) (lo, hi) ->
-        let opt = function None -> "?" | Some r -> fmt_q r in
-        [ label; opt theory_lo; opt theory_hi; fmt_q lo; fmt_q hi ])
-      subjects located
-  in
+  let rows = List.map2 baselines_row subjects located in
   (rows, [])
+
+let baselines_run_s ?observe ?telemetry ?jobs ?policy ?on_event ~scale () =
+  ignore (observe : Scenario.observer option);
+  let n = 8 and k = 3 in
+  let rounds = scaled ~scale ~quick:30_000 ~full:60_000 in
+  let steps = scaled ~scale ~quick:4 ~full:7 in
+  let subjects = baselines_subjects ~n ~k in
+  let located =
+    Sweep.bisect_many_sq ?jobs ?policy ?on_event ?telemetry ~steps
+      (baselines_brackets ~subjects ~n ~k ~rounds)
+  in
+  let report = Mac_sim.Report.create ~header:baselines_header in
+  List.iter2
+    (fun subject (_, outcome) ->
+      match outcome with
+      | Ok bracket -> Mac_sim.Report.add_row report (baselines_row subject bracket)
+      | Error _ -> ())
+    subjects located;
+  let failures =
+    List.filter_map
+      (function lbl, Error e -> Some (lbl, e) | _, Ok _ -> None)
+      located
+  in
+  { report; outcomes = []; failures }
 
 let baselines =
   { id = "F5.baselines";
@@ -417,13 +496,9 @@ let baselines =
     run =
       (fun ?observe ?telemetry ?jobs ~scale () ->
         let rows, outcomes = baselines_rows ?observe ?telemetry ?jobs ~scale () in
-        let report =
-          Mac_sim.Report.create
-            ~header:
-              [ "discipline"; "theory stable <="; "theory unstable >";
-                "empirical stable"; "empirical unstable" ]
-        in
+        let report = Mac_sim.Report.create ~header:baselines_header in
         List.iter (Mac_sim.Report.add_row report) rows;
-        (report, outcomes)) }
+        (report, outcomes));
+    run_s = baselines_run_s }
 
 let all = [ frontier; scaling; energy; burst; baselines ]

@@ -9,6 +9,16 @@
     Each figure yields a rendered table plus the raw outcomes (the test
     suite asserts selected points). *)
 
+type supervised = {
+  report : Mac_sim.Report.t;
+  (** Rows for the successful points only, in declaration order. *)
+  outcomes : Scenario.outcome list;
+  (** The successful outcomes, in declaration order (empty for F5, whose
+      points are bisection brackets, not single scenarios). *)
+  failures : (string * Mac_sim.Supervisor.error) list;
+  (** Points that kept failing under the policy: (point id, error). *)
+}
+
 type t = {
   id : string;
   title : string;
@@ -26,6 +36,19 @@ type t = {
       [jobs] (default 1) fans the figure's points — for F5, its bisection
       brackets — out over that many worker domains; rows and outcomes keep
       their declaration order and match a sequential run bit for bit. *)
+  run_s :
+    ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+    ?jobs:int ->
+    ?policy:Mac_sim.Supervisor.policy ->
+    ?on_event:(Mac_sim.Supervisor.event -> unit) ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    supervised;
+  (** Supervised [run]: each point resolves to its own outcome under
+      [policy] instead of the first exception aborting the figure. Retried
+      points rebuild their spec (and pattern cursors) from scratch, so a
+      retry replays bit-identically to a first run. *)
 }
 
 val frontier : t

@@ -66,10 +66,10 @@ let plans ~scale ~n ~rounds =
     ( "jam-random",
       Fault_plan.random ~seed:404 ~n ~rounds ~jam_rate:0.01 () ) ]
 
-let run_cell ?observe ?telemetry ~rounds subject (plan_label, plan) =
+let run_cell ?observe ?telemetry ?heartbeat ~rounds subject (plan_label, plan) =
   let id = Printf.sprintf "resilience/%s/%s" subject.label plan_label in
   let faults = if Fault_plan.is_empty plan then None else Some plan in
-  Scenario.run ?observe ?telemetry
+  Scenario.run ?observe ?telemetry ?heartbeat
     (Scenario.spec ~id ~algorithm:subject.algorithm ~n:subject.n ~k:subject.k
        ~rate:subject.rate ~burst:subject.burst ~pattern:subject.pattern
        ~rounds ?faults ())
@@ -133,3 +133,37 @@ let suite ?observe ?telemetry ?jobs ~scale () =
   let report = Mac_sim.Report.create ~header in
   List.iter (fun o -> Mac_sim.Report.add_row report (row o)) outcomes;
   (report, outcomes)
+
+(* Supervised variant: each cell resolves to its own outcome, and retried
+   cells rebuild subject and plan (and with them every mutable pattern
+   cursor and fault schedule) from scratch, so a retry replays the exact
+   simulation a first attempt would have run. *)
+let suite_s ?observe ?telemetry ?jobs ?policy ?on_event ~scale () =
+  let rounds = scaled ~scale ~quick:15_000 ~full:80_000 in
+  let cells () =
+    List.concat_map
+      (fun subject ->
+        List.map (fun plan -> (subject, plan)) (plans ~scale ~n:subject.n ~rounds))
+      (subjects ~scale)
+  in
+  let labels =
+    List.map
+      (fun (subject, (plan_label, _)) ->
+        Printf.sprintf "resilience/%s/%s" subject.label plan_label)
+      (cells ())
+  in
+  let labelled =
+    List.mapi
+      (fun i label ->
+        ( label,
+          fun ~heartbeat ->
+            let subject, plan = List.nth (cells ()) i in
+            run_cell ?observe ?telemetry ~heartbeat ~rounds subject plan ))
+      labels
+  in
+  let results = Scenario.run_batch_s ?jobs ?policy ?on_event labelled in
+  let report = Mac_sim.Report.create ~header in
+  List.iter
+    (function _, Ok o -> Mac_sim.Report.add_row report (row o) | _, Error _ -> ())
+    results;
+  (report, results)

@@ -27,3 +27,18 @@ val suite :
     every cell. [jobs] (default 1) fans the cells out over that many
     worker domains; rows and outcomes keep declaration order and match a
     sequential run bit for bit. *)
+
+val suite_s :
+  ?observe:Scenario.observer ->
+  ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+  ?jobs:int ->
+  ?policy:Mac_sim.Supervisor.policy ->
+  ?on_event:(Mac_sim.Supervisor.event -> unit) ->
+  scale:[ `Quick | `Full ] ->
+  unit ->
+  Mac_sim.Report.t * (string * Scenario.outcome Mac_sim.Supervisor.outcome) list
+(** Supervised {!suite}: each cell resolves to its own
+    {!Mac_sim.Supervisor.outcome} under [policy] instead of the first
+    exception aborting the sweep; the report contains rows for successful
+    cells only (in declaration order). Retried cells rebuild their subject
+    and fault plan from scratch, so retries replay bit-identically. *)

@@ -85,7 +85,7 @@ let schedule_of (module A : Mac_channel.Algorithm.S) ~n ~k =
 
 type observer = id:string -> Mac_sim.Sink.t option
 
-let run ?(checks = []) ?observe ?telemetry spec =
+let run ?(checks = []) ?observe ?telemetry ?heartbeat spec =
   let module A = (val spec.algorithm) in
   let adversary =
     Mac_adversary.Adversary.create_q ~rate:spec.rate ~burst:spec.burst
@@ -114,7 +114,8 @@ let run ?(checks = []) ?observe ?telemetry spec =
       strict = not faulted;
       sink;
       faults = spec.faults;
-      telemetry = probe }
+      telemetry = probe;
+      heartbeat }
   in
   let summary =
     Fun.protect
@@ -131,7 +132,35 @@ let run ?(checks = []) ?observe ?telemetry spec =
   { spec; summary; stability; checks;
     passed = List.for_all (fun c -> c.ok) checks }
 
-let run_batch ?(jobs = 1) thunks = Mac_sim.Pool.map ~jobs thunks (fun t -> t ())
+(* Legacy batch entry point, now running on the Supervisor with the
+   default policy — observably identical to the old [Pool.map] (first
+   exception aborts and re-raises, order-preserving, exactly-once) —
+   except that a requested drain (SIGTERM/SIGINT) surfaces as
+   [Supervisor.Drained] instead of hanging or crashing. *)
+let run_batch ?(jobs = 1) thunks =
+  List.map
+    (function
+      | Ok r -> r
+      | Error Mac_sim.Supervisor.Skipped -> raise Mac_sim.Supervisor.Drained
+      | Error e -> failwith (Mac_sim.Supervisor.error_to_string e))
+    (Mac_sim.Supervisor.map ~jobs thunks
+       (fun ~heartbeat:_ ~attempt:_ t -> t ()))
+
+(* Supervised batch: jobs are labelled builders that must construct any
+   per-run mutable state (pattern cursors!) afresh on every call, so a
+   retried attempt replays bit-identically to a first attempt. Returns
+   one outcome per job, in order — failures don't abort the batch unless
+   [policy.keep_going] is false. *)
+let run_batch_s ?(jobs = 1) ?(policy = Mac_sim.Supervisor.default_policy)
+    ?quarantined ?on_event labelled =
+  let labels = Array.of_list (List.map fst labelled) in
+  let outcomes =
+    Mac_sim.Supervisor.map ~policy
+      ~label:(fun i -> labels.(i))
+      ?quarantined ?on_event ~jobs (List.map snd labelled)
+      (fun ~heartbeat ~attempt:_ build -> build ~heartbeat)
+  in
+  List.combine (Array.to_list labels) outcomes
 
 (* Machine-readable form of an outcome, shared by the bench harness and the
    CLI so both write the same BENCH_table1.json rows. *)
@@ -245,20 +274,12 @@ let store_cached ~experiment path (o : outcome) =
         Printf.sprintf "passed %b" o.passed;
         outcome_json ~experiment o ]
   in
-  let tmp =
-    Filename.concat (Filename.dirname path) ("." ^ Filename.basename path ^ ".tmp")
-  in
-  let oc = open_out_bin tmp in
-  (try
-     Fun.protect
-       ~finally:(fun () -> close_out oc)
-       (fun () -> output_string oc content)
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+  (* Atomic and durable: a completion marker that survives the rename
+     but not the data would replay an empty row forever. *)
+  Mac_sim.Durable.write_string ~path content
 
-let run_resumable ?checks ?observe ?telemetry ~resume_dir ~experiment spec =
+let run_resumable ?checks ?observe ?telemetry ?heartbeat ~resume_dir
+    ~experiment spec =
   if not (Sys.file_exists resume_dir) then Sys.mkdir resume_dir 0o755;
   let path = marker_path ~resume_dir spec.id in
   match load_cached ~id:spec.id path with
@@ -268,6 +289,56 @@ let run_resumable ?checks ?observe ?telemetry ~resume_dir ~experiment spec =
       telemetry;
     Cached c
   | None ->
-    let o = run ?checks ?observe ?telemetry spec in
+    let o = run ?checks ?observe ?telemetry ?heartbeat spec in
     store_cached ~experiment path o;
     Fresh o
+
+(* --- Quarantine markers -------------------------------------------------
+
+   A scenario that exhausted its retries in a resumable sweep is recorded
+   as "<id>.quarantined" next to its (absent) completion marker. A later
+   run of the same sweep skips it up front — reported as [Quarantined] —
+   instead of burning its full attempt budget again. Delete the file to
+   give the scenario another chance. *)
+
+let quarantine_magic = "MACQUAR 1"
+
+let quarantine_path ~resume_dir id =
+  Filename.concat resume_dir (sanitize_id id ^ ".quarantined")
+
+let quarantine_lookup ~resume_dir id =
+  let path = quarantine_path ~resume_dir id in
+  if not (Sys.file_exists path) then None
+  else
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match
+            (input_line ic, input_line ic, input_line ic)
+          with
+          | magic, id_line, failures_line
+            when magic = quarantine_magic && id_line = "scenario " ^ id -> (
+            match
+              String.length failures_line > 9
+              && String.sub failures_line 0 9 = "failures "
+            with
+            | true ->
+              int_of_string_opt
+                (String.sub failures_line 9 (String.length failures_line - 9))
+            | false -> None)
+          | _ -> None
+          | exception End_of_file -> None)
+
+let note_quarantined ~resume_dir ~id ~failures ~error =
+  if not (Sys.file_exists resume_dir) then Sys.mkdir resume_dir 0o755;
+  let content =
+    String.concat "\n"
+      [ quarantine_magic;
+        "scenario " ^ id;
+        Printf.sprintf "failures %d" failures;
+        "error " ^ error ]
+  in
+  Mac_sim.Durable.write_string ~path:(quarantine_path ~resume_dir id) content

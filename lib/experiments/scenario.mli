@@ -91,6 +91,7 @@ val run :
   ?checks:checker list ->
   ?observe:observer ->
   ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+  ?heartbeat:(unit -> unit) ->
   spec ->
   outcome
 (** Simulates the scenario (schedule cross-checking enabled for oblivious
@@ -98,13 +99,32 @@ val run :
     sink to the run; see {!observer}. [telemetry] attaches a
     {!Mac_sim.Telemetry.Fleet} probe: the run publishes a live
     [scenario=<id>] registry on the fleet's cadence and merges it into
-    the fleet aggregate when the run finishes. *)
+    the fleet aggregate when the run finishes. [heartbeat] is forwarded to
+    the engine's per-round liveness callback (see
+    {!Mac_sim.Engine.config}). *)
 
 val run_batch : ?jobs:int -> (unit -> outcome) list -> outcome list
-(** Run a batch of independent scenario thunks on a {!Mac_sim.Pool} of
-    [jobs] worker domains (default 1 = sequential), returning the outcomes
-    in input order. Scenario runs are shared-nothing, so the outcomes are
-    bit-identical to running the thunks sequentially. *)
+(** Run a batch of independent scenario thunks across [jobs] worker domains
+    (default 1 = sequential), returning the outcomes in input order.
+    Scenario runs are shared-nothing, so the outcomes are bit-identical to
+    running the thunks sequentially. Pool-compatible semantics: the first
+    raising thunk aborts the batch and its exception is re-raised (with its
+    original backtrace); a supervisor drain request surfaces as
+    {!Mac_sim.Supervisor.Drained}. *)
+
+val run_batch_s :
+  ?jobs:int ->
+  ?policy:Mac_sim.Supervisor.policy ->
+  ?quarantined:(string -> int option) ->
+  ?on_event:(Mac_sim.Supervisor.event -> unit) ->
+  (string * (heartbeat:(unit -> unit) -> 'a)) list ->
+  (string * 'a Mac_sim.Supervisor.outcome) list
+(** Supervised batch: each labelled job resolves to its own
+    {!Mac_sim.Supervisor.outcome} under [policy] (retries, watchdog
+    timeouts, quarantine, keep-going) instead of the first exception
+    aborting the sweep. Jobs must call [heartbeat] from their inner loops
+    (thread it into {!run}) for watchdog liveness. Results are in input
+    order. *)
 
 val check_json : check -> string
 (** One check as a JSON object. *)
@@ -149,6 +169,7 @@ val run_resumable :
   ?checks:checker list ->
   ?observe:observer ->
   ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+  ?heartbeat:(unit -> unit) ->
   resume_dir:string ->
   experiment:string ->
   spec ->
@@ -158,6 +179,25 @@ val run_resumable :
     (noting the cache hit on [telemetry] when given); on a miss, runs the
     scenario, writes the marker, and returns [Fresh]. A corrupt or
     mismatched marker is treated as a miss and rewritten. *)
+
+(** {2 Quarantine markers}
+
+    A resumable sweep records scenarios that kept failing as
+    [<id>.quarantined] files next to the completion markers, so a re-run
+    skips them (outcome {!Mac_sim.Supervisor.error.Quarantined}) instead of
+    burning their retry budget again. Deleting the file re-admits the
+    scenario. *)
+
+val quarantine_path : resume_dir:string -> string -> string
+
+val quarantine_lookup : resume_dir:string -> string -> int option
+(** [Some failures] when a valid quarantine marker for the id exists.
+    Corrupt or mismatched markers read as [None]. *)
+
+val note_quarantined :
+  resume_dir:string -> id:string -> failures:int -> error:string -> unit
+(** Atomically record a quarantine marker (creates [resume_dir] if
+    missing). *)
 
 val schedule_of :
   Mac_channel.Algorithm.t -> n:int -> k:int ->

@@ -56,3 +56,33 @@ let bisect_many_q ?(jobs = 1) ?telemetry ?steps brackets =
 let bisect_many ?(jobs = 1) ?steps brackets =
   Mac_sim.Pool.map ~jobs brackets (fun (lo, hi, probe) ->
       bisect ?steps ~lo ~hi probe)
+
+(* Supervised variant: brackets carry a label, and each bracket resolves to
+   a per-job outcome instead of the first failure aborting the sweep.  The
+   watchdog heartbeat ticks after every probe run, so a bracket counts as
+   live as long as individual simulations keep finishing. *)
+let bisect_many_sq ?(jobs = 1) ?(policy = Mac_sim.Supervisor.default_policy)
+    ?on_event ?telemetry ?steps brackets =
+  let count_probe probe =
+    match telemetry with
+    | None -> probe
+    | Some fleet ->
+      fun ~rho ->
+        Mac_sim.Telemetry.Fleet.add_counter fleet
+          ~help:"Throwaway bisection probe runs executed"
+          Mac_sim.Telemetry.Names.bisect_probes;
+        probe ~rho
+  in
+  let labels = Array.of_list (List.map (fun (l, _, _, _) -> l) brackets) in
+  let outcomes =
+    Mac_sim.Supervisor.map ~policy ?on_event
+      ~label:(fun i -> labels.(i))
+      ~jobs brackets
+      (fun ~heartbeat ~attempt:_ (_, lo, hi, probe) ->
+        let probe = count_probe probe in
+        bisect_q ?steps ~lo ~hi (fun ~rho ->
+            let verdict = probe ~rho in
+            heartbeat ();
+            verdict))
+  in
+  List.map2 (fun l o -> (l, o)) (Array.to_list labels) outcomes

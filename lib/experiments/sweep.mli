@@ -78,3 +78,22 @@ val bisect_many :
   (float * float * (rho:float -> bool)) list ->
   (float * float) list
 (** Deprecated float shim over {!bisect_many_q}. *)
+
+val bisect_many_sq :
+  ?jobs:int ->
+  ?policy:Mac_sim.Supervisor.policy ->
+  ?on_event:(Mac_sim.Supervisor.event -> unit) ->
+  ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+  ?steps:int ->
+  (string
+  * Mac_channel.Qrat.t
+  * Mac_channel.Qrat.t
+  * (rho:Mac_channel.Qrat.t -> bool))
+  list ->
+  (string * (Mac_channel.Qrat.t * Mac_channel.Qrat.t) Mac_sim.Supervisor.outcome)
+  list
+(** Supervised {!bisect_many_q}: brackets carry a label, and each resolves
+    to its own {!Mac_sim.Supervisor.outcome} under [policy] instead of the
+    first failure aborting the sweep. The supervisor's watchdog heartbeat
+    ticks after every probe run, so a bracket counts as live while its
+    simulations keep finishing. Results are in input order. *)

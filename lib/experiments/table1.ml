@@ -25,11 +25,40 @@ type t = {
     scale:[ `Quick | `Full ] ->
     unit ->
     Scenario.resumed list;
+  run_s :
+    ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+    ?jobs:int ->
+    ?policy:Mac_sim.Supervisor.policy ->
+    ?on_event:(Mac_sim.Supervisor.event -> unit) ->
+    ?inject:(string -> unit) ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    (string * Scenario.outcome Mac_sim.Supervisor.outcome) list;
+  run_resumable_s :
+    ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+    ?jobs:int ->
+    ?policy:Mac_sim.Supervisor.policy ->
+    ?on_event:(Mac_sim.Supervisor.event -> unit) ->
+    ?inject:(string -> unit) ->
+    resume_dir:string ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    (string * Scenario.resumed Mac_sim.Supervisor.outcome) list;
 }
 
 (* [run] is derived: evaluate the row's cells (fresh pattern state every
    call) and fan the runs out over the pool. [run_resumable] is the same
-   shape, with each cell consulting the resume directory first. *)
+   shape, with each cell consulting the resume directory first.
+
+   The supervised variants ([run_s]/[run_resumable_s]) return per-cell
+   outcomes instead of aborting on the first exception. Each attempt of
+   a cell re-evaluates [cells ~scale] from scratch — pattern cursors are
+   mutable, so a retry that reused the spec from a previous partial
+   attempt would not replay bit-identically. [?inject] is a fault hook
+   (used by tests and `--inject-failure`): it is called with the cell id
+   before each attempt and may raise. *)
 let row ~id ~claim cells =
   let run ?observe ?telemetry ?jobs ~scale () =
     Scenario.run_batch ?jobs
@@ -46,7 +75,52 @@ let row ~id ~claim cells =
          (cells ~scale))
       (fun t -> t ())
   in
-  { id; claim; cells; run; run_resumable }
+  let cell_ids ~scale = List.map (fun c -> c.spec.id) (cells ~scale) in
+  let fresh_cell ~scale i = List.nth (cells ~scale) i in
+  let run_s ?observe ?telemetry ?jobs ?policy ?on_event ?inject ~scale () =
+    Scenario.run_batch_s ?jobs ?policy ?on_event
+      (List.mapi
+         (fun i cid ->
+           ( cid,
+             fun ~heartbeat ->
+               (match inject with Some f -> f cid | None -> ());
+               let c = fresh_cell ~scale i in
+               Scenario.run ~checks:c.checks ?observe ?telemetry ~heartbeat
+                 c.spec ))
+         (cell_ids ~scale))
+  in
+  let run_resumable_s ?observe ?telemetry ?jobs ?policy ?on_event ?inject
+      ~resume_dir ~scale () =
+    let outcomes =
+      Scenario.run_batch_s ?jobs ?policy ?on_event
+        ~quarantined:(fun cid -> Scenario.quarantine_lookup ~resume_dir cid)
+        (List.mapi
+           (fun i cid ->
+             ( cid,
+               fun ~heartbeat ->
+                 (match inject with Some f -> f cid | None -> ());
+                 let c = fresh_cell ~scale i in
+                 Scenario.run_resumable ~checks:c.checks ?observe ?telemetry
+                   ~heartbeat ~resume_dir ~experiment:id c.spec ))
+           (cell_ids ~scale))
+    in
+    (* A cell that exhausted its attempts is quarantined on disk: the
+       next run of this sweep skips it up front instead of burning the
+       whole retry budget again. *)
+    List.iter
+      (fun (cid, r) ->
+        match r with
+        | Error (Mac_sim.Supervisor.Failed { attempts; error }) ->
+          Scenario.note_quarantined ~resume_dir ~id:cid ~failures:attempts
+            ~error:(Printexc.to_string error)
+        | Error (Mac_sim.Supervisor.Timed_out { attempts; timeout }) ->
+          Scenario.note_quarantined ~resume_dir ~id:cid ~failures:attempts
+            ~error:(Printf.sprintf "no heartbeat progress for %gs" timeout)
+        | _ -> ())
+      outcomes;
+    outcomes
+  in
+  { id; claim; cells; run; run_resumable; run_s; run_resumable_s }
 
 let scaled ~scale ~quick ~full = match scale with `Quick -> quick | `Full -> full
 

@@ -51,6 +51,37 @@ type t = {
       replayed as [Cached] without simulating, so a killed sweep restarted
       with the same directory re-runs only its unfinished scenarios and
       reproduces the original JSON rows byte-for-byte. *)
+  run_s :
+    ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+    ?jobs:int ->
+    ?policy:Mac_sim.Supervisor.policy ->
+    ?on_event:(Mac_sim.Supervisor.event -> unit) ->
+    ?inject:(string -> unit) ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    (string * Scenario.outcome Mac_sim.Supervisor.outcome) list;
+  (** Supervised [run]: each cell resolves to its own
+      {!Mac_sim.Supervisor.outcome} under [policy] instead of the first
+      exception aborting the row. Every attempt of a cell re-evaluates the
+      row's cell list from scratch, so retried cells replay bit-identically
+      to a first run. [inject] is a fault hook (tests, [--inject-failure]):
+      called with the cell id before each attempt, and may raise. *)
+  run_resumable_s :
+    ?observe:Scenario.observer ->
+    ?telemetry:Mac_sim.Telemetry.Fleet.t ->
+    ?jobs:int ->
+    ?policy:Mac_sim.Supervisor.policy ->
+    ?on_event:(Mac_sim.Supervisor.event -> unit) ->
+    ?inject:(string -> unit) ->
+    resume_dir:string ->
+    scale:[ `Quick | `Full ] ->
+    unit ->
+    (string * Scenario.resumed Mac_sim.Supervisor.outcome) list;
+  (** Supervised [run_resumable]. Additionally: cells quarantined in
+      [resume_dir] (see {!Scenario.quarantine_lookup}) resolve as
+      [Error Quarantined] without running, and cells that exhaust their
+      attempts here are recorded as quarantined for the next resume. *)
 }
 
 val all : t list

@@ -9,17 +9,40 @@
     against the resuming run's configuration. Checkpoint files are
     build-specific (the blob is OCaml [Marshal] output): a file written by a
     different binary is rejected by the header version or the snapshot
-    version, not misread. *)
+    version, not misread.
+
+    Format v2 adds the blob's byte count and CRC-32 to the metadata line, so
+    [read] detects truncation, padding and bit-rot {e before} handing the
+    blob to [Marshal]; v1 files (no checksum) remain readable. For crash
+    resilience beyond a single file, {!write_rotated} keeps the previous
+    good checkpoint as [<path>.prev] and {!read_latest} falls back to it
+    when the newest file is corrupt. *)
 
 val format_version : int
 
 val write : path:string -> Engine.snapshot -> unit
 (** Atomically persist a snapshot: written to a hidden sibling tmp file,
-    then renamed over [path]. *)
+    fsynced, then renamed over [path]. *)
 
 val read : path:string -> (Engine.snapshot, string) result
 (** Load a checkpoint. [Error] carries a one-line human-readable reason
-    (missing file, bad magic, version mismatch, truncated blob). *)
+    (missing file, bad magic, version mismatch, truncated blob, CRC
+    mismatch). *)
+
+val prev_path : string -> string
+(** [prev_path path] is the rotation sibling [path ^ ".prev"]. *)
+
+val write_rotated : path:string -> Engine.snapshot -> unit
+(** Like {!write}, but first rotates an existing [path] to
+    [prev_path path], so the last-known-good checkpoint survives even if
+    this write (or a later corruption of [path]) destroys the newest one. *)
+
+val read_latest :
+  path:string ->
+  (Engine.snapshot * [ `Current | `Salvaged of string ], string) result
+(** Read [path], falling back to [prev_path path] when the primary is
+    missing or corrupt. [`Salvaged reason] reports why the primary was
+    rejected; [Error] combines both failure reasons. *)
 
 val describe : Engine.snapshot -> string
 (** One line: algorithm, n, k and the snapshot's round position. *)

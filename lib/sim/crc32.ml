@@ -1,0 +1,40 @@
+(* CRC-32 (the zlib/IEEE 802.3 polynomial, reflected, 0xEDB88320) in
+   pure OCaml. Checkpoint blobs carry this checksum in their metadata
+   line so a torn or bit-flipped file is rejected with a precise error
+   instead of being fed to [Marshal]. Table-driven, one table built at
+   module init; digesting is a tight loop over bytes. *)
+
+let table =
+  let t = Array.make 256 0l in
+  for n = 0 to 255 do
+    let c = ref (Int32.of_int n) in
+    for _ = 0 to 7 do
+      if Int32.logand !c 1l <> 0l then
+        c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+      else c := Int32.shift_right_logical !c 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update";
+  let crc = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let string s = update 0l s ~pos:0 ~len:(String.length s)
+
+(* CRCs travel through JSON metadata as unsigned decimal integers. *)
+let to_unsigned (c : int32) : int64 =
+  Int64.logand (Int64.of_int32 c) 0xFFFFFFFFL
+
+let of_unsigned (u : int64) : int32 = Int64.to_int32 u
+let to_string c = Int64.to_string (to_unsigned c)
+let of_string_opt s = Option.map of_unsigned (Int64.of_string_opt s)

@@ -57,12 +57,17 @@ type config = {
   checkpoint_every : int;
   on_checkpoint : (snapshot -> unit) option;
   telemetry : Telemetry.probe option;
+  (* Called once per simulated round. The Supervisor's watchdog uses it
+     as a liveness signal and cancellation point; [None] (the default)
+     keeps the round loop on its allocation-free fast path. *)
+  heartbeat : (unit -> unit) option;
 }
 
 let default_config ~rounds =
   { rounds; drain_limit = 0; sample_every = 0; check_schedule = false;
     strict = true; trace = None; sink = None; faults = None;
-    checkpoint_every = 0; on_checkpoint = None; telemetry = None }
+    checkpoint_every = 0; on_checkpoint = None; telemetry = None;
+    heartbeat = None }
 
 type tracked = {
   packet : Packet.t;
@@ -798,18 +803,23 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
       tel_sample l ~round:!round
     | _ -> ()
   in
+  let beat =
+    match cfg.heartbeat with Some h -> h | None -> fun () -> ()
+  in
   while !round < cfg.rounds do
     step ~round:!round ~draining:false;
     incr round;
     maybe_checkpoint ();
-    maybe_sample ()
+    maybe_sample ();
+    beat ()
   done;
   while !drained < cfg.drain_limit && Metrics.total_queued metrics > 0 do
     step ~round:!round ~draining:true;
     incr round;
     incr drained;
     maybe_checkpoint ();
-    maybe_sample ()
+    maybe_sample ();
+    beat ()
   done;
   (match lt with
    | Some l when !last_sample <> !round -> tel_sample l ~round:!round

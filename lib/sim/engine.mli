@@ -103,6 +103,12 @@ type config = {
       engine state: a run with telemetry on produces the same summary,
       checkpoints, and (telemetry events aside) event stream as one with
       it off. [None] leaves the round loop untouched. *)
+  heartbeat : (unit -> unit) option;
+  (** when set, called once at every round boundary (injection and drain
+      rounds alike). Used by {!Supervisor} watchdogs as a liveness signal
+      and as a cooperative cancellation point — the callback may raise to
+      abandon the run. [None] (the default) leaves the round loop
+      untouched. *)
 }
 
 val default_config : rounds:int -> config

@@ -210,18 +210,9 @@ let render t =
     (List.rev t.metrics);
   Buffer.contents buf
 
-let write_atomic ~path content =
-  let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir ".telemetry" ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc content;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+(* Atomic and durable (tmp + fsync + rename): a crash right after the
+   rename must not leave an empty exposition where a full one stood. *)
+let write_atomic ~path content = Durable.write_string ~path content
 
 (* ---- exposition parsing (for [routing_sim top] and CI validation) ---- *)
 

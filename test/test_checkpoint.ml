@@ -245,6 +245,121 @@ let test_file_errors () =
       write_string path (String.sub whole 0 (String.length whole - 20));
       expect_error "truncated blob" (Mac_sim.Checkpoint.read ~path))
 
+(* v2 corruption: any truncation, or a single flipped bit anywhere in
+   the file — magic line, metadata, CRC digits, blob — must surface as a
+   clean [Error], never an [Ok] or a crash. The header is covered by the
+   magic/version check, the metadata line by meta_crc32, the blob by
+   blob_crc32. *)
+let qcheck_corruption =
+  let whole =
+    lazy
+      (let _, b, _ = triple ~seed:21 in
+       let snap, _ = interrupt ~at:40 b in
+       let path = temp_path ".bin" in
+       Fun.protect
+         ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+         (fun () ->
+           Mac_sim.Checkpoint.write ~path snap;
+           read_string path))
+  in
+  QCheck.Test.make ~name:"corrupt_v2_checkpoint_rejected_cleanly" ~count:80
+    QCheck.(pair bool (int_range 0 10_000_000))
+    (fun (truncate, r) ->
+      let whole = Lazy.force whole in
+      let len = String.length whole in
+      let corrupt =
+        if truncate then String.sub whole 0 (r mod len)
+        else begin
+          let pos = r mod len in
+          let bit = r / len mod 8 in
+          let b = Bytes.of_string whole in
+          Bytes.set b pos
+            (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+          Bytes.to_string b
+        end
+      in
+      let path = temp_path ".bin" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          write_string path corrupt;
+          match Mac_sim.Checkpoint.read ~path with
+          | Error _ -> true
+          | Ok _ -> false))
+
+(* Keep-last-good rotation: the previous generation survives as .prev,
+   and a corrupt or missing newest file salvages it. *)
+let test_rotation_salvage () =
+  let _, b, _ = triple ~seed:23 in
+  let c1, _ = interrupt ~at:30 b in
+  let _, b2, _ = triple ~seed:23 in
+  let c2, _ = interrupt ~at:60 b2 in
+  let path = temp_path ".bin" in
+  (* temp_path creates the file; rotation wants a fresh path *)
+  Sys.remove path;
+  let prev = Mac_sim.Checkpoint.prev_path path in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ path; prev ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      Mac_sim.Checkpoint.write_rotated ~path c1;
+      Alcotest.(check bool) "no .prev after the first write" false
+        (Sys.file_exists prev);
+      Mac_sim.Checkpoint.write_rotated ~path c2;
+      Alcotest.(check bool) ".prev exists after the second write" true
+        (Sys.file_exists prev);
+      (match Mac_sim.Checkpoint.read_latest ~path with
+       | Ok (snap, `Current) ->
+         Alcotest.(check int) "newest generation wins" 60
+           (Mac_sim.Engine.snapshot_round snap)
+       | Ok (_, `Salvaged _) -> Alcotest.fail "intact newest must not salvage"
+       | Error msg -> Alcotest.fail msg);
+      (* flip one bit of the newest: the previous generation salvages *)
+      let whole = read_string path in
+      let bs = Bytes.of_string whole in
+      let pos = Bytes.length bs / 2 in
+      Bytes.set bs pos (Char.chr (Char.code (Bytes.get bs pos) lxor 0x10));
+      write_string path (Bytes.to_string bs);
+      (match Mac_sim.Checkpoint.read_latest ~path with
+       | Ok (snap, `Salvaged reason) ->
+         Alcotest.(check int) "salvaged the previous generation" 30
+           (Mac_sim.Engine.snapshot_round snap);
+         Alcotest.(check bool)
+           (Printf.sprintf "salvage reason names the file (%s)" reason)
+           true
+           (String.length reason > 0)
+       | Ok (_, `Current) -> Alcotest.fail "corrupt newest read as current"
+       | Error msg -> Alcotest.fail msg);
+      (* newest deleted entirely: still salvages *)
+      Sys.remove path;
+      (match Mac_sim.Checkpoint.read_latest ~path with
+       | Ok (_, `Salvaged _) -> ()
+       | Ok (_, `Current) -> Alcotest.fail "missing newest read as current"
+       | Error msg -> Alcotest.fail msg);
+      (* both gone: a plain error *)
+      Sys.remove prev;
+      match Mac_sim.Checkpoint.read_latest ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "expected an error with both generations gone")
+
+(* Version-1 files carry no checksums but must stay readable. *)
+let test_v1_still_readable () =
+  let _, b, _ = triple ~seed:11 in
+  let snap, _ = interrupt ~at:25 b in
+  let blob = Marshal.to_string (snap : Mac_sim.Engine.snapshot) [] in
+  let path = temp_path ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      write_string path ("MACCKPT 1\n{\"legacy\": 1}\n" ^ blob);
+      match Mac_sim.Checkpoint.read ~path with
+      | Error msg -> Alcotest.fail msg
+      | Ok snap' ->
+        Alcotest.(check int) "v1 round survives" 25
+          (Mac_sim.Engine.snapshot_round snap'))
+
 (* ------------------------------------------------------------------ *)
 (* Engine-side validation: a snapshot must match the resuming run. *)
 
@@ -409,6 +524,11 @@ let () =
       ("checkpoint-files",
        [ Alcotest.test_case "write/read round-trip" `Quick test_file_roundtrip;
          Alcotest.test_case "rejects junk" `Quick test_file_errors;
+         QCheck_alcotest.to_alcotest qcheck_corruption;
+         Alcotest.test_case "rotation and salvage" `Quick
+           test_rotation_salvage;
+         Alcotest.test_case "v1 files still readable" `Quick
+           test_v1_still_readable;
          Alcotest.test_case "telemetry leaves checkpoints untouched" `Quick
            test_checkpoint_bytes_telemetry_invariant ]);
       ("validation",

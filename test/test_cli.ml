@@ -123,6 +123,64 @@ let test_top_check_fails_without_rows () =
   let code, _, _ = run_cli [ "top"; dir; "--once"; "--check" ] in
   Alcotest.(check int) "no live rows is a check failure" 1 code
 
+(* --keep-going with an injected always-failing scenario: the sweep
+   completes, the surviving rows are byte-identical to a clean run, the
+   failure is reported with its attempt count, and the exit code is the
+   documented degraded-completion 3. *)
+let table1_base = [ "table1"; "T1.orchestra"; "--quick"; "--jobs"; "1" ]
+
+let lines s = String.split_on_char '\n' s
+
+let test_keep_going_degraded_exit_3 () =
+  let bad = "orchestra/uniform" in
+  let code_clean, out_clean, _ = run_cli table1_base in
+  Alcotest.(check int) "clean exit" 0 code_clean;
+  let code, out, err =
+    run_cli
+      (table1_base
+      @ [ "--keep-going"; "--retries"; "1"; "--inject-failure"; bad ])
+  in
+  Alcotest.(check int) "degraded completion exits 3" 3 code;
+  let surviving s = List.filter (fun l -> not (contains l bad)) (lines s) in
+  Alcotest.(check (list string)) "surviving rows byte-identical"
+    (surviving out_clean) (surviving out);
+  Alcotest.(check bool) "failed row is marked" true (contains out "FAILED");
+  Alcotest.(check bool) "failure reported with attempt count" true
+    (contains err "after 2 attempts");
+  Alcotest.(check bool) "stderr names the scenario" true (contains err bad)
+
+(* Scraped files can vanish or be mid-creation between the directory
+   scan and the read; top must skip them, not fail. *)
+let test_top_tolerates_vanished_and_fresh_files () =
+  let code, out, _ =
+    run_cli [ "top"; "/nonexistent/eear.prom"; "--once" ]
+  in
+  Alcotest.(check int) "vanished file tolerated" 0 code;
+  Alcotest.(check bool) "no error line for a vanished file" false
+    (contains out "\n! ");
+  (* a live exposition next to a zero-byte one a writer just created *)
+  let dir = temp_dir "eear_top_mixed" in
+  let prom = Filename.concat dir "run.prom" in
+  let code_run, _, _ =
+    run_cli
+      (progress_base_args @ [ "--telemetry-file"; prom; "--telemetry-every"; "500" ])
+  in
+  Alcotest.(check int) "run exit" 0 code_run;
+  let oc = open_out (Filename.concat dir "fresh.prom") in
+  close_out oc;
+  let code_top, out_top, _ = run_cli [ "top"; dir; "--once"; "--check" ] in
+  Alcotest.(check int) "check passes despite the empty file" 0 code_top;
+  Alcotest.(check bool) "live row still rendered" true
+    (contains out_top "rounds/s")
+
+let test_chaos_smoke () =
+  let code, out, err = run_cli [ "chaos"; "--count"; "2"; "--seed"; "7" ] in
+  Alcotest.(check int) (Printf.sprintf "chaos exit (stderr %S)" err) 0 code;
+  Alcotest.(check bool) "reports the config count" true
+    (contains out "2 configs");
+  Alcotest.(check bool) "reports zero failures" true
+    (contains out "0 failures")
+
 let test_smoke_matches_golden () =
   let code, out, err = run_cli smoke_args in
   Alcotest.(check int) (Printf.sprintf "exit code (stderr %S)" err) 0 code;
@@ -143,6 +201,12 @@ let () =
          Alcotest.test_case "top --check on a live file" `Quick
            test_top_check_on_live_file;
          Alcotest.test_case "top --check without rows" `Quick
-           test_top_check_fails_without_rows ]);
+           test_top_check_fails_without_rows;
+         Alcotest.test_case "top tolerates vanished/fresh files" `Quick
+           test_top_tolerates_vanished_and_fresh_files ]);
+      ("supervision",
+       [ Alcotest.test_case "keep-going degraded exit 3" `Quick
+           test_keep_going_degraded_exit_3;
+         Alcotest.test_case "chaos smoke" `Quick test_chaos_smoke ]);
       ("golden",
        [ Alcotest.test_case "resilience smoke" `Quick test_smoke_matches_golden ]) ]
