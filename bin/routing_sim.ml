@@ -181,7 +181,7 @@ let progress_line ~round registry =
 
 let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
     series trace_n events stations csv json checkpoint checkpoint_every resume
-    telemetry_file telemetry_jsonl telemetry_every progress =
+    telemetry_file telemetry_jsonl telemetry_every progress engine =
   if telemetry_every < 1 then begin
     Printf.eprintf "--telemetry-every must be >= 1 (got %d)\n" telemetry_every;
     exit 2
@@ -280,6 +280,7 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
   if checkpoint <> None then install_drain_handlers ();
   let config =
     { (Mac_sim.Engine.default_config ~rounds) with
+      mode = engine;
       drain_limit = drain; check_schedule = A.oblivious; trace; sink;
       checkpoint_every;
       on_checkpoint =
@@ -470,12 +471,29 @@ let run_term =
             "Print a live progress line (round, throughput, backlog, ETA) to \
              stderr every --telemetry-every rounds; stdout is untouched.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("auto", Mac_sim.Engine.Auto);
+               ("dense", Mac_sim.Engine.Dense);
+               ("sparse", Mac_sim.Engine.Sparse) ])
+          Mac_sim.Engine.Auto
+      & info [ "engine" ] ~docv:"MODE"
+          ~doc:
+            "Execution mode: $(b,dense) visits every station every round; \
+             $(b,sparse) uses the algorithm's closed-form schedule to touch \
+             only scheduled stations and skip provably-idle stretches \
+             analytically (bit-identical output; rejects algorithms without \
+             the hook); $(b,auto) (default) picks sparse when available.")
+  in
   Term.(
     ret
       (const run_cmd $ algorithm $ n_arg $ k_arg $ rate $ burst $ pattern
        $ rounds $ drain $ seed $ paced $ series $ trace_n $ events $ stations
        $ csv $ json $ checkpoint $ checkpoint_every $ resume $ telemetry_file
-       $ telemetry_jsonl $ telemetry_every $ progress))
+       $ telemetry_jsonl $ telemetry_every $ progress $ engine))
 
 (* ---- table1 / figures commands ---- *)
 
@@ -1465,13 +1483,61 @@ let chaos_term =
 
 (* ---- verify command ---- *)
 
-let verify_cmd count seed table1 quick rounds_cap jobs =
+let verify_cmd count seed table1 quick rounds_cap sparse jobs =
   let cap x = match rounds_cap with None -> x | Some c -> min x c in
   let spec_to_run (s : Mac_experiments.Scenario.spec) : Mac_verify.Diff.run =
     { id = s.id; algorithm = s.algorithm; n = s.n; k = s.k; rate = s.rate;
       burst = s.burst; pacing = s.pacing; pattern = s.pattern;
       rounds = cap s.rounds; drain = cap s.drain; faults = s.faults }
   in
+  if sparse then begin
+    (* Sparse-vs-dense parity: the engine certified against itself
+       (events, summary bytes, checkpoint bytes) rather than against the
+       oracle — so huge configs are fine here. *)
+    let makers =
+      if table1 then begin
+        let scale = if quick then `Quick else `Full in
+        (* three catalog instances: certify_sparse runs each cell three
+           times and each run needs fresh pattern state *)
+        let a = Mac_experiments.Table1.catalog ~scale in
+        let b = Mac_experiments.Table1.catalog ~scale in
+        let c = Mac_experiments.Table1.catalog ~scale in
+        let bc = List.map2 (fun y z -> (y, z)) b c in
+        List.concat
+          (List.map2
+             (fun x (y, z) ->
+               let module A =
+                 (val x.Mac_experiments.Scenario.algorithm
+                     : Mac_channel.Algorithm.S)
+               in
+               if Option.is_some A.sparse then begin
+                 let copies =
+                   ref [ spec_to_run x; spec_to_run y; spec_to_run z ]
+                 in
+                 [ (fun () ->
+                     match !copies with
+                     | r :: rest ->
+                       copies := rest;
+                       r
+                     | [] ->
+                       failwith
+                         "certify_sparse consumed more than three instances")
+                 ]
+               end
+               else [])
+             a bc)
+      end
+      else List.init count (fun i -> Mac_verify.Diff.random_sparse ~seed:(seed + i))
+    in
+    let verdicts = Mac_verify.Diff.certify_sparse_batch ~jobs makers in
+    let bad = List.filter (fun v -> not (Mac_verify.Diff.agrees v)) verdicts in
+    List.iter (fun v -> Format.printf "%a@." Mac_verify.Diff.pp_verdict v) bad;
+    Printf.printf "%d sparse certification(s), %d divergence(s)\n"
+      (List.length verdicts) (List.length bad);
+    if bad <> [] then exit 1;
+    `Ok ()
+  end
+  else begin
   let pairs =
     if table1 then begin
       let scale = if quick then `Quick else `Full in
@@ -1495,6 +1561,7 @@ let verify_cmd count seed table1 quick rounds_cap jobs =
     (List.length verdicts) events (List.length bad);
   if bad <> [] then exit 1;
   `Ok ()
+  end
 
 let verify_term =
   let count =
@@ -1528,10 +1595,21 @@ let verify_term =
              is deliberately quadratic per round; long catalog runs need \
              this to finish quickly.")
   in
+  let sparse =
+    Arg.(
+      value & flag
+      & info [ "sparse" ]
+          ~doc:
+            "Certify the sparse engine against the dense engine instead of \
+             the engine against the oracle: every summary field, checkpoint \
+             snapshot byte and event must be identical across modes. With \
+             --table1, covers the sparse-capable cells of the catalog; \
+             otherwise N random sparse-capable configurations.")
+  in
   Term.(
     ret
       (const verify_cmd $ count $ seed $ table1 $ quick_arg $ rounds_cap
-       $ jobs_arg))
+       $ sparse $ jobs_arg))
 
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Simulate one algorithm/adversary scenario") run_term;

@@ -73,6 +73,45 @@ let desired d ~round =
     in
     steady + extra
 
+let ceil_div a b = ((a + b) - 1) / b (* positive operands *)
+
+(* Earliest round >= round at which [inject] could return a non-empty list,
+   assuming one [inject] per round and no admissions in between (each quiet
+   round only refills the bucket) — exactly the skip-ahead situation. The
+   answer is exact for both pacing disciplines; the pattern may still
+   decline its budget, which merely costs one concrete round. *)
+let next_admission d ~round =
+  let r = d.spec.rate in
+  (* Rounds until the bucket grants a token: m = ceil((1 - tokens)/rate),
+     0 if it already does. The cap (rate + burst >= rate + 1) never blocks
+     the climb to 1. *)
+  let tokens = Leaky_bucket.tokens d.bucket in
+  let to_grant =
+    if Qrat.compare tokens Qrat.one >= 0 then 0
+    else
+      let deficit = Qrat.sub Qrat.one tokens in
+      ceil_div (Qrat.num deficit * Qrat.den r) (Qrat.den deficit * Qrat.num r)
+  in
+  let tg = round + to_grant in
+  match d.spec.pacing with
+  | Greedy -> tg
+  | Paced { burst_at } ->
+    (* First t >= tg with floor(r*(t+1)) - floor(r*t) >= 1. With
+       v = floor(r*tg), that is the first t with r*(t+1) >= v + 1: the
+       steady allowance stays 0 while r*(t+1) < v + 1 (both floors stuck
+       at v) and reaches 1 the round the product crosses. *)
+    let v = Qrat.floor (Qrat.mul_int r tg) in
+    let t1 = ceil_div ((v + 1) * Qrat.den r) (Qrat.num r) - 1 in
+    (match burst_at with
+     | Some b when b >= tg && b < t1 && Qrat.floor d.spec.burst > 0 -> b
+     | _ -> t1)
+
+(* Bit-identical to [rounds] calls to [inject] on rounds where the budget is
+   zero: the pattern is never consulted, nothing is consumed, the bucket
+   advances. Callers must ensure the skipped rounds really admit nothing
+   (see [next_admission]). *)
+let skip_rounds d ~rounds = Leaky_bucket.skip d.bucket ~rounds
+
 let inject d ~view =
   let round = view.View.round in
   let budget = min (Leaky_bucket.grant d.bucket) (desired d ~round) in

@@ -68,6 +68,22 @@ val restore_driver : driver -> driver_state -> unit
 (** Restore state captured by {!save_driver} onto a freshly started driver of
     the same spec. Raises [Invalid_argument] on a mismatched snapshot. *)
 
+val next_admission : driver -> round:int -> int
+(** [next_admission d ~round] is the earliest round [>= round] at which
+    {!inject} could admit a packet, assuming one [inject] per round and no
+    admissions in between (quiet rounds only refill the bucket). Exact for
+    both pacing disciplines: the bucket's climb to one token and the paced
+    discipline's next non-zero allowance (including a pending [burst_at])
+    are solved in closed form. Never later than the true next admission, so
+    the engine may safely skip every round strictly before it. *)
+
+val skip_rounds : driver -> rounds:int -> unit
+(** [skip_rounds d ~rounds] advances the driver past [rounds] quiet rounds
+    in O(1), bit-identically to calling {!inject} that many times on rounds
+    admitting nothing: the bucket refills, the pattern is never consulted,
+    counters are untouched. Sound only for rounds strictly before
+    {!next_admission}. *)
+
 val inject : driver -> view:View.t -> (int * int) list
 (** Injections for the round described by [view] (uses [view.round]); also
     advances the bucket. The returned pairs always satisfy the leaky-bucket

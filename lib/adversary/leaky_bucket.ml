@@ -41,3 +41,12 @@ let consume t count =
   t.tokens <- Qrat.sub t.tokens (Qrat.of_int count)
 
 let advance t = t.tokens <- Qrat.min t.cap (Qrat.add t.tokens t.rate)
+
+(* min cap (tokens + m*rate) equals m chained [advance]s with no spending in
+   between: once the level clamps at cap it stays there (rate > 0), and
+   below the clamp the additions telescope. Qrat keeps every value in
+   canonical form, so the closed form is bit-identical to the iteration. *)
+let skip t ~rounds =
+  if rounds < 0 then invalid_arg "Leaky_bucket.skip: negative rounds";
+  if rounds > 0 then
+    t.tokens <- Qrat.min t.cap (Qrat.add t.tokens (Qrat.mul_int t.rate rounds))

@@ -51,3 +51,9 @@ val consume : t -> int -> unit
 val advance : t -> unit
 (** Move to the next round: refill by [rate], clamped at [rate + burst] —
     exactly. *)
+
+val skip : t -> rounds:int -> unit
+(** [skip t ~rounds] is bit-identical to [rounds] consecutive [advance]s
+    with nothing consumed in between, in O(1): the refills telescope and the
+    clamp is absorbing. Used by the engine's analytic skip-ahead. Raises
+    [Invalid_argument] on negative [rounds]. *)

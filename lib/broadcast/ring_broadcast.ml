@@ -1,5 +1,25 @@
 open Mac_channel
 
+exception Unimplemented of string
+
+let unimplemented ~variant ~paper =
+  raise
+    (Unimplemented
+       (Printf.sprintf
+          "Ring_broadcast.%s: the %s broadcast variants (%s) are not \
+           implemented yet — see ROADMAP item 4 (cross-paper algorithm \
+           matrix). Only the withholding ring variants (rrw, of-rrw) are \
+           available today."
+          variant variant paper))
+
+let full_sensing () : Algorithm.t =
+  unimplemented ~variant:"full_sensing"
+    ~paper:"Broadcasting on Adversarial MAC, full channel sensing"
+
+let ack_based () : Algorithm.t =
+  unimplemented ~variant:"ack_based"
+    ~paper:"Broadcasting on Adversarial MAC, acknowledgment-based"
+
 module Make (P : sig
   val name : string
   val snapshot_policy : [ `On_token | `On_phase ]
@@ -59,6 +79,8 @@ end) : Algorithm.S = struct
     Reaction.No_reaction
 
   let offline_tick _ ~round:_ ~queue:_ = ()
+
+  let sparse = None
 
   include Algorithm.Marshal_codec (struct
     type nonrec state = state

@@ -11,6 +11,21 @@
     - [`On_phase]: packets present when the current phase began, a phase
       being a completed token cycle (OF-RRW — "old-first"). *)
 
+exception Unimplemented of string
+(** Raised by entry points of broadcast variants that are named in the
+    cross-paper matrix (ROADMAP item 4) but not implemented yet. The
+    message says which variant and where the plan lives. *)
+
+val full_sensing : unit -> Mac_channel.Algorithm.t
+(** Full-sensing broadcast family (Broadcasting on Adversarial MAC).
+    Not implemented: always raises {!Unimplemented}. This is a loud
+    placeholder so a catalog or CLI wiring it in fails with a pointer
+    to ROADMAP item 4 instead of silently running the wrong thing. *)
+
+val ack_based : unit -> Mac_channel.Algorithm.t
+(** Acknowledgment-based broadcast family. Not implemented: always
+    raises {!Unimplemented} (same rationale as {!full_sensing}). *)
+
 module Make (P : sig
   val name : string
   val snapshot_policy : [ `On_token | `On_phase ]

@@ -1,3 +1,12 @@
+(* Closed-form schedule knowledge an algorithm may expose so the engine can
+   run it sparsely (touch only scheduled stations) and skip provably-idle
+   stretches analytically. See the [sparse] val in {!S} for the contract. *)
+type sparse = {
+  on_set : round:int -> int array;
+  on_count_in : from:int -> until:int -> cap:int -> int * int * int;
+  next_active : round:int -> nonempty:(int * Pqueue.t) list -> int option;
+}
+
 module type S = sig
   type state
 
@@ -15,6 +24,33 @@ module type S = sig
     state -> round:int -> queue:Pqueue.t -> feedback:Feedback.t -> Reaction.t
 
   val offline_tick : state -> round:int -> queue:Pqueue.t -> unit
+
+  val sparse : (n:int -> k:int -> sparse) option
+  (** Closed-form schedule queries enabling the engine's sparse/skip-ahead
+      execution path; [None] (the conservative default — correct for every
+      algorithm) keeps the algorithm on the dense path.
+
+      Providing [Some make] asserts all of the following, which the sparse
+      engine relies on for bit-identical execution:
+      - [on_duty] equals [static_schedule] for every station and round
+        (pure, traffic-independent), and [make ~n ~k] returns:
+      - [on_set ~round]: exactly the stations whose schedule is on at
+        [round], strictly ascending;
+      - [on_count_in ~from ~until ~cap]: the closed-form triple
+        [(sum, max, exceeding)] of per-round on-set sizes over rounds
+        [from, until): their sum, their maximum (0 when the range is
+        empty), and the number of rounds whose size exceeds [cap];
+      - [next_active ~round ~nonempty]: given the non-empty queues
+        ([nonempty] lists each station holding packets, in no particular
+        order) and assuming no queue changes, the earliest round [>= round]
+        at which some scheduled station's [act] could transmit; [None] if
+        that never happens. It must never be later than the true next
+        transmission round (earlier is merely wasteful);
+      - [offline_tick] is an unconditional no-op (the sparse engine never
+        calls it), and on rounds where the station holds no transmittable
+        packet, [act] returns [Listen] and [observe] of [Feedback.Silence]
+        returns [No_reaction] — neither mutates any state on such rounds,
+        so station state after a silent stretch equals state before it. *)
 
   val state_version : int
   (** Version tag of the encoded-state format. Bump whenever [state]'s

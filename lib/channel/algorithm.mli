@@ -21,6 +21,21 @@
     must expose their precomputed on/off schedule via [static_schedule]
     (tests check [on_duty] agrees with it and ignores traffic). *)
 
+(** Closed-form schedule knowledge for the engine's sparse/skip-ahead path
+    (see {!S.sparse} for the full contract each field must satisfy). *)
+type sparse = {
+  on_set : round:int -> int array;
+      (** Exactly the stations scheduled on at [round], strictly ascending. *)
+  on_count_in : from:int -> until:int -> cap:int -> int * int * int;
+      (** [(sum, max, exceeding)] of per-round on-set sizes over
+          [from, until): their sum, their maximum (0 on an empty range),
+          and the count of rounds whose size exceeds [cap]. *)
+  next_active : round:int -> nonempty:(int * Pqueue.t) list -> int option;
+      (** Earliest round [>= round] at which a scheduled station could
+          transmit, given that only the listed stations hold packets and
+          queues do not change; [None] = never. *)
+}
+
 module type S = sig
   type state
 
@@ -53,6 +68,21 @@ module type S = sig
     state -> round:int -> queue:Pqueue.t -> feedback:Feedback.t -> Reaction.t
 
   val offline_tick : state -> round:int -> queue:Pqueue.t -> unit
+
+  val sparse : (n:int -> k:int -> sparse) option
+  (** Closed-form schedule queries enabling the engine's sparse/skip-ahead
+      execution path; [None] (the conservative default — always correct)
+      keeps the algorithm on the dense path. Providing [Some make] asserts:
+      [on_duty] equals [static_schedule] everywhere (pure,
+      traffic-independent); [on_set]/[on_count_in]/[next_active] answer as
+      documented on {!sparse}; [offline_tick] is an unconditional no-op
+      (never called by the sparse engine); and on rounds where a station
+      holds no transmittable packet, [act] is [Listen] and [observe] of
+      silence is [No_reaction], with no state mutation — so station state
+      after a provably-silent stretch equals state before it. The
+      engine's sparse mode is differentially
+      certified against the dense engine (events, summaries, checkpoint
+      bytes); a hook violating this contract is caught by that harness. *)
 
   val state_version : int
   (** Version tag of the encoded-state format. Bump whenever [state]'s

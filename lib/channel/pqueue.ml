@@ -1,19 +1,25 @@
 module Imap = Map.Make (Int)
 
+(* Per-destination structures are keyed hashtables holding only the
+   destinations currently present, not n-sized arrays: a queue costs O(1)
+   memory regardless of the system size, which is what lets the engine
+   materialise n = 10^5+ stations (n queues of n-sized arrays would be
+   O(n^2)). Invariant: [by_dest] and [dest_count] have a binding for a
+   destination iff at least one packet to it is queued. *)
 type t = {
   n : int;
   mutable by_arrival : Packet.t Imap.t; (* key: arrival sequence number *)
-  by_dest : Packet.t Imap.t array;      (* same keys, split by destination *)
+  by_dest : (int, Packet.t Imap.t) Hashtbl.t; (* same keys, split by dest *)
   seq_of_id : (int, int) Hashtbl.t;
-  dest_count : int array;
+  dest_count : (int, int) Hashtbl.t;
   mutable next_seq : int;
 }
 
 let create ~n =
   { n; by_arrival = Imap.empty;
-    by_dest = Array.make n Imap.empty;
-    seq_of_id = Hashtbl.create 64;
-    dest_count = Array.make n 0; next_seq = 0 }
+    by_dest = Hashtbl.create 8;
+    seq_of_id = Hashtbl.create 8;
+    dest_count = Hashtbl.create 8; next_seq = 0 }
 
 let add t (p : Packet.t) =
   if Hashtbl.mem t.seq_of_id p.id then
@@ -21,8 +27,16 @@ let add t (p : Packet.t) =
   assert (p.dst >= 0 && p.dst < t.n);
   Hashtbl.replace t.seq_of_id p.id t.next_seq;
   t.by_arrival <- Imap.add t.next_seq p t.by_arrival;
-  t.by_dest.(p.dst) <- Imap.add t.next_seq p t.by_dest.(p.dst);
-  t.dest_count.(p.dst) <- t.dest_count.(p.dst) + 1;
+  let dm =
+    match Hashtbl.find_opt t.by_dest p.dst with
+    | Some m -> m
+    | None -> Imap.empty
+  in
+  Hashtbl.replace t.by_dest p.dst (Imap.add t.next_seq p dm);
+  let dc =
+    match Hashtbl.find_opt t.dest_count p.dst with Some c -> c | None -> 0
+  in
+  Hashtbl.replace t.dest_count p.dst (dc + 1);
   t.next_seq <- t.next_seq + 1
 
 let remove t (p : Packet.t) =
@@ -32,8 +46,15 @@ let remove t (p : Packet.t) =
     let stored = Imap.find seq t.by_arrival in
     Hashtbl.remove t.seq_of_id p.id;
     t.by_arrival <- Imap.remove seq t.by_arrival;
-    t.by_dest.(stored.dst) <- Imap.remove seq t.by_dest.(stored.dst);
-    t.dest_count.(stored.dst) <- t.dest_count.(stored.dst) - 1;
+    (match Hashtbl.find_opt t.dest_count stored.dst with
+     | Some 1 ->
+       Hashtbl.remove t.dest_count stored.dst;
+       Hashtbl.remove t.by_dest stored.dst
+     | Some c ->
+       Hashtbl.replace t.dest_count stored.dst (c - 1);
+       let dm = Hashtbl.find t.by_dest stored.dst in
+       Hashtbl.replace t.by_dest stored.dst (Imap.remove seq dm)
+     | None -> assert false);
     true
 
 let mem t (p : Packet.t) = Hashtbl.mem t.seq_of_id p.id
@@ -42,14 +63,15 @@ let size t = Hashtbl.length t.seq_of_id
 
 let is_empty t = size t = 0
 
-let count_to t d = t.dest_count.(d)
+let count_to t d =
+  match Hashtbl.find_opt t.dest_count d with Some c -> c | None -> 0
 
 let count_to_below t j =
-  let total = ref 0 in
-  for d = 0 to j - 1 do
-    total := !total + t.dest_count.(d)
-  done;
-  !total
+  Hashtbl.fold (fun d c total -> if d < j then total + c else total)
+    t.dest_count 0
+
+let dests t =
+  List.sort compare (Hashtbl.fold (fun d _ acc -> d :: acc) t.dest_count [])
 
 let oldest t =
   match Imap.min_binding_opt t.by_arrival with
@@ -57,9 +79,12 @@ let oldest t =
   | Some (_, p) -> Some p
 
 let oldest_to t d =
-  match Imap.min_binding_opt t.by_dest.(d) with
+  match Hashtbl.find_opt t.by_dest d with
   | None -> None
-  | Some (_, p) -> Some p
+  | Some dm ->
+    (match Imap.min_binding_opt dm with
+     | None -> None
+     | Some (_, p) -> Some p)
 
 exception Found of Packet.t
 
@@ -70,10 +95,13 @@ let oldest_such t pred =
   with Found p -> Some p
 
 let oldest_to_such t d pred =
-  try
-    Imap.iter (fun _ p -> if pred p then raise (Found p)) t.by_dest.(d);
-    None
-  with Found p -> Some p
+  match Hashtbl.find_opt t.by_dest d with
+  | None -> None
+  | Some dm -> (
+    try
+      Imap.iter (fun _ p -> if pred p then raise (Found p)) dm;
+      None
+    with Found p -> Some p)
 
 let fold t ~init ~f = Imap.fold (fun _ p acc -> f acc p) t.by_arrival init
 
@@ -84,9 +112,9 @@ let to_list t = List.rev (fold t ~init:[] ~f:(fun acc p -> p :: acc))
 let drain t =
   let packets = to_list t in
   t.by_arrival <- Imap.empty;
-  Array.fill t.by_dest 0 t.n Imap.empty;
+  Hashtbl.reset t.by_dest;
   Hashtbl.reset t.seq_of_id;
-  Array.fill t.dest_count 0 t.n 0;
+  Hashtbl.reset t.dest_count;
   packets
 
 let ids t =

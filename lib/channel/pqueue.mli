@@ -35,6 +35,11 @@ val count_to_below : t -> int -> int
 (** [count_to_below q j] is the number of queued packets with destination
     strictly less than [j] (the third Adjust-Window gossip number). *)
 
+val dests : t -> int list
+(** The destinations with at least one queued packet, ascending. O(d log d)
+    in the number [d] of distinct destinations present — used by sparse
+    [next_active] hooks to enumerate the pairs that could transmit. *)
+
 val oldest : t -> Packet.t option
 (** Earliest-arrived packet. *)
 

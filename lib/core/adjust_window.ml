@@ -333,6 +333,8 @@ let observe s ~round ~queue:_ ~feedback =
 
 let offline_tick s ~round ~queue = sync s ~round ~queue
 
+let sparse = None
+
 include Algorithm.Marshal_codec (struct
   type nonrec state = state
 end)

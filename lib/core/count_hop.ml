@@ -175,6 +175,8 @@ let observe s ~round ~queue:_ ~feedback =
 
 let offline_tick _ ~round:_ ~queue:_ = ()
 
+let sparse = None
+
 include Algorithm.Marshal_codec (struct
   type nonrec state = state
 end)

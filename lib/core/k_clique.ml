@@ -91,6 +91,8 @@ let algorithm ~n ~k =
 
     let offline_tick _ ~round:_ ~queue:_ = ()
 
+    let sparse = None
+
     include Algorithm.Marshal_codec (struct
       type nonrec state = state
     end)

@@ -109,6 +109,8 @@ let build ?delta_scale ~n ~k () =
 
     let offline_tick _ ~round:_ ~queue:_ = ()
 
+    let sparse = None
+
     include Algorithm.Marshal_codec (struct
       type nonrec state = state
     end)

@@ -224,6 +224,8 @@ let algorithm ?(discipline = `Mbtf) ?(allocation = `Balanced) ~n ~k () =
        local bookkeeping over the station's own queue, not channel use. *)
     let offline_tick s ~round ~queue = sync s ~round ~queue
 
+    let sparse = None
+
     include Algorithm.Marshal_codec (struct
       type nonrec state = state
     end)

@@ -150,6 +150,8 @@ end) : Mac_channel.Algorithm.S = struct
 
   let offline_tick s ~round ~queue = sync s ~round ~queue
 
+  let sparse = None
+
   include Algorithm.Marshal_codec (struct
     type nonrec state = state
   end)

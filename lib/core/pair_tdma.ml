@@ -41,6 +41,43 @@ let observe _ ~round:_ ~queue:_ ~feedback:_ = Reaction.No_reaction
 
 let offline_tick _ ~round:_ ~queue:_ = ()
 
+(* The schedule is a pure function of the round with an O(1) inverse, and
+   stations carry no evolving state, so the full sparse contract holds:
+   [on_set] is the scheduled pair; the next round at which anything can be
+   transmitted is the minimum, over queued (source, destination) pairs, of
+   the next round serving that ordered pair. *)
+let sparse =
+  Some
+    (fun ~n ~k:_ ->
+      let cycle = n * (n - 1) in
+      let on_set ~round =
+        let s, d = pair_of_round ~n ~round in
+        if s < d then [| s; d |] else [| d; s |]
+      in
+      let on_count_in ~from ~until ~cap =
+        let m = until - from in
+        if m <= 0 then (0, 0, 0) else (2 * m, 2, if 2 > cap then m else 0)
+      in
+      (* Next round >= round serving ordered pair (src, dst): the pair's
+         fixed slot in the n(n-1) cycle, shifted to the current cycle. *)
+      let next_serving ~round ~src ~dst =
+        let idx = (src * (n - 1)) + (if dst > src then dst - 1 else dst) in
+        round + ((idx - round) mod cycle + cycle) mod cycle
+      in
+      let next_active ~round ~nonempty =
+        List.fold_left
+          (fun best (src, q) ->
+            List.fold_left
+              (fun best dst ->
+                let r = next_serving ~round ~src ~dst in
+                match best with
+                | Some b when b <= r -> best
+                | _ -> Some r)
+              best (Pqueue.dests q))
+          None nonempty
+      in
+      { Algorithm.on_set; on_count_in; next_active })
+
 include Algorithm.Marshal_codec (struct
   type nonrec state = state
 end)

@@ -73,6 +73,8 @@ let algorithm ?(seed = 0) ~n ~k () =
 
     let offline_tick _ ~round:_ ~queue:_ = ()
 
+    let sparse = None
+
     include Algorithm.Marshal_codec (struct
       type nonrec state = state
     end)

@@ -10,12 +10,14 @@ type t = {
   name : string;
   by_round : (int, action list) Hashtbl.t;
       (* round -> actions in application order *)
+  rounds_sorted : int array; (* distinct fault rounds, ascending *)
   size : int;
   max_station : int;
 }
 
 let empty =
-  { name = "none"; by_round = Hashtbl.create 1; size = 0; max_station = -1 }
+  { name = "none"; by_round = Hashtbl.create 1; rounds_sorted = [||];
+    size = 0; max_station = -1 }
 
 let is_empty t = t.size = 0
 let name t = t.name
@@ -24,6 +26,20 @@ let max_station t = t.max_station
 
 let actions t ~round =
   match Hashtbl.find_opt t.by_round round with Some l -> l | None -> []
+
+(* Binary search for the first scheduled fault round >= round. *)
+let next_action_round t ~round =
+  let a = t.rounds_sorted in
+  let len = Array.length a in
+  if len = 0 || a.(len - 1) < round then None
+  else begin
+    let lo = ref 0 and hi = ref (len - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) < round then lo := mid + 1 else hi := mid
+    done;
+    Some a.(!lo)
+  end
 
 let station_of = function
   | Crash { station; _ } | Restart { station } -> station
@@ -43,7 +59,14 @@ let build ~name entries =
       (* keep application order; lists are short *)
       Hashtbl.replace by_round round (prev @ [ action ]))
     entries;
-  { name; by_round; size = List.length entries; max_station = !max_station }
+  let rounds_sorted =
+    let rs = Hashtbl.fold (fun r _ acc -> r :: acc) by_round [] in
+    let a = Array.of_list rs in
+    Array.sort compare a;
+    a
+  in
+  { name; by_round; rounds_sorted; size = List.length entries;
+    max_station = !max_station }
 
 let scripted ~name entries =
   List.iter

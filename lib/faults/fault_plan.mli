@@ -59,6 +59,11 @@ val actions : t -> round:int -> action list
 (** The actions scheduled for [round], in application order; [] for
     rounds without faults (O(1)). *)
 
+val next_action_round : t -> round:int -> int option
+(** The first round [>= round] with at least one scheduled action, [None]
+    if no action remains. O(log faults) — lets the engine's skip-ahead
+    jump over fault-free stretches without probing each round. *)
+
 val scripted : name:string -> (int * action) list -> t
 (** [scripted ~name entries] schedules each [(round, action)] pair.
     Entries may be given in any order; actions within the same round are

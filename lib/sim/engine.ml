@@ -45,6 +45,16 @@ let snapshot_n s = s.snap_n
 let snapshot_k s = s.snap_k
 let snapshot_rounds s = s.cfg_rounds
 
+(* Execution mode. [Dense] is the classical engine: every station visited
+   every round. [Sparse] demands the algorithm's closed-form schedule
+   ([Algorithm.S.sparse]) and fails if absent: concrete rounds touch only
+   scheduled or previously-on stations, and provably-silent stretches are
+   skipped analytically in O(1). [Auto] uses sparse when the algorithm
+   supports it and falls back to dense otherwise. Sparse and dense runs of
+   the same configuration are bit-identical (events, summaries, snapshot
+   bytes) — the verify layer certifies this differentially. *)
+type mode = Dense | Sparse | Auto
+
 type config = {
   rounds : int;
   drain_limit : int;
@@ -59,15 +69,18 @@ type config = {
   telemetry : Telemetry.probe option;
   (* Called once per simulated round. The Supervisor's watchdog uses it
      as a liveness signal and cancellation point; [None] (the default)
-     keeps the round loop on its allocation-free fast path. *)
+     keeps the round loop on its allocation-free fast path. In sparse
+     mode an analytic skip beats once per skipped stretch, not once per
+     round. *)
   heartbeat : (unit -> unit) option;
+  mode : mode;
 }
 
 let default_config ~rounds =
   { rounds; drain_limit = 0; sample_every = 0; check_schedule = false;
     strict = true; trace = None; sink = None; faults = None;
     checkpoint_every = 0; on_checkpoint = None; telemetry = None;
-    heartbeat = None }
+    heartbeat = None; mode = Dense }
 
 type tracked = {
   packet : Packet.t;
@@ -295,8 +308,69 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
      with [faults = None] is bit-identical (metrics and event stream) to
      one predating the fault layer. *)
   let crashed = Array.make n false in
+  let crashed_count = ref 0 in
   let jam_now = ref false in
   let noise_now = ref false in
+
+  (* Sparse execution. [sparse_impl = Some _] switches the round loop to
+     touching only stations that are scheduled on this round or were on
+     last round, and arms the analytic skip-ahead. Supporting state:
+     - [nonempty]: the stations currently holding packets (maintained at
+       every queue mutation), handed to the algorithm's [next_active];
+     - [na_cache]: memoised next-possible-transmission round. -1 =
+       unknown, [max_int] = never, else an under-estimate that is exact
+       until a queue changes: packet arrivals relax it in place, removals
+       invalidate it (a removal can only push the true round later, so
+       the stale value would merely cost a concrete round — but it is
+       cheap to recompute and keeps reasoning simple);
+     - [prev_list]: ascending stations with [prev_on] set — the engine
+       invariant in sparse mode is that [on]/[prev_on] are false outside
+       it, so a round only needs the union of [prev_list] and the current
+       on-set. *)
+  let sparse_impl =
+    match cfg.mode with
+    | Dense -> None
+    | Sparse ->
+      (match A.sparse with
+       | Some make -> Some (make ~n ~k)
+       | None ->
+         invalid_arg
+           (Printf.sprintf
+              "Engine.run: mode Sparse but algorithm %s provides no sparse \
+               schedule (use Auto or Dense)"
+              A.name))
+    | Auto ->
+      (match A.sparse with Some make -> Some (make ~n ~k) | None -> None)
+  in
+  let nonempty : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let na_cache = ref (-1) in
+  (* Memoised [Adversary.next_admission]. The prediction is deterministic
+     through quiet rounds (the bucket refills on schedule), so it stays
+     exact until packets are actually admitted; [inject] clears it then.
+     A stale value (< current round: the pattern declined its budget)
+     falls through the [>= round] validity check and is recomputed. *)
+  let adm_cache = ref (-1) in
+  let prev_list = ref [||] in
+  let cur_set = ref [||] in
+  let note_queue_add ~round i =
+    match sparse_impl with
+    | None -> ()
+    | Some sp ->
+      Hashtbl.replace nonempty i ();
+      if !na_cache >= round then
+        (match
+           sp.Algorithm.next_active ~round ~nonempty:[ (i, queues.(i)) ]
+         with
+         | Some v when v < !na_cache -> na_cache := v
+         | _ -> ())
+  in
+  let note_queue_removed i =
+    match sparse_impl with
+    | None -> ()
+    | Some _ ->
+      if Pqueue.is_empty queues.(i) then Hashtbl.remove nonempty i;
+      na_cache := -1
+  in
 
   (* Resume, part 2: the snapshot is known to match; rebuild every piece
      of mutable state from it. *)
@@ -315,7 +389,22 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
      done;
      Array.blit s.prev_on 0 prev_on 0 n;
      Array.blit s.crashed 0 crashed 0 n;
+     Array.iter (fun c -> if c then incr crashed_count) crashed;
      Mac_adversary.Adversary.restore_driver driver s.adversary_state);
+
+  (* Sparse state is derived, not checkpointed: snapshots are mode-agnostic
+     (a dense-written snapshot resumes sparsely and vice versa — the runs
+     are bit-identical either way), so rebuild [prev_list] and [nonempty]
+     from the restored arrays and queues. *)
+  (match sparse_impl with
+   | None -> ()
+   | Some _ ->
+     let pl = ref [] in
+     for i = n - 1 downto 0 do
+       if prev_on.(i) then pl := i :: !pl;
+       if not (Pqueue.is_empty queues.(i)) then Hashtbl.replace nonempty i ()
+     done;
+     prev_list := Array.of_list !pl);
 
   (* Event emission. Every observable step of the round loop produces a
      typed Event.t, fanned out to the configured sinks (the legacy trace
@@ -389,16 +478,21 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
                    (Printf.sprintf "fault plan crashes station %d (n = %d)" i n));
             if not crashed.(i) then begin
               crashed.(i) <- true;
+              incr crashed_count;
               let lost =
                 match policy with
                 | Mac_faults.Fault_plan.Retain -> 0
                 | Mac_faults.Fault_plan.Drop ->
-                  List.fold_left
-                    (fun lost (p : Packet.t) ->
-                      Hashtbl.remove registry p.Packet.id;
-                      lost + 1)
-                    0
-                    (Pqueue.drain queues.(i))
+                  let lost =
+                    List.fold_left
+                      (fun lost (p : Packet.t) ->
+                        Hashtbl.remove registry p.Packet.id;
+                        lost + 1)
+                      0
+                      (Pqueue.drain queues.(i))
+                  in
+                  note_queue_removed i;
+                  lost
               in
               Metrics.note_crash metrics ~round ~lost;
               if observing then
@@ -411,6 +505,7 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
                    (Printf.sprintf "fault plan restarts station %d (n = %d)" i n));
             if crashed.(i) then begin
               crashed.(i) <- false;
+              decr crashed_count;
               states.(i) <- A.create ~n ~k ~me:i;
               Metrics.note_restart metrics ~round;
               if observing then
@@ -441,6 +536,7 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
   let inject round =
     view.Mac_adversary.View.round <- round;
     let pairs = Mac_adversary.Adversary.inject driver ~view in
+    if pairs <> [] then adm_cache := -1;
     List.iter
       (fun (src, dst) ->
         if src < 0 || src >= n || dst < 0 || dst >= n then
@@ -462,6 +558,7 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
         end
         else begin
           Pqueue.add queues.(src) p;
+          note_queue_add ~round src;
           Hashtbl.replace registry id { packet = p; delivered = false; hops = 0 };
           Metrics.note_injection metrics;
           Metrics.note_station_queue metrics (Pqueue.size queues.(src));
@@ -535,31 +632,84 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
        static-schedule check waived — the schedule says on, the fault
        says otherwise. *)
     let on_count = ref 0 in
-    for i = 0 to n - 1 do
-      on.(i) <- (not crashed.(i)) && A.on_duty states.(i) ~round ~queue:queues.(i);
-      if on.(i) then incr on_count;
-      if observing && on.(i) <> prev_on.(i) then
-        emit ~round
-          (if on.(i) then Event.Switched_on { station = i }
-           else Event.Switched_off { station = i });
-      if cfg.check_schedule && not crashed.(i) then
-        Option.iter
-          (fun schedule ->
-            if on.(i) <> schedule ~n ~k ~me:i ~round then
-              raise
-                (Protocol_violation
-                   (Printf.sprintf
-                      "station %d round %d: on_duty disagrees with static schedule"
-                      i round)))
-          A.static_schedule
-    done;
+    (match sparse_impl with
+     | None ->
+       for i = 0 to n - 1 do
+         on.(i) <-
+           (not crashed.(i)) && A.on_duty states.(i) ~round ~queue:queues.(i);
+         if on.(i) then incr on_count;
+         if observing && on.(i) <> prev_on.(i) then
+           emit ~round
+             (if on.(i) then Event.Switched_on { station = i }
+              else Event.Switched_off { station = i });
+         if cfg.check_schedule && not crashed.(i) then
+           Option.iter
+             (fun schedule ->
+               if on.(i) <> schedule ~n ~k ~me:i ~round then
+                 raise
+                   (Protocol_violation
+                      (Printf.sprintf
+                         "station %d round %d: on_duty disagrees with static schedule"
+                         i round)))
+             A.static_schedule
+       done
+     | Some sp ->
+       (* Ascending merge over prev_list ∪ on_set(round). Every station
+          outside the union has [on] and [prev_on] false (engine
+          invariant), emits no Switched event, and — by the sparse
+          contract — neither acts, observes, nor ticks, so visiting only
+          the union reproduces the dense round exactly. Station order
+          (and hence event order) stays ascending. *)
+       let cur = sp.Algorithm.on_set ~round in
+       cur_set := cur;
+       let pl = !prev_list in
+       let np = Array.length pl and nc = Array.length cur in
+       let ia = ref 0 and ib = ref 0 in
+       while !ia < np || !ib < nc do
+         let i =
+           if !ia >= np then cur.(!ib)
+           else if !ib >= nc then pl.(!ia)
+           else min pl.(!ia) cur.(!ib)
+         in
+         let in_cur = !ib < nc && cur.(!ib) = i in
+         if !ia < np && pl.(!ia) = i then incr ia;
+         if in_cur then incr ib;
+         on.(i) <- in_cur && not crashed.(i);
+         if on.(i) then incr on_count;
+         if observing && on.(i) <> prev_on.(i) then
+           emit ~round
+             (if on.(i) then Event.Switched_on { station = i }
+              else Event.Switched_off { station = i });
+         if cfg.check_schedule && not crashed.(i) then begin
+           (* In sparse mode only union members are checked (rounds the
+              skip-ahead removes are silent by construction). Verify
+              both promises: on_duty matches the sparse on-set, and the
+              on-set matches the declared static schedule. *)
+           if A.on_duty states.(i) ~round ~queue:queues.(i) <> in_cur then
+             raise
+               (Protocol_violation
+                  (Printf.sprintf
+                     "station %d round %d: on_duty disagrees with sparse on_set"
+                     i round));
+           Option.iter
+             (fun schedule ->
+               if in_cur <> schedule ~n ~k ~me:i ~round then
+                 raise
+                   (Protocol_violation
+                      (Printf.sprintf
+                         "station %d round %d: sparse on_set disagrees with \
+                          static schedule"
+                         i round)))
+             A.static_schedule
+         end
+       done);
     Metrics.note_on_count metrics !on_count;
     if observing && !on_count > cap then
       emit ~round (Event.Cap_exceeded { on_count = !on_count; cap });
     (* Actions of switched-on stations, recorded into the scratch arrays in
        station order — the same order the old list-based path produced. *)
     tx_count := 0;
-    for i = 0 to n - 1 do
+    let act_station i =
       if on.(i) then
         match A.act states.(i) ~round ~queue:queues.(i) with
         | Action.Listen -> ()
@@ -578,7 +728,16 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
           tx_station.(!tx_count) <- i;
           tx_message.(!tx_count) <- m;
           incr tx_count
-    done;
+    in
+    (match sparse_impl with
+     | None ->
+       for i = 0 to n - 1 do
+         act_station i
+       done
+     | Some _ ->
+       (* Only current on-set members can be on; off stations' act is
+          Listen by the sparse contract. *)
+       Array.iter act_station !cur_set);
     if observing then
       for j = 0 to !tx_count - 1 do
         emit ~round
@@ -652,6 +811,7 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
         | Some p ->
           let removed = Pqueue.remove queues.(s) p in
           assert removed;
+          note_queue_removed s;
           let tracked = Hashtbl.find registry p.Packet.id in
           tracked.hops <- tracked.hops + 1;
           if on.(p.Packet.dst) then begin
@@ -671,12 +831,18 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
           else pending := Some (s, p)));
     (* Feedback and reactions. *)
     let adopters = ref [] in
-    for i = 0 to n - 1 do
+    let observe_station i =
       if on.(i) then
         match A.observe states.(i) ~round ~queue:queues.(i) ~feedback with
         | Reaction.No_reaction -> ()
         | Reaction.Adopt_heard_packet -> adopters := i :: !adopters
-    done;
+    in
+    (match sparse_impl with
+     | None ->
+       for i = 0 to n - 1 do
+         observe_station i
+       done
+     | Some _ -> Array.iter observe_station !cur_set);
     let adopters = List.rev !adopters in
     (match !pending, adopters with
      | None, [] -> ()
@@ -688,6 +854,7 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
      | Some (s, p), [] ->
        (* Nobody took the packet: return it to the transmitter. *)
        Pqueue.add queues.(s) p;
+       note_queue_add ~round s;
        if observing then
          emit ~round (Event.Stranded { id = p.Packet.id; station = s });
        violation ~strict metrics Metrics.note_stranded
@@ -706,6 +873,7 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
            (Protocol_violation
               (Printf.sprintf "direct algorithm %s used a relay" A.name));
        Pqueue.add queues.(adopter) p;
+       note_queue_add ~round adopter;
        Metrics.note_relay metrics;
        Metrics.note_station_queue metrics (Pqueue.size queues.(adopter));
        if observing then
@@ -713,12 +881,39 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
            (Event.Relayed
               { id = p.Packet.id; from_ = s; relay = adopter;
                 dst = p.Packet.dst }));
-    (* Switched-off stations tick; crashed stations are frozen, not off. *)
-    for i = 0 to n - 1 do
-      if (not on.(i)) && not crashed.(i) then
-        A.offline_tick states.(i) ~round ~queue:queues.(i)
-    done;
-    Array.blit on 0 prev_on 0 n;
+    (* Switched-off stations tick; crashed stations are frozen, not off.
+       Sparse-contract algorithms declare offline_tick an unconditional
+       no-op, so the sparse path skips the whole loop. *)
+    (match sparse_impl with
+     | None ->
+       for i = 0 to n - 1 do
+         if (not on.(i)) && not crashed.(i) then
+           A.offline_tick states.(i) ~round ~queue:queues.(i)
+       done;
+       Array.blit on 0 prev_on 0 n
+     | Some _ ->
+       (* prev_on/prev_list: clear last round's on-set, record this one;
+          outside both, the arrays are already false (invariant). *)
+       Array.iter (fun i -> prev_on.(i) <- false) !prev_list;
+       let cur = !cur_set in
+       let cnt = ref 0 in
+       Array.iter
+         (fun i ->
+           if on.(i) then begin
+             prev_on.(i) <- true;
+             incr cnt
+           end)
+         cur;
+       let np = Array.make !cnt 0 in
+       let j = ref 0 in
+       Array.iter
+         (fun i ->
+           if on.(i) then begin
+             np.(!j) <- i;
+             incr j
+           end)
+         cur;
+       prev_list := np);
     Metrics.end_round metrics ~round ~draining;
     if observing then
       emit ~round (Event.Round_end { on_count = !on_count; draining });
@@ -806,17 +1001,117 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
   let beat =
     match cfg.heartbeat with Some h -> h | None -> fun () -> ()
   in
+  (* Analytic skip-ahead: advance [round] past a stretch of rounds that
+     provably does nothing, in O(1) plus closed-form metric updates, and
+     return true; return false when the current round must run concretely.
+     A round is skippable when nothing can happen in it:
+     - the adversary admits nothing (before [next_admission]; during the
+       drain phase it never injects at all);
+     - no fault action fires (before the plan's [next_action_round]);
+     - no scheduled station can transmit (before [next_active] over the
+       non-empty queues) — silent rounds mutate no station state by the
+       sparse contract;
+     - no station is crashed (a crashed station could make the concrete
+       on-count differ from the closed-form [on_count_in]);
+     - no sink is observing (observed runs need their per-round events —
+       sparse iteration still applies, the skip does not).
+     The skip also stops at the next checkpoint boundary and at the round
+     preceding each telemetry sample (that round is phase-timed), so
+     cadenced side effects fire exactly as in a dense run. Landing state
+     is reconstructed in closed form: bucket via [skip_rounds], metrics
+     via [skip_quiet], and [prev_on]/[prev_list] as the on-set of the
+     last skipped round. *)
+  let try_skip ~draining =
+    match sparse_impl with
+    | None -> false
+    | Some sp ->
+      if observing || !crashed_count > 0 then false
+      else begin
+        let r = !round in
+        let bound =
+          ref (if draining then r + (cfg.drain_limit - !drained) else cfg.rounds)
+        in
+        let cap_bound v = if v < !bound then bound := v in
+        if not draining then begin
+          let ta =
+            if !adm_cache >= r then !adm_cache
+            else begin
+              let v = Mac_adversary.Adversary.next_admission driver ~round:r in
+              adm_cache := v;
+              v
+            end
+          in
+          cap_bound ta
+        end;
+        (match plan with
+         | None -> ()
+         | Some p ->
+           (match Mac_faults.Fault_plan.next_action_round p ~round:r with
+            | Some fr -> cap_bound fr
+            | None -> ()));
+        let na =
+          if !na_cache < 0 || !na_cache < r then begin
+            let ne =
+              Hashtbl.fold (fun i () acc -> (i, queues.(i)) :: acc) nonempty []
+            in
+            let v =
+              match sp.Algorithm.next_active ~round:r ~nonempty:ne with
+              | Some v -> v
+              | None -> max_int
+            in
+            na_cache := v;
+            v
+          end
+          else !na_cache
+        in
+        cap_bound na;
+        if cfg.checkpoint_every > 0 && Option.is_some cfg.on_checkpoint then
+          cap_bound (((r / cfg.checkpoint_every) + 1) * cfg.checkpoint_every);
+        if tel_every > 0 then
+          cap_bound (((r + tel_every) / tel_every * tel_every) - 1);
+        let count = !bound - r in
+        if count <= 0 then false
+        else begin
+          let on_sum, on_max, exceeding =
+            sp.Algorithm.on_count_in ~from:r ~until:!bound ~cap
+          in
+          Metrics.skip_quiet metrics ~from_round:r ~count ~on_sum ~on_max
+            ~cap_exceeded_rounds:exceeding ~draining;
+          if not draining then
+            Mac_adversary.Adversary.skip_rounds driver ~rounds:count;
+          Array.iter
+            (fun i ->
+              on.(i) <- false;
+              prev_on.(i) <- false)
+            !prev_list;
+          let np = sp.Algorithm.on_set ~round:(!bound - 1) in
+          Array.iter
+            (fun i ->
+              on.(i) <- true;
+              prev_on.(i) <- true)
+            np;
+          prev_list := np;
+          round := !bound;
+          if draining then drained := !drained + count;
+          true
+        end
+      end
+  in
   while !round < cfg.rounds do
-    step ~round:!round ~draining:false;
-    incr round;
+    if not (try_skip ~draining:false) then begin
+      step ~round:!round ~draining:false;
+      incr round
+    end;
     maybe_checkpoint ();
     maybe_sample ();
     beat ()
   done;
   while !drained < cfg.drain_limit && Metrics.total_queued metrics > 0 do
-    step ~round:!round ~draining:true;
-    incr round;
-    incr drained;
+    if not (try_skip ~draining:true) then begin
+      step ~round:!round ~draining:true;
+      incr round;
+      incr drained
+    end;
     maybe_checkpoint ();
     maybe_sample ();
     beat ()

@@ -37,6 +37,21 @@
 
 exception Protocol_violation of string
 
+type mode =
+  | Dense  (** visit every station every round (the classical engine) *)
+  | Sparse
+      (** require the algorithm's closed-form schedule
+          ({!Mac_channel.Algorithm.S.sparse}; [Invalid_argument] if absent):
+          concrete rounds touch only the stations scheduled on this round or
+          on last round, and stretches in which provably nothing happens (no
+          admission, no fault, no possible transmission, no crashed station,
+          no sink observing) are skipped analytically — the clock, the
+          leaky bucket, the metrics and the cadenced side effects (checkpoints,
+          telemetry samples) all advance in closed form. Output (events,
+          summary, snapshot bytes) is bit-identical to [Dense]; with
+          [check_schedule], only concretely-executed rounds are checked. *)
+  | Auto  (** [Sparse] when the algorithm supports it, else [Dense] *)
+
 val snapshot_version : int
 (** Format version of {!snapshot}; bumped when the snapshot layout changes. *)
 
@@ -108,12 +123,18 @@ type config = {
       rounds alike). Used by {!Supervisor} watchdogs as a liveness signal
       and as a cooperative cancellation point — the callback may raise to
       abandon the run. [None] (the default) leaves the round loop
-      untouched. *)
+      untouched. In sparse mode an analytic skip beats once per skipped
+      stretch rather than once per round; stretches are bounded by the
+      checkpoint and telemetry cadences when either is configured. *)
+  mode : mode;
+  (** execution mode; see {!mode}. Snapshots are mode-agnostic: a
+      checkpoint written under one mode resumes under another and the runs
+      stay bit-identical. *)
 }
 
 val default_config : rounds:int -> config
 (** No drain, auto sampling, no schedule check, strict, no trace, no sink,
-    no faults, no checkpointing, no telemetry. *)
+    no faults, no checkpointing, no telemetry, [Dense] mode. *)
 
 val run :
   ?config:config ->

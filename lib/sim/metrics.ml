@@ -227,6 +227,34 @@ let note_jammed t ~round ~noise =
   t.jammed_rounds <- t.jammed_rounds + 1;
   if noise then t.noise_rounds <- t.noise_rounds + 1
 
+(* Closed-form account of [count] consecutive provably-silent rounds
+   starting at [from_round], equivalent to per-round note_on_count +
+   note_silence + end_round: nothing is injected, delivered or lost in the
+   span, so [total_queued] is constant and one recovery check stands for
+   every round (the last exceeding round is the span's last). The on-set
+   aggregates come from the algorithm's closed-form [on_count_in]. *)
+let skip_quiet t ~from_round ~count ~on_sum ~on_max ~cap_exceeded_rounds
+    ~draining =
+  if count > 0 then begin
+    t.on_total <- t.on_total + on_sum;
+    if on_max > t.max_on then t.max_on <- on_max;
+    t.cap_exceeded <- t.cap_exceeded + cap_exceeded_rounds;
+    t.silent_rounds <- t.silent_rounds + count;
+    if draining then t.drain_rounds <- t.drain_rounds + count
+    else t.rounds <- t.rounds + count;
+    let q = total_queued t in
+    if t.first_fault_round >= 0 then begin
+      if q > t.post_fault_peak then t.post_fault_peak <- q;
+      if q > t.pre_fault_queue then t.last_exceed <- from_round + count - 1
+    end;
+    let se = t.sample_every in
+    let r = ref ((from_round + se - 1) / se * se) in
+    while !r <= from_round + count - 1 do
+      t.series_rev <- (!r, q) :: t.series_rev;
+      r := !r + se
+    done
+  end
+
 let end_round t ~round ~draining =
   if draining then t.drain_rounds <- t.drain_rounds + 1
   else t.rounds <- t.rounds + 1;

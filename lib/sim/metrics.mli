@@ -133,6 +133,23 @@ val end_round : t -> round:int -> draining:bool -> unit
 (** Book-keeping at the end of each simulated round (queue sampling,
     fault-recovery tracking). *)
 
+val skip_quiet :
+  t ->
+  from_round:int ->
+  count:int ->
+  on_sum:int ->
+  on_max:int ->
+  cap_exceeded_rounds:int ->
+  draining:bool ->
+  unit
+(** Account for [count] consecutive provably-silent rounds starting at
+    [from_round] in O(1 + samples): bit-identical to calling, for each
+    round in the span, [note_on_count] (with the per-round on-set size,
+    summarised by [on_sum]/[on_max]/[cap_exceeded_rounds] — the
+    algorithm's closed-form [on_count_in] triple), [note_silence] and
+    [end_round]. Sound only when the span injects, delivers and loses
+    nothing, so the backlog is constant across it. *)
+
 val observe : t -> round:int -> Mac_channel.Event.t -> unit
 (** Drive the collector from a typed event instead of a [note_*] call.
     Replaying a recorded run's complete event stream through [observe]

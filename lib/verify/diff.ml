@@ -197,10 +197,13 @@ let build_algorithm rng =
     let k = 2 + Rng.int rng (max 1 (kmax - 1)) in
     (n, min k kmax)
   in
-  match Rng.int rng 8 with
+  match Rng.int rng 9 with
   | 0 ->
     let n = 3 + Rng.int rng 6 in
     (n, 3, (module Mac_routing.Orchestra : Algorithm.S))
+  | 8 ->
+    let n = 3 + Rng.int rng 8 in
+    (n, 2 + Rng.int rng 3, (module Mac_routing.Pair_tdma : Algorithm.S))
   | 1 ->
     let n, k = pick_nk ~nmin:4 ~nmax:10 ~kmax_of:(fun n -> n - 1) rng in
     (n, k, Mac_routing.K_cycle.algorithm ~n ~k)
@@ -293,3 +296,208 @@ let random_pair ~seed =
       algorithm; n; k; rate; burst; pacing; pattern; rounds; drain; faults }
   in
   (make (make_pattern ()), make (make_pattern ()))
+
+(* ------------------------------------------------------------------ *)
+(* Sparse-vs-dense certification: the same configuration through the same
+   engine in both modes must be bit-identical — summary (Marshal bytes),
+   event stream, and every checkpoint snapshot (Marshal bytes). *)
+
+let engine_mode_side (r : run) ~mode ~with_sink ~checkpoint_every =
+  let events_rev = ref [] in
+  let sink =
+    Mac_sim.Sink.make (fun ~round ev -> events_rev := (round, ev) :: !events_rev)
+  in
+  let snaps_rev = ref [] in
+  let adversary =
+    Mac_adversary.Adversary.create_q ~name:r.id ~rate:r.rate ~burst:r.burst
+      ~pacing:r.pacing r.pattern
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds:r.rounds) with
+      drain_limit = r.drain;
+      strict = false;
+      check_schedule = false;
+      sink = (if with_sink then Some sink else None);
+      faults = r.faults;
+      checkpoint_every;
+      on_checkpoint =
+        (if checkpoint_every > 0 then
+           Some (fun s -> snaps_rev := Marshal.to_string s [] :: !snaps_rev)
+         else None);
+      mode }
+  in
+  let outcome =
+    try
+      Finished
+        (Mac_sim.Engine.run ~config ~algorithm:r.algorithm ~n:r.n ~k:r.k
+           ~adversary ~rounds:r.rounds ())
+    with Mac_sim.Engine.Protocol_violation msg -> Raised msg
+  in
+  (outcome, List.rev !events_rev, List.rev !snaps_rev)
+
+let compare_summaries (a : Mac_sim.Metrics.summary)
+    (b : Mac_sim.Metrics.summary) =
+  let acc = ref [] in
+  let int what x y =
+    if x <> y then
+      acc := { what; engine = string_of_int x; oracle = string_of_int y } :: !acc
+  in
+  let flt what x y =
+    if Int64.bits_of_float x <> Int64.bits_of_float y then
+      acc := { what; engine = fmt_float x; oracle = fmt_float y } :: !acc
+  in
+  int "rounds" a.rounds b.rounds;
+  int "drain_rounds" a.drain_rounds b.drain_rounds;
+  int "injected" a.injected b.injected;
+  int "delivered" a.delivered b.delivered;
+  int "max_delay" a.max_delay b.max_delay;
+  flt "mean_delay" a.mean_delay b.mean_delay;
+  int "p99_delay" a.p99_delay b.p99_delay;
+  int "max_queued_age" a.max_queued_age b.max_queued_age;
+  int "max_total_queue" a.max_total_queue b.max_total_queue;
+  int "final_total_queue" a.final_total_queue b.final_total_queue;
+  int "max_station_queue" a.max_station_queue b.max_station_queue;
+  int "max_on" a.max_on b.max_on;
+  flt "mean_on" a.mean_on b.mean_on;
+  int "station_rounds" a.station_rounds b.station_rounds;
+  int "silent_rounds" a.silent_rounds b.silent_rounds;
+  int "light_rounds" a.light_rounds b.light_rounds;
+  int "delivery_rounds" a.delivery_rounds b.delivery_rounds;
+  int "relay_rounds" a.relay_rounds b.relay_rounds;
+  int "collision_rounds" a.collision_rounds b.collision_rounds;
+  int "cap_exceeded" a.violations.cap_exceeded b.violations.cap_exceeded;
+  int "stranded" a.violations.stranded b.violations.stranded;
+  int "crashes" a.faults.crashes b.faults.crashes;
+  int "restarts" a.faults.restarts b.faults.restarts;
+  int "jammed_rounds" a.faults.jammed_rounds b.faults.jammed_rounds;
+  int "lost_to_crash" a.faults.lost_to_crash b.faults.lost_to_crash;
+  int "recovery_rounds" a.faults.recovery_rounds b.faults.recovery_rounds;
+  int "queue_series_len" (Array.length a.queue_series)
+    (Array.length b.queue_series);
+  (* The per-field diagnostics above are for readable verdicts; the byte
+     compare is the actual equality (it also covers the histograms and the
+     series contents). *)
+  if
+    !acc = []
+    && Marshal.to_string a [] <> Marshal.to_string b []
+  then
+    acc :=
+      [ { what = "summary.bytes"; engine = "<differs>"; oracle = "<differs>" } ];
+  List.rev !acc
+
+let compare_snapshots tag a b =
+  let la = List.length a and lb = List.length b in
+  if la <> lb then
+    [ { what = Printf.sprintf "%s.count" tag;
+        engine = string_of_int la;
+        oracle = string_of_int lb } ]
+  else
+    let rec go i xs ys =
+      match (xs, ys) with
+      | [], [] -> []
+      | x :: xs', y :: ys' ->
+        if String.equal x y then go (i + 1) xs' ys'
+        else
+          [ { what = Printf.sprintf "%s[%d].bytes" tag i;
+              engine = Printf.sprintf "<%d bytes>" (String.length x);
+              oracle = Printf.sprintf "<%d bytes>" (String.length y) } ]
+      | _ -> assert false
+    in
+    go 0 a b
+
+let certify_sparse ~make =
+  (* Three runs over fresh pattern instances of the same configuration:
+     dense with sink + checkpoints (the reference), sparse without a sink
+     (skip-ahead armed) + checkpoints, sparse with a sink (sparse concrete
+     iteration, exact event order). A cadence that is coprime-ish with
+     typical schedules lands checkpoints mid-stretch. *)
+  let (r1 : run) = make () in
+  let checkpoint_every = max 1 (r1.rounds / 7) in
+  let d_out, d_events, d_snaps =
+    engine_mode_side r1 ~mode:Mac_sim.Engine.Dense ~with_sink:true
+      ~checkpoint_every
+  in
+  let s_out, _, s_snaps =
+    engine_mode_side (make ()) ~mode:Mac_sim.Engine.Sparse ~with_sink:false
+      ~checkpoint_every
+  in
+  let se_out, se_events, _ =
+    engine_mode_side (make ()) ~mode:Mac_sim.Engine.Sparse ~with_sink:true
+      ~checkpoint_every:0
+  in
+  let events = List.length d_events in
+  let outcome_mismatch tag a b =
+    match (a, b) with
+    | Finished _, Finished _ -> []
+    | Raised x, Raised y ->
+      if String.equal x y then []
+      else [ { what = tag ^ ".exception"; engine = x; oracle = y } ]
+    | Finished _, Raised y ->
+      [ { what = tag ^ ".exception"; engine = "<finished>"; oracle = y } ]
+    | Raised x, Finished _ ->
+      [ { what = tag ^ ".exception"; engine = x; oracle = "<finished>" } ]
+  in
+  let mismatches =
+    match (d_out, s_out, se_out) with
+    | Finished ds, Finished ss, Finished ses ->
+      compare_summaries ds ss
+      @ compare_snapshots "checkpoint" d_snaps s_snaps
+      @ compare_summaries ses ds
+      @ (match compare_events d_events se_events with
+         | None -> []
+         | Some m -> [ m ])
+    | _ ->
+      outcome_mismatch "sparse" d_out s_out
+      @ outcome_mismatch "sparse+sink" d_out se_out
+  in
+  { id = r1.id ^ " [sparse-certify]"; events; mismatches }
+
+let random_sparse ~seed =
+  (* Like [random_pair] but pinned to a sparse-capable algorithm
+     (pair-TDMA is the only one so far) and returned as a maker: the
+     certifier needs three fresh pattern instances, not two. *)
+  let rng = Rng.create ~seed in
+  let n = 3 + Rng.int rng 8 in
+  let k = 2 + Rng.int rng 3 in
+  let algorithm = (module Mac_routing.Pair_tdma : Algorithm.S) in
+  let den = 1 + Rng.int rng 12 in
+  let num = 1 + Rng.int rng den in
+  let rate = Qrat.make num den in
+  let burst =
+    Qrat.add (Qrat.of_int (1 + Rng.int rng 4)) (Qrat.make 1 (2 + Rng.int rng 6))
+  in
+  let pacing =
+    match Rng.int rng 3 with
+    | 0 -> Mac_adversary.Adversary.Greedy
+    | 1 -> Mac_adversary.Adversary.Paced { burst_at = None }
+    | _ -> Mac_adversary.Adversary.Paced { burst_at = Some (Rng.int rng 200) }
+  in
+  let rounds = 200 + Rng.int rng 1100 in
+  let drain = if Rng.bool rng then rounds / 2 else 0 in
+  let faults =
+    match Rng.int rng 3 with
+    | 0 -> None
+    | 1 ->
+      Some
+        (Mac_faults.Fault_plan.random ~seed:(Rng.int rng 10_000) ~n ~rounds
+           ~jam_rate:0.01 ~noise_rate:0.005 ())
+    | _ ->
+      Some
+        (Mac_faults.Fault_plan.random ~seed:(Rng.int rng 10_000) ~n ~rounds
+           ~crash_rate:0.002 ~jam_rate:0.005
+           ~restart_after:(if Rng.bool rng then 0 else 40)
+           ~queue:(if Rng.bool rng then Mac_faults.Fault_plan.Retain
+                   else Mac_faults.Fault_plan.Drop)
+           ())
+  in
+  let make_pattern = build_pattern rng ~n in
+  fun () ->
+    let pattern = make_pattern () in
+    { id =
+        Printf.sprintf "sparse-seed=%d %s n=%d k=%d rho=%s beta=%s r=%d" seed
+          pattern.Mac_adversary.Pattern.name n k (Qrat.to_string rate)
+          (Qrat.to_string burst) rounds;
+      algorithm; n; k; rate; burst; pacing; pattern; rounds; drain; faults }
+
+let certify_sparse_batch ?(jobs = 1) makers =
+  Mac_sim.Pool.map ~jobs makers (fun make -> certify_sparse ~make)

@@ -58,7 +58,29 @@ val run_pairs : ?jobs:int -> (run * run) list -> verdict list
 val random_pair : seed:int -> run * run
 (** A deterministic random configuration: algorithm (Orchestra, k-Cycle,
     k-Subsets under both disciplines, k-Clique, Random-Leader, Count-Hop,
-    Adjust-Window), system size, exact rational (ρ, β), pacing, pattern,
-    drain, and an optional fault plan, all drawn from [seed] via
+    Adjust-Window, pair-TDMA), system size, exact rational (ρ, β), pacing,
+    pattern, drain, and an optional fault plan, all drawn from [seed] via
     {!Mac_channel.Rng}. Equal seeds give equal configurations; the two
     returned runs differ only in pattern state. *)
+
+val certify_sparse : make:(unit -> run) -> verdict
+(** Certify the engine's sparse mode against its dense mode on one
+    configuration. [make] must build a fresh instance of the same run on
+    every call (patterns are stateful); it is called three times: dense
+    with a recording sink and periodic checkpoints (the reference), sparse
+    without a sink (skip-ahead armed) with the same checkpoint cadence,
+    and sparse with a sink. Agreement means: every summary field and the
+    summary's Marshal bytes, every checkpoint snapshot's Marshal bytes,
+    and the full event stream are identical across modes. Requires a
+    sparse-capable algorithm ([Invalid_argument] otherwise — that is the
+    engine's own check). *)
+
+val certify_sparse_batch : ?jobs:int -> (unit -> run) list -> verdict list
+(** {!certify_sparse} over a batch on a [Mac_sim.Pool] of [jobs] worker
+    domains (default 1 = sequential), results in input order. *)
+
+val random_sparse : seed:int -> unit -> run
+(** Like {!random_pair} but pinned to a sparse-capable algorithm
+    (pair-TDMA) and shaped for {!certify_sparse}: the result is a maker
+    producing any number of fresh instances of the one drawn
+    configuration. *)

@@ -139,6 +139,26 @@ let test_broadcast_direct_single_hop () =
   check_int "single hop" 1 s.max_hops;
   check_int "no relays" 0 s.relay_rounds
 
+(* The unimplemented cross-paper variants (ROADMAP item 4) must fail
+   loudly with a pointer, never silently run the wrong algorithm. *)
+let test_unimplemented_variants_raise () =
+  let expect name f =
+    match f () with
+    | (_ : Mac_channel.Algorithm.t) ->
+      Alcotest.failf "%s: expected Ring_broadcast.Unimplemented" name
+    | exception Mac_broadcast.Ring_broadcast.Unimplemented msg ->
+      Alcotest.(check bool)
+        (name ^ ": message points at ROADMAP") true
+        (let needle = "ROADMAP" in
+         let rec has i =
+           i + String.length needle <= String.length msg
+           && (String.sub msg i (String.length needle) = needle || has (i + 1))
+         in
+         has 0)
+  in
+  expect "full_sensing" Mac_broadcast.Ring_broadcast.full_sensing;
+  expect "ack_based" Mac_broadcast.Ring_broadcast.ack_based
+
 let () =
   Alcotest.run "broadcast"
     [ ("token-ring",
@@ -158,4 +178,7 @@ let () =
        [ Alcotest.test_case "delivers everything" `Slow test_of_rrw_delivers_everything ]);
       ("model",
        [ Alcotest.test_case "always-on energy" `Quick test_broadcast_always_on_energy;
-         Alcotest.test_case "direct single hop" `Quick test_broadcast_direct_single_hop ]) ]
+         Alcotest.test_case "direct single hop" `Quick test_broadcast_direct_single_hop ]);
+      ("unimplemented",
+       [ Alcotest.test_case "variants raise with pointer" `Quick
+           test_unimplemented_variants_raise ]) ]

@@ -248,6 +248,37 @@ let pqueue_model =
              = List.length (List.filter (fun (p : Packet.t) -> p.dst = d) !model))
            [ 0; 1; 2; 3; 4; 5 ])
 
+(* [dests] feeds the sparse engine's next_active queries: it must list
+   exactly the destinations with at least one queued packet, ascending,
+   through any add/remove interleaving. *)
+let pqueue_dests =
+  QCheck.Test.make ~name:"pqueue_dests_matches_list_model" ~count:200
+    QCheck.(list (pair (int_range 0 50) (int_range 0 5)))
+    (fun ops ->
+      let q = Pqueue.create ~n:6 in
+      let model = ref [] in
+      let next = ref 0 in
+      List.iter
+        (fun (choice, dst) ->
+          if choice < 40 || !model = [] then begin
+            let p = Packet.make ~id:!next ~src:0 ~dst ~injected_at:0 in
+            incr next;
+            Pqueue.add q p;
+            model := !model @ [ p ]
+          end
+          else begin
+            let idx = choice mod List.length !model in
+            let victim = List.nth !model idx in
+            ignore (Pqueue.remove q victim);
+            model := List.filter (fun p -> not (Packet.equal p victim)) !model
+          end)
+        ops;
+      let expected =
+        List.sort_uniq compare
+          (List.map (fun (p : Packet.t) -> p.dst) !model)
+      in
+      Pqueue.dests q = expected)
+
 (* ---- Energy ---- *)
 
 let test_energy_accounting () =
@@ -356,7 +387,8 @@ let () =
          Alcotest.test_case "re-addition" `Quick test_pqueue_readdition_moves_to_tail;
          Alcotest.test_case "drain" `Quick test_pqueue_drain;
          QCheck_alcotest.to_alcotest pqueue_drain_equiv;
-         QCheck_alcotest.to_alcotest pqueue_model ]);
+         QCheck_alcotest.to_alcotest pqueue_model;
+         QCheck_alcotest.to_alcotest pqueue_dests ]);
       ("energy", [ Alcotest.test_case "accounting" `Quick test_energy_accounting ]);
       ("trace",
        [ Alcotest.test_case "disabled" `Quick test_trace_disabled_is_noop;

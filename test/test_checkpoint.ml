@@ -11,7 +11,7 @@ exception Interrupted
 
 (* Run a configuration to completion (optionally from a snapshot),
    recording the full typed event stream. *)
-let complete ?resume (r : Diff.run) =
+let complete ?(mode = Mac_sim.Engine.Dense) ?resume (r : Diff.run) =
   let events = ref [] in
   let sink =
     Mac_sim.Sink.make (fun ~round ev -> events := (round, ev) :: !events)
@@ -22,7 +22,7 @@ let complete ?resume (r : Diff.run) =
   in
   let config =
     { (Mac_sim.Engine.default_config ~rounds:r.rounds) with
-      drain_limit = r.drain; strict = false; check_schedule = false;
+      mode; drain_limit = r.drain; strict = false; check_schedule = false;
       sink = Some sink; faults = r.faults }
   in
   let summary =
@@ -35,7 +35,8 @@ let complete ?resume (r : Diff.run) =
    [on_checkpoint] aborts [Engine.run] mid-loop exactly like a kill at
    that round boundary would. Returns the snapshot and the event prefix
    the run emitted before dying. *)
-let interrupt ~at (r : Diff.run) =
+let interrupt ?(mode = Mac_sim.Engine.Dense) ?(with_sink = true) ~at
+    (r : Diff.run) =
   let snap = ref None in
   let events = ref [] in
   let sink =
@@ -47,8 +48,8 @@ let interrupt ~at (r : Diff.run) =
   in
   let config =
     { (Mac_sim.Engine.default_config ~rounds:r.rounds) with
-      drain_limit = r.drain; strict = false; check_schedule = false;
-      sink = Some sink; faults = r.faults;
+      mode; drain_limit = r.drain; strict = false; check_schedule = false;
+      sink = (if with_sink then Some sink else None); faults = r.faults;
       checkpoint_every = at;
       on_checkpoint = Some (fun s -> snap := Some s; raise Interrupted) }
   in
@@ -511,6 +512,73 @@ let test_resumable_batch_jobs () =
       Alcotest.(check string) (Printf.sprintf "row %d" i) a b)
     (List.combine reference resumed)
 
+(* ------------------------------------------------------------------ *)
+(* Sparse mode. A low-rate pair-TDMA run spends most rounds in analytic
+   skips; the checkpoint cadence forces each skip to land exactly on the
+   snapshot boundary, so the snapshot below is taken "mid-skip" — the
+   state the fast path reconstructs, never stepped to concretely. *)
+
+let sparse_run () : Diff.run =
+  { id = "sparse-mid-skip";
+    algorithm = (module Mac_routing.Pair_tdma : Mac_channel.Algorithm.S);
+    n = 8; k = 2;
+    rate = Mac_channel.Qrat.make 1 40;
+    burst = Mac_channel.Qrat.of_int 2;
+    pacing = Mac_adversary.Adversary.Greedy;
+    pattern = Mac_adversary.Pattern.uniform ~n:8 ~seed:33;
+    rounds = 3_000; drain = 400; faults = None }
+
+(* A snapshot written by a skipping sparse run resumes bit-identically —
+   in sparse mode and, cross-mode, in dense mode. *)
+let test_sparse_resume_mid_skip () =
+  let s_sum, s_ev = complete (sparse_run ()) in
+  let at = 1_237 in  (* coprime to the TDMA cycle: lands inside stretches *)
+  let snap, _ =
+    interrupt ~mode:Mac_sim.Engine.Sparse ~with_sink:false ~at (sparse_run ())
+  in
+  Alcotest.(check int) "snapshot at the cadence round" at
+    (Mac_sim.Engine.snapshot_round snap);
+  let expected_suffix = List.filter (fun (round, _) -> round >= at) s_ev in
+  List.iter
+    (fun (label, mode) ->
+      let r_sum, suffix = complete ~mode ~resume:snap (sparse_run ()) in
+      check_summaries label s_sum r_sum;
+      check_events label expected_suffix suffix)
+    [ ("sparse-resumes-sparse", Mac_sim.Engine.Sparse);
+      ("sparse-resumes-dense", Mac_sim.Engine.Dense) ]
+
+(* Dense and sparse runs of the same config write byte-identical
+   checkpoint files at every cadence point. *)
+let test_sparse_checkpoint_bytes () =
+  let collect mode =
+    let snaps = ref [] in
+    let r = sparse_run () in
+    let adversary =
+      Mac_adversary.Adversary.create_q ~name:r.id ~rate:r.rate ~burst:r.burst
+        ~pacing:r.pacing r.pattern
+    in
+    let config =
+      { (Mac_sim.Engine.default_config ~rounds:r.rounds) with
+        mode; drain_limit = r.drain; strict = false;
+        checkpoint_every = 449;
+        on_checkpoint = Some (fun s -> snaps := Marshal.to_string s [] :: !snaps) }
+    in
+    ignore
+      (Mac_sim.Engine.run ~config ~algorithm:r.algorithm ~n:r.n ~k:r.k
+         ~adversary ~rounds:r.rounds ());
+    List.rev !snaps
+  in
+  let dense = collect Mac_sim.Engine.Dense in
+  let sparse = collect Mac_sim.Engine.Sparse in
+  Alcotest.(check int) "same checkpoint count"
+    (List.length dense) (List.length sparse);
+  Alcotest.(check bool) "several cadence points" true (List.length dense > 3);
+  List.iteri
+    (fun i (d, s) ->
+      if not (String.equal d s) then
+        Alcotest.failf "checkpoint %d differs between dense and sparse" i)
+    (List.combine dense sparse)
+
 let () =
   Alcotest.run "checkpoint"
     [ ("resume-equivalence",
@@ -520,7 +588,11 @@ let () =
            test_boundary_resume;
          Alcotest.test_case "jobs 1 and 2" `Quick test_jobs_invariance;
          Alcotest.test_case "Table-1 catalog" `Slow test_table1_catalog;
-         QCheck_alcotest.to_alcotest qcheck_random_configs ]);
+         QCheck_alcotest.to_alcotest qcheck_random_configs;
+         Alcotest.test_case "sparse resume mid-skip" `Quick
+           test_sparse_resume_mid_skip;
+         Alcotest.test_case "sparse checkpoint bytes" `Quick
+           test_sparse_checkpoint_bytes ]);
       ("checkpoint-files",
        [ Alcotest.test_case "write/read round-trip" `Quick test_file_roundtrip;
          Alcotest.test_case "rejects junk" `Quick test_file_errors;

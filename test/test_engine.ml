@@ -69,6 +69,8 @@ module Toy = struct
 
   let offline_tick _ ~round:_ ~queue:_ = ()
 
+  let sparse = None
+
   include Algorithm.Marshal_codec (struct
     type nonrec state = state
   end)
@@ -311,6 +313,146 @@ let determinism_property =
       && a.station_rounds = b.station_rounds
       && a.queue_series = b.queue_series)
 
+(* ---- sparse mode ---- *)
+
+(* One pair-TDMA run under an explicit engine mode; knobs cover the
+   dimensions the skip-ahead logic must bound correctly: pacing shape,
+   drain, fault plans, strictness and the telemetry cadence. *)
+let run_sparse_case ~mode ?(pacing = Mac_adversary.Adversary.Greedy)
+    ?(drain = 0) ?faults ?(strict = false) ?telemetry_every ~rate ~rounds
+    ~seed () =
+  let n = 6 in
+  let samples = ref [] in
+  let telemetry =
+    Option.map
+      (fun every ->
+        let reg = Mac_sim.Telemetry.create () in
+        Mac_sim.Telemetry.probe ~every
+          ~on_sample:(fun ~round _ -> samples := round :: !samples)
+          reg)
+      telemetry_every
+  in
+  let adversary =
+    Mac_adversary.Adversary.create_q ~rate:(Qrat.make 1 rate)
+      ~burst:(Qrat.of_int 2) ~pacing
+      (Mac_adversary.Pattern.uniform ~n ~seed)
+  in
+  let config =
+    { (Mac_sim.Engine.default_config ~rounds) with
+      mode; strict; drain_limit = drain; sample_every = 1; faults; telemetry }
+  in
+  let summary =
+    Mac_sim.Engine.run ~config
+      ~algorithm:(module Mac_routing.Pair_tdma : Algorithm.S)
+      ~n ~k:2 ~adversary ~rounds ()
+  in
+  (summary, List.rev !samples)
+
+(* Sparse and dense must agree bit-for-bit (Marshal bytes of the whole
+   summary, telemetry sample rounds included) across the knob grid. *)
+let test_sparse_matches_dense_grid () =
+  let cases =
+    [ ("greedy", None, 0, None, false, None);
+      ("paced", Some (Mac_adversary.Adversary.Paced { burst_at = Some 7 }),
+       0, None, false, None);
+      ("drain", None, 400, None, false, None);
+      ("faults", None, 0, Some 77, false, None);
+      ("strict", None, 0, None, true, None);
+      ("telemetry-7", None, 0, None, false, Some 7);
+      ("telemetry-64", None, 300, None, false, Some 64) ]
+  in
+  List.iter
+    (fun (id, pacing, drain, fault_seed, strict, telemetry_every) ->
+      let faults =
+        Option.map
+          (fun seed ->
+            Mac_faults.Fault_plan.random ~seed ~n:6 ~rounds:2_000
+              ~crash_rate:0.002 ~jam_rate:0.001 ~restart_after:80
+              ~queue:Mac_faults.Fault_plan.Retain ())
+          fault_seed
+      in
+      let go mode =
+        run_sparse_case ~mode ?pacing ~drain ?faults ~strict ?telemetry_every
+          ~rate:40 ~rounds:2_000 ~seed:11 ()
+      in
+      let ds, dt = go Mac_sim.Engine.Dense in
+      let ss, st = go Mac_sim.Engine.Sparse in
+      Alcotest.(check bool)
+        (id ^ ": summary bytes identical") true
+        (Marshal.to_string ds [] = Marshal.to_string ss []);
+      Alcotest.(check (list int)) (id ^ ": telemetry sample rounds") dt st)
+    cases
+
+(* The telemetry cadence bound: the round before each sample must execute
+   concretely (it is phase-timed), so a skip may never jump over a sample
+   boundary. every=7 never divides the pair-TDMA cycle (30), forcing
+   skips to land mid-stretch. The grid above checks bit-identity; this
+   checks the samples actually happened at the cadence. *)
+let test_sparse_telemetry_cadence_boundary () =
+  let _, samples =
+    run_sparse_case ~mode:Mac_sim.Engine.Sparse ~telemetry_every:7 ~rate:100
+      ~rounds:500 ~seed:3 ()
+  in
+  Alcotest.(check bool) "samples taken" true (List.length samples >= 500 / 7);
+  List.iter
+    (fun r ->
+      if r < 500 && r mod 7 <> 0 then
+        Alcotest.failf "sample at round %d not on the every=7 cadence" r)
+    samples
+
+let test_sparse_mode_requires_hook () =
+  reset ();
+  (match
+     run ~rounds:10
+       ~pattern:(Mac_adversary.Pattern.uniform ~n:4 ~seed:1) ()
+   with
+  | _ -> ()
+  | exception _ -> Alcotest.fail "dense Toy run should succeed");
+  let sparse_toy () =
+    let adversary =
+      Mac_adversary.Adversary.create ~rate:0.5 ~burst:2.0
+        (Mac_adversary.Pattern.uniform ~n:4 ~seed:1)
+    in
+    let config =
+      { (Mac_sim.Engine.default_config ~rounds:10) with
+        mode = Mac_sim.Engine.Sparse }
+    in
+    Mac_sim.Engine.run ~config ~algorithm:(module Toy) ~n:4 ~k:4 ~adversary
+      ~rounds:10 ()
+  in
+  (match sparse_toy () with
+  | _ -> Alcotest.fail "Sparse mode with a sparse-less algorithm must raise"
+  | exception Invalid_argument _ -> ())
+
+(* Auto mode resolves per algorithm: dense for Toy (still runs), sparse
+   for pair-TDMA (bit-identical to Dense). *)
+let test_sparse_auto_resolution () =
+  reset ();
+  let toy_auto =
+    let adversary =
+      Mac_adversary.Adversary.create ~rate:0.5 ~burst:2.0
+        (Mac_adversary.Pattern.uniform ~n:4 ~seed:1)
+    in
+    let config =
+      { (Mac_sim.Engine.default_config ~rounds:50) with
+        mode = Mac_sim.Engine.Auto; sample_every = 1 }
+    in
+    Mac_sim.Engine.run ~config ~algorithm:(module Toy) ~n:4 ~k:4 ~adversary
+      ~rounds:50 ()
+  in
+  reset ();
+  let toy_dense = run ~rounds:50 () in
+  Alcotest.(check bool) "Auto = Dense for Toy" true
+    (Marshal.to_string toy_auto [] = Marshal.to_string toy_dense []);
+  let auto, _ =
+    run_sparse_case ~mode:Mac_sim.Engine.Auto ~rate:30 ~rounds:1_000 ~seed:5 ()
+  in
+  let dense, _ =
+    run_sparse_case ~mode:Mac_sim.Engine.Dense ~rate:30 ~rounds:1_000 ~seed:5 ()
+  in
+  Alcotest.(check bool) "Auto = Dense for pair-TDMA" true
+    (Marshal.to_string auto [] = Marshal.to_string dense [])
+
 (* A self-addressed packet is delivered the instant it is admitted: it
    must count as injected and delivered with zero delay, but never touch
    the queue gauges — live (note_self_injection) and through a stream
@@ -371,4 +513,13 @@ let () =
          Alcotest.test_case "schedule lie" `Quick test_schedule_cross_check;
          Alcotest.test_case "schedule honest" `Quick
            test_schedule_cross_check_passes_honest ]);
+      ("sparse",
+       [ Alcotest.test_case "sparse = dense grid" `Slow
+           test_sparse_matches_dense_grid;
+         Alcotest.test_case "telemetry cadence boundary" `Quick
+           test_sparse_telemetry_cadence_boundary;
+         Alcotest.test_case "Sparse requires the hook" `Quick
+           test_sparse_mode_requires_hook;
+         Alcotest.test_case "Auto resolution" `Quick
+           test_sparse_auto_resolution ]);
       ("determinism", [ QCheck_alcotest.to_alcotest determinism_property ]) ]

@@ -38,6 +38,35 @@ let test_jobs_invariance () =
       Alcotest.(check bool) "both agree" (Diff.agrees a) (Diff.agrees b))
     seq par
 
+(* ---- sparse-mode certification ---- *)
+
+let check_sparse seed =
+  let v = Diff.certify_sparse ~make:(Diff.random_sparse ~seed) in
+  if not (Diff.agrees v) then
+    Alcotest.failf "sparse divergence at seed %d:@.%a" seed Diff.pp_verdict v
+
+let test_sparse_deterministic_sweep () =
+  for seed = 0 to 39 do
+    check_sparse seed
+  done
+
+let test_sparse_batch_jobs_invariance () =
+  let makers () = List.init 6 (fun seed -> Diff.random_sparse ~seed) in
+  let seq = Diff.certify_sparse_batch ~jobs:1 (makers ()) in
+  let par = Diff.certify_sparse_batch ~jobs:2 (makers ()) in
+  List.iter2
+    (fun (a : Diff.verdict) (b : Diff.verdict) ->
+      Alcotest.(check string) "same id" a.id b.id;
+      Alcotest.(check bool) "both agree" (Diff.agrees a) (Diff.agrees b))
+    seq par
+
+let qcheck_sparse_random_seeds =
+  QCheck.Test.make ~name:"sparse_engine_matches_dense_on_random_seeds"
+    ~count:30
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      Diff.agrees (Diff.certify_sparse ~make:(Diff.random_sparse ~seed)))
+
 let qcheck_random_seeds =
   QCheck.Test.make ~name:"engine_matches_oracle_on_random_seeds" ~count:60
     QCheck.(int_range 0 1_000_000)
@@ -51,4 +80,9 @@ let () =
        [ Alcotest.test_case "seeds 0..219" `Slow test_deterministic_sweep;
          Alcotest.test_case "streams are real" `Quick test_events_nonempty;
          Alcotest.test_case "jobs invariance" `Quick test_jobs_invariance;
-         QCheck_alcotest.to_alcotest qcheck_random_seeds ]) ]
+         QCheck_alcotest.to_alcotest qcheck_random_seeds ]);
+      ("sparse",
+       [ Alcotest.test_case "seeds 0..39" `Slow test_sparse_deterministic_sweep;
+         Alcotest.test_case "batch jobs invariance" `Quick
+           test_sparse_batch_jobs_invariance;
+         QCheck_alcotest.to_alcotest qcheck_sparse_random_seeds ]) ]
