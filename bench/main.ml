@@ -3,8 +3,8 @@
    instantiated bounds, then times the simulator itself with Bechamel (one
    Test.make per table row / figure).
 
-   Usage: main.exe [--quick] [--jobs N] [table1] [figures] [ablations]
-          [micro] [speed]
+   Usage: main.exe [--quick] [--jobs N] [table1] [matrix] [figures]
+          [ablations] [micro] [speed]
    With no section arguments, every section runs. [--jobs N] (default: the
    machine's recommended domain count) fans the experiment suites out over
    a worker pool; results are bit-identical to a sequential run. *)
@@ -82,6 +82,60 @@ let print_table1 ~scale ~jobs =
     Mac_experiments.Table1.all;
   Printf.printf "Table 1 scenarios failing their checks: %d\n" !failures;
   write_table1_json (List.rev !json_rows)
+
+let write_matrix_json rows =
+  let path = output_path "BENCH_matrix.json" in
+  let body = "[\n" ^ String.concat ",\n" rows ^ "\n]\n" in
+  Mac_sim.Export.write_file ~path body;
+  Printf.printf "wrote %s (%d rows)\n\n" path (List.length rows)
+
+let print_matrix ~scale ~jobs =
+  print_endline
+    "=== Cross-paper matrix: algorithm x adversary x fault plan ===";
+  print_newline ();
+  let e = Mac_experiments.Matrix.row in
+  Printf.printf "--- %s ---\n%s\n" e.id e.claim;
+  let json_rows = ref [] in
+  let report =
+    Mac_sim.Report.create
+      ~header:
+        [ "cell"; "n"; "k"; "rho"; "beta"; "verdict"; "max-q"; "worst-delay";
+          "delivered"; "status" ]
+  in
+  List.iter
+    (fun (o : Mac_experiments.Scenario.outcome) ->
+      let s = o.summary and sp = o.spec in
+      json_rows :=
+        Mac_experiments.Scenario.outcome_json ~experiment:e.id o :: !json_rows;
+      Mac_sim.Report.add_row report
+        [ sp.id;
+          string_of_int sp.n;
+          string_of_int sp.k;
+          Mac_channel.Qrat.to_string sp.rate;
+          Mac_channel.Qrat.to_string sp.burst;
+          Mac_sim.Stability.verdict_to_string o.stability.verdict;
+          string_of_int s.max_total_queue;
+          string_of_int (max s.max_delay s.max_queued_age);
+          Printf.sprintf "%d/%d" s.delivered s.injected;
+          (if o.passed then "PASS" else "FAIL") ])
+    (e.run ~jobs ~scale ());
+  Mac_sim.Report.print report;
+  print_newline ();
+  print_endline "--- stability frontiers (clean channel) ---";
+  List.iter
+    (fun (label, outcome) ->
+      match outcome with
+      | Ok f ->
+        json_rows :=
+          Mac_experiments.Matrix.frontier_json ~label f :: !json_rows;
+        Printf.printf "  %-40s %s\n" label
+          (Mac_experiments.Matrix.frontier_to_string f)
+      | Error err ->
+        Printf.printf "  %-40s FAILED %s\n" label
+          (Mac_sim.Supervisor.error_to_string err))
+    (Mac_experiments.Matrix.thresholds ~jobs ~scale ());
+  print_newline ();
+  write_matrix_json (List.rev !json_rows)
 
 let print_figures ~scale ~jobs =
   print_endline "=== Figures: sweep series ===";
@@ -469,6 +523,7 @@ let () =
     (if quick then "quick" else "full")
     jobs;
   if want "table1" then print_table1 ~scale ~jobs;
+  if want "matrix" then print_matrix ~scale ~jobs;
   if want "figures" then print_figures ~scale ~jobs;
   if want "ablations" then print_ablations ~scale ~jobs;
   if want "micro" then print_micro ();

@@ -19,25 +19,32 @@ let qrat_conv =
   in
   Arg.conv ~docv:"RATIONAL" (parse, Mac_channel.Qrat.pp)
 
+(* Constructors are thunked: some validate (n, k) eagerly (k-subsets needs
+   k < n) and a lookup of, say, fs-tree at k = n must not trip them. *)
 let algorithms ~n ~k =
-  [ ("orchestra", (module Mac_routing.Orchestra : Mac_channel.Algorithm.S));
-    ("count-hop", (module Mac_routing.Count_hop));
-    ("adjust-window", (module Mac_routing.Adjust_window));
-    ("k-cycle", Mac_routing.K_cycle.algorithm ~n ~k);
-    ("k-clique", Mac_routing.K_clique.algorithm ~n ~k);
-    ("k-subsets", Mac_routing.K_subsets.algorithm ~n ~k ());
-    ("k-subsets-rrw", Mac_routing.K_subsets.algorithm ~discipline:`Rrw ~n ~k ());
-    ("pair-tdma", (module Mac_routing.Pair_tdma));
-    ("random-leader", Mac_routing.Random_leader.algorithm ~n ~k ());
-    ("rrw", (module Mac_broadcast.Rrw));
-    ("of-rrw", (module Mac_broadcast.Of_rrw));
-    ("mbtf", (module Mac_broadcast.Mbtf)) ]
+  [ ("orchestra",
+     fun () -> (module Mac_routing.Orchestra : Mac_channel.Algorithm.S));
+    ("count-hop", fun () -> (module Mac_routing.Count_hop));
+    ("adjust-window", fun () -> (module Mac_routing.Adjust_window));
+    ("k-cycle", fun () -> Mac_routing.K_cycle.algorithm ~n ~k);
+    ("k-clique", fun () -> Mac_routing.K_clique.algorithm ~n ~k);
+    ("k-subsets", fun () -> Mac_routing.K_subsets.algorithm ~n ~k ());
+    ("k-subsets-rrw",
+     fun () -> Mac_routing.K_subsets.algorithm ~discipline:`Rrw ~n ~k ());
+    ("pair-tdma", fun () -> (module Mac_routing.Pair_tdma));
+    ("random-leader", fun () -> Mac_routing.Random_leader.algorithm ~n ~k ());
+    ("rrw", fun () -> (module Mac_broadcast.Rrw));
+    ("of-rrw", fun () -> (module Mac_broadcast.Of_rrw));
+    ("mbtf", fun () -> (module Mac_broadcast.Mbtf));
+    ("fs-tree", fun () -> Mac_broadcast.Ring_broadcast.full_sensing ());
+    ("ack-rr", fun () -> Mac_broadcast.Ring_broadcast.ack_based ());
+    ("backoff", fun () -> Mac_broadcast.Backoff.algorithm ()) ]
 
 let algorithm_names = List.map fst (algorithms ~n:6 ~k:3)
 
 let resolve_algorithm name ~n ~k =
   match List.assoc_opt name (algorithms ~n ~k) with
-  | Some a -> a
+  | Some a -> a ()
   | None ->
     Printf.eprintf "unknown algorithm %S; try: %s\n" name
       (String.concat ", " algorithm_names);
@@ -676,6 +683,140 @@ let table1_cmd id quick jobs trace_n events_dir json resume_dir telemetry_dir
   finish_supervised (List.rev !failures);
   `Ok ()
 
+(* The cross-paper matrix: one Table-1-shaped row crossing every
+   algorithm with every adversary and fault plan, plus an optional
+   bisected stability-frontier pass. Shares table1's 4-way dispatch on
+   (resume-dir, supervised). *)
+let matrix_cmd quick jobs trace_n events_dir json csv resume_dir telemetry_dir
+    telemetry_every retries job_timeout keep_going inject thresholds only =
+  let scale = if quick then `Quick else `Full in
+  let jobs = check_jobs jobs in
+  Option.iter ensure_dir resume_dir;
+  let only =
+    match only with
+    | None -> fun _ -> true
+    | Some id ->
+      if not (Mac_experiments.Matrix.is_algo_id id) then begin
+        Printf.eprintf "unknown matrix algorithm %S; available: %s\n" id
+          (String.concat ", " (Mac_experiments.Matrix.algo_ids ()));
+        exit 2
+      end;
+      fun a -> a = id
+  in
+  let e = Mac_experiments.Matrix.row_for ~only in
+  let observe = scenario_observer ~trace_n ~events_dir in
+  let telemetry = fleet_of ~telemetry_dir ~telemetry_every in
+  install_drain_handlers ();
+  let supervised =
+    retries > 0 || job_timeout > 0.0 || keep_going || inject <> None
+  in
+  let policy = policy_of ~retries ~job_timeout ~keep_going in
+  let inject =
+    Option.map
+      (fun bad cid ->
+        if cid = bad then
+          failwith (Printf.sprintf "injected failure in %s" cid))
+      inject
+  in
+  let json_rows = ref [] in
+  let csv_rows = ref [] in
+  let failures = ref [] in
+  let tally = Hashtbl.create 8 in
+  let resumed_row (r : Mac_experiments.Scenario.resumed) =
+    let verdict = Mac_experiments.Scenario.resumed_verdict r in
+    Hashtbl.replace tally verdict
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tally verdict));
+    if json <> None then
+      json_rows :=
+        Mac_experiments.Scenario.resumed_json ~experiment:e.id r :: !json_rows;
+    if csv <> None then
+      csv_rows := Mac_experiments.Matrix.csv_line r :: !csv_rows;
+    Printf.printf "%-44s %-12s %s%s\n"
+      (Mac_experiments.Scenario.resumed_id r)
+      verdict
+      (if Mac_experiments.Scenario.resumed_passed r then "ok" else "FAIL")
+      (match r with
+       | Mac_experiments.Scenario.Cached _ -> "  (resumed)"
+       | Mac_experiments.Scenario.Fresh _ -> "")
+  in
+  let ok_row o = resumed_row (Mac_experiments.Scenario.Fresh o) in
+  let failed_row cid err =
+    failures := (cid, err) :: !failures;
+    match err with
+    | Mac_sim.Supervisor.Skipped ->
+      Printf.printf "%-44s SKIPPED  (drain)\n" cid
+    | err ->
+      Printf.printf "%-44s FAILED   %s\n" cid
+        (Mac_sim.Supervisor.error_to_string err)
+  in
+  Printf.printf "--- %s ---\n%s\n" e.id e.claim;
+  (match (resume_dir, supervised) with
+   | None, false ->
+     List.iter ok_row (e.run ?observe ?telemetry ~jobs ~scale ())
+   | None, true ->
+     List.iter
+       (fun (cid, outcome) ->
+         match outcome with
+         | Ok o -> ok_row o
+         | Error err -> failed_row cid err)
+       (e.run_s ?observe ?telemetry ~jobs ~policy
+          ~on_event:print_supervisor_event ?inject ~scale ())
+   | Some dir, false ->
+     List.iter resumed_row
+       (e.run_resumable ?observe ?telemetry ~jobs ~resume_dir:dir ~scale ())
+   | Some dir, true ->
+     List.iter
+       (fun (cid, outcome) ->
+         match outcome with
+         | Ok r -> resumed_row r
+         | Error err -> failed_row cid err)
+       (e.run_resumable_s ?observe ?telemetry ~jobs ~policy
+          ~on_event:print_supervisor_event ?inject ~resume_dir:dir ~scale ()));
+  let cells = Hashtbl.fold (fun _ c acc -> acc + c) tally 0 in
+  Printf.printf "%d cell(s): %s\n" cells
+    (String.concat ", "
+       (List.filter_map
+          (fun v ->
+            Option.map
+              (fun c -> Printf.sprintf "%d %s" c v)
+              (Hashtbl.find_opt tally v))
+          [ "stable"; "UNSTABLE"; "inconclusive" ]));
+  if thresholds then begin
+    Printf.printf "--- stability frontiers (clean channel) ---\n";
+    List.iter
+      (fun (label, outcome) ->
+        match outcome with
+        | Ok f ->
+          if json <> None then
+            json_rows :=
+              Mac_experiments.Matrix.frontier_json ~label f :: !json_rows;
+          Printf.printf "%-44s %s\n" label
+            (Mac_experiments.Matrix.frontier_to_string f)
+        | Error err -> failed_row label err)
+      (Mac_experiments.Matrix.thresholds ~jobs ~policy
+         ~on_event:print_supervisor_event ~only ~scale ())
+  end;
+  Option.iter
+    (fun path ->
+      let body = "[\n" ^ String.concat ",\n" (List.rev !json_rows) ^ "\n]\n" in
+      Mac_sim.Export.write_file ~path body;
+      Printf.printf "wrote %s\n" path)
+    json;
+  Option.iter
+    (fun path ->
+      let body =
+        Mac_experiments.Matrix.csv_header ^ "\n"
+        ^ String.concat "\n" (List.rev !csv_rows)
+        ^ "\n"
+      in
+      Mac_sim.Export.write_file ~path body;
+      Printf.printf "wrote %s\n" path)
+    csv;
+  Option.iter (fun dir -> Printf.printf "event streams under %s/\n" dir) events_dir;
+  Option.iter (fun dir -> Printf.printf "telemetry under %s/\n" dir) telemetry_dir;
+  finish_supervised (List.rev !failures);
+  `Ok ()
+
 let figures_cmd id quick jobs trace_n events_dir telemetry_dir telemetry_every
     retries job_timeout keep_going =
   let scale = if quick then `Quick else `Full in
@@ -939,6 +1080,18 @@ let list_cmd () =
   List.iter
     (fun (f : Mac_experiments.Figures.t) -> Printf.printf "  %-24s %s\n" f.id f.title)
     Mac_experiments.Figures.all;
+  print_endline "matrix adversaries (routing_sim matrix):";
+  List.iter
+    (fun (a : Mac_experiments.Matrix.adversary_axis) ->
+      Printf.printf "  %-14s rho=%s beta=%s\n" a.adv_id
+        (Mac_channel.Qrat.to_string a.rate)
+        (Mac_channel.Qrat.to_string a.burst))
+    Mac_experiments.Matrix.adversaries;
+  print_endline "matrix fault plans:";
+  List.iter
+    (fun (f : Mac_experiments.Matrix.fault_axis) ->
+      Printf.printf "  %s\n" f.fault_id)
+    Mac_experiments.Matrix.faults;
   `Ok ()
 
 let id_arg =
@@ -1042,6 +1195,34 @@ let table1_resume_dir_arg =
            scenarios already marked done: restarting a killed sweep with \
            the same DIR re-runs only the unfinished scenarios, and the \
            --json output is byte-identical to an uninterrupted sweep.")
+
+let matrix_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE"
+        ~doc:
+          "Write one CSV line per cell (algorithm, adversary, fault, \
+           verdict, passed) to FILE. Byte-identical across --jobs values \
+           and --resume-dir replays.")
+
+let matrix_thresholds_arg =
+  Arg.(
+    value & flag
+    & info [ "thresholds" ]
+        ~doc:
+          "Also bisect each (algorithm, adversary) stability frontier on a \
+           clean channel with exact-rational rates and report the bracket \
+           (or that the algorithm is stable/unstable across the whole probe \
+           range).")
+
+let matrix_only_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"ALGO"
+        ~doc:
+          "Restrict the matrix (cells and thresholds) to one algorithm id.")
 
 let resilience_term =
   let algo =
@@ -1621,6 +1802,20 @@ let cmds =
            $ exp_events_arg $ table1_json_arg $ table1_resume_dir_arg
            $ telemetry_dir_arg $ telemetry_every_arg $ retries_arg
            $ job_timeout_arg $ keep_going_arg $ inject_failure_arg));
+    Cmd.v
+      (Cmd.info "matrix"
+         ~doc:
+           "Cross-paper algorithm matrix: every algorithm (routing + \
+            broadcast families) x every adversary x every fault plan, with \
+            per-cell stability verdicts and optional bisected stability \
+            frontiers")
+      Term.(
+        ret
+          (const matrix_cmd $ quick_arg $ jobs_arg $ exp_trace_arg
+           $ exp_events_arg $ table1_json_arg $ matrix_csv_arg
+           $ table1_resume_dir_arg $ telemetry_dir_arg $ telemetry_every_arg
+           $ retries_arg $ job_timeout_arg $ keep_going_arg
+           $ inject_failure_arg $ matrix_thresholds_arg $ matrix_only_arg));
     Cmd.v
       (Cmd.info "figures" ~doc:"Re-run figure sweeps")
       Term.(

@@ -1,0 +1,27 @@
+(** Acknowledgment-based broadcast: collision-free round-robin TDMA.
+
+    The acknowledgment-based family (Aldawsari–Chlebus–Kowalski,
+    "Broadcasting on Adversarial Multiple Access Channels") restricts what
+    a station may learn from the channel: only the fate of its *own*
+    transmissions — a packet either went through (the implicit
+    acknowledgment of hearing it back) or it did not. Stations may not act
+    on silence-vs-collision feedback from rounds in which they listened.
+
+    The schedule that needs no feedback at all is time division: station
+    [i] owns every round [r] with [r mod n = i] and transmits its oldest
+    pending packet in its slot, listening otherwise. A successful slot is
+    its own acknowledgment (the engine dequeues the packet on [Heard]); a
+    jammed slot leaves the packet queued and it is retried in the owner's
+    next slot — the algorithm never even inspects the feedback, which makes
+    its legality under the ack-based restriction trivial.
+
+    No two stations ever share a slot, so the algorithm is collision-free
+    on a fault-free channel, at the price of a factor-[n] slowdown: it is
+    stable exactly for injection rates below [1/n] against single-queue
+    bursts, the baseline the adaptive families are measured against.
+
+    The slot assignment is pure in the round number, so the module exposes
+    a {!Mac_channel.Algorithm.sparse} hook and participates in the sparse
+    engine's analytic skip-ahead. *)
+
+include Mac_channel.Algorithm.S

@@ -1,0 +1,63 @@
+open Mac_channel
+
+type state = {
+  me : int;
+  rng : Rng.t;
+  mutable window_exp : int;
+  mutable sent : bool;  (* transmitted this round, awaiting the outcome *)
+}
+
+let max_exp = 10
+
+let algorithm ?(seed = 0) () : Algorithm.t =
+  let module M = struct
+    type nonrec state = state
+
+    let name = Printf.sprintf "backoff(seed=%d)" seed
+    let plain_packet = true
+    let direct = true
+    let oblivious = true
+    let required_cap ~n ~k:_ = n
+    let static_schedule = Some (fun ~n:_ ~k:_ ~me:_ ~round:_ -> true)
+
+    let create ~n:_ ~k:_ ~me =
+      (* Mix the station id into the shared seed so stations draw
+         independent streams while the whole system stays a pure function
+         of [seed]. *)
+      { me;
+        rng = Rng.create ~seed:(seed + (0x9E3779B9 * (me + 1)));
+        window_exp = 0;
+        sent = false }
+
+    let on_duty _ ~round:_ ~queue:_ = true
+
+    let act s ~round:_ ~queue =
+      match Pqueue.oldest queue with
+      | None -> Action.Listen
+      | Some p ->
+        if Rng.int s.rng (1 lsl s.window_exp) = 0 then begin
+          s.sent <- true;
+          Action.Transmit (Message.packet_only p)
+        end
+        else Action.Listen
+
+    (* Ack-based legality: feedback is inspected only in rounds this
+       station transmitted, i.e. only the fate of its own packet. *)
+    let observe s ~round:_ ~queue:_ ~feedback =
+      if s.sent then begin
+        s.sent <- false;
+        match feedback with
+        | Feedback.Heard _ -> s.window_exp <- 0
+        | Feedback.Collision -> s.window_exp <- min max_exp (s.window_exp + 1)
+        | Feedback.Silence -> ()
+      end;
+      Reaction.No_reaction
+
+    let offline_tick _ ~round:_ ~queue:_ = ()
+    let sparse = None
+
+    include Algorithm.Marshal_codec (struct
+      type nonrec state = state
+    end)
+  end in
+  (module M)

@@ -1,0 +1,23 @@
+(** Seeded randomised binary exponential backoff (contrast baseline).
+
+    The classical randomised contender for the adversarial-queuing
+    broadcast problem, included as the baseline the deterministic families
+    are measured against (both cited papers prove their deterministic
+    algorithms dominate backoff under adversarial injection, which the
+    matrix driver makes observable).
+
+    A station holding packets transmits its oldest with probability
+    [2^-w] each round, where [w] is its current window exponent: reset to
+    0 by a successful transmission, incremented (capped at 10) when its
+    own transmission collides. Feedback is read only in rounds the station
+    itself transmitted, so the algorithm sits in the acknowledgment-based
+    family.
+
+    All randomness flows from the explicit [seed] through per-station
+    {!Mac_channel.Rng} streams — runs are reproducible bit-for-bit, the
+    engine/oracle differential harness applies unchanged, and the state
+    (including the generator) round-trips through checkpoints. *)
+
+val algorithm : ?seed:int -> unit -> Mac_channel.Algorithm.t
+(** [algorithm ~seed ()] instantiates the family for one seed; the seed is
+    embedded in the algorithm's [name]. Default seed 0. *)

@@ -1,0 +1,62 @@
+open Mac_channel
+
+type state = {
+  me : int;
+  n : int;
+  mutable stack : (int * int) list;
+      (* Enabled intervals [lo, hi), top of stack first. Invariants: the
+         stack is never empty, every interval is non-empty, and the
+         intervals partition a suffix of the original enabled set — so the
+         stack depth never exceeds [n]. All stations keep identical copies
+         (they all hear the same ternary feedback). *)
+}
+
+let name = "fs-tree"
+let plain_packet = true
+let direct = true
+let oblivious = true
+let required_cap ~n ~k:_ = n
+let static_schedule = Some (fun ~n:_ ~k:_ ~me:_ ~round:_ -> true)
+let create ~n ~k:_ ~me = { me; n; stack = [ (0, n) ] }
+
+let top s = match s.stack with iv :: _ -> iv | [] -> assert false
+let on_duty _ ~round:_ ~queue:_ = true
+
+let act s ~round:_ ~queue =
+  let lo, hi = top s in
+  if s.me < lo || s.me >= hi then Action.Listen
+  else
+    match Pqueue.oldest queue with
+    | Some p -> Action.Transmit (Message.packet_only p)
+    | None -> Action.Listen
+
+let observe s ~round:_ ~queue:_ ~feedback =
+  (match feedback with
+  | Feedback.Heard _ ->
+    (* Exactly one station in the enabled interval transmitted; it keeps
+       the interval (withholding) until it runs dry and yields by silence. *)
+    ()
+  | Feedback.Silence -> (
+    (* The enabled interval holds no pending packets: retire it. When the
+       last interval retires the search restarts over the full ring. *)
+    match s.stack with
+    | _ :: (_ :: _ as rest) -> s.stack <- rest
+    | _ -> s.stack <- [ (0, s.n) ])
+  | Feedback.Collision ->
+    let lo, hi = top s in
+    if hi - lo > 1 then begin
+      (* Two or more contenders: binary-split the interval, left half
+         first (the tree-search step of the full-sensing protocol). *)
+      let mid = (lo + hi) / 2 in
+      s.stack <- (lo, mid) :: (mid, hi) :: List.tl s.stack
+    end
+    (* A collision on a singleton interval can only be channel noise or
+       jamming; the singleton keeps the floor and retries. *));
+  Reaction.No_reaction
+
+let offline_tick _ ~round:_ ~queue:_ = ()
+let sparse = None
+
+include Algorithm.Marshal_codec (struct
+  type nonrec state = state
+end)

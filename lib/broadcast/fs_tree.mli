@@ -1,0 +1,30 @@
+(** Full-sensing broadcast by replicated binary tree search.
+
+    The full-sensing family (Chlebus–Kowalski–Rokicki, "Maximum Throughput
+    of Multiple Access Channels in Adversarial Environments") lets every
+    station read the channel's full ternary feedback — silence, collision,
+    or a heard message — every round, and requires nothing else: no token,
+    no control bits, plain packets only.
+
+    All stations replicate a stack of station intervals, initially the
+    whole ring [0, n). Each round every station inside the top interval
+    with a pending packet transmits its oldest packet:
+
+    - [Heard]: the lone transmitter keeps the floor and continues draining
+      its queue (withholding, as in RRW) until it falls silent;
+    - [Silence]: the top interval has no pending packets and is popped
+      (the empty stack resets to the full ring);
+    - [Collision]: the top interval is split in half, left half searched
+      first — the classical tree-search resolution. A collision on a
+      singleton interval is attributable only to jamming or noise, so the
+      singleton retries unchanged.
+
+    Because every station applies the same transition to the same feedback,
+    the stacks stay identical without any messages — this is exactly the
+    knowledge a full-sensing algorithm may legally extract from the
+    channel. Crash-restarted stations re-enter with a fresh full-ring
+    stack; their copy re-synchronises with the survivors' at the next
+    full-ring reset (divergence until then is tolerated the same way the
+    token-ring variants tolerate it). *)
+
+include Mac_channel.Algorithm.S

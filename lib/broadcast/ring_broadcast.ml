@@ -1,24 +1,7 @@
 open Mac_channel
 
-exception Unimplemented of string
-
-let unimplemented ~variant ~paper =
-  raise
-    (Unimplemented
-       (Printf.sprintf
-          "Ring_broadcast.%s: the %s broadcast variants (%s) are not \
-           implemented yet — see ROADMAP item 4 (cross-paper algorithm \
-           matrix). Only the withholding ring variants (rrw, of-rrw) are \
-           available today."
-          variant variant paper))
-
-let full_sensing () : Algorithm.t =
-  unimplemented ~variant:"full_sensing"
-    ~paper:"Broadcasting on Adversarial MAC, full channel sensing"
-
-let ack_based () : Algorithm.t =
-  unimplemented ~variant:"ack_based"
-    ~paper:"Broadcasting on Adversarial MAC, acknowledgment-based"
+let full_sensing () : Algorithm.t = (module Fs_tree)
+let ack_based () : Algorithm.t = (module Ack_rr)
 
 module Make (P : sig
   val name : string
@@ -74,8 +57,17 @@ end) : Algorithm.S = struct
         | `On_phase ->
           if Token_ring.phase s.ring <> phase_before then refill s ~queue
         | `On_token ->
-          if Token_ring.holder s.ring = s.me && holder_before <> s.me then
-            s.need_snapshot <- true));
+          (* Re-arm when the token (re)arrives: either it just moved here
+             from another station, or the ring wrapped a full phase while
+             this station kept it throughout — the n=1 ring (or a ring
+             whose other members all crashed) wraps on every silent round,
+             so without the phase test the snapshot would never re-arm and
+             later-injected packets would stay ineligible forever. *)
+          if
+            Token_ring.holder s.ring = s.me
+            && (holder_before <> s.me
+                || Token_ring.phase s.ring <> phase_before)
+          then s.need_snapshot <- true));
     Reaction.No_reaction
 
   let offline_tick _ ~round:_ ~queue:_ = ()

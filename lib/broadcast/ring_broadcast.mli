@@ -1,30 +1,29 @@
 (** Shared core of the withholding ring broadcast algorithms (RRW and
-    OF-RRW, the paper's references [18] and [3]).
+    OF-RRW, the paper's references [18] and [3]), plus the entry points of
+    the two cross-paper broadcast families.
 
-    Both run all stations switched on permanently (they predate the energy
-    cap; as routing algorithms they are n-energy-oblivious and direct) and
-    pass a token around the ring of all stations, advancing on silence. They
-    differ only in when a station fixes the set of packets it may transmit:
+    The ring variants run all stations switched on permanently (they
+    predate the energy cap; as routing algorithms they are n-energy-
+    oblivious and direct) and pass a token around the ring of all stations,
+    advancing on silence. They differ only in when a station fixes the set
+    of packets it may transmit:
 
     - [`On_token]: packets present when the token arrives (RRW — packets
       arriving while holding the token are withheld until the next visit);
     - [`On_phase]: packets present when the current phase began, a phase
       being a completed token cycle (OF-RRW — "old-first"). *)
 
-exception Unimplemented of string
-(** Raised by entry points of broadcast variants that are named in the
-    cross-paper matrix (ROADMAP item 4) but not implemented yet. The
-    message says which variant and where the plan lives. *)
-
 val full_sensing : unit -> Mac_channel.Algorithm.t
-(** Full-sensing broadcast family (Broadcasting on Adversarial MAC).
-    Not implemented: always raises {!Unimplemented}. This is a loud
-    placeholder so a catalog or CLI wiring it in fails with a pointer
-    to ROADMAP item 4 instead of silently running the wrong thing. *)
+(** The full-sensing broadcast family's representative: {!Fs_tree},
+    replicated binary tree search over the full ternary channel feedback
+    (Chlebus–Kowalski–Rokicki, "Maximum Throughput of Multiple Access
+    Channels in Adversarial Environments"). *)
 
 val ack_based : unit -> Mac_channel.Algorithm.t
-(** Acknowledgment-based broadcast family. Not implemented: always
-    raises {!Unimplemented} (same rationale as {!full_sensing}). *)
+(** The acknowledgment-based family's representative: {!Ack_rr},
+    collision-free round-robin TDMA that reads nothing from the channel
+    beyond the fate of its own transmissions (Aldawsari–Chlebus–Kowalski,
+    "Broadcasting on Adversarial Multiple Access Channels"). *)
 
 module Make (P : sig
   val name : string

@@ -1,0 +1,208 @@
+open Mac_channel
+
+type algo_axis = {
+  algo_id : string;
+  n : int;
+  k : int;
+  algorithm : Algorithm.t;
+}
+
+type adversary_axis = {
+  adv_id : string;
+  rate : Qrat.t;
+  burst : Qrat.t;
+  pacing : Mac_adversary.Adversary.pacing;
+  pattern : n:int -> Mac_adversary.Pattern.t;
+}
+
+type fault_axis = {
+  fault_id : string;
+  plan : n:int -> rounds:int -> Mac_faults.Fault_plan.t option;
+}
+
+(* Fixed (n, k) per algorithm: the matrix compares behaviours, not
+   scalings, so each algorithm runs at a representative system size (the
+   same sizes the Table-1 rows use). The broadcast family predates the
+   energy cap and runs all stations on, hence k = n there. *)
+let algorithms =
+  [ { algo_id = "orchestra"; n = 6; k = 3;
+      algorithm = (module Mac_routing.Orchestra : Algorithm.S) };
+    { algo_id = "count-hop"; n = 6; k = 2;
+      algorithm = (module Mac_routing.Count_hop) };
+    { algo_id = "adjust-window"; n = 6; k = 2;
+      algorithm = (module Mac_routing.Adjust_window) };
+    { algo_id = "k-cycle"; n = 8; k = 4;
+      algorithm = Mac_routing.K_cycle.algorithm ~n:8 ~k:4 };
+    { algo_id = "k-clique"; n = 8; k = 4;
+      algorithm = Mac_routing.K_clique.algorithm ~n:8 ~k:4 };
+    { algo_id = "k-subsets"; n = 6; k = 3;
+      algorithm = Mac_routing.K_subsets.algorithm ~n:6 ~k:3 () };
+    { algo_id = "k-subsets-rrw"; n = 6; k = 3;
+      algorithm = Mac_routing.K_subsets.algorithm ~discipline:`Rrw ~n:6 ~k:3 () };
+    { algo_id = "pair-tdma"; n = 6; k = 2;
+      algorithm = (module Mac_routing.Pair_tdma) };
+    { algo_id = "random-leader"; n = 6; k = 3;
+      algorithm = Mac_routing.Random_leader.algorithm ~seed:7 ~n:6 ~k:3 () };
+    { algo_id = "rrw"; n = 6; k = 6;
+      algorithm = (module Mac_broadcast.Rrw) };
+    { algo_id = "of-rrw"; n = 6; k = 6;
+      algorithm = (module Mac_broadcast.Of_rrw) };
+    { algo_id = "mbtf"; n = 6; k = 6;
+      algorithm = (module Mac_broadcast.Mbtf) };
+    { algo_id = "fs-tree"; n = 6; k = 6;
+      algorithm = Mac_broadcast.Ring_broadcast.full_sensing () };
+    { algo_id = "ack-rr"; n = 6; k = 6;
+      algorithm = Mac_broadcast.Ring_broadcast.ack_based () };
+    { algo_id = "backoff"; n = 6; k = 6;
+      algorithm = Mac_broadcast.Backoff.algorithm ~seed:11 () } ]
+
+let adversaries =
+  [ { adv_id = "trickle";
+      rate = Qrat.make 1 8; burst = Qrat.of_int 2;
+      pacing = Mac_adversary.Adversary.Greedy;
+      pattern = (fun ~n -> Mac_adversary.Pattern.uniform ~n ~seed:901) };
+    { adv_id = "burst-flood";
+      rate = Qrat.make 1 2; burst = Qrat.of_int 12;
+      pacing = Mac_adversary.Adversary.Greedy;
+      pattern = (fun ~n -> Mac_adversary.Pattern.flood ~n ~victim:(n / 2)) };
+    { adv_id = "paced-rr";
+      rate = Qrat.make 1 4; burst = Qrat.of_int 6;
+      pacing = Mac_adversary.Adversary.Paced { burst_at = Some 97 };
+      pattern = (fun ~n -> Mac_adversary.Pattern.round_robin ~n) } ]
+
+let faults =
+  [ { fault_id = "clean"; plan = (fun ~n:_ ~rounds:_ -> None) };
+    { fault_id = "jam-noise";
+      plan =
+        (fun ~n ~rounds ->
+          Some
+            (Mac_faults.Fault_plan.random ~seed:4242 ~n ~rounds
+               ~jam_rate:0.01 ~noise_rate:0.002 ())) };
+    { fault_id = "crash-restart";
+      plan =
+        (fun ~n ~rounds ->
+          Some
+            (Mac_faults.Fault_plan.random ~seed:2424 ~n ~rounds
+               ~crash_rate:0.0015 ~jam_rate:0.002 ~restart_after:60
+               ~queue:Mac_faults.Fault_plan.Retain ())) } ]
+
+let cell_id a adv f =
+  Printf.sprintf "matrix/%s/%s/%s" a.algo_id adv.adv_id f.fault_id
+
+let scaled ~scale ~quick ~full =
+  match scale with `Quick -> quick | `Full -> full
+
+let cells_for ~only ~scale =
+  let rounds = scaled ~scale ~quick:4_000 ~full:60_000 in
+  let drain = scaled ~scale ~quick:1_500 ~full:12_000 in
+  List.concat_map
+    (fun a ->
+      if not (only a.algo_id) then []
+      else
+        List.concat_map
+          (fun adv ->
+            List.map
+              (fun f ->
+                { Table1.checks = [];
+                  spec =
+                    Scenario.spec_q ~id:(cell_id a adv f)
+                      ~algorithm:a.algorithm ~n:a.n ~k:a.k ~rate:adv.rate
+                      ~burst:adv.burst ~pattern:(adv.pattern ~n:a.n)
+                      ~pacing:adv.pacing ~rounds ~drain
+                      ?faults:(f.plan ~n:a.n ~rounds) () })
+              faults)
+          adversaries)
+    algorithms
+
+let claim =
+  "Cross-paper matrix: every algorithm (routing + broadcast families) x \
+   every adversary x every fault plan, per-cell stability verdicts"
+
+let row_for ~only = Table1.row ~id:"matrix" ~claim (cells_for ~only)
+let row = row_for ~only:(fun _ -> true)
+
+(* ---- Stability-frontier thresholds ---- *)
+
+type frontier =
+  | Bracket of Qrat.t * Qrat.t
+  | Stable_to_ceiling of Qrat.t
+  | Unstable_at_floor of Qrat.t
+
+let threshold_id a adv = Printf.sprintf "matrix-th/%s/%s" a.algo_id adv.adv_id
+
+let thresholds ?jobs ?policy ?on_event ?(only = fun _ -> true) ~scale () =
+  let rounds = scaled ~scale ~quick:3_000 ~full:20_000 in
+  let steps = scaled ~scale ~quick:5 ~full:8 in
+  let lo = Qrat.make 1 64 and hi = Qrat.of_int 1 in
+  let jobs_list =
+    List.concat_map
+      (fun a ->
+        if not (only a.algo_id) then []
+        else
+          List.map
+            (fun adv ->
+              ( threshold_id a adv,
+                fun ~heartbeat ->
+                  let probe =
+                    Sweep.stability_probe_q ~algorithm:a.algorithm ~n:a.n
+                      ~k:a.k
+                      ~pattern:(fun () -> adv.pattern ~n:a.n)
+                      ~burst:adv.burst ~rounds ()
+                  in
+                  let probe ~rho =
+                    let r = probe ~rho in
+                    heartbeat ();
+                    r
+                  in
+                  (* bisect_q insists on a (stable lo, unstable hi)
+                     bracket; probe the endpoints first and classify the
+                     degenerate frontiers instead of raising. *)
+                  if not (probe ~rho:lo) then Unstable_at_floor lo
+                  else if probe ~rho:hi then Stable_to_ceiling hi
+                  else
+                    let lo', hi' = Sweep.bisect_q ~steps ~lo ~hi probe in
+                    Bracket (lo', hi') ))
+            adversaries)
+      algorithms
+  in
+  Scenario.run_batch_s ?jobs ?policy ?on_event jobs_list
+
+let frontier_to_string = function
+  | Bracket (lo, hi) ->
+    Printf.sprintf "frontier in (%s, %s]" (Qrat.to_string lo)
+      (Qrat.to_string hi)
+  | Stable_to_ceiling hi -> Printf.sprintf "stable up to %s" (Qrat.to_string hi)
+  | Unstable_at_floor lo ->
+    Printf.sprintf "unstable already at %s" (Qrat.to_string lo)
+
+let frontier_json ~label f =
+  let kind, lo, hi =
+    match f with
+    | Bracket (lo, hi) ->
+      ("bracket", Qrat.to_string lo, Qrat.to_string hi)
+    | Stable_to_ceiling hi -> ("stable-to-ceiling", "", Qrat.to_string hi)
+    | Unstable_at_floor lo -> ("unstable-at-floor", Qrat.to_string lo, "")
+  in
+  Printf.sprintf
+    {|{"threshold": "%s", "kind": "%s", "stable_at": "%s", "unstable_at": "%s"}|}
+    label kind lo hi
+
+(* ---- Cell export ---- *)
+
+let csv_header = "algorithm,adversary,fault,verdict,passed"
+
+(* Every column is recoverable from a [Cached] replay as well as a
+   [Fresh] outcome (id, verdict, passed), so a resumed sweep's CSV stays
+   byte-identical to an uninterrupted one. *)
+let csv_line r =
+  let id = Scenario.resumed_id r in
+  let algo, adv, fault =
+    match String.split_on_char '/' id with
+    | [ _; a; b; c ] -> (a, b, c)
+    | _ -> (id, "", "")
+  in
+  Printf.sprintf "%s,%s,%s,%s,%b" algo adv fault (Scenario.resumed_verdict r)
+    (Scenario.resumed_passed r)
+
+let is_algo_id id = List.exists (fun a -> a.algo_id = id) algorithms
+let algo_ids () = List.map (fun a -> a.algo_id) algorithms

@@ -84,6 +84,17 @@ type t = {
       attempts here are recorded as quarantined for the next resume. *)
 }
 
+val row :
+  id:string ->
+  claim:string ->
+  (scale:[ `Quick | `Full ] -> cell list) ->
+  t
+(** Assemble a row from a cell catalog: the returned [t] carries the full
+    run/run_resumable/run_s/run_resumable_s machinery (parallel batches,
+    byte-identical resume, supervision with quarantine) over those cells.
+    Other experiment drivers (the cross-paper {!Matrix}, notably) build
+    their sweeps with this instead of reimplementing batch plumbing. *)
+
 val all : t list
 
 val find : string -> t

@@ -197,7 +197,7 @@ let build_algorithm rng =
     let k = 2 + Rng.int rng (max 1 (kmax - 1)) in
     (n, min k kmax)
   in
-  match Rng.int rng 9 with
+  match Rng.int rng 15 with
   | 0 ->
     let n = 3 + Rng.int rng 6 in
     (n, 3, (module Mac_routing.Orchestra : Algorithm.S))
@@ -222,6 +222,26 @@ let build_algorithm rng =
   | 6 ->
     let n = 3 + Rng.int rng 6 in
     (n, 2, (module Mac_routing.Count_hop : Algorithm.S))
+  (* The broadcast family runs all stations switched on (required_cap = n),
+     so the supply cap is pinned to n. *)
+  | 9 ->
+    let n = 2 + Rng.int rng 7 in
+    (n, n, (module Mac_broadcast.Rrw : Algorithm.S))
+  | 10 ->
+    let n = 2 + Rng.int rng 7 in
+    (n, n, (module Mac_broadcast.Of_rrw : Algorithm.S))
+  | 11 ->
+    let n = 2 + Rng.int rng 7 in
+    (n, n, (module Mac_broadcast.Mbtf : Algorithm.S))
+  | 12 ->
+    let n = 2 + Rng.int rng 7 in
+    (n, n, Mac_broadcast.Ring_broadcast.full_sensing ())
+  | 13 ->
+    let n = 2 + Rng.int rng 7 in
+    (n, n, Mac_broadcast.Ring_broadcast.ack_based ())
+  | 14 ->
+    let n = 2 + Rng.int rng 7 in
+    (n, n, Mac_broadcast.Backoff.algorithm ~seed:(Rng.int rng 1000) ())
   | _ ->
     let n = 3 + Rng.int rng 6 in
     (n, 2, (module Mac_routing.Adjust_window : Algorithm.S))
@@ -454,12 +474,15 @@ let certify_sparse ~make =
 
 let random_sparse ~seed =
   (* Like [random_pair] but pinned to a sparse-capable algorithm
-     (pair-TDMA is the only one so far) and returned as a maker: the
-     certifier needs three fresh pattern instances, not two. *)
+     (pair-TDMA or the ack-based broadcast TDMA) and returned as a maker:
+     the certifier needs three fresh pattern instances, not two. *)
   let rng = Rng.create ~seed in
   let n = 3 + Rng.int rng 8 in
-  let k = 2 + Rng.int rng 3 in
-  let algorithm = (module Mac_routing.Pair_tdma : Algorithm.S) in
+  let k, algorithm =
+    if Rng.bool rng then
+      (2 + Rng.int rng 3, (module Mac_routing.Pair_tdma : Algorithm.S))
+    else (n, (module Mac_broadcast.Ack_rr : Algorithm.S))
+  in
   let den = 1 + Rng.int rng 12 in
   let num = 1 + Rng.int rng den in
   let rate = Qrat.make num den in
