@@ -88,6 +88,39 @@ let resolve_pattern spec ~algorithm ~n ~k ~seed =
   | [ "cap2" ] -> (Mac_adversary.Saboteur.cap2_breaker ~n).Mac_adversary.Saboteur.pattern
   | _ -> fail "unrecognised syntax"
 
+(* Result-returning subset of [resolve_pattern] for the serve daemon: a
+   bad spec in an [open] command must become a typed protocol error, not
+   a process exit, and the saboteurs (which need the algorithm's schedule
+   and print to stdout) stay batch-only. *)
+let pattern_result spec ~n ~seed =
+  let parts = String.split_on_char ':' spec in
+  try
+    match parts with
+    | [ "uniform" ] -> Ok (Mac_adversary.Pattern.uniform ~n ~seed)
+    | [ "flood"; v ] ->
+      Ok (Mac_adversary.Pattern.flood ~n ~victim:(int_of_string v))
+    | [ "pair"; s; d ] ->
+      Ok
+        (Mac_adversary.Pattern.pair_flood ~src:(int_of_string s)
+           ~dst:(int_of_string d))
+    | [ "round-robin" ] -> Ok (Mac_adversary.Pattern.round_robin ~n)
+    | [ "to-busiest" ] -> Ok (Mac_adversary.Pattern.to_busiest ~n)
+    | [ "hotspot"; h; b ] ->
+      Ok
+        (Mac_adversary.Pattern.hotspot ~n ~seed ~hot:(int_of_string h)
+           ~bias:(float_of_string b))
+    | [ "alternating"; s; d1; d2 ] ->
+      Ok
+        (Mac_adversary.Pattern.alternating ~src:(int_of_string s)
+           ~dst_odd:(int_of_string d1) ~dst_even:(int_of_string d2))
+    | [ ("min-duty" | "min-pair" | "cap2") ] ->
+      Error
+        (Printf.sprintf
+           "pattern %S is a saboteur and only available in batch runs" spec)
+    | _ -> Error (Printf.sprintf "unrecognised pattern syntax %S" spec)
+  with Failure msg | Invalid_argument msg ->
+    Error (Printf.sprintf "bad pattern %S: %s" spec msg)
+
 (* ---- supervised execution (shared by run and the batch commands) ---- *)
 
 (* First SIGTERM/SIGINT asks the supervisor to drain: in-flight work
@@ -187,8 +220,8 @@ let progress_line ~round registry =
     round target pct rps backlog eta
 
 let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
-    series trace_n events stations csv json checkpoint checkpoint_every resume
-    telemetry_file telemetry_jsonl telemetry_every progress engine =
+    inject series trace_n events stations csv json checkpoint checkpoint_every
+    resume telemetry_file telemetry_jsonl telemetry_every progress engine =
   if telemetry_every < 1 then begin
     Printf.eprintf "--telemetry-every must be >= 1 (got %d)\n" telemetry_every;
     exit 2
@@ -221,7 +254,21 @@ let run_cmd algorithm_name n k rate burst pattern_spec rounds drain seed paced
   in
   let algorithm = resolve_algorithm algorithm_name ~n ~k in
   let module A = (val algorithm) in
-  let pattern = resolve_pattern pattern_spec ~algorithm ~n ~k ~seed in
+  let pattern =
+    match inject with
+    | None -> resolve_pattern pattern_spec ~algorithm ~n ~k ~seed
+    | Some path -> (
+      (* Replay a recorded injection trace through the same external-queue
+         pattern the serve daemon uses — the serve/batch equivalence tests
+         compare this run's event stream against the daemon's spool. *)
+      match Mac_serve.Trace_file.load ~n ~path () with
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+      | Ok items ->
+        let _feed, p = Mac_adversary.Pattern.external_queue ~initial:items () in
+        p)
+  in
   let pacing =
     if paced then Mac_adversary.Adversary.Paced { burst_at = None }
     else Mac_adversary.Adversary.Greedy
@@ -386,6 +433,17 @@ let run_term =
   let paced =
     Arg.(value & flag & info [ "paced" ] ~doc:"Spread injections instead of greedy bursts.")
   in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"FILE"
+          ~doc:
+            "Replay a recorded injection trace (one \"ROUND SRC DST\" per \
+             line; # comments) instead of a generator --pattern. The leaky \
+             bucket still gates admission, exactly as with live injection \
+             into the serve daemon.")
+  in
   let series =
     Arg.(value & flag & info [ "series" ] ~doc:"Print the queue-size series as CSV.")
   in
@@ -498,9 +556,10 @@ let run_term =
   Term.(
     ret
       (const run_cmd $ algorithm $ n_arg $ k_arg $ rate $ burst $ pattern
-       $ rounds $ drain $ seed $ paced $ series $ trace_n $ events $ stations
-       $ csv $ json $ checkpoint $ checkpoint_every $ resume $ telemetry_file
-       $ telemetry_jsonl $ telemetry_every $ progress $ engine))
+       $ rounds $ drain $ seed $ paced $ inject $ series $ trace_n $ events
+       $ stations $ csv $ json $ checkpoint $ checkpoint_every $ resume
+       $ telemetry_file $ telemetry_jsonl $ telemetry_every $ progress
+       $ engine))
 
 (* ---- table1 / figures commands ---- *)
 
@@ -1792,8 +1851,230 @@ let verify_term =
       (const verify_cmd $ count $ seed $ table1 $ quick_arg $ rounds_cap
        $ sparse $ jobs_arg))
 
+(* ---- serve / fleet commands ---- *)
+
+let serve_cmd dir socket shards checkpoint_every telemetry_every =
+  if shards < 1 then begin
+    Printf.eprintf "--shards must be >= 1 (got %d)\n" shards;
+    exit 2
+  end;
+  install_drain_handlers ();
+  let socket =
+    match socket with
+    | Some s -> s
+    | None -> Filename.concat dir "serve.sock"
+  in
+  let cfg =
+    { Mac_serve.Server.dir;
+      socket;
+      shards;
+      checkpoint_every;
+      telemetry_every;
+      algorithm_of =
+        (fun ~name ~n ~k ->
+          match List.assoc_opt name (algorithms ~n ~k) with
+          | None ->
+            Error
+              (Printf.sprintf "unknown algorithm %S; try: %s" name
+                 (String.concat ", " algorithm_names))
+          | Some make -> (
+            try Ok (make ())
+            with Invalid_argument msg | Failure msg -> Error msg));
+      pattern_of = (fun ~spec ~n ~seed -> pattern_result spec ~n ~seed);
+      summary_json = Mac_sim.Export.summary_json;
+      log = (fun msg -> Printf.eprintf "serve: %s\n%!" msg) }
+  in
+  match Mac_serve.Server.create cfg with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+  | Ok sv ->
+    Printf.eprintf "serve: listening on %s (%d shard(s), state in %s)\n%!"
+      socket shards dir;
+    let `Drained = Mac_serve.Server.run sv in
+    (* Same exit discipline as the supervised batch commands: a drain is a
+       clean, resumable stop. *)
+    exit 4
+
+let serve_term =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "State directory: per-channel meta/checkpoint/event-spool files \
+             and telemetry expositions (point routing_sim top at it). A \
+             directory left by a drained daemon is re-adopted: open \
+             channels resume from their checkpoints.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path (default: DIR/serve.sock).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Worker domains hosting the channels (default 2).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 512
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Default checkpoint cadence in rounds for channels that don't \
+             specify one (default 512; 0 disables periodic checkpoints — \
+             drain and snapshot still write one).")
+  in
+  let telemetry_every =
+    Arg.(
+      value & opt int 1000
+      & info [ "telemetry-every" ] ~docv:"N"
+          ~doc:"Telemetry sampling cadence in rounds (default 1000).")
+  in
+  Term.(
+    ret
+      (const serve_cmd $ dir $ socket $ shards $ checkpoint_every
+       $ telemetry_every))
+
+let fleet_connect socket =
+  match Mac_serve.Client.connect ~socket with
+  | Ok c -> c
+  | Error msg ->
+    Printf.eprintf "fleet: %s\n" msg;
+    exit 1
+
+let fleet_cmd socket args output =
+  let module J = Mac_serve.Jsonv in
+  match args with
+  | [ "send"; line ] -> (
+    let c = fleet_connect socket in
+    Mac_serve.Client.send_line c line;
+    match Mac_serve.Client.recv_line c with
+    | None ->
+      Printf.eprintf "fleet: server closed the connection\n";
+      exit 1
+    | Some reply ->
+      print_endline reply;
+      let ok =
+        match J.parse reply with
+        | Ok v -> Option.bind (J.member "ok" v) J.to_bool = Some true
+        | Error _ -> false
+      in
+      Mac_serve.Client.close c;
+      if not ok then exit 1;
+      `Ok ())
+  | [ "replay"; channel; path ] -> (
+    match Mac_serve.Trace_file.load ~path () with
+    | Error msg ->
+      Printf.eprintf "fleet: %s\n" msg;
+      exit 2
+    | Ok items -> (
+      let c = fleet_connect socket in
+      let packets =
+        J.List
+          (List.map
+             (fun (at, src, dst) -> J.List [ J.Int at; J.Int src; J.Int dst ])
+             items)
+      in
+      match
+        Mac_serve.Client.request c
+          (J.Obj
+             [ ("cmd", J.Str "inject");
+               ("channel", J.Str channel);
+               ("packets", packets) ])
+      with
+      | Ok reply ->
+        print_endline (J.to_string reply);
+        Mac_serve.Client.close c;
+        `Ok ()
+      | Error msg ->
+        Printf.eprintf "fleet: %s\n" msg;
+        exit 1))
+  | [ "watch"; channel ] -> (
+    let c = fleet_connect socket in
+    match
+      Mac_serve.Client.request c
+        (J.Obj [ ("cmd", J.Str "subscribe"); ("channel", J.Str channel) ])
+    with
+    | Error msg ->
+      Printf.eprintf "fleet: %s\n" msg;
+      exit 1
+    | Ok _ack ->
+      let oc =
+        match output with
+        | None -> stdout
+        | Some path -> (
+          try open_out path
+          with Sys_error msg ->
+            Printf.eprintf "fleet: %s\n" msg;
+            exit 2)
+      in
+      let rec pump () =
+        match Mac_serve.Client.recv_line c with
+        | None -> ()
+        | Some line ->
+          output_string oc line;
+          output_char oc '\n';
+          pump ()
+      in
+      pump ();
+      if oc != stdout then close_out oc else flush oc;
+      Mac_serve.Client.close c;
+      `Ok ())
+  | _ ->
+    Printf.eprintf
+      "fleet: usage:\n\
+      \  fleet --socket PATH send JSON        one protocol command, print \
+       the reply\n\
+      \  fleet --socket PATH replay CHAN FILE inject a recorded trace\n\
+      \  fleet --socket PATH watch CHAN       stream the channel's events \
+       (JSONL) until it completes\n";
+    exit 2
+
+let fleet_term =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"The serve daemon's Unix-domain socket.")
+  in
+  let args =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ARGS"
+          ~doc:"send JSON | replay CHANNEL FILE | watch CHANNEL.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"For watch: write the event stream to FILE instead of stdout.")
+  in
+  Term.(ret (const fleet_cmd $ socket $ args $ output))
+
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Simulate one algorithm/adversary scenario") run_term;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Long-running daemon hosting a fleet of live channel instances, \
+            sharded over worker domains: external packet injection, event \
+            subscriptions, checkpoint/migrate, live telemetry and \
+            crash-respawned shards, over a Unix-socket JSON protocol")
+      serve_term;
+    Cmd.v
+      (Cmd.info "fleet"
+         ~doc:
+           "Client for the serve daemon: send protocol commands, replay \
+            recorded injection traces, stream channel events")
+      fleet_term;
     Cmd.v
       (Cmd.info "table1" ~doc:"Re-run Table-1 validation experiments")
       Term.(

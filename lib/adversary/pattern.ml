@@ -186,6 +186,89 @@ let one_shot ~at ~src ~dst =
     ~name:(Printf.sprintf "one-shot(%d->%d@%d)" src dst at)
     gen
 
+(* --- External injection -------------------------------------------------
+
+   The one pattern whose packets come from outside the process: a FIFO of
+   scheduled (at, src, dst) injections, fed by the serve layer's [inject]
+   commands or preloaded from a trace file. [generate] pops from the head
+   while the head's scheduled round has been reached — head-blocking, so
+   the file/push order is the injection order and a replay is
+   deterministic. The queue is mutex-guarded: the serve daemon pushes from
+   its protocol thread while a shard domain drains it inside the engine's
+   injection phase. [save]/[load] carry the not-yet-injected remainder, so
+   checkpoints taken mid-replay resume without losing pending packets. *)
+
+type feed = {
+  push : at:int -> src:int -> dst:int -> unit;
+  pending : unit -> int;
+}
+
+let external_queue ?(name = "external") ?(initial = []) () =
+  let m = Mutex.create () in
+  let locked f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  in
+  let validate (at, src, dst) =
+    if src = dst then invalid_arg "Pattern.external_queue: src = dst";
+    if at < 0 || src < 0 || dst < 0 then
+      invalid_arg "Pattern.external_queue: negative round or station"
+  in
+  List.iter validate initial;
+  (* Two-list FIFO: pop from [front], push onto [back] (reversed). *)
+  let front = ref initial in
+  let back = ref [] in
+  let push ~at ~src ~dst =
+    validate (at, src, dst);
+    locked (fun () -> back := (at, src, dst) :: !back)
+  in
+  let pending () =
+    locked (fun () -> List.length !front + List.length !back)
+  in
+  let gen ~round ~budget ~view:_ =
+    locked (fun () ->
+        let rec take budget acc =
+          if budget = 0 then List.rev acc
+          else begin
+            if !front = [] then begin
+              front := List.rev !back;
+              back := []
+            end;
+            match !front with
+            | (at, src, dst) :: rest when at <= round ->
+              front := rest;
+              take (budget - 1) ((src, dst) :: acc)
+            | _ -> List.rev acc
+          end
+        in
+        take budget [])
+  in
+  let save () =
+    locked (fun () ->
+        cat
+          (List.map
+             (fun (a, s, d) -> Printf.sprintf "%d,%d,%d" a s d)
+             (!front @ List.rev !back)))
+  in
+  let load st =
+    let parse part =
+      match String.split_on_char ',' part with
+      | [ a; s; d ] -> (
+        match
+          (int_of_string_opt a, int_of_string_opt s, int_of_string_opt d)
+        with
+        | Some a, Some s, Some d -> (a, s, d)
+        | _ -> invalid_arg "Pattern.load: bad external-queue state")
+      | _ -> invalid_arg "Pattern.load: bad external-queue state"
+    in
+    let items = List.map parse (uncat st) in
+    List.iter validate items;
+    locked (fun () ->
+        front := items;
+        back := [])
+  in
+  ({ push; pending }, make ~save ~load ~name gen)
+
 let to_busiest ~n =
   let counter = ref 0 in
   let gen ~round:_ ~budget ~view:(view : View.t) =

@@ -71,6 +71,30 @@ val duty_cycle : busy:int -> idle:int -> t -> t
     refilling, so each busy stretch starts with a burst — a realistic
     office-LAN shape). *)
 
+type feed = {
+  push : at:int -> src:int -> dst:int -> unit;
+      (** Enqueue an injection: eligible from round [at] on (use [at:0] for
+          "as soon as admissible"). Raises [Invalid_argument] on [src = dst]
+          or negative arguments. Safe to call from another domain while a
+          run is in flight. *)
+  pending : unit -> int;
+      (** Injections queued but not yet handed to the engine. *)
+}
+
+val external_queue :
+  ?name:string -> ?initial:(int * int * int) list -> unit -> feed * t
+(** [external_queue ()] is the externally-fed pattern: a mutex-guarded FIFO
+    of scheduled [(at, src, dst)] injections — pushed live through the
+    {!feed} (serve mode) or preloaded via [initial] (trace replay). Each
+    round, [generate] pops from the head while the head's [at] has been
+    reached, up to the leaky bucket's budget; items beyond the budget stay
+    queued and are offered again next round, so admission timing follows
+    the bucket exactly as for generator patterns. Head-blocking FIFO: an
+    item whose [at] lies in the future blocks everything behind it, making
+    replay order deterministic. [save]/[load] carry the not-yet-injected
+    remainder ([name], default ["external"], is part of checkpoint
+    identity). *)
+
 val one_shot : at:int -> src:int -> dst:int -> t
 (** Injects a single packet (src, dst) at the first opportunity in round
     [at] or later, and nothing else — for probing the fate of one packet

@@ -221,6 +221,43 @@ let parse_object line =
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
+    (* [hex4 at] reads exactly four hex digits at offset [at]. Character-
+       validated by hand: [int_of_string "0x…"] would turn a malformed
+       escape into an untyped [Failure] (crashing replay readers that only
+       catch [Bad]) and silently accepts underscore forms like "12_3". *)
+    let hex4 at =
+      if at + 4 > len then raise (Bad "short \\u escape");
+      let v = ref 0 in
+      for i = at to at + 3 do
+        let d =
+          match line.[i] with
+          | '0' .. '9' as c -> Char.code c - Char.code '0'
+          | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+          | c -> raise (Bad (Printf.sprintf "bad hex digit %C in \\u escape" c))
+        in
+        v := (!v * 16) + d
+      done;
+      !v
+    in
+    let add_utf8 cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
     let rec go () =
       if !pos >= len then raise (Bad "unterminated string");
       match line.[!pos] with
@@ -236,11 +273,26 @@ let parse_object line =
          | 't' -> Buffer.add_char buf '\t'
          | 'r' -> Buffer.add_char buf '\r'
          | 'u' ->
-           if !pos + 4 >= len then raise (Bad "short \\u escape");
-           let code = int_of_string ("0x" ^ String.sub line (!pos + 1) 4) in
+           (* Decode to UTF-8 bytes. Re-emitting a literal "\uXXXX" (the old
+              behaviour for non-ASCII codepoints) broke the round trip: the
+              decoded string differed from the one originally encoded. *)
+           let code = hex4 (!pos + 1) in
            pos := !pos + 4;
-           if code < 0x80 then Buffer.add_char buf (Char.chr code)
-           else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+           if code >= 0xD800 && code <= 0xDFFF then begin
+             if code >= 0xDC00 then
+               raise (Bad "unpaired low surrogate in \\u escape");
+             if
+               !pos + 2 >= len
+               || line.[!pos + 1] <> '\\'
+               || line.[!pos + 2] <> 'u'
+             then raise (Bad "unpaired high surrogate in \\u escape");
+             let low = hex4 (!pos + 3) in
+             if not (low >= 0xDC00 && low <= 0xDFFF) then
+               raise (Bad "invalid low surrogate in \\u escape");
+             pos := !pos + 6;
+             add_utf8 (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+           end
+           else add_utf8 code
          | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
         incr pos;
         go ()

@@ -317,7 +317,13 @@ let quarantine_lookup ~resume_dir id =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           match
-            (input_line ic, input_line ic, input_line ic)
+            (* Sequenced reads: a tuple of [input_line]s would be evaluated
+               in unspecified (in practice right-to-left) order, reading the
+               file backwards. *)
+            let magic = input_line ic in
+            let id_line = input_line ic in
+            let failures_line = input_line ic in
+            (magic, id_line, failures_line)
           with
           | magic, id_line, failures_line
             when magic = quarantine_magic && id_line = "scenario " ^ id -> (

@@ -1,0 +1,27 @@
+(** Minimal JSON codec for the serve protocol (values with real nesting,
+    unlike the flat-object parser in [Mac_channel.Event]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; trailing garbage is an error. *)
+
+val to_string : t -> string
+(** Single-line rendering (no newlines; strings escaped). *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

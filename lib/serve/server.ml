@@ -1,0 +1,1433 @@
+(* The serve daemon: a fleet of live channel instances behind a Unix-domain
+   socket, speaking newline-delimited JSON.
+
+   Architecture. The main domain owns all protocol I/O: it accepts
+   connections, parses command lines, answers registry-level commands
+   (inject / subscribe / stats / list) directly, and posts engine-touching
+   commands (open / step / run / snapshot / migrate) as thunks into the
+   owning shard's mailbox. Each shard is one Domain from the same pool
+   budget the batch drivers use, looping { drain mailbox; advance each
+   channel needing work by a bounded batch of rounds }. Shard replies
+   travel back through a mutex-guarded outbox plus a self-pipe that wakes
+   the main select loop.
+
+   Durability. Every channel persists three files in the state directory:
+   <id>.meta (its full configuration — enough to rebuild the run),
+   <id>.ckpt (rotating PR-5 checkpoint, written on the engine's cadence
+   and at drain), and <id>.events.jsonl (the spool: the channel's full
+   typed event stream, telemetry frames excluded). On adoption — daemon
+   restart after a drain, or shard respawn after a crash — the spool is
+   truncated back to the checkpoint's round and the engine resumes from
+   the snapshot, so the spool always reads as one uninterrupted stream:
+   byte-identical to the equivalent batch run's --events file.
+
+   Crash containment. A channel whose engine raises (protocol violation,
+   bad fault plan) is marked failed; the shard survives. A shard whose
+   loop dies (the kill-shard chaos hook, or a bug) is detected by the
+   main loop, joined, respawned, and its running channels are re-adopted
+   from their last checkpoints — the PR-7 supervision story applied to
+   long-lived channels instead of batch jobs. *)
+
+module E = Mac_sim.Engine
+module J = Jsonv
+
+let max_line = 1 lsl 20
+
+(* --- configuration ------------------------------------------------------ *)
+
+type config = {
+  dir : string;
+  socket : string;
+  shards : int;
+  checkpoint_every : int;  (** default for channels that don't specify *)
+  telemetry_every : int;
+  algorithm_of :
+    name:string -> n:int -> k:int -> (Mac_channel.Algorithm.t, string) result;
+  pattern_of :
+    spec:string ->
+    n:int ->
+    seed:int ->
+    (Mac_adversary.Pattern.t, string) result;
+  summary_json : Mac_sim.Metrics.summary -> string;
+  log : string -> unit;
+}
+
+(* --- channels ----------------------------------------------------------- *)
+
+type chan_cfg = {
+  cc_id : string;
+  cc_algorithm : string;
+  cc_n : int;
+  cc_k : int;
+  cc_rate : Mac_channel.Qrat.t;
+  cc_burst : Mac_channel.Qrat.t;
+  cc_rounds : int;
+  cc_drain : int;
+  cc_pattern : string;  (** "external" or a generator-pattern spec *)
+  cc_seed : int;
+  cc_faults : string option;  (** fault-plan file path *)
+  cc_every : int;  (** checkpoint cadence *)
+}
+
+type status = Pending | Running | Complete | Failed of string
+
+(* Spool writer: an explicit buffer over a raw fd. Deliberately not a
+   buffered out_channel — an abandoned out_channel (shard crash) would
+   flush its stale buffer at exit or GC time, corrupting the spool after
+   the re-adoption truncated it. An abandoned [spool] just drops its
+   buffered bytes, which is exactly right: those rounds get re-executed. *)
+type spool = {
+  sp_fd : Unix.file_descr;
+  sp_buf : Buffer.t;
+}
+
+type waiter =
+  | Step_waiter of { w_conn : int; w_target : int }
+  | Run_waiter of { w_conn : int }
+
+type channel = {
+  ch_cfg : chan_cfg;
+  ch_mutex : Mutex.t;
+  (* under ch_mutex — read by main for list/stats/inject/subscribe: *)
+  mutable ch_status : status;
+  mutable ch_shard : int;
+  mutable ch_round : int;
+  mutable ch_backlog : int;
+  mutable ch_feed : Mac_adversary.Pattern.feed option;
+  mutable ch_summary : string option;  (** summary_json line when complete *)
+  (* owned by the adopting shard: *)
+  mutable ch_session : E.session option;
+  mutable ch_spool : spool option;
+  mutable ch_probe : Mac_sim.Telemetry.Fleet.probe option;
+  mutable ch_steps_total : int;
+  mutable ch_step_target : int;
+  mutable ch_run_all : bool;
+  mutable ch_waiters : waiter list;
+}
+
+(* --- shards ------------------------------------------------------------- *)
+
+exception Shard_killed
+
+type shard = {
+  sh_index : int;
+  sh_mutex : Mutex.t;
+  sh_cond : Condition.t;
+  sh_mailbox : (unit -> unit) Queue.t;
+  mutable sh_channels : channel list;
+  mutable sh_stop : bool;
+  mutable sh_dead : bool;
+}
+
+(* --- connections -------------------------------------------------------- *)
+
+type sub = {
+  sub_chan : channel;
+  mutable sub_fd : Unix.file_descr option;  (** spool fd, opened lazily *)
+  mutable sub_pos : int;  (** next unforwarded spool byte *)
+  sub_carry : Buffer.t;  (** partial trailing line *)
+}
+
+type conn = {
+  co_id : int;
+  co_fd : Unix.file_descr;
+  co_in : Buffer.t;
+  co_out : Buffer.t;
+  mutable co_sub : sub option;
+  mutable co_closing : bool;  (** close once co_out drains *)
+}
+
+type t = {
+  cfg : config;
+  fleet : Mac_sim.Telemetry.Fleet.t;
+  shards : shard array;
+  domains : unit Domain.t option array;
+  channels : (string, channel) Hashtbl.t;
+  mutable order : string list;  (** channel ids, open order *)
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn : int;
+  mutable next_auto : int;  (** generated channel ids *)
+  mutable next_shard : int;  (** round-robin cursor *)
+  mutable respawns : int;
+  listener : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  out_mutex : Mutex.t;
+  outbox : (int * string) Queue.t;
+}
+
+(* --- small helpers ------------------------------------------------------ *)
+
+let meta_path sv id = Filename.concat sv.cfg.dir (id ^ ".meta")
+let ckpt_path sv id = Filename.concat sv.cfg.dir (id ^ ".ckpt")
+let spool_path sv id = Filename.concat sv.cfg.dir (id ^ ".events.jsonl")
+let summary_path sv id = Filename.concat sv.cfg.dir (id ^ ".summary.json")
+
+let valid_id id =
+  id <> ""
+  && String.length id <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       id
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let status_str = function
+  | Pending -> "pending"
+  | Running -> "running"
+  | Complete -> "complete"
+  | Failed _ -> "failed"
+
+(* --- spool -------------------------------------------------------------- *)
+
+let spool_open path =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  { sp_fd = fd; sp_buf = Buffer.create 8192 }
+
+let spool_flush sp =
+  let s = Buffer.contents sp.sp_buf in
+  Buffer.clear sp.sp_buf;
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write sp.sp_fd b !off (len - !off)
+  done
+
+let spool_close sp =
+  spool_flush sp;
+  Unix.close sp.sp_fd
+
+let spool_sink sp =
+  Mac_sim.Sink.make (fun ~round ev ->
+      match ev with
+      | Mac_channel.Event.Telemetry _ ->
+        (* Telemetry frames go to the .prom files, not the spool: the spool
+           must stay byte-identical to a batch --events file (which has no
+           probe installed). *)
+        ()
+      | _ ->
+        Buffer.add_string sp.sp_buf (Mac_channel.Event.to_json ~round ev);
+        Buffer.add_char sp.sp_buf '\n')
+
+(* Parse the round out of a spool line: every event line starts with
+   {"round":N — anything else counts as corruption and truncates. *)
+let line_round line =
+  let prefix = "{\"round\":" in
+  let pl = String.length prefix in
+  if String.length line <= pl || String.sub line 0 pl <> prefix then None
+  else begin
+    let i = ref pl in
+    let len = String.length line in
+    while
+      !i < len && match line.[!i] with '0' .. '9' -> true | _ -> false
+    do
+      incr i
+    done;
+    if !i = pl then None else int_of_string_opt (String.sub line pl (!i - pl))
+  end
+
+(* Cut the spool back to the first event at or past [from_round], so a
+   resumed engine (which re-executes from that round) appends exactly the
+   bytes the crashed run would have written. *)
+let truncate_spool ~path ~from_round =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let keep =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go keep =
+            match input_line ic with
+            | exception End_of_file -> keep
+            | line -> (
+              match line_round line with
+              | Some r when r < from_round ->
+                go (keep + String.length line + 1)
+              | _ -> keep)
+          in
+          go 0)
+    in
+    if keep < (Unix.stat path).Unix.st_size then Unix.truncate path keep
+  end
+
+(* --- meta files --------------------------------------------------------- *)
+
+let meta_json cc ~status ~error ~summary =
+  let opt f = function None -> J.Null | Some v -> f v in
+  J.Obj
+    ([ ("id", J.Str cc.cc_id);
+       ("algorithm", J.Str cc.cc_algorithm);
+       ("n", J.Int cc.cc_n);
+       ("k", J.Int cc.cc_k);
+       ("rate", J.Str (Mac_channel.Qrat.to_string cc.cc_rate));
+       ("burst", J.Str (Mac_channel.Qrat.to_string cc.cc_burst));
+       ("rounds", J.Int cc.cc_rounds);
+       ("drain", J.Int cc.cc_drain);
+       ("pattern", J.Str cc.cc_pattern);
+       ("seed", J.Int cc.cc_seed);
+       ("faults", opt (fun p -> J.Str p) cc.cc_faults);
+       ("checkpoint_every", J.Int cc.cc_every);
+       ("status", J.Str status) ]
+    @ (match error with None -> [] | Some e -> [ ("error", J.Str e) ])
+    @ match summary with None -> [] | Some s -> [ ("summary", J.Str s) ])
+
+let write_meta sv ch =
+  let status, error, summary =
+    locked ch.ch_mutex (fun () ->
+        match ch.ch_status with
+        | Failed msg -> ("failed", Some msg, None)
+        | Complete -> ("complete", None, ch.ch_summary)
+        | Pending | Running -> ("open", None, None))
+  in
+  Mac_sim.Durable.write_string
+    ~path:(meta_path sv ch.ch_cfg.cc_id)
+    (J.to_string (meta_json ch.ch_cfg ~status ~error ~summary) ^ "\n")
+
+let parse_meta line =
+  match J.parse (String.trim line) with
+  | Error msg -> Error ("bad meta: " ^ msg)
+  | Ok v -> (
+    let str k = Option.bind (J.member k v) J.to_str in
+    let int k = Option.bind (J.member k v) J.to_int in
+    let qrat k =
+      match str k with
+      | None -> None
+      | Some s -> (
+        match Mac_channel.Qrat.of_string s with
+        | Ok q -> Some q
+        | Error _ -> None)
+    in
+    match
+      (str "id", str "algorithm", int "n", int "k", qrat "rate", qrat "burst",
+       int "rounds", str "status")
+    with
+    | ( Some id, Some algorithm, Some n, Some k, Some rate, Some burst,
+        Some rounds, Some status ) ->
+      Ok
+        ( { cc_id = id;
+            cc_algorithm = algorithm;
+            cc_n = n;
+            cc_k = k;
+            cc_rate = rate;
+            cc_burst = burst;
+            cc_rounds = rounds;
+            cc_drain = Option.value ~default:0 (int "drain");
+            cc_pattern = Option.value ~default:"external" (str "pattern");
+            cc_seed = Option.value ~default:42 (int "seed");
+            cc_faults = str "faults";
+            cc_every = Option.value ~default:0 (int "checkpoint_every") },
+          status,
+          str "summary" )
+    | _ -> Error "bad meta: missing fields")
+
+(* --- replies ------------------------------------------------------------ *)
+
+let send_main sv conn_id line =
+  match Hashtbl.find_opt sv.conns conn_id with
+  | None -> ()
+  | Some c ->
+    Buffer.add_string c.co_out line;
+    Buffer.add_char c.co_out '\n'
+
+(* From a shard: queue the line and poke the self-pipe so the select loop
+   wakes up to deliver it. *)
+let send_from_shard sv conn_id line =
+  locked sv.out_mutex (fun () -> Queue.push (conn_id, line) sv.outbox);
+  try ignore (Unix.write sv.wake_w (Bytes.of_string "x") 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let ok_fields fields = J.to_string (J.Obj (("ok", J.Bool true) :: fields))
+
+let err_line msg = J.to_string (J.Obj [ ("ok", J.Bool false); ("error", J.Str msg) ])
+
+(* --- shard side --------------------------------------------------------- *)
+
+let post_thunk shard thunk =
+  locked shard.sh_mutex (fun () ->
+      Queue.push thunk shard.sh_mailbox;
+      Condition.signal shard.sh_cond)
+
+let chan_has_work ch =
+  ch.ch_session <> None
+  && (match ch.ch_status with Running -> true | _ -> false)
+  && (ch.ch_run_all || ch.ch_steps_total < ch.ch_step_target)
+
+(* Rounds per shard-loop iteration per channel. Small enough that drain
+   requests, migrations and fresh injections are honoured promptly; large
+   enough that per-batch bookkeeping is noise. *)
+let batch_rounds = 2048
+
+let reply_waiters sv ch ~complete =
+  let keep, fire =
+    List.partition
+      (fun w ->
+        match w with
+        | Step_waiter { w_target; _ } ->
+          (not complete) && ch.ch_steps_total < w_target
+        | Run_waiter _ -> not complete)
+      ch.ch_waiters
+  in
+  ch.ch_waiters <- keep;
+  List.iter
+    (fun w ->
+      let conn = match w with Step_waiter { w_conn; _ } -> w_conn | Run_waiter { w_conn } -> w_conn in
+      let fields =
+        [ ("channel", J.Str ch.ch_cfg.cc_id);
+          ("round", J.Int ch.ch_round);
+          ("complete", J.Bool complete) ]
+        @
+        match (w, ch.ch_summary) with
+        | Run_waiter _, Some s -> (
+          match J.parse s with
+          | Ok v -> [ ("summary", v) ]
+          | Error _ -> [ ("summary", J.Str s) ])
+        | _ -> []
+      in
+      send_from_shard sv conn (ok_fields fields))
+    fire
+
+let fail_waiters sv ch msg =
+  let ws = ch.ch_waiters in
+  ch.ch_waiters <- [];
+  List.iter
+    (fun w ->
+      let conn = match w with Step_waiter { w_conn; _ } -> w_conn | Run_waiter { w_conn } -> w_conn in
+      send_from_shard sv conn (err_line msg))
+    ws
+
+let publish ch =
+  match ch.ch_session with
+  | None -> ()
+  | Some s ->
+    locked ch.ch_mutex (fun () ->
+        ch.ch_round <- E.session_round s;
+        ch.ch_backlog <- E.session_backlog s)
+
+let mark_failed sv ch msg =
+  locked ch.ch_mutex (fun () -> ch.ch_status <- Failed msg);
+  ch.ch_session <- None;
+  ch.ch_run_all <- false;
+  (match ch.ch_spool with
+   | Some sp -> (try spool_close sp with Unix.Unix_error _ | Sys_error _ -> ())
+   | None -> ());
+  ch.ch_spool <- None;
+  fail_waiters sv ch msg;
+  write_meta sv ch;
+  sv.cfg.log (Printf.sprintf "channel %s failed: %s" ch.ch_cfg.cc_id msg)
+
+let complete_channel sv ch session =
+  let summary = E.finish session in
+  let sj = sv.cfg.summary_json summary in
+  (match ch.ch_spool with Some sp -> spool_close sp | None -> ());
+  ch.ch_spool <- None;
+  ch.ch_session <- None;
+  ch.ch_run_all <- false;
+  (match ch.ch_probe with
+   | Some p -> Mac_sim.Telemetry.Fleet.finish sv.fleet p
+   | None -> ());
+  ch.ch_probe <- None;
+  locked ch.ch_mutex (fun () ->
+      ch.ch_status <- Complete;
+      ch.ch_summary <- Some sj);
+  Mac_sim.Durable.write_string
+    ~path:(summary_path sv ch.ch_cfg.cc_id)
+    (sj ^ "\n");
+  write_meta sv ch;
+  reply_waiters sv ch ~complete:true
+
+let advance_channel sv ch =
+  match ch.ch_session with
+  | None -> ()
+  | Some s -> (
+    try
+      let budget =
+        if ch.ch_run_all then batch_rounds
+        else min batch_rounds (ch.ch_step_target - ch.ch_steps_total)
+      in
+      if budget > 0 then begin
+        let executed = E.advance s ~max_steps:budget in
+        ch.ch_steps_total <- ch.ch_steps_total + executed
+      end;
+      (match ch.ch_spool with Some sp -> spool_flush sp | None -> ());
+      publish ch;
+      if E.session_complete s then complete_channel sv ch s
+      else reply_waiters sv ch ~complete:false
+    with e -> mark_failed sv ch (Printexc.to_string e))
+
+(* Build the engine config + session for a channel and attach it to the
+   shard. Runs on the shard (posted as a mailbox thunk) so file I/O and
+   algorithm construction never stall the protocol loop. [reply] gets the
+   open/migrate/adoption acknowledgement once the session exists. *)
+let adopt_channel sv shard ch ~reply =
+  try
+    let cc = ch.ch_cfg in
+    let algorithm =
+      match sv.cfg.algorithm_of ~name:cc.cc_algorithm ~n:cc.cc_n ~k:cc.cc_k with
+      | Ok a -> a
+      | Error msg -> failwith msg
+    in
+    let module A = (val algorithm : Mac_channel.Algorithm.S) in
+    let feed, pattern =
+      if cc.cc_pattern = "external" then
+        let feed, p = Mac_adversary.Pattern.external_queue () in
+        (Some feed, p)
+      else
+        match sv.cfg.pattern_of ~spec:cc.cc_pattern ~n:cc.cc_n ~seed:cc.cc_seed with
+        | Ok p -> (None, p)
+        | Error msg -> failwith msg
+    in
+    let faults =
+      match cc.cc_faults with
+      | None -> None
+      | Some path -> (
+        match Mac_faults.Fault_plan.of_file path with
+        | Ok p -> Some p
+        | Error msg -> failwith msg)
+    in
+    let adversary =
+      Mac_adversary.Adversary.create_q ~rate:cc.cc_rate ~burst:cc.cc_burst
+        pattern
+    in
+    let resume =
+      let path = ckpt_path sv cc.cc_id in
+      if Sys.file_exists path || Sys.file_exists (Mac_sim.Checkpoint.prev_path path)
+      then
+        match Mac_sim.Checkpoint.read_latest ~path with
+        | Ok (snap, `Current) -> Some snap
+        | Ok (snap, `Salvaged reason) ->
+          sv.cfg.log
+            (Printf.sprintf "channel %s: salvaged checkpoint (%s)" cc.cc_id
+               reason);
+          Some snap
+        | Error msg -> failwith ("checkpoint: " ^ msg)
+      else None
+    in
+    let from_round =
+      match resume with Some snap -> E.snapshot_round snap | None -> 0
+    in
+    truncate_spool ~path:(spool_path sv cc.cc_id) ~from_round;
+    let sp = spool_open (spool_path sv cc.cc_id) in
+    let probe = Mac_sim.Telemetry.Fleet.probe sv.fleet ~id:cc.cc_id in
+    let ck = ckpt_path sv cc.cc_id in
+    let config =
+      { (E.default_config ~rounds:cc.cc_rounds) with
+        drain_limit = cc.cc_drain;
+        check_schedule = A.oblivious;
+        sink = Some (spool_sink sp);
+        faults;
+        checkpoint_every = cc.cc_every;
+        on_checkpoint =
+          (if cc.cc_every > 0 then
+             Some
+               (fun snap ->
+                 (* Flush first: resume truncates the spool back to the
+                    checkpoint round, which must never cut into data that
+                    only existed in the write buffer. *)
+                 spool_flush sp;
+                 Mac_sim.Checkpoint.write_rotated ~path:ck snap)
+           else None);
+        telemetry = Some probe }
+    in
+    let session =
+      E.start ~config ?resume ~algorithm ~n:cc.cc_n ~k:cc.cc_k ~adversary
+        ~rounds:cc.cc_rounds ()
+    in
+    ch.ch_session <- Some session;
+    ch.ch_spool <- Some sp;
+    ch.ch_probe <- Some probe;
+    ch.ch_steps_total <- 0;
+    ch.ch_step_target <- 0;
+    locked ch.ch_mutex (fun () ->
+        ch.ch_status <- Running;
+        ch.ch_shard <- shard.sh_index;
+        ch.ch_feed <- feed;
+        ch.ch_round <- E.session_round session;
+        ch.ch_backlog <- E.session_backlog session);
+    shard.sh_channels <- ch :: shard.sh_channels;
+    reply
+      (ok_fields
+         [ ("channel", J.Str cc.cc_id);
+           ("shard", J.Int shard.sh_index);
+           ("round", J.Int (E.session_round session)) ])
+  with e ->
+    let msg = Printexc.to_string e in
+    locked ch.ch_mutex (fun () -> ch.ch_status <- Failed msg);
+    write_meta sv ch;
+    sv.cfg.log
+      (Printf.sprintf "channel %s failed to start: %s" ch.ch_cfg.cc_id msg);
+    reply (err_line msg)
+
+(* Drain: checkpoint every running channel at its current round boundary
+   so a restarted daemon resumes the fleet bit-identically. *)
+let drain_shard sv shard =
+  List.iter
+    (fun ch ->
+      match (ch.ch_status, ch.ch_session) with
+      | Running, Some s ->
+        (try
+           (match ch.ch_spool with Some sp -> spool_flush sp | None -> ());
+           Mac_sim.Checkpoint.write_rotated
+             ~path:(ckpt_path sv ch.ch_cfg.cc_id)
+             (E.session_snapshot s);
+           match ch.ch_spool with
+           | Some sp -> spool_close sp
+           | None -> ()
+         with e ->
+           sv.cfg.log
+             (Printf.sprintf "drain: channel %s checkpoint failed: %s"
+                ch.ch_cfg.cc_id (Printexc.to_string e)))
+      | _ -> ())
+    shard.sh_channels
+
+let shard_main sv shard =
+  try
+    let running = ref true in
+    while !running do
+      let thunks = ref [] in
+      locked shard.sh_mutex (fun () ->
+          while
+            Queue.is_empty shard.sh_mailbox
+            && (not shard.sh_stop)
+            && not (List.exists chan_has_work shard.sh_channels)
+          do
+            Condition.wait shard.sh_cond shard.sh_mutex
+          done;
+          while not (Queue.is_empty shard.sh_mailbox) do
+            thunks := Queue.pop shard.sh_mailbox :: !thunks
+          done);
+      List.iter (fun t -> t ()) (List.rev !thunks);
+      if shard.sh_stop then begin
+        drain_shard sv shard;
+        running := false
+      end
+      else
+        List.iter
+          (fun ch -> if chan_has_work ch then advance_channel sv ch)
+          shard.sh_channels
+    done
+  with e ->
+    sv.cfg.log
+      (Printf.sprintf "shard %d died: %s" shard.sh_index
+         (Printexc.to_string e));
+    shard.sh_dead <- true
+
+let new_shard i =
+  { sh_index = i;
+    sh_mutex = Mutex.create ();
+    sh_cond = Condition.create ();
+    sh_mailbox = Queue.create ();
+    sh_channels = [];
+    sh_stop = false;
+    sh_dead = false }
+
+let spawn_shard sv i =
+  let shard = new_shard i in
+  sv.shards.(i) <- shard;
+  sv.domains.(i) <- Some (Domain.spawn (fun () -> shard_main sv shard));
+  shard
+
+(* --- command handling (main domain) ------------------------------------- *)
+
+let pick_shard sv =
+  let i = sv.next_shard mod Array.length sv.shards in
+  sv.next_shard <- sv.next_shard + 1;
+  sv.shards.(i)
+
+let find_channel sv v =
+  match Option.bind (J.member "channel" v) J.to_str with
+  | None -> Error "missing \"channel\""
+  | Some id -> (
+    match Hashtbl.find_opt sv.channels id with
+    | None -> Error (Printf.sprintf "unknown channel %S" id)
+    | Some ch -> Ok ch)
+
+(* Post an engine-touching thunk to the channel's owning shard. The thunk
+   re-checks ownership: a migration may have moved the channel after the
+   lookup but before the shard ran the mailbox. *)
+let post_channel_thunk sv ch ~conn_id f =
+  let idx = locked ch.ch_mutex (fun () -> ch.ch_shard) in
+  let shard = sv.shards.(idx) in
+  post_thunk shard (fun () ->
+      if List.memq ch shard.sh_channels then f shard
+      else
+        send_from_shard sv conn_id
+          (err_line
+             (Printf.sprintf "channel %s is migrating; retry" ch.ch_cfg.cc_id)))
+
+let channel_row ch =
+  locked ch.ch_mutex (fun () ->
+      let pending =
+        match ch.ch_feed with Some f -> f.Mac_adversary.Pattern.pending () | None -> 0
+      in
+      J.Obj
+        ([ ("id", J.Str ch.ch_cfg.cc_id);
+           ("algorithm", J.Str ch.ch_cfg.cc_algorithm);
+           ("n", J.Int ch.ch_cfg.cc_n);
+           ("status", J.Str (status_str ch.ch_status));
+           ("shard", J.Int ch.ch_shard);
+           ("round", J.Int ch.ch_round);
+           ("rounds", J.Int ch.ch_cfg.cc_rounds);
+           ("backlog", J.Int ch.ch_backlog);
+           ("pending", J.Int pending) ]
+        @ match ch.ch_status with
+          | Failed msg -> [ ("error", J.Str msg) ]
+          | _ -> []))
+
+let cmd_open sv conn_id v =
+  let str k = Option.bind (J.member k v) J.to_str in
+  let int k = Option.bind (J.member k v) J.to_int in
+  let id =
+    match str "channel" with
+    | Some id -> id
+    | None ->
+      let id = Printf.sprintf "ch%d" sv.next_auto in
+      sv.next_auto <- sv.next_auto + 1;
+      id
+  in
+  if not (valid_id id) then
+    send_main sv conn_id
+      (err_line "channel id must match [A-Za-z0-9._-]{1,64}")
+  else if Hashtbl.mem sv.channels id then
+    send_main sv conn_id (err_line (Printf.sprintf "channel %S already exists" id))
+  else begin
+    let qrat k default =
+      match str k with
+      | None -> Ok default
+      | Some s -> Mac_channel.Qrat.of_string s
+    in
+    match
+      ( str "algorithm",
+        qrat "rate" (Mac_channel.Qrat.make 1 2),
+        qrat "burst" (Mac_channel.Qrat.of_int 2) )
+    with
+    | None, _, _ -> send_main sv conn_id (err_line "missing \"algorithm\"")
+    | _, Error msg, _ | _, _, Error msg ->
+      send_main sv conn_id (err_line msg)
+    | Some algorithm, Ok rate, Ok burst ->
+      let n = Option.value ~default:8 (int "n") in
+      let k = Option.value ~default:3 (int "k") in
+      let rounds = Option.value ~default:100_000 (int "rounds") in
+      let drain = Option.value ~default:0 (int "drain") in
+      if n < 1 || k < 1 || rounds < 0 || drain < 0 then
+        send_main sv conn_id (err_line "n, k must be >= 1; rounds, drain >= 0")
+      else begin
+        let cc =
+          { cc_id = id;
+            cc_algorithm = algorithm;
+            cc_n = n;
+            cc_k = k;
+            cc_rate = rate;
+            cc_burst = burst;
+            cc_rounds = rounds;
+            cc_drain = drain;
+            cc_pattern = Option.value ~default:"external" (str "pattern");
+            cc_seed = Option.value ~default:42 (int "seed");
+            cc_faults = str "faults";
+            cc_every =
+              Option.value ~default:sv.cfg.checkpoint_every
+                (int "checkpoint_every") }
+        in
+        let ch =
+          { ch_cfg = cc;
+            ch_mutex = Mutex.create ();
+            ch_status = Pending;
+            ch_shard = 0;
+            ch_round = 0;
+            ch_backlog = 0;
+            ch_feed = None;
+            ch_summary = None;
+            ch_session = None;
+            ch_spool = None;
+            ch_probe = None;
+            ch_steps_total = 0;
+            ch_step_target = 0;
+            ch_run_all = false;
+            ch_waiters = [] }
+        in
+        Hashtbl.replace sv.channels id ch;
+        sv.order <- sv.order @ [ id ];
+        write_meta sv ch;
+        let shard = pick_shard sv in
+        locked ch.ch_mutex (fun () -> ch.ch_shard <- shard.sh_index);
+        post_thunk shard (fun () ->
+            adopt_channel sv shard ch ~reply:(send_from_shard sv conn_id))
+      end
+  end
+
+let cmd_inject sv conn_id v =
+  match find_channel sv v with
+  | Error msg -> send_main sv conn_id (err_line msg)
+  | Ok ch -> (
+    let feed, status =
+      locked ch.ch_mutex (fun () -> (ch.ch_feed, ch.ch_status))
+    in
+    match (status, feed) with
+    | (Complete | Failed _), _ ->
+      send_main sv conn_id
+        (err_line
+           (Printf.sprintf "channel %s is %s" ch.ch_cfg.cc_id
+              (status_str status)))
+    | _, None ->
+      send_main sv conn_id
+        (err_line
+           (Printf.sprintf
+              "channel %s uses generator pattern %S, not external injection"
+              ch.ch_cfg.cc_id ch.ch_cfg.cc_pattern))
+    | _, Some feed -> (
+      let n = ch.ch_cfg.cc_n in
+      let triple v =
+        match J.to_list v with
+        | Some [ a; s; d ] -> (
+          match (J.to_int a, J.to_int s, J.to_int d) with
+          | Some a, Some s, Some d -> Ok (a, s, d)
+          | _ -> Error "packets entries must be [at, src, dst] integers")
+        | _ -> Error "packets entries must be [at, src, dst] integers"
+      in
+      let packets =
+        match J.member "packets" v with
+        | Some (J.List items) ->
+          List.fold_left
+            (fun acc item ->
+              match (acc, triple item) with
+              | Error _, _ -> acc
+              | _, (Error _ as e) -> e
+              | Ok acc, Ok t -> Ok (t :: acc))
+            (Ok []) items
+          |> Result.map List.rev
+        | Some _ -> Error "\"packets\" must be an array"
+        | None -> (
+          match
+            ( Option.bind (J.member "src" v) J.to_int,
+              Option.bind (J.member "dst" v) J.to_int )
+          with
+          | Some src, Some dst ->
+            Ok [ (Option.value ~default:0 (Option.bind (J.member "at" v) J.to_int), src, dst) ]
+          | _ -> Error "need \"src\" and \"dst\" (or \"packets\")")
+      in
+      match packets with
+      | Error msg -> send_main sv conn_id (err_line msg)
+      | Ok items -> (
+        let bad =
+          List.find_opt
+            (fun (at, src, dst) ->
+              at < 0 || src < 0 || dst < 0 || src >= n || dst >= n || src = dst)
+            items
+        in
+        match bad with
+        | Some (at, src, dst) ->
+          send_main sv conn_id
+            (err_line
+               (Printf.sprintf
+                  "bad injection (at=%d src=%d dst=%d): stations in [0,%d), \
+                   src <> dst, at >= 0"
+                  at src dst n))
+        | None ->
+          List.iter
+            (fun (at, src, dst) ->
+              feed.Mac_adversary.Pattern.push ~at ~src ~dst)
+            items;
+          send_main sv conn_id
+            (ok_fields
+               [ ("channel", J.Str ch.ch_cfg.cc_id);
+                 ("accepted", J.Int (List.length items));
+                 ("pending", J.Int (feed.Mac_adversary.Pattern.pending ())) ]))))
+
+let cmd_step sv conn_id v ~run_all =
+  match find_channel sv v with
+  | Error msg -> send_main sv conn_id (err_line msg)
+  | Ok ch ->
+    let rounds = Option.bind (J.member "rounds" v) J.to_int in
+    (match (run_all, rounds) with
+     | false, (None | Some 0) when rounds = Some 0 ->
+       send_main sv conn_id (err_line "\"rounds\" must be >= 1")
+     | false, None -> send_main sv conn_id (err_line "missing \"rounds\"")
+     | false, Some r when r < 1 ->
+       send_main sv conn_id (err_line "\"rounds\" must be >= 1")
+     | _ ->
+       post_channel_thunk sv ch ~conn_id (fun _shard ->
+           match (ch.ch_status, ch.ch_session) with
+           | Running, Some _ ->
+             if run_all then begin
+               ch.ch_run_all <- true;
+               ch.ch_waiters <- Run_waiter { w_conn = conn_id } :: ch.ch_waiters
+             end
+             else begin
+               let r = Option.get rounds in
+               let target = ch.ch_steps_total + r in
+               ch.ch_step_target <- max ch.ch_step_target target;
+               ch.ch_waiters <-
+                 Step_waiter { w_conn = conn_id; w_target = target }
+                 :: ch.ch_waiters
+             end
+           | Complete, _ ->
+             send_from_shard sv conn_id
+               (ok_fields
+                  [ ("channel", J.Str ch.ch_cfg.cc_id);
+                    ("round", J.Int ch.ch_round);
+                    ("complete", J.Bool true) ])
+           | Failed msg, _ ->
+             send_from_shard sv conn_id (err_line ("channel failed: " ^ msg))
+           | _ ->
+             send_from_shard sv conn_id
+               (err_line
+                  (Printf.sprintf "channel %s is not running" ch.ch_cfg.cc_id))))
+
+let cmd_snapshot sv conn_id v =
+  match find_channel sv v with
+  | Error msg -> send_main sv conn_id (err_line msg)
+  | Ok ch ->
+    post_channel_thunk sv ch ~conn_id (fun _shard ->
+        match ch.ch_session with
+        | Some s ->
+          (try
+             (match ch.ch_spool with Some sp -> spool_flush sp | None -> ());
+             let snap = E.session_snapshot s in
+             let path = ckpt_path sv ch.ch_cfg.cc_id in
+             Mac_sim.Checkpoint.write_rotated ~path snap;
+             send_from_shard sv conn_id
+               (ok_fields
+                  [ ("channel", J.Str ch.ch_cfg.cc_id);
+                    ("round", J.Int (E.snapshot_round snap));
+                    ("path", J.Str path) ])
+           with e -> send_from_shard sv conn_id (err_line (Printexc.to_string e)))
+        | None ->
+          send_from_shard sv conn_id
+            (err_line
+               (Printf.sprintf "channel %s has no live session" ch.ch_cfg.cc_id)))
+
+let cmd_migrate sv conn_id v =
+  match find_channel sv v with
+  | Error msg -> send_main sv conn_id (err_line msg)
+  | Ok ch -> (
+    match Option.bind (J.member "shard" v) J.to_int with
+    | None -> send_main sv conn_id (err_line "missing \"shard\"")
+    | Some target when target < 0 || target >= Array.length sv.shards ->
+      send_main sv conn_id
+        (err_line
+           (Printf.sprintf "shard %d out of range [0,%d)" target
+              (Array.length sv.shards)))
+    | Some target ->
+      post_channel_thunk sv ch ~conn_id (fun shard ->
+          match ch.ch_session with
+          | None ->
+            send_from_shard sv conn_id
+              (err_line
+                 (Printf.sprintf "channel %s has no live session"
+                    ch.ch_cfg.cc_id))
+          | Some s ->
+            (try
+               (* Checkpoint through the PR-5 codec, detach, and hand the
+                  channel to the target shard, which resumes it from the
+                  file just written — the same path cold adoption takes. *)
+               (match ch.ch_spool with Some sp -> spool_close sp | None -> ());
+               ch.ch_spool <- None;
+               Mac_sim.Checkpoint.write_rotated
+                 ~path:(ckpt_path sv ch.ch_cfg.cc_id)
+                 (E.session_snapshot s);
+               ch.ch_session <- None;
+               ch.ch_run_all <- false;
+               ch.ch_step_target <- ch.ch_steps_total;
+               fail_waiters sv ch "channel migrated; re-issue the command";
+               shard.sh_channels <-
+                 List.filter (fun c -> not (c == ch)) shard.sh_channels;
+               locked ch.ch_mutex (fun () ->
+                   ch.ch_status <- Pending;
+                   ch.ch_feed <- None;
+                   ch.ch_shard <- target);
+               let tshard = sv.shards.(target) in
+               post_thunk tshard (fun () ->
+                   adopt_channel sv tshard ch
+                     ~reply:(send_from_shard sv conn_id))
+             with e ->
+               send_from_shard sv conn_id (err_line (Printexc.to_string e)))))
+
+let cmd_subscribe sv conn v =
+  match find_channel sv v with
+  | Error msg -> send_main sv conn.co_id (err_line msg)
+  | Ok ch ->
+    if conn.co_sub <> None then
+      send_main sv conn.co_id (err_line "connection already subscribed")
+    else begin
+      send_main sv conn.co_id
+        (ok_fields [ ("channel", J.Str ch.ch_cfg.cc_id) ]);
+      conn.co_sub <-
+        Some
+          { sub_chan = ch;
+            sub_fd = None;
+            sub_pos = 0;
+            sub_carry = Buffer.create 256 }
+    end
+
+let cmd_stats sv conn_id =
+  let total_backlog = ref 0 in
+  let by_status = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ ch ->
+      locked ch.ch_mutex (fun () ->
+          total_backlog := !total_backlog + ch.ch_backlog;
+          let k = status_str ch.ch_status in
+          Hashtbl.replace by_status k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_status k))))
+    sv.channels;
+  let statuses =
+    Hashtbl.fold (fun k v acc -> (k, J.Int v) :: acc) by_status []
+  in
+  send_main sv conn_id
+    (ok_fields
+       [ ("channels", J.Int (Hashtbl.length sv.channels));
+         ("shards", J.Int (Array.length sv.shards));
+         ("respawns", J.Int sv.respawns);
+         ("backlog", J.Int !total_backlog);
+         ("status", J.Obj (List.sort compare statuses)) ])
+
+let cmd_list sv conn_id =
+  let rows =
+    List.filter_map
+      (fun id -> Option.map channel_row (Hashtbl.find_opt sv.channels id))
+      sv.order
+  in
+  send_main sv conn_id (ok_fields [ ("channels", J.List rows) ])
+
+let cmd_kill_shard sv conn_id v =
+  match Option.bind (J.member "shard" v) J.to_int with
+  | None -> send_main sv conn_id (err_line "missing \"shard\"")
+  | Some i when i < 0 || i >= Array.length sv.shards ->
+    send_main sv conn_id
+      (err_line
+         (Printf.sprintf "shard %d out of range [0,%d)" i
+            (Array.length sv.shards)))
+  | Some i ->
+    send_main sv conn_id (ok_fields [ ("shard", J.Int i) ]);
+    post_thunk sv.shards.(i) (fun () -> raise Shard_killed)
+
+let handle_command sv conn line =
+  match J.parse line with
+  | Error msg -> send_main sv conn.co_id (err_line ("bad json: " ^ msg))
+  | Ok v -> (
+    match Option.bind (J.member "cmd" v) J.to_str with
+    | None -> send_main sv conn.co_id (err_line "missing \"cmd\"")
+    | Some cmd -> (
+      match cmd with
+      | "ping" -> send_main sv conn.co_id (ok_fields [ ("pong", J.Bool true) ])
+      | "open" -> cmd_open sv conn.co_id v
+      | "inject" -> cmd_inject sv conn.co_id v
+      | "step" -> cmd_step sv conn.co_id v ~run_all:false
+      | "run" -> cmd_step sv conn.co_id v ~run_all:true
+      | "snapshot" -> cmd_snapshot sv conn.co_id v
+      | "migrate" -> cmd_migrate sv conn.co_id v
+      | "subscribe" -> cmd_subscribe sv conn v
+      | "stats" -> cmd_stats sv conn.co_id
+      | "list" -> cmd_list sv conn.co_id
+      | "kill-shard" -> cmd_kill_shard sv conn.co_id v
+      | "drain" ->
+        send_main sv conn.co_id (ok_fields [ ("draining", J.Bool true) ]);
+        Mac_sim.Supervisor.request_drain ()
+      | other ->
+        send_main sv conn.co_id
+          (err_line (Printf.sprintf "unknown command %S" other))))
+
+(* --- subscriptions ------------------------------------------------------ *)
+
+(* Forward new spool bytes (complete lines only) into the connection's
+   output buffer. Closes the connection once the channel has finished and
+   the spool is fully streamed — the client's EOF doubles as "stream
+   complete". *)
+let pump_subscription sv conn =
+  match conn.co_sub with
+  | None -> ()
+  | Some sub ->
+    if Buffer.length conn.co_out < 1 lsl 16 then begin
+      let ch = sub.sub_chan in
+      let path = spool_path sv ch.ch_cfg.cc_id in
+      (match sub.sub_fd with
+       | None ->
+         if Sys.file_exists path then
+           sub.sub_fd <- Some (Unix.openfile path [ Unix.O_RDONLY ] 0)
+       | Some _ -> ());
+      match sub.sub_fd with
+      | None -> ()
+      | Some fd ->
+        let chunk = Bytes.create 65536 in
+        ignore (Unix.lseek fd sub.sub_pos Unix.SEEK_SET);
+        let got = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if got > 0 then begin
+          sub.sub_pos <- sub.sub_pos + got;
+          Buffer.add_subbytes sub.sub_carry chunk 0 got;
+          let data = Buffer.contents sub.sub_carry in
+          match String.rindex_opt data '\n' with
+          | None -> ()
+          | Some last ->
+            Buffer.add_string conn.co_out (String.sub data 0 (last + 1));
+            Buffer.clear sub.sub_carry;
+            Buffer.add_string sub.sub_carry
+              (String.sub data (last + 1) (String.length data - last - 1))
+        end
+        else begin
+          let finished =
+            locked ch.ch_mutex (fun () ->
+                match ch.ch_status with
+                | Complete | Failed _ -> true
+                | Pending | Running -> false)
+          in
+          if finished && Buffer.length sub.sub_carry = 0 then
+            conn.co_closing <- true
+        end
+    end
+
+(* --- connection I/O ----------------------------------------------------- *)
+
+let drop_conn sv conn =
+  (try Unix.close conn.co_fd with Unix.Unix_error _ -> ());
+  (match conn.co_sub with
+   | Some { sub_fd = Some fd; _ } ->
+     (try Unix.close fd with Unix.Unix_error _ -> ())
+   | _ -> ());
+  Hashtbl.remove sv.conns conn.co_id
+
+let read_conn sv conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.co_fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_conn sv conn
+  | 0 ->
+    (* Client went away. A subscriber disconnecting mid-stream only tears
+       down this connection — the channel and its shard never notice. *)
+    drop_conn sv conn
+  | got ->
+    Buffer.add_subbytes conn.co_in chunk 0 got;
+    if Buffer.length conn.co_in > max_line then begin
+      Buffer.add_string conn.co_out (err_line "line too long");
+      conn.co_closing <- true
+    end
+    else begin
+      let data = Buffer.contents conn.co_in in
+      let rec split from =
+        match String.index_from_opt data from '\n' with
+        | None ->
+          Buffer.clear conn.co_in;
+          Buffer.add_string conn.co_in
+            (String.sub data from (String.length data - from))
+        | Some nl ->
+          let line = String.trim (String.sub data from (nl - from)) in
+          if line <> "" then handle_command sv conn line;
+          split (nl + 1)
+      in
+      split 0
+    end
+
+let flush_conn sv conn =
+  let data = Buffer.contents conn.co_out in
+  if data <> "" then begin
+    match
+      Unix.write conn.co_fd (Bytes.unsafe_of_string data) 0
+        (String.length data)
+    with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> drop_conn sv conn
+    | written ->
+      Buffer.clear conn.co_out;
+      if written < String.length data then
+        Buffer.add_string conn.co_out
+          (String.sub data written (String.length data - written))
+  end;
+  if conn.co_closing && Buffer.length conn.co_out = 0 && conn.co_sub = None
+  then drop_conn sv conn
+  else if
+    conn.co_closing && Buffer.length conn.co_out = 0 && conn.co_sub <> None
+  then begin
+    (* Subscription complete: half-close so the client sees EOF. *)
+    (match conn.co_sub with
+     | Some { sub_fd = Some fd; _ } ->
+       (try Unix.close fd with Unix.Unix_error _ -> ())
+     | _ -> ());
+    conn.co_sub <- None;
+    drop_conn sv conn
+  end
+
+(* --- shard respawn ------------------------------------------------------ *)
+
+let check_shards sv =
+  Array.iteri
+    (fun i shard ->
+      if shard.sh_dead then begin
+        (match sv.domains.(i) with
+         | Some d -> Domain.join d
+         | None -> ());
+        sv.domains.(i) <- None;
+        let orphans = shard.sh_channels in
+        let fresh = spawn_shard sv i in
+        sv.respawns <- sv.respawns + 1;
+        let adopted = ref 0 in
+        List.iter
+          (fun ch ->
+            let running =
+              locked ch.ch_mutex (fun () ->
+                  match ch.ch_status with
+                  | Running | Pending -> true
+                  | Complete | Failed _ -> false)
+            in
+            if running then begin
+              incr adopted;
+              (* The dead shard may have crashed mid-round: the in-memory
+                 session is unusable. Rebuild from the last checkpoint;
+                 the spool is truncated back to it during adoption. *)
+              ch.ch_session <- None;
+              ch.ch_spool <- None;
+              ch.ch_probe <- None;
+              ch.ch_run_all <- false;
+              ch.ch_step_target <- 0;
+              ch.ch_steps_total <- 0;
+              fail_waiters sv ch "shard died; channel re-adopted, re-issue";
+              locked ch.ch_mutex (fun () ->
+                  ch.ch_status <- Pending;
+                  ch.ch_feed <- None;
+                  ch.ch_shard <- i);
+              post_thunk fresh (fun () ->
+                  adopt_channel sv fresh ch ~reply:(fun _ -> ()))
+            end)
+          orphans;
+        (* Commands posted between the crash and this respawn sit in the
+           dead shard's mailbox; replay them on the fresh shard (after the
+           adoptions) so no client waits forever on a lost thunk. *)
+        let leftovers =
+          locked shard.sh_mutex (fun () ->
+              let acc = ref [] in
+              while not (Queue.is_empty shard.sh_mailbox) do
+                acc := Queue.pop shard.sh_mailbox :: !acc
+              done;
+              List.rev !acc)
+        in
+        List.iter (post_thunk fresh) leftovers;
+        sv.cfg.log
+          (Printf.sprintf "shard %d respawned; re-adopted %d channel(s)" i
+             !adopted)
+      end)
+    sv.shards
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let load_existing sv =
+  if Sys.file_exists sv.cfg.dir then
+    Array.iter
+      (fun file ->
+        if Filename.check_suffix file ".meta" then begin
+          let path = Filename.concat sv.cfg.dir file in
+          match
+            let ic = open_in path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> input_line ic)
+          with
+          | exception (Sys_error _ | End_of_file) -> ()
+          | line -> (
+            match parse_meta line with
+            | Error msg -> sv.cfg.log (Printf.sprintf "%s: %s" path msg)
+            | Ok (cc, status, summary) ->
+              let ch =
+                { ch_cfg = cc;
+                  ch_mutex = Mutex.create ();
+                  ch_status =
+                    (match status with
+                     | "complete" -> Complete
+                     | "failed" -> Failed "failed in a previous run"
+                     | _ -> Pending);
+                  ch_shard = 0;
+                  ch_round = (if status = "complete" then cc.cc_rounds else 0);
+                  ch_backlog = 0;
+                  ch_feed = None;
+                  ch_summary = summary;
+                  ch_session = None;
+                  ch_spool = None;
+                  ch_probe = None;
+                  ch_steps_total = 0;
+                  ch_step_target = 0;
+                  ch_run_all = false;
+                  ch_waiters = [] }
+              in
+              Hashtbl.replace sv.channels cc.cc_id ch;
+              sv.order <- sv.order @ [ cc.cc_id ];
+              if status = "open" then begin
+                let shard = pick_shard sv in
+                locked ch.ch_mutex (fun () -> ch.ch_shard <- shard.sh_index);
+                post_thunk shard (fun () ->
+                    adopt_channel sv shard ch ~reply:(fun _ -> ()));
+                sv.cfg.log
+                  (Printf.sprintf "re-adopting channel %s on shard %d"
+                     cc.cc_id shard.sh_index)
+              end)
+        end)
+      (Sys.readdir sv.cfg.dir)
+
+let create (cfg : config) =
+  if cfg.shards < 1 then Error "serve: need at least one shard"
+  else begin
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    if not (Sys.file_exists cfg.dir) then Unix.mkdir cfg.dir 0o755;
+    if Sys.file_exists cfg.socket then Sys.remove cfg.socket;
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error ("serve: socket: " ^ Unix.error_message e)
+    | listener -> (
+      match Unix.bind listener (Unix.ADDR_UNIX cfg.socket) with
+      | exception Unix.Unix_error (e, _, _) ->
+        Unix.close listener;
+        Error
+          (Printf.sprintf "serve: cannot bind %s: %s" cfg.socket
+             (Unix.error_message e))
+      | () ->
+        Unix.listen listener 64;
+        Unix.set_nonblock listener;
+        let wake_r, wake_w = Unix.pipe () in
+        Unix.set_nonblock wake_r;
+        Unix.set_nonblock wake_w;
+        let fleet =
+          Mac_sim.Telemetry.Fleet.create ~dir:cfg.dir
+            ~every:cfg.telemetry_every ()
+        in
+        let sv =
+          { cfg;
+            fleet;
+            shards = Array.init cfg.shards new_shard;
+            domains = Array.make cfg.shards None;
+            channels = Hashtbl.create 64;
+            order = [];
+            conns = Hashtbl.create 16;
+            next_conn = 0;
+            next_auto = 0;
+            next_shard = 0;
+            respawns = 0;
+            listener;
+            wake_r;
+            wake_w;
+            out_mutex = Mutex.create ();
+            outbox = Queue.create () }
+        in
+        (* The fleet file exists from the first breath, so a dashboard (or
+           top --check) pointed at the directory never races channel
+           creation. *)
+        Mac_sim.Telemetry.Fleet.add_counter sv.fleet
+          ~help:"Serve-daemon boots." "serve_boots_total";
+        for i = 0 to cfg.shards - 1 do
+          ignore (spawn_shard sv i)
+        done;
+        load_existing sv;
+        Ok sv)
+  end
+
+let drain sv =
+  sv.cfg.log "drain: checkpointing all running channels";
+  Array.iter
+    (fun shard ->
+      locked shard.sh_mutex (fun () ->
+          shard.sh_stop <- true;
+          Condition.signal shard.sh_cond))
+    sv.shards;
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some dom ->
+        Domain.join dom;
+        sv.domains.(i) <- None
+      | None -> ())
+    sv.domains;
+  Hashtbl.iter (fun _ conn -> try Unix.close conn.co_fd with Unix.Unix_error _ -> ()) sv.conns;
+  Hashtbl.reset sv.conns;
+  (try Unix.close sv.listener with Unix.Unix_error _ -> ());
+  (try Sys.remove sv.cfg.socket with Sys_error _ -> ());
+  sv.cfg.log "drained";
+  `Drained
+
+let accept_conns sv =
+  let rec go () =
+    match Unix.accept sv.listener with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      let id = sv.next_conn in
+      sv.next_conn <- sv.next_conn + 1;
+      Hashtbl.replace sv.conns id
+        { co_id = id;
+          co_fd = fd;
+          co_in = Buffer.create 256;
+          co_out = Buffer.create 256;
+          co_sub = None;
+          co_closing = false };
+      go ()
+  in
+  go ()
+
+let drain_outbox sv =
+  let items =
+    locked sv.out_mutex (fun () ->
+        let acc = ref [] in
+        while not (Queue.is_empty sv.outbox) do
+          acc := Queue.pop sv.outbox :: !acc
+        done;
+        List.rev !acc)
+  in
+  List.iter (fun (conn_id, line) -> send_main sv conn_id line) items
+
+let run sv =
+  let rec loop () =
+    if Mac_sim.Supervisor.drain_requested () then drain sv
+    else begin
+      check_shards sv;
+      drain_outbox sv;
+      let conns = Hashtbl.fold (fun _ c acc -> c :: acc) sv.conns [] in
+      List.iter (fun c -> pump_subscription sv c) conns;
+      let reads =
+        sv.listener :: sv.wake_r
+        :: List.filter_map
+             (fun c -> if c.co_closing then None else Some c.co_fd)
+             conns
+      in
+      let writes =
+        List.filter_map
+          (fun c -> if Buffer.length c.co_out > 0 then Some c.co_fd else None)
+          conns
+      in
+      let timeout =
+        if List.exists (fun c -> c.co_sub <> None || c.co_closing) conns then
+          0.02
+        else 0.25
+      in
+      (match Unix.select reads writes [] timeout with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+       | readable, writable, _ ->
+         if List.mem sv.wake_r readable then begin
+           let b = Bytes.create 256 in
+           try ignore (Unix.read sv.wake_r b 0 256)
+           with Unix.Unix_error _ -> ()
+         end;
+         if List.mem sv.listener readable then accept_conns sv;
+         List.iter
+           (fun c ->
+             if Hashtbl.mem sv.conns c.co_id && List.mem c.co_fd readable then
+               read_conn sv c)
+           conns;
+         drain_outbox sv;
+         List.iter
+           (fun c ->
+             if Hashtbl.mem sv.conns c.co_id then begin
+               pump_subscription sv c;
+               if
+                 Buffer.length c.co_out > 0
+                 || c.co_closing
+                 || List.mem c.co_fd writable
+               then flush_conn sv c
+             end)
+           conns);
+      loop ()
+    end
+  in
+  loop ()

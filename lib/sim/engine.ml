@@ -196,7 +196,29 @@ let violation ~strict metrics note msg =
   note metrics;
   if strict then raise (Protocol_violation msg)
 
-let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
+(* An in-flight run, stopped at a round boundary. [run] drives one to
+   completion in a single call; the serve layer drives one incrementally
+   (a bounded batch of rounds at a time, with external injections arriving
+   between batches). All fields are the closures the classical [run] loop
+   used internally — the driver loops in [advance] are verbatim the old
+   ones, so a session advanced with an unbounded budget is bit-identical
+   to the closed-loop run. *)
+type session = {
+  ses_cfg : config;
+  ses_round : int ref;
+  ses_drained : int ref;
+  ses_metrics : Metrics.t;
+  ses_step : round:int -> draining:bool -> unit;
+  ses_try_skip : draining:bool -> bool;
+  ses_snapshot : unit -> snapshot;
+  ses_checkpoint : unit -> unit;
+  ses_sample : unit -> unit;
+  ses_beat : unit -> unit;
+  ses_finalize : unit -> Metrics.summary;
+  mutable ses_done : bool;
+}
+
+let start ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
     ~rounds () =
   let cfg =
     match config with
@@ -1097,49 +1119,98 @@ let run ?config ?resume ~algorithm:(module A : Algorithm.S) ~n ~k ~adversary
         end
       end
   in
-  while !round < cfg.rounds do
-    if not (try_skip ~draining:false) then begin
-      step ~round:!round ~draining:false;
+  let finalize () =
+    (match lt with
+     | Some l when !last_sample <> !round -> tel_sample l ~round:!round
+     | _ -> ());
+    let final_round = !round in
+    (* Conservation and duplicate checks. Every injected packet is
+       classified: delivered, still queued, or lost-to-crash — lost packets
+       left both the queues and [Metrics.total_queued], so the equality
+       below holds for faulted runs too. *)
+    let queued_total = ref 0 in
+    let seen = Hashtbl.create 4096 in
+    let max_age = ref 0 in
+    Array.iter
+      (fun q ->
+        queued_total := !queued_total + Pqueue.size q;
+        Pqueue.iter q ~f:(fun p ->
+            if Hashtbl.mem seen p.Packet.id then
+              raise (Protocol_violation "packet present in two queues");
+            Hashtbl.replace seen p.Packet.id ();
+            let tracked = Hashtbl.find registry p.Packet.id in
+            if tracked.delivered then
+              raise (Protocol_violation "delivered packet still queued");
+            let age = final_round - p.Packet.injected_at in
+            if age > !max_age then max_age := age))
+      queues;
+    if !queued_total <> Metrics.total_queued metrics then
+      raise (Protocol_violation "packet conservation failed");
+    Metrics.finalize metrics ~final_round ~max_queued_age:!max_age
+  in
+  { ses_cfg = cfg; ses_round = round; ses_drained = drained;
+    ses_metrics = metrics; ses_step = step; ses_try_skip = try_skip;
+    ses_snapshot = make_snapshot; ses_checkpoint = maybe_checkpoint;
+    ses_sample = maybe_sample; ses_beat = beat; ses_finalize = finalize;
+    ses_done = false }
+
+let session_round s = !(s.ses_round)
+let session_drained s = !(s.ses_drained)
+let session_backlog s = Metrics.total_queued s.ses_metrics
+
+let session_complete s =
+  !(s.ses_round) >= s.ses_cfg.rounds
+  && (!(s.ses_drained) >= s.ses_cfg.drain_limit
+     || Metrics.total_queued s.ses_metrics = 0)
+
+let session_snapshot s = s.ses_snapshot ()
+
+(* The two loops below are the classical [run] driver, with a step budget
+   added. One "step" is one loop iteration: a concrete round, or one
+   analytic skip (which may cover many rounds). A budget of [max_int]
+   reproduces the closed-loop run exactly — the budget tests are the only
+   difference, and they never bind. *)
+let advance s ~max_steps =
+  if s.ses_done then invalid_arg "Engine.advance: session already finished";
+  let cfg = s.ses_cfg in
+  let round = s.ses_round and drained = s.ses_drained in
+  let steps = ref 0 in
+  while !steps < max_steps && !round < cfg.rounds do
+    if not (s.ses_try_skip ~draining:false) then begin
+      s.ses_step ~round:!round ~draining:false;
       incr round
     end;
-    maybe_checkpoint ();
-    maybe_sample ();
-    beat ()
+    s.ses_checkpoint ();
+    s.ses_sample ();
+    s.ses_beat ();
+    incr steps
   done;
-  while !drained < cfg.drain_limit && Metrics.total_queued metrics > 0 do
-    if not (try_skip ~draining:true) then begin
-      step ~round:!round ~draining:true;
+  while
+    !steps < max_steps
+    && !round >= cfg.rounds
+    && !drained < cfg.drain_limit
+    && Metrics.total_queued s.ses_metrics > 0
+  do
+    if not (s.ses_try_skip ~draining:true) then begin
+      s.ses_step ~round:!round ~draining:true;
       incr round;
       incr drained
     end;
-    maybe_checkpoint ();
-    maybe_sample ();
-    beat ()
+    s.ses_checkpoint ();
+    s.ses_sample ();
+    s.ses_beat ();
+    incr steps
   done;
-  (match lt with
-   | Some l when !last_sample <> !round -> tel_sample l ~round:!round
-   | _ -> ());
-  let final_round = !round in
-  (* Conservation and duplicate checks. Every injected packet is
-     classified: delivered, still queued, or lost-to-crash — lost packets
-     left both the queues and [Metrics.total_queued], so the equality
-     below holds for faulted runs too. *)
-  let queued_total = ref 0 in
-  let seen = Hashtbl.create 4096 in
-  let max_age = ref 0 in
-  Array.iter
-    (fun q ->
-      queued_total := !queued_total + Pqueue.size q;
-      Pqueue.iter q ~f:(fun p ->
-          if Hashtbl.mem seen p.Packet.id then
-            raise (Protocol_violation "packet present in two queues");
-          Hashtbl.replace seen p.Packet.id ();
-          let tracked = Hashtbl.find registry p.Packet.id in
-          if tracked.delivered then
-            raise (Protocol_violation "delivered packet still queued");
-          let age = final_round - p.Packet.injected_at in
-          if age > !max_age then max_age := age))
-    queues;
-  if !queued_total <> Metrics.total_queued metrics then
-    raise (Protocol_violation "packet conservation failed");
-  Metrics.finalize metrics ~final_round ~max_queued_age:!max_age
+  !steps
+
+let finish s =
+  if s.ses_done then invalid_arg "Engine.finish: session already finished";
+  if not (session_complete s) then
+    invalid_arg "Engine.finish: the run has not completed";
+  s.ses_done <- true;
+  s.ses_finalize ()
+
+let run ?config ?resume ~algorithm ~n ~k ~adversary ~rounds () =
+  let s = start ?config ?resume ~algorithm ~n ~k ~adversary ~rounds () in
+  ignore (advance s ~max_steps:max_int : int);
+  finish s

@@ -136,6 +136,59 @@ val default_config : rounds:int -> config
 (** No drain, auto sampling, no schedule check, strict, no trace, no sink,
     no faults, no checkpointing, no telemetry, [Dense] mode. *)
 
+type session
+(** An in-flight run stopped at a round boundary: the same engine state
+    {!run} drives internally, exposed for incremental (step-wise) driving.
+    The serve layer advances many sessions concurrently, feeding external
+    injections between batches; a session advanced with an unbounded
+    budget and then {!finish}ed is bit-identical (events, summary,
+    snapshots) to the closed-loop {!run}. *)
+
+val start :
+  ?config:config ->
+  ?resume:snapshot ->
+  algorithm:Mac_channel.Algorithm.t ->
+  n:int ->
+  k:int ->
+  adversary:Mac_adversary.Adversary.t ->
+  rounds:int ->
+  unit ->
+  session
+(** Validate the configuration (and snapshot, when resuming), build all
+    engine state, and stop before executing any round. Argument contract
+    is exactly {!run}'s. *)
+
+val advance : session -> max_steps:int -> int
+(** Execute up to [max_steps] driver iterations (a concrete round, or one
+    analytic skip covering many rounds, per iteration) and return the
+    number executed. Injection rounds run first, then drain rounds; the
+    return value is less than [max_steps] only when the run is complete.
+    Always returns at a round boundary, so {!session_snapshot} is valid
+    after every call. Raises [Invalid_argument] after {!finish}. *)
+
+val session_round : session -> int
+(** The next round to execute (mirrors {!snapshot_round}). *)
+
+val session_drained : session -> int
+(** Drain rounds executed so far. *)
+
+val session_backlog : session -> int
+(** Packets currently queued across all stations. *)
+
+val session_complete : session -> bool
+(** True once {!advance} can do no more work: the injection phase ran to
+    [config.rounds] and the drain phase hit its limit or emptied the
+    queues. *)
+
+val session_snapshot : session -> snapshot
+(** Snapshot the session at its current round boundary — same contract as
+    the [on_checkpoint] snapshots. *)
+
+val finish : session -> Metrics.summary
+(** Final telemetry sample, conservation/duplicate checks, and the
+    summary — what {!run} does after its driver loop. Raises
+    [Invalid_argument] unless {!session_complete}, or if called twice. *)
+
 val run :
   ?config:config ->
   ?resume:snapshot ->

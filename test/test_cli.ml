@@ -149,6 +149,38 @@ let test_keep_going_degraded_exit_3 () =
     (contains err "after 2 attempts");
   Alcotest.(check bool) "stderr names the scenario" true (contains err bad)
 
+(* Regression for the quarantine marker: run A fails a cell and writes a
+   marker into the resume dir; run B — a NEW process — must honor it and
+   refuse to re-run the cell. Before the fix, [quarantine_lookup] read the
+   marker's lines as a tuple of [input_line]s (evaluated right-to-left),
+   never matched the magic line, and a restarted sweep would silently
+   re-run the quarantined cell. *)
+let test_quarantine_survives_process_restart () =
+  let dir = temp_dir "eear_quar_cli" in
+  let bad = "orchestra/uniform" in
+  let base = table1_base @ [ "--resume-dir"; dir; "--keep-going" ] in
+  let code_a, out_a, err_a =
+    run_cli (base @ [ "--inject-failure"; bad ])
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "run A degraded exit (stderr %S)" err_a)
+    3 code_a;
+  Alcotest.(check bool) "run A marks the failure" true (contains out_a "FAILED");
+  Alcotest.(check bool) "marker file written" true
+    (Sys.file_exists (Filename.concat dir "orchestra_uniform.quarantined"));
+  let code_b, out_b, err_b = run_cli base in
+  Alcotest.(check int)
+    (Printf.sprintf "run B still degraded (stderr %S)" err_b)
+    3 code_b;
+  Alcotest.(check bool) "run B honors the marker" true
+    (contains out_b "quarantined after 1 failure");
+  Alcotest.(check bool) "other cells resumed from cache" true
+    (contains out_b "(resumed)");
+  let bad_lines = List.filter (fun l -> contains l bad) (lines out_b) in
+  Alcotest.(check bool) "quarantined cell never re-ran" true
+    (bad_lines <> []
+    && List.for_all (fun l -> not (contains l "PASS")) bad_lines)
+
 (* Scraped files can vanish or be mid-creation between the directory
    scan and the read; top must skip them, not fail. *)
 let test_top_tolerates_vanished_and_fresh_files () =
@@ -205,7 +237,9 @@ let () =
          Alcotest.test_case "top tolerates vanished/fresh files" `Quick
            test_top_tolerates_vanished_and_fresh_files ]);
       ("supervision",
-       [ Alcotest.test_case "keep-going degraded exit 3" `Quick
+       [ Alcotest.test_case "quarantine survives restart" `Quick
+           test_quarantine_survives_process_restart;
+         Alcotest.test_case "keep-going degraded exit 3" `Quick
            test_keep_going_degraded_exit_3;
          Alcotest.test_case "chaos smoke" `Quick test_chaos_smoke ]);
       ("golden",

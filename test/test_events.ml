@@ -75,6 +75,49 @@ let test_json_rejects_malformed () =
       | Error _ -> ())
     bad
 
+(* ---- \u escapes ---- *)
+
+let test_unicode_escapes_decode () =
+  (match Event.of_json_line {|{"round":1,"type":"\u0073ilence"}|} with
+   | Ok (1, Event.Silence) -> ()
+   | Ok _ -> Alcotest.fail "\\u0073 decoded to the wrong event"
+   | Error msg -> Alcotest.failf "\\u0073ilence rejected: %s" msg);
+  (match
+     Event.of_json_line
+       {|{"round":2,"type":"telemetry","sample":{"caf\u00e9":1.5}}|}
+   with
+   | Ok (2, Event.Telemetry { sample = [ (k, 1.5) ] }) ->
+     Alcotest.(check string) "BMP escape decodes to UTF-8" "caf\xc3\xa9" k
+   | Ok _ -> Alcotest.fail "telemetry sample mis-parsed"
+   | Error msg -> Alcotest.failf "\\u00e9 rejected: %s" msg);
+  match
+    Event.of_json_line
+      {|{"round":3,"type":"telemetry","sample":{"\ud83d\ude00":1}}|}
+  with
+  | Ok (3, Event.Telemetry { sample = [ (k, 1.0) ] }) ->
+    Alcotest.(check string) "surrogate pair decodes to UTF-8"
+      "\xf0\x9f\x98\x80" k
+  | Ok _ -> Alcotest.fail "telemetry sample mis-parsed"
+  | Error msg -> Alcotest.failf "surrogate pair rejected: %s" msg
+
+(* Bad escapes must come back as [Error] — historically "\uZZZZ" escaped
+   as an untyped [Failure] from int_of_string and "\u12_3" (underscores
+   are digit separators to OCaml) was silently accepted. *)
+let test_unicode_escape_errors_are_typed () =
+  List.iter
+    (fun line ->
+      match Event.of_json_line line with
+      | Ok _ -> Alcotest.failf "accepted bad \\u escape %S" line
+      | Error _ -> ()
+      | exception e ->
+        Alcotest.failf "%S leaked exception %s" line (Printexc.to_string e))
+    [ {|{"round":1,"type":"\uZZZZ"}|};
+      {|{"round":1,"type":"\u12_3"}|};
+      {|{"round":1,"type":"\u00"}|};
+      {|{"round":1,"type":"\ud800no"}|};
+      {|{"round":1,"type":"\udc00"}|};
+      {|{"round":1,"type":"\ud800A"}|} ]
+
 (* ---- sink combinators ---- *)
 
 let test_tee_and_close () =
@@ -428,7 +471,11 @@ let () =
   Alcotest.run "events"
     [ ("json",
        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
-         Alcotest.test_case "rejects malformed" `Quick test_json_rejects_malformed ]);
+         Alcotest.test_case "rejects malformed" `Quick test_json_rejects_malformed;
+         Alcotest.test_case "\\u escapes decode" `Quick
+           test_unicode_escapes_decode;
+         Alcotest.test_case "bad \\u escapes are typed errors" `Quick
+           test_unicode_escape_errors_are_typed ]);
       ("sinks",
        [ Alcotest.test_case "tee and close" `Quick test_tee_and_close;
          Alcotest.test_case "sample by round" `Quick test_sample_by_round ]);

@@ -94,6 +94,62 @@ let test_schedule_of () =
 
 (* ---- catalog ---- *)
 
+(* ---- quarantine markers ---- *)
+
+let temp_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+(* Regression: [quarantine_lookup] read its three lines as a tuple of
+   [input_line]s, which OCaml evaluates in unspecified (in practice
+   right-to-left) order — the file parsed backwards, the magic never
+   matched, and every marker written by [note_quarantined] was dead
+   weight. *)
+let test_quarantine_marker_roundtrip () =
+  let dir = temp_dir "eear_quar" in
+  Scenario.note_quarantined ~resume_dir:dir ~id:"row/cell-1" ~failures:3
+    ~error:"injected boom";
+  Alcotest.(check (option int))
+    "marker found with its failure count" (Some 3)
+    (Scenario.quarantine_lookup ~resume_dir:dir "row/cell-1");
+  Alcotest.(check (option int))
+    "other ids unaffected" None
+    (Scenario.quarantine_lookup ~resume_dir:dir "row/cell-2");
+  (* A truncated or foreign file must read as "not quarantined". *)
+  let oc = open_out (Scenario.quarantine_path ~resume_dir:dir "row/cell-3") in
+  output_string oc "not a marker\n";
+  close_out oc;
+  Alcotest.(check (option int))
+    "garbage marker ignored" None
+    (Scenario.quarantine_lookup ~resume_dir:dir "row/cell-3")
+
+(* The marker must actually short-circuit a later supervised resumable
+   sweep: the quarantined job is reported [Quarantined] and never runs —
+   exactly the wiring table1's [run_resumable_s] uses. *)
+let test_resumable_sweep_honors_marker () =
+  let dir = temp_dir "eear_quar_sweep" in
+  Scenario.note_quarantined ~resume_dir:dir ~id:"bad" ~failures:2
+    ~error:"earlier failure";
+  let ran_bad = ref false in
+  let outcomes =
+    Scenario.run_batch_s
+      ~policy:{ Mac_sim.Supervisor.default_policy with keep_going = true }
+      ~quarantined:(fun cid -> Scenario.quarantine_lookup ~resume_dir:dir cid)
+      [ ("good", fun ~heartbeat:_ -> 1);
+        ( "bad",
+          fun ~heartbeat:_ ->
+            ran_bad := true;
+            2 ) ]
+  in
+  (match outcomes with
+   | [ ("good", Ok 1);
+       ("bad", Error (Mac_sim.Supervisor.Quarantined { failures = 2 })) ] ->
+     ()
+   | _ -> Alcotest.fail "expected good=Ok and bad=Quarantined");
+  check_bool "quarantined job never ran" false !ran_bad
+
 let test_table1_catalog_complete () =
   check_int "nine rows" 9 (List.length Table1.all);
   List.iter
@@ -139,6 +195,11 @@ let () =
          Alcotest.test_case "failure detected" `Quick test_scenario_check_failure_detected;
          Alcotest.test_case "unstable check" `Slow test_scenario_unstable_check;
          Alcotest.test_case "schedule_of" `Quick test_schedule_of ]);
+      ("quarantine",
+       [ Alcotest.test_case "marker round-trip" `Quick
+           test_quarantine_marker_roundtrip;
+         Alcotest.test_case "sweep honors marker" `Quick
+           test_resumable_sweep_honors_marker ]);
       ("catalog",
        [ Alcotest.test_case "table1 complete" `Quick test_table1_catalog_complete;
          Alcotest.test_case "table1 quick rows" `Slow test_table1_quick_rows_pass;

@@ -1,0 +1,487 @@
+(* Tests for the serve layer: the protocol JSON codec, trace files, engine
+   sessions, and the daemon itself driven in-process over its Unix socket —
+   including the acceptance anchor that externally-injected replay is
+   byte-identical (events and summary) to the equivalent batch run, even
+   across shard crashes and a daemon drain/restart. *)
+
+module J = Mac_serve.Jsonv
+module E = Mac_sim.Engine
+module Client = Mac_serve.Client
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let temp_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ---- jsonv ---- *)
+
+let test_jsonv_roundtrip () =
+  let v =
+    J.Obj
+      [ ("cmd", J.Str "open");
+        ("n", J.Int 6);
+        ("rate", J.Float 0.5);
+        ("neg", J.Int (-3));
+        ("flags", J.List [ J.Bool true; J.Bool false; J.Null ]);
+        ("nested", J.Obj [ ("s", J.Str "a\"b\\c\nd\te") ]);
+        ("empty", J.List []) ]
+  in
+  let s = J.to_string v in
+  check_bool "single line" false (String.contains s '\n');
+  (match J.parse s with
+   | Ok v' -> check_bool "roundtrip" true (v = v')
+   | Error msg -> Alcotest.fail ("roundtrip parse: " ^ msg));
+  check_int "member/to_int" 6
+    (Option.get (Option.bind (J.member "n" v) J.to_int));
+  check_bool "member on non-obj" true (J.member "x" (J.Int 1) = None)
+
+let test_jsonv_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s)
+      | Error _ -> ())
+    [ "";
+      "{";
+      "[1,";
+      "[1,]";
+      "{\"a\":}";
+      "{\"a\" 1}";
+      "tru";
+      "nul";
+      "\"unterminated";
+      "1 2";
+      "{} trailing" ]
+
+(* ---- trace files ---- *)
+
+let test_trace_file_roundtrip () =
+  let path = Filename.temp_file "eear_trace" ".txt" in
+  let items = [ (0, 0, 3); (5, 2, 1); (5, 1, 2); (99, 3, 0) ] in
+  Mac_serve.Trace_file.save ~path items;
+  (match Mac_serve.Trace_file.load ~n:4 ~path () with
+   | Ok got -> check_bool "roundtrip" true (got = items)
+   | Error msg -> Alcotest.fail msg);
+  (* the same file must fail validation under a smaller n *)
+  (match Mac_serve.Trace_file.load ~n:3 ~path () with
+   | Ok _ -> Alcotest.fail "accepted out-of-range station"
+   | Error _ -> ());
+  Sys.remove path
+
+let test_trace_file_rejects_bad_lines () =
+  let write_lines lines =
+    let path = Filename.temp_file "eear_trace" ".txt" in
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    path
+  in
+  let expect_error lines =
+    let path = write_lines lines in
+    (match Mac_serve.Trace_file.load ~path () with
+     | Ok _ ->
+       Alcotest.fail
+         (Printf.sprintf "accepted %S" (String.concat "; " lines))
+     | Error _ -> ());
+    Sys.remove path
+  in
+  expect_error [ "0 1 1" ];
+  expect_error [ "0 -1 2" ];
+  expect_error [ "zero 1 2" ];
+  expect_error [ "0 1" ];
+  (* comments and blank lines are fine *)
+  let path = write_lines [ "# header"; ""; "0 0 1"; "  # indented comment" ] in
+  (match Mac_serve.Trace_file.load ~n:2 ~path () with
+   | Ok got -> check_bool "comments skipped" true (got = [ (0, 0, 1) ])
+   | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+(* ---- shared fixtures: a tiny externally-fed orchestra channel ---------- *)
+
+let trace6 =
+  [ (0, 0, 1); (0, 2, 0); (3, 1, 4); (10, 3, 2); (50, 4, 5); (120, 5, 0);
+    (121, 0, 5); (300, 2, 3) ]
+
+(* The batch-mode reference: same engine configuration [adopt_channel]
+   builds (minus the telemetry probe, whose frames the spool filters out),
+   driven by the closed-loop [Engine.run]. The serve daemon's spool and
+   summary must match these bytes exactly. *)
+let batch_reference ~n ~k ~rounds ~drain ~trace =
+  let module A = Mac_routing.Orchestra in
+  let _feed, pattern = Mac_adversary.Pattern.external_queue ~initial:trace () in
+  let adversary =
+    Mac_adversary.Adversary.create_q
+      ~rate:(Mac_channel.Qrat.make 1 2)
+      ~burst:(Mac_channel.Qrat.of_int 2)
+      pattern
+  in
+  let buf = Buffer.create 4096 in
+  let sink =
+    Mac_sim.Sink.make (fun ~round ev ->
+        match ev with
+        | Mac_channel.Event.Telemetry _ -> ()
+        | _ ->
+          Buffer.add_string buf (Mac_channel.Event.to_json ~round ev);
+          Buffer.add_char buf '\n')
+  in
+  let config =
+    { (E.default_config ~rounds) with
+      drain_limit = drain;
+      check_schedule = A.oblivious;
+      sink = Some sink }
+  in
+  let summary =
+    E.run ~config ~algorithm:(module A) ~n ~k ~adversary ~rounds ()
+  in
+  (Buffer.contents buf, Mac_sim.Export.summary_json summary ^ "\n")
+
+(* ---- engine sessions --------------------------------------------------- *)
+
+(* A session advanced in awkward chunks must be bit-identical to the
+   closed-loop run — the property serve mode's step-wise driving rests
+   on. *)
+let test_session_chunked_equals_run () =
+  let n = 6 and k = 3 and rounds = 400 and drain = 200 in
+  let events_run, summary_run =
+    batch_reference ~n ~k ~rounds ~drain ~trace:trace6
+  in
+  let module A = Mac_routing.Orchestra in
+  let _feed, pattern =
+    Mac_adversary.Pattern.external_queue ~initial:trace6 ()
+  in
+  let adversary =
+    Mac_adversary.Adversary.create_q
+      ~rate:(Mac_channel.Qrat.make 1 2)
+      ~burst:(Mac_channel.Qrat.of_int 2)
+      pattern
+  in
+  let buf = Buffer.create 4096 in
+  let sink =
+    Mac_sim.Sink.make (fun ~round ev ->
+        match ev with
+        | Mac_channel.Event.Telemetry _ -> ()
+        | _ ->
+          Buffer.add_string buf (Mac_channel.Event.to_json ~round ev);
+          Buffer.add_char buf '\n')
+  in
+  let config =
+    { (E.default_config ~rounds) with
+      drain_limit = drain;
+      check_schedule = A.oblivious;
+      sink = Some sink }
+  in
+  let s =
+    E.start ~config ~algorithm:(module A) ~n ~k ~adversary ~rounds ()
+  in
+  while not (E.session_complete s) do
+    ignore (E.advance s ~max_steps:7)
+  done;
+  let summary = E.finish s in
+  check_string "chunked events" events_run (Buffer.contents buf);
+  check_string "chunked summary" summary_run
+    (Mac_sim.Export.summary_json summary ^ "\n")
+
+(* ---- in-process server -------------------------------------------------- *)
+
+let algorithm_of ~name ~n:_ ~k:_ =
+  match name with
+  | "orchestra" -> Ok (module Mac_routing.Orchestra : Mac_channel.Algorithm.S)
+  | _ -> Error (Printf.sprintf "unknown algorithm %S" name)
+
+let pattern_of ~spec ~n ~seed:_ =
+  match spec with
+  | "round-robin" -> Ok (Mac_adversary.Pattern.round_robin ~n)
+  | _ -> Error (Printf.sprintf "unknown pattern %S" spec)
+
+let start_server ~dir ~shards =
+  Mac_sim.Supervisor.reset_drain ();
+  let socket = Filename.concat dir "serve.sock" in
+  let cfg =
+    { Mac_serve.Server.dir;
+      socket;
+      shards;
+      checkpoint_every = 32;
+      telemetry_every = 100;
+      algorithm_of;
+      pattern_of;
+      summary_json = Mac_sim.Export.summary_json;
+      log = (fun _ -> ()) }
+  in
+  match Mac_serve.Server.create cfg with
+  | Error msg -> Alcotest.fail ("server create: " ^ msg)
+  | Ok sv ->
+    let d = Domain.spawn (fun () -> Mac_serve.Server.run sv) in
+    (socket, d)
+
+let stop_server socket d =
+  (match Client.connect ~socket with
+   | Ok c ->
+     Client.send_line c "{\"cmd\":\"drain\"}";
+     (try ignore (Client.recv_line c) with _ -> ());
+     Client.close c
+   | Error _ -> Mac_sim.Supervisor.request_drain ());
+  let `Drained = Domain.join d in
+  Mac_sim.Supervisor.reset_drain ()
+
+let connect_ok socket =
+  match Client.connect ~socket with
+  | Ok c -> c
+  | Error msg -> Alcotest.fail ("connect: " ^ msg)
+
+let req c fields =
+  match Client.request c (J.Obj fields) with
+  | Ok v -> v
+  | Error msg -> Alcotest.fail ("request failed: " ^ msg)
+
+let req_err c fields =
+  match Client.request c (J.Obj fields) with
+  | Ok v -> Alcotest.fail ("expected error, got " ^ J.to_string v)
+  | Error msg -> msg
+
+let inject_cmd ~channel trace =
+  [ ("cmd", J.Str "inject");
+    ("channel", J.Str channel);
+    ( "packets",
+      J.List
+        (List.map
+           (fun (a, s, d) -> J.List [ J.Int a; J.Int s; J.Int d ])
+           trace) ) ]
+
+let open_cmd ~channel ~rounds ~drain =
+  [ ("cmd", J.Str "open");
+    ("channel", J.Str channel);
+    ("algorithm", J.Str "orchestra");
+    ("n", J.Int 6);
+    ("k", J.Int 3);
+    ("rounds", J.Int rounds);
+    ("drain", J.Int drain) ]
+
+(* Satellite: malformed or unknown input must produce a typed error reply —
+   never a dropped connection or a dead shard. *)
+let test_protocol_errors_are_typed () =
+  let dir = temp_dir "eear_serve_err" in
+  let socket, d = start_server ~dir ~shards:1 in
+  let c = connect_ok socket in
+  Client.send_line c "this is not json";
+  (match Client.recv_line c with
+   | None -> Alcotest.fail "connection dropped on bad json"
+   | Some line -> (
+     match J.parse line with
+     | Ok reply ->
+       check_bool "bad json gets ok:false" true
+         (Option.bind (J.member "ok" reply) J.to_bool = Some false)
+     | Error msg -> Alcotest.fail ("reply not json: " ^ msg)));
+  check_bool "unknown command named in error" true
+    (contains (req_err c [ ("cmd", J.Str "frobnicate") ]) "frobnicate");
+  check_bool "missing cmd" true
+    (contains (req_err c [ ("n", J.Int 1) ]) "cmd");
+  check_bool "unknown channel" true
+    (contains
+       (req_err c
+          [ ("cmd", J.Str "step"); ("channel", J.Str "ghost");
+            ("rounds", J.Int 1) ])
+       "ghost");
+  check_bool "bad channel id" true
+    (contains
+       (req_err c
+          (open_cmd ~channel:"no spaces allowed" ~rounds:10 ~drain:0))
+       "id");
+  (* an unresolvable algorithm fails in the shard's adoption path and must
+     still come back as a typed reply *)
+  check_bool "unknown algorithm" true
+    (contains
+       (req_err c
+          [ ("cmd", J.Str "open"); ("channel", J.Str "x");
+            ("algorithm", J.Str "nope") ])
+       "nope");
+  (* after all that abuse the daemon still works end to end *)
+  let reply = req c [ ("cmd", J.Str "ping") ] in
+  check_bool "ping survives" true
+    (Option.bind (J.member "pong" reply) J.to_bool = Some true);
+  ignore (req c (open_cmd ~channel:"alive" ~rounds:50 ~drain:0));
+  check_bool "self-loop injection rejected" true
+    (contains
+       (req_err c
+          [ ("cmd", J.Str "inject"); ("channel", J.Str "alive");
+            ("src", J.Int 0); ("dst", J.Int 0) ])
+       "src");
+  ignore (req c (inject_cmd ~channel:"alive" [ (0, 0, 1) ]));
+  let reply = req c [ ("cmd", J.Str "run"); ("channel", J.Str "alive") ] in
+  check_bool "run completes after abuse" true
+    (Option.bind (J.member "complete" reply) J.to_bool = Some true);
+  Client.close c;
+  stop_server socket d
+
+(* Acceptance anchor: a channel fed over the socket and run to completion
+   writes an event spool and summary byte-identical to the equivalent
+   batch run. *)
+let test_replay_is_byte_identical_to_batch () =
+  let rounds = 400 and drain = 200 in
+  let dir = temp_dir "eear_serve_eq" in
+  let socket, d = start_server ~dir ~shards:2 in
+  let c = connect_ok socket in
+  ignore (req c (open_cmd ~channel:"eq" ~rounds ~drain));
+  let reply = req c (inject_cmd ~channel:"eq" trace6) in
+  check_int "all packets accepted" (List.length trace6)
+    (Option.get (Option.bind (J.member "accepted" reply) J.to_int));
+  let reply = req c [ ("cmd", J.Str "run"); ("channel", J.Str "eq") ] in
+  check_bool "complete" true
+    (Option.bind (J.member "complete" reply) J.to_bool = Some true);
+  check_bool "summary in reply" true (J.member "summary" reply <> None);
+  Client.close c;
+  stop_server socket d;
+  let events, summary =
+    batch_reference ~n:6 ~k:3 ~rounds ~drain ~trace:trace6
+  in
+  check_string "event spool matches batch --events"
+    events
+    (read_file (Filename.concat dir "eq.events.jsonl"));
+  check_string "summary matches batch --json"
+    summary
+    (read_file (Filename.concat dir "eq.summary.json"))
+
+(* Satellite: a client vanishing mid-subscription must not take the shard
+   (or the channel) down with it. *)
+let test_disconnect_mid_subscribe_leaves_shard_alive () =
+  let dir = temp_dir "eear_serve_sub" in
+  let socket, d = start_server ~dir ~shards:1 in
+  let c = connect_ok socket in
+  ignore (req c (open_cmd ~channel:"sub" ~rounds:1200 ~drain:0));
+  ignore (req c (inject_cmd ~channel:"sub" trace6));
+  ignore
+    (req c
+       [ ("cmd", J.Str "step"); ("channel", J.Str "sub");
+         ("rounds", J.Int 400) ]);
+  (* subscribe from a second connection, read a little, vanish rudely *)
+  let sub = connect_ok socket in
+  ignore (req sub [ ("cmd", J.Str "subscribe"); ("channel", J.Str "sub") ]);
+  (match Client.recv_line sub with
+   | Some line -> check_bool "stream carries events" true (contains line "round")
+   | None -> Alcotest.fail "no stream data");
+  Client.close sub;
+  (* the daemon and the channel's shard must both still be fine *)
+  let reply =
+    req c
+      [ ("cmd", J.Str "step"); ("channel", J.Str "sub");
+        ("rounds", J.Int 400) ]
+  in
+  check_bool "step works after subscriber vanished" true
+    (Option.bind (J.member "round" reply) J.to_int <> None);
+  let reply = req c [ ("cmd", J.Str "run"); ("channel", J.Str "sub") ] in
+  check_bool "run completes" true
+    (Option.bind (J.member "complete" reply) J.to_bool = Some true);
+  (* a late subscriber streams the whole spool, then clean EOF *)
+  let late = connect_ok socket in
+  ignore (req late [ ("cmd", J.Str "subscribe"); ("channel", J.Str "sub") ]);
+  let buf = Buffer.create 4096 in
+  let rec drainl () =
+    match Client.recv_line late with
+    | Some line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      drainl ()
+    | None -> ()
+  in
+  drainl ();
+  Client.close late;
+  Client.close c;
+  stop_server socket d;
+  check_string "late subscriber sees the full spool"
+    (read_file (Filename.concat dir "sub.events.jsonl"))
+    (Buffer.contents buf)
+
+(* The strongest form of the equivalence guarantee: kill the shard mid-run
+   (respawn re-adopts from the checkpoint, truncating the spool), then
+   drain the daemon and restart it (cold re-adoption), and the final
+   event spool and summary are STILL byte-identical to an uninterrupted
+   batch run. *)
+let test_chaos_preserves_byte_identity () =
+  let rounds = 600 and drain = 200 in
+  let dir = temp_dir "eear_serve_chaos" in
+  let socket, d = start_server ~dir ~shards:1 in
+  let c = connect_ok socket in
+  ignore (req c (open_cmd ~channel:"chaos" ~rounds ~drain));
+  ignore (req c (inject_cmd ~channel:"chaos" trace6));
+  ignore
+    (req c
+       [ ("cmd", J.Str "step"); ("channel", J.Str "chaos");
+         ("rounds", J.Int 200) ]);
+  ignore (req c [ ("cmd", J.Str "kill-shard"); ("shard", J.Int 0) ]);
+  (* the step may race the respawn and get a "re-issue" style error; the
+     daemon must answer either way, never hang *)
+  let rec step_after_respawn tries =
+    match
+      Client.request c
+        (J.Obj
+           [ ("cmd", J.Str "step"); ("channel", J.Str "chaos");
+             ("rounds", J.Int 100) ])
+    with
+    | Ok _ -> ()
+    | Error _ when tries > 0 ->
+      Unix.sleepf 0.05;
+      step_after_respawn (tries - 1)
+    | Error msg -> Alcotest.fail ("step after kill-shard: " ^ msg)
+  in
+  step_after_respawn 100;
+  let stats = req c [ ("cmd", J.Str "stats") ] in
+  check_int "respawn counted" 1
+    (Option.get (Option.bind (J.member "respawns" stats) J.to_int));
+  Client.close c;
+  (* drain (SIGTERM path) and restart the daemon on the same state dir *)
+  stop_server socket d;
+  let socket, d = start_server ~dir ~shards:1 in
+  let c = connect_ok socket in
+  let reply = req c [ ("cmd", J.Str "run"); ("channel", J.Str "chaos") ] in
+  check_bool "resumed run completes" true
+    (Option.bind (J.member "complete" reply) J.to_bool = Some true);
+  Client.close c;
+  stop_server socket d;
+  let events, summary =
+    batch_reference ~n:6 ~k:3 ~rounds ~drain ~trace:trace6
+  in
+  check_string "spool byte-identical despite crash + restart"
+    events
+    (read_file (Filename.concat dir "chaos.events.jsonl"));
+  check_string "summary byte-identical despite crash + restart"
+    summary
+    (read_file (Filename.concat dir "chaos.summary.json"))
+
+let () =
+  Alcotest.run "serve"
+    [ ("jsonv",
+       [ Alcotest.test_case "roundtrip" `Quick test_jsonv_roundtrip;
+         Alcotest.test_case "rejects malformed" `Quick
+           test_jsonv_rejects_malformed ]);
+      ("trace-file",
+       [ Alcotest.test_case "roundtrip" `Quick test_trace_file_roundtrip;
+         Alcotest.test_case "rejects bad lines" `Quick
+           test_trace_file_rejects_bad_lines ]);
+      ("session",
+       [ Alcotest.test_case "chunked = run" `Quick
+           test_session_chunked_equals_run ]);
+      ("server",
+       [ Alcotest.test_case "typed errors" `Quick
+           test_protocol_errors_are_typed;
+         Alcotest.test_case "replay byte-identical" `Quick
+           test_replay_is_byte_identical_to_batch;
+         Alcotest.test_case "subscriber disconnect" `Quick
+           test_disconnect_mid_subscribe_leaves_shard_alive;
+         Alcotest.test_case "chaos byte-identical" `Quick
+           test_chaos_preserves_byte_identity ]) ]
